@@ -1,0 +1,68 @@
+"""A1 — ablation: Eq. 2's hidden unlimited-repair-crew assumption.
+
+Eq. 2 treats nodes as i.i.d. with down probability ``P_i``, which is the
+steady state of a birth-death chain with *parallel* repairs.  With a
+finite repair crew, failed nodes queue for attention and the cluster's
+breakdown probability rises.  This bench quantifies the gap on the
+case-study compute cluster and on the full system TCO.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.availability.markov import MarkovClusterModel, markov_cluster_up_probability
+from repro.cli.formatting import render_table
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.workloads.case_study import case_study_problem
+
+
+def test_repair_crew_ablation(benchmark, emit):
+    result = brute_force_optimize(case_study_problem())
+    compute = result.option(8).system.cluster("compute")  # 3+1 shape
+
+    def sweep():
+        return {
+            crew: markov_cluster_up_probability(compute, crew)
+            for crew in (1, 2, 3, 4)
+        }
+
+    by_crew = benchmark(sweep)
+    binomial = cluster_up_probability(compute)
+
+    rows = [("Eq. 2 (binomial)", f"{binomial:.8f}", "-")]
+    for crew, up in sorted(by_crew.items()):
+        rows.append(
+            (
+                f"Markov, crew={crew}",
+                f"{up:.8f}",
+                f"{(binomial - up):.2e}",
+            )
+        )
+    emit(
+        "[A1] compute cluster (3+1) up-probability vs repair-crew size:\n"
+        + render_table(("model", "Pr[cluster up]", "optimism of Eq. 2"), rows)
+    )
+
+    # Unlimited crew reproduces Eq. 2 exactly; crews queue -> worse.
+    assert by_crew[4] == pytest.approx(binomial, rel=1e-9)
+    ups = [by_crew[crew] for crew in (1, 2, 3, 4)]
+    assert ups == sorted(ups)
+    assert by_crew[1] < binomial
+
+
+def test_crew_effect_on_steady_state(benchmark, emit):
+    result = brute_force_optimize(case_study_problem())
+    compute = result.option(8).system.cluster("compute")
+
+    def expected_down(crew):
+        return MarkovClusterModel.from_cluster(compute, crew).expected_down_nodes()
+
+    values = benchmark(lambda: {crew: expected_down(crew) for crew in (1, 2, 4)})
+    emit(
+        "[A1] expected simultaneously-down nodes in the 3+1 cluster: "
+        + ", ".join(f"crew={crew}: {value:.5f}" for crew, value in sorted(values.items()))
+    )
+    # A single-person crew leaves more nodes down on average.
+    assert values[1] > values[4]

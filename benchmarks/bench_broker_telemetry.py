@@ -1,0 +1,86 @@
+"""E5 — §II-C / §IV: broker telemetry converges to ground truth.
+
+The paper argues the broker's vantage point lets it maintain P/f/t
+values, and that short-term skews "smooth out" over the long term.
+This bench observes the SoftLayer-like provider over growing horizons
+and reports the estimate error per component class.
+"""
+
+from __future__ import annotations
+
+from repro.broker.service import BrokerService
+from repro.cli.formatting import render_table
+from repro.cloud.providers import metalcloud
+
+
+def _mean_abs_error(years: float, seeds=(1, 2, 3)) -> dict[str, float]:
+    """Mean |P-hat - P| per component kind across observation seeds."""
+    truth = metalcloud().reliability
+    totals = {"vm": 0.0, "volume": 0.0, "gateway": 0.0}
+    for seed in seeds:
+        broker = BrokerService((metalcloud(),))
+        broker.observe_provider("metalcloud", years=years, seed=seed)
+        for kind in totals:
+            estimate = broker.knowledge_base.estimate("metalcloud", kind)
+            totals[kind] += abs(
+                estimate.down_probability - truth.triple(kind)[0]
+            )
+    return {kind: total / len(seeds) for kind, total in totals.items()}
+
+
+def test_telemetry_convergence(benchmark, emit):
+    horizons = (0.5, 2.0, 8.0, 32.0)
+    errors = {years: _mean_abs_error(years) for years in horizons}
+
+    rows = [
+        (
+            f"{years:g} yr",
+            f"{errors[years]['vm']:.2e}",
+            f"{errors[years]['volume']:.2e}",
+            f"{errors[years]['gateway']:.2e}",
+        )
+        for years in horizons
+    ]
+    emit(
+        "[E5] broker telemetry: mean |P-hat - P| vs observation horizon "
+        "(3 seeds):\n"
+        + render_table(("horizon", "vm", "volume", "gateway"), rows)
+    )
+
+    # Long-term estimates must beat short-term ones on every component.
+    for kind in ("vm", "volume", "gateway"):
+        assert errors[horizons[-1]][kind] < errors[horizons[0]][kind]
+
+    # Benchmark one full observe cycle at a moderate horizon.
+    def observe_once():
+        broker = BrokerService((metalcloud(),))
+        return broker.observe_provider("metalcloud", years=4.0, seed=9)
+
+    ingested = benchmark(observe_once)
+    assert ingested > 0
+
+
+def test_failover_estimates_match_rate_card_reality(benchmark, emit):
+    """t-hat lands within 10% of each provider's true takeover latency."""
+
+    def estimate_t():
+        broker = BrokerService((metalcloud(),))
+        broker.observe_provider("metalcloud", years=10.0, seed=13)
+        return {
+            kind: broker.knowledge_base.estimate("metalcloud", kind).failover_minutes
+            for kind in ("vm", "volume", "gateway")
+        }
+
+    estimates = benchmark(estimate_t)
+    truth = metalcloud().reliability
+    rows = [
+        (kind, f"{truth.triple(kind)[2]:.2f}", f"{estimates[kind]:.2f}")
+        for kind in ("vm", "volume", "gateway")
+    ]
+    emit(
+        "[E5] failover-time estimates after 10 observed years:\n"
+        + render_table(("component", "true t (min)", "estimated t-hat"), rows)
+    )
+    for kind in ("vm", "volume", "gateway"):
+        true_t = truth.triple(kind)[2]
+        assert abs(estimates[kind] - true_t) / true_t < 0.10

@@ -1,0 +1,46 @@
+"""E1 — Figures 3-9: the eight case-study solution options.
+
+Regenerates the per-option rows (HA configuration, U_s, C_HA, expected
+penalty, TCO) the paper shows across Figures 3-9, and asserts the
+paper-stated shape: 8 options, #1-#4 slip the 98% SLA, #5-#8 meet it.
+"""
+
+from __future__ import annotations
+
+from repro.broker.reports import render_option_table
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.workloads.case_study import case_study_problem
+
+
+def test_fig3to9_option_table(benchmark, emit):
+    result = benchmark(lambda: brute_force_optimize(case_study_problem()))
+
+    emit(render_option_table(
+        result, title="[E1] Figures 3-9 — case-study solution options:"
+    ))
+
+    assert result.space_size == 8
+    assert len(result.options) == 8
+
+    # Options #1-#4 slip the SLA; #5-#8 meet it (paper text, §III).
+    for option in result.options:
+        if option.option_id <= 4:
+            assert not option.meets_sla, option.label
+        else:
+            assert option.meets_sla, option.label
+
+    # The option clustering pattern matches the figures.
+    assert result.option(1).clustered_components == ()
+    assert result.option(2).clustered_components == ("network",)
+    assert result.option(3).clustered_components == ("storage",)
+    assert result.option(4).clustered_components == ("compute",)
+    assert result.option(5).clustered_components == ("storage", "network")
+    assert result.option(6).clustered_components == ("compute", "network")
+    assert result.option(7).clustered_components == ("compute", "storage")
+    assert result.option(8).clustered_components == (
+        "compute", "storage", "network",
+    )
+
+    # SLA-meeting options pay no expected penalty (Eq. 5 second line).
+    for option_id in (5, 6, 7, 8):
+        assert result.option(option_id).tco.expected_penalty == 0.0

@@ -1,0 +1,94 @@
+"""E8b — future work: multi-path architectures via block diagrams.
+
+The paper's §V names multi-pathing among the unmodeled redundancies.
+The RBD extension composes parallel serving paths; this bench compares
+architectures with the same hardware *rearranged* and asserts the
+expected dominance ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.rbd import block_availability, parallel_gain
+from repro.cli.formatting import render_table
+from repro.topology.blocks import leaf, parallel, serial
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+def _cluster(name: str, layer: Layer, p: float) -> ClusterSpec:
+    return ClusterSpec(name, layer, NodeSpec("n", p, 5.0), total_nodes=1)
+
+
+def test_architecture_comparison(benchmark, emit):
+    edge = _cluster("edge", Layer.NETWORK, 0.006)
+    app1 = _cluster("app-1", Layer.COMPUTE, 0.008)
+    app2 = _cluster("app-2", Layer.COMPUTE, 0.008)
+    db1 = _cluster("db-1", Layer.STORAGE, 0.012)
+    db2 = _cluster("db-2", Layer.STORAGE, 0.012)
+
+    architectures = {
+        "serial chain (all 5 in series)": serial(
+            leaf(edge), leaf(app1), leaf(db1), leaf(app2), leaf(db2)
+        ),
+        "dual path (app+db pairs in parallel)": serial(
+            leaf(edge),
+            parallel(serial(leaf(app1), leaf(db1)), serial(leaf(app2), leaf(db2))),
+        ),
+        "component-level parallel (apps || and dbs ||)": serial(
+            leaf(edge),
+            parallel(leaf(app1), leaf(app2)),
+            parallel(leaf(db1), leaf(db2)),
+        ),
+    }
+
+    def evaluate_all():
+        return {
+            label: block_availability(block) for label, block in architectures.items()
+        }
+
+    results = benchmark(evaluate_all)
+
+    rows = [
+        (
+            label,
+            f"{availability:.6f}",
+            f"{parallel_gain(architectures[label]):+.6f}",
+        )
+        for label, availability in results.items()
+    ]
+    emit(
+        "[E8b] same 5 clusters, three arrangements:\n"
+        + render_table(("architecture", "availability", "parallel gain"), rows)
+    )
+
+    chain = results["serial chain (all 5 in series)"]
+    dual = results["dual path (app+db pairs in parallel)"]
+    component = results["component-level parallel (apps || and dbs ||)"]
+
+    # Standard RBD result: component-level redundancy dominates
+    # path-level redundancy, which dominates the chain.
+    assert chain < dual < component
+    # The chain wastes the duplicate hardware entirely: it is *less*
+    # available than the 3-cluster single path would be.
+    single_path = block_availability(serial(leaf(edge), leaf(app1), leaf(db1)))
+    assert chain < single_path
+    # Cross-check against exhaustive state enumeration on the dual-path
+    # diagram (5 independent binary components -> 32 states).
+    def exhaustive_dual():
+        total = 0.0
+        clusters = [edge, app1, db1, app2, db2]
+        for mask in range(32):
+            up = [(mask >> i) & 1 == 1 for i in range(5)]
+            probability = 1.0
+            for i, cluster in enumerate(clusters):
+                p_up = 1.0 - cluster.node.down_probability
+                probability *= p_up if up[i] else (1.0 - p_up)
+            path_a = up[1] and up[2]
+            path_b = up[3] and up[4]
+            if up[0] and (path_a or path_b):
+                total += probability
+        return total
+
+    assert dual == pytest.approx(exhaustive_dual(), rel=1e-12)

@@ -1,0 +1,70 @@
+"""E4 — §III-C complexity: O(k^n) enumeration and what pruning saves.
+
+The paper notes the technique is exponential but that real systems keep
+``n`` under 10.  This bench sweeps ``n`` (at k=2) and ``k`` (at n=3),
+recording evaluation counts for brute force vs the pruned search, and
+benchmarks the largest brute-force configuration.
+"""
+
+from __future__ import annotations
+
+from repro.cli.formatting import render_table
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pruned import pruned_optimize
+from repro.workloads.generators import random_problem
+
+
+def test_scaling_in_cluster_count(benchmark, emit):
+    rows = []
+    for n in range(2, 9):
+        problem = random_problem(100 + n, clusters=n, choices_per_layer=1)
+        brute = brute_force_optimize(problem)
+        pruned = pruned_optimize(problem)
+        assert brute.space_size == 2**n
+        assert brute.evaluations == 2**n
+        assert pruned.evaluations <= brute.evaluations
+        rows.append(
+            (n, 2**n, brute.evaluations, pruned.evaluations, pruned.pruned)
+        )
+
+    emit(
+        "[E4] scaling in n (k=2 per cluster):\n"
+        + render_table(
+            ("n", "k^n", "brute evals", "pruned evals", "clipped"), rows
+        )
+    )
+
+    # Wall-clock the largest configuration.
+    largest = random_problem(108, clusters=8, choices_per_layer=1)
+    result = benchmark(lambda: brute_force_optimize(largest))
+    assert result.evaluations == 256
+
+
+def test_scaling_in_choice_count(benchmark, emit):
+    rows = []
+    for k_extra in (1, 2, 3):
+        problem = random_problem(
+            200 + k_extra, clusters=3, choices_per_layer=k_extra
+        )
+        brute = brute_force_optimize(problem)
+        pruned = pruned_optimize(problem)
+        rows.append(
+            (
+                f"{k_extra + 1}^3",
+                brute.space_size,
+                brute.evaluations,
+                pruned.evaluations,
+            )
+        )
+        # Network offers at most 2 distinct technologies, so the space
+        # is (k+1)^2 * min(k+1, 3) rather than a perfect cube.
+        assert brute.space_size == (k_extra + 1) ** 2 * min(k_extra + 1, 3)
+
+    emit(
+        "[E4] scaling in k (n=3 clusters):\n"
+        + render_table(("space", "k^n", "brute evals", "pruned evals"), rows)
+    )
+
+    widest = random_problem(203, clusters=3, choices_per_layer=3)
+    result = benchmark(lambda: pruned_optimize(widest))
+    assert result.evaluations + result.pruned == result.space_size

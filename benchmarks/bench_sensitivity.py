@@ -1,0 +1,111 @@
+"""E7 — savings sensitivity: "actual savings depend on how ad-hoc the
+original redundancy engineering has been" (§III-B).
+
+Sweeps the penalty rate and the SLA target over the case study and
+reports where the recommendation crosses from no-HA to storage-only to
+storage+network — the crossovers that make the broker's optimization
+worth running at all.
+"""
+
+from __future__ import annotations
+
+from repro.cli.formatting import render_table
+from repro.cost.rates import LaborRate
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.space import OptimizationProblem
+from repro.sla.contract import Contract
+from repro.workloads.case_study import case_study_problem
+
+
+def _with_contract(contract: Contract) -> OptimizationProblem:
+    base = case_study_problem()
+    return OptimizationProblem(
+        base_system=base.base_system,
+        registry=base.registry,
+        contract=contract,
+        labor_rate=base.labor_rate,
+    )
+
+
+def test_penalty_rate_sweep(benchmark, emit):
+    rates = (0.0, 10.0, 50.0, 100.0, 250.0, 1000.0, 5000.0)
+
+    def sweep():
+        return {
+            rate: brute_force_optimize(
+                _with_contract(Contract.linear(98.0, rate))
+            )
+            for rate in rates
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for rate in rates:
+        best = results[rate].best
+        as_is = results[rate].option(8)
+        savings = results[rate].savings_vs(as_is)
+        rows.append(
+            (
+                f"${rate:,.0f}",
+                best.label,
+                f"{best.tco.uptime_probability * 100:.4f}%",
+                f"${best.tco.total:,.2f}",
+                f"{savings * 100:.1f}%",
+            )
+        )
+    emit(
+        "[E7] penalty-rate sweep (SLA 98%): recommendation crossovers:\n"
+        + render_table(
+            ("S_P/hour", "recommended", "U_s", "TCO/mo", "savings vs #8"), rows
+        )
+    )
+
+    # Shape: free penalties -> no HA; the paper's $100 -> storage only;
+    # punitive rates -> the cheapest SLA-meeting option (#5), never #8.
+    assert results[0.0].best.option_id == 1
+    assert results[100.0].best.option_id == 3
+    assert results[5000.0].best.option_id == 5
+    # HA footprint grows monotonically with the penalty rate.
+    footprints = [
+        len(results[rate].best.clustered_components) for rate in rates
+    ]
+    assert footprints == sorted(footprints)
+
+
+def test_sla_target_sweep(benchmark, emit):
+    targets = (95.0, 97.0, 98.0, 99.0, 99.5, 99.9)
+
+    def sweep():
+        return {
+            target: brute_force_optimize(
+                _with_contract(Contract.linear(target, 100.0))
+            )
+            for target in targets
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for target in targets:
+        best = results[target].best
+        rows.append(
+            (
+                f"{target:g}%",
+                best.label,
+                f"{best.tco.uptime_probability * 100:.4f}%",
+                f"${best.tco.total:,.2f}",
+            )
+        )
+    emit(
+        "[E7] SLA-target sweep (S_P $100/h):\n"
+        + render_table(("U_SLA", "recommended", "U_s", "TCO/mo"), rows)
+    )
+
+    # Loose SLAs need no HA; tighter SLAs buy monotonically more.
+    footprints = [
+        len(results[target].best.clustered_components) for target in targets
+    ]
+    assert footprints == sorted(footprints)
+    assert footprints[0] == 0
+    assert footprints[-1] >= 2

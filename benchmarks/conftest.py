@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (the
+experiment index lives in DESIGN.md §4).  Tables are printed through the
+``emit`` fixture, which bypasses pytest's output capture so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the paper-style rows alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys) -> Callable[[str], None]:
+    """Print a block of text straight to the terminal (uncaptured)."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Validating the analytic model with discrete-event simulation.
+
+Eq. 1-4 make two approximations (paper footnotes 2-3): breakdown and
+failover downtime are treated as mutually exclusive, and overlapping
+failover windows are ignored.  This example plays the real dynamics of
+each case-study option through the Monte Carlo simulator and compares:
+
+- analytic U_s vs the simulated 95% confidence interval;
+- the B_s / F_s decomposition of both estimators;
+- the measured overlap (the footnote-2 error term).
+
+Run: ``python examples/monte_carlo_validation.py``
+"""
+
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.simulation.validation import validate_against_model
+from repro.workloads.case_study import case_study_problem
+
+result = brute_force_optimize(case_study_problem())
+
+print("Analytic vs simulated availability, all 8 case-study options")
+print("(100 replications x 1 simulated year each):\n")
+
+header = (
+    f"{'option':<34} {'analytic U_s':>13} {'simulated U_s':>14} "
+    f"{'95% CI':>24} {'in CI':>6}"
+)
+print(header)
+print("-" * len(header))
+
+worst_gap = 0.0
+for option in result.options:
+    report = validate_against_model(
+        option.system, replications=100, seed=9000 + option.option_id
+    )
+    low, high = report.simulated.availability_ci95
+    inside = "yes" if report.analytic_inside_ci else "NO"
+    print(
+        f"{option.label:<34} {report.analytic_uptime:>13.6f} "
+        f"{report.simulated_uptime:>14.6f} "
+        f"[{low:.6f}, {high:.6f}]   {inside:>5}"
+    )
+    worst_gap = max(worst_gap, report.absolute_error)
+
+print(f"\nworst |analytic - simulated| gap: {worst_gap:.2e}")
+
+# Drill into the all-HA option, where failover activity is highest.
+option8 = result.option(8)
+report = validate_against_model(option8.system, replications=100, seed=8888)
+print(f"\nDetailed decomposition for {option8.label}:")
+print(report.describe())
+print(
+    "\nThe overlap fraction is the footnote-2 approximation error: time "
+    "that was simultaneously a breakdown and a failover window, which the "
+    "analytic model assumes away.  At realistic parameters it is orders "
+    "of magnitude below the downtime itself."
+)

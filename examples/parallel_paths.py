@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Beyond the serial chain: reliability block diagrams.
+
+The paper models systems as strictly serial (Figure 1) and lists
+"multi-pathing" in its future work.  This example composes the RBD
+extension: an edge tier feeding *two independent serving paths* (each a
+serial app+storage stack), so the workload survives the loss of an
+entire path.  It compares:
+
+1. the classic serial chain (everything single-path);
+2. the dual-path diagram with bare paths;
+3. the dual-path diagram where one path additionally gets HA.
+
+It then cross-checks the broker's priority list (importance analysis)
+against where the availability actually moved.
+
+Run: ``python examples/parallel_paths.py``
+"""
+
+from repro.availability.importance import importance_analysis
+from repro.availability.rbd import block_availability, parallel_gain
+from repro.catalog.hypervisor import HypervisorHA
+from repro.catalog.raid import RAID1
+from repro.topology.blocks import leaf, parallel, serial
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+edge = ClusterSpec("edge", Layer.NETWORK, NodeSpec("gateway", 0.006, 4.0, 180.0), 1)
+app_a = ClusterSpec("app-a", Layer.COMPUTE, NodeSpec("host", 0.004, 6.0, 300.0), 2)
+db_a = ClusterSpec("db-a", Layer.STORAGE, NodeSpec("volume", 0.012, 5.0, 160.0), 1)
+app_b = ClusterSpec("app-b", Layer.COMPUTE, NodeSpec("host", 0.004, 6.0, 300.0), 2)
+db_b = ClusterSpec("db-b", Layer.STORAGE, NodeSpec("volume", 0.012, 5.0, 160.0), 1)
+
+# 1. Everything serial: one path, every element a single point of failure.
+single_path = serial(leaf(edge), leaf(app_a), leaf(db_a))
+print("1. single serial path:")
+print(single_path.describe())
+print(f"   availability = {block_availability(single_path):.6f}\n")
+
+# 2. Dual path: the edge feeds either of two independent app+db stacks.
+dual_path = serial(
+    leaf(edge),
+    parallel(
+        serial(leaf(app_a), leaf(db_a)),
+        serial(leaf(app_b), leaf(db_b)),
+    ),
+)
+print("2. dual serving paths:")
+print(dual_path.describe())
+print(f"   availability  = {block_availability(dual_path):.6f}")
+print(f"   parallel gain = {parallel_gain(dual_path):+.6f} "
+      "(vs serializing the same clusters)\n")
+
+# 3. HA inside one branch: cluster path A's app tier and mirror its db.
+app_a_ha = HypervisorHA(standby_nodes=1, failover_minutes=8.0).apply(app_a)
+db_a_ha = RAID1(failover_minutes=1.0).apply(db_a)
+dual_path_ha = serial(
+    leaf(edge),
+    parallel(
+        serial(leaf(app_a_ha), leaf(db_a_ha)),
+        serial(leaf(app_b), leaf(db_b)),
+    ),
+)
+print("3. dual paths, path A hardened (hypervisor HA + RAID-1):")
+print(f"   availability = {block_availability(dual_path_ha):.6f}\n")
+
+# The residual weak spot is now the shared edge — importance agrees.
+flat = (
+    TopologyBuilder("flat-for-importance")
+    .network("edge", edge.node, nodes=1)
+    .compute("app-a", app_a.node, nodes=2)
+    .storage("db-a", db_a.node, nodes=1)
+    .build()
+)
+print("Importance analysis of the single-path system (broker's priority list):")
+print(importance_analysis(flat).describe())
+print(
+    "\nReading: parallel paths buy more than any single-cluster HA here, "
+    "and once a path is redundant the shared edge dominates — exactly "
+    "where the dual-gateway catalog entry applies next."
+)

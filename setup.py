@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-use-pep517`` (the legacy editable path)
+works on machines whose setuptools cannot build PEP 517 wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

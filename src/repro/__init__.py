@@ -1,0 +1,138 @@
+"""repro — uptime-optimized cloud architecture as a brokered service.
+
+A full reproduction of Venkateswaran & Sarkar, *"Uptime-Optimized Cloud
+Architecture as a Brokered Service"* (DSN 2017): the probabilistic
+availability model (Eq. 1-4), the TCO model (Eq. 5), the ``k^n`` HA
+enumeration with §III-C pruning (Eq. 6), the brokered service around
+them, and the substrates (HA catalog, simulated multi-cloud IaaS,
+Monte Carlo failure simulator) needed to exercise everything end to end.
+
+Quickstart::
+
+    from repro import (
+        Contract, LaborRate, OptimizationProblem, TopologyBuilder,
+        NodeSpec, case_study_registry, pruned_optimize,
+    )
+
+    system = (
+        TopologyBuilder("three-tier")
+        .compute("compute", NodeSpec("host", 0.0025, 6.0, 330.0), nodes=3)
+        .storage("storage", NodeSpec("volume", 0.015, 5.0, 170.0), nodes=1)
+        .network("network", NodeSpec("gateway", 0.014, 4.0, 190.0), nodes=1)
+        .build()
+    )
+    problem = OptimizationProblem(
+        base_system=system,
+        registry=case_study_registry(),
+        contract=Contract.linear(98.0, 100.0),
+        labor_rate=LaborRate(30.0),
+    )
+    result = pruned_optimize(problem)
+    print(result.describe())
+"""
+
+from repro.availability import (
+    AvailabilityReport,
+    DowntimeBudget,
+    evaluate_availability,
+    sensitivity_analysis,
+)
+from repro.catalog import (
+    BGPDualCircuit,
+    DualGateway,
+    HATechnology,
+    HypervisorHA,
+    NoHA,
+    OSCluster,
+    RAID1,
+    RAID5,
+    RAID6,
+    RAID10,
+    SDSReplication,
+    StorageMultipath,
+    TechnologyRegistry,
+    case_study_registry,
+    default_registry,
+    extended_registry,
+)
+from repro.cost import LaborRate, TCOBreakdown, compute_tco
+from repro.errors import ReproError, ValidationError
+from repro.optimizer import (
+    CandidateSpace,
+    EvaluatedOption,
+    OptimizationProblem,
+    OptimizationResult,
+    branch_and_bound_optimize,
+    brute_force_optimize,
+    pareto_frontier,
+    pruned_optimize,
+)
+from repro.sla import (
+    CappedPenalty,
+    Contract,
+    LinearPenalty,
+    NoPenalty,
+    PenaltyClause,
+    ServiceCreditPenalty,
+    TieredPenalty,
+    UptimeSLA,
+)
+from repro.topology import (
+    ClusterSpec,
+    Layer,
+    NodeSpec,
+    SystemTopology,
+    TopologyBuilder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityReport",
+    "BGPDualCircuit",
+    "CandidateSpace",
+    "CappedPenalty",
+    "ClusterSpec",
+    "Contract",
+    "DowntimeBudget",
+    "DualGateway",
+    "EvaluatedOption",
+    "HATechnology",
+    "HypervisorHA",
+    "LaborRate",
+    "Layer",
+    "LinearPenalty",
+    "NoHA",
+    "NodeSpec",
+    "NoPenalty",
+    "OSCluster",
+    "OptimizationProblem",
+    "OptimizationResult",
+    "PenaltyClause",
+    "RAID1",
+    "RAID5",
+    "RAID6",
+    "RAID10",
+    "ReproError",
+    "SDSReplication",
+    "ServiceCreditPenalty",
+    "StorageMultipath",
+    "SystemTopology",
+    "TCOBreakdown",
+    "TechnologyRegistry",
+    "TieredPenalty",
+    "TopologyBuilder",
+    "UptimeSLA",
+    "ValidationError",
+    "__version__",
+    "branch_and_bound_optimize",
+    "brute_force_optimize",
+    "case_study_registry",
+    "compute_tco",
+    "default_registry",
+    "evaluate_availability",
+    "extended_registry",
+    "pareto_frontier",
+    "pruned_optimize",
+    "sensitivity_analysis",
+]

@@ -1,0 +1,82 @@
+"""The paper's probabilistic availability model (§II, Eq. 1-4).
+
+System downtime probability decomposes into two mutually exclusive parts:
+
+- ``B_s`` (:mod:`~repro.availability.breakdown`, Eq. 2) — one or more
+  clusters broken beyond their redundancy budget;
+- ``F_s`` (:mod:`~repro.availability.failover`, Eq. 3) — short outages
+  while a cluster's standby node takes over.
+
+``D_s = B_s + F_s`` and uptime ``U_s = 1 - D_s`` (Eq. 1 and 4), computed
+by :func:`~repro.availability.model.evaluate_availability`, which returns
+a rich :class:`~repro.availability.model.AvailabilityReport`.
+"""
+
+from repro.availability.breakdown import breakdown_downtime_probability, cluster_breakdown_contributions
+from repro.availability.cluster_math import (
+    binomial_pmf,
+    cluster_down_probability,
+    cluster_up_probability,
+)
+from repro.availability.downtime import DowntimeBudget
+from repro.availability.failover import (
+    cluster_failover_downtime,
+    failover_downtime_probability,
+)
+from repro.availability.importance import (
+    ClusterImportance,
+    ImportanceReport,
+    importance_analysis,
+)
+from repro.availability.markov import (
+    MarkovClusterModel,
+    crew_size_penalty,
+    markov_cluster_up_probability,
+)
+from repro.availability.rbd import (
+    block_availability,
+    block_downtime_probability,
+    cluster_effective_availability,
+    parallel_gain,
+)
+from repro.availability.model import AvailabilityReport, ClusterAvailability, evaluate_availability
+from repro.availability.sensitivity import SensitivityReport, sensitivity_analysis
+from repro.availability.uncertainty import (
+    ClusterInputUncertainty,
+    TcoBand,
+    UptimeUncertainty,
+    propagate_uptime_uncertainty,
+    recommendation_confidence,
+    tco_band,
+)
+
+__all__ = [
+    "AvailabilityReport",
+    "ClusterAvailability",
+    "ClusterImportance",
+    "ClusterInputUncertainty",
+    "DowntimeBudget",
+    "TcoBand",
+    "UptimeUncertainty",
+    "propagate_uptime_uncertainty",
+    "recommendation_confidence",
+    "tco_band",
+    "ImportanceReport",
+    "MarkovClusterModel",
+    "SensitivityReport",
+    "block_availability",
+    "block_downtime_probability",
+    "cluster_effective_availability",
+    "crew_size_penalty",
+    "importance_analysis",
+    "markov_cluster_up_probability",
+    "parallel_gain",
+    "binomial_pmf",
+    "breakdown_downtime_probability",
+    "cluster_breakdown_contributions",
+    "cluster_down_probability",
+    "cluster_failover_downtime",
+    "cluster_up_probability",
+    "evaluate_availability",
+    "sensitivity_analysis",
+]

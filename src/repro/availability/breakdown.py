@@ -1,0 +1,33 @@
+"""Breakdown downtime probability ``B_s`` (paper Eq. 2).
+
+The system is a serial chain: it is broken whenever at least one cluster
+has more than ``K̂_i`` simultaneous node failures.
+
+    B_s = 1 - prod_i Pr[cluster C_i up]
+"""
+
+from __future__ import annotations
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.topology.system import SystemTopology
+
+
+def breakdown_downtime_probability(system: SystemTopology) -> float:
+    """``B_s``: probability the system is down due to cluster breakdown."""
+    product = 1.0
+    for cluster in system.clusters:
+        product *= cluster_up_probability(cluster)
+    return 1.0 - product
+
+
+def cluster_breakdown_contributions(system: SystemTopology) -> dict[str, float]:
+    """Per-cluster *down* probabilities, keyed by cluster name.
+
+    Useful for reporting which cluster dominates ``B_s``.  Note these do
+    not sum to ``B_s`` exactly (overlap of independent events); they are
+    the marginal down-probabilities ``1 - Pr[C_i up]``.
+    """
+    return {
+        cluster.name: 1.0 - cluster_up_probability(cluster)
+        for cluster in system.clusters
+    }

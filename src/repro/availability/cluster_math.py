@@ -1,0 +1,85 @@
+"""Per-cluster availability math: the binomial core of Eq. 2.
+
+A cluster of ``K`` i.i.d. nodes, each down with probability ``P``, is up
+when at least ``K - K̂`` nodes are up:
+
+    Pr[cluster up] = sum_{j = K-K̂}^{K}  C(K, j) (1-P)^j P^(K-j)
+
+This module implements that sum with exact integer binomial coefficients
+(``math.comb``) — no scipy dependency in the hot path, and no overflow
+for the node counts that occur in practice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec
+
+
+def binomial_pmf(successes: int, trials: int, success_probability: float) -> float:
+    """``C(trials, successes) * p^successes * (1-p)^(trials-successes)``.
+
+    Raises :class:`ValidationError` for out-of-range arguments rather
+    than silently returning 0, because a bad index here almost always
+    means the caller mixed up ``K`` and ``K̂``.
+    """
+    if trials < 0:
+        raise ValidationError(f"trials must be >= 0, got {trials!r}")
+    if not 0 <= successes <= trials:
+        raise ValidationError(
+            f"successes must be in [0, trials], got {successes!r} of {trials!r}"
+        )
+    if not 0.0 <= success_probability <= 1.0:
+        raise ValidationError(
+            f"success_probability must be in [0, 1], got {success_probability!r}"
+        )
+    return (
+        math.comb(trials, successes)
+        * success_probability**successes
+        * (1.0 - success_probability) ** (trials - successes)
+    )
+
+
+def up_probability(total_nodes: int, standby_tolerance: int, node_down_probability: float) -> float:
+    """Probability the cluster is up given raw parameters.
+
+    Sums the binomial pmf over ``j`` in ``[K - K̂, K]`` up nodes.
+    """
+    if total_nodes < 1:
+        raise ValidationError(f"total_nodes must be >= 1, got {total_nodes!r}")
+    if not 0 <= standby_tolerance < total_nodes:
+        raise ValidationError(
+            f"standby_tolerance must be in [0, K), got {standby_tolerance!r} "
+            f"with K={total_nodes!r}"
+        )
+    node_up = 1.0 - node_down_probability
+    total = 0.0
+    for up_nodes in range(total_nodes - standby_tolerance, total_nodes + 1):
+        total += binomial_pmf(up_nodes, total_nodes, node_up)
+    # Guard against floating-point drift just above 1.0.
+    return min(total, 1.0)
+
+
+def cluster_up_probability(cluster: ClusterSpec) -> float:
+    """Probability that cluster ``C_i`` is up (the inner sum of Eq. 2)."""
+    return up_probability(
+        total_nodes=cluster.total_nodes,
+        standby_tolerance=cluster.standby_tolerance,
+        node_down_probability=cluster.node.down_probability,
+    )
+
+
+def cluster_down_probability(cluster: ClusterSpec) -> float:
+    """Probability that cluster ``C_i`` is broken beyond recovery."""
+    return 1.0 - cluster_up_probability(cluster)
+
+
+def active_nodes_up_probability(cluster: ClusterSpec) -> float:
+    """Probability that all currently *active* nodes of ``C_i`` are up.
+
+    This is the ``(1 - P_j)^(K_j - K̂_j)`` factor of Eq. 3: the event
+    that cluster ``C_j`` is experiencing no failover right now.
+    """
+    return cluster.node.up_probability**cluster.active_nodes

@@ -1,0 +1,62 @@
+"""Downtime budget: turn probabilities into operator-facing quantities.
+
+Operators reason in "minutes per year", "hours per month" and "nines";
+the model produces probabilities.  :class:`DowntimeBudget` is the bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.units import (
+    availability_to_nines,
+    probability_to_hours_per_month,
+    probability_to_minutes_per_year,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DowntimeBudget:
+    """Expected downtime of a system expressed in several units.
+
+    Built from a downtime *probability* (the model's ``D_s``); all other
+    fields are derived views of the same number.
+    """
+
+    downtime_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.downtime_probability <= 1.0:
+            raise ValidationError(
+                "downtime_probability must be in [0, 1], got "
+                f"{self.downtime_probability!r}"
+            )
+
+    @property
+    def availability(self) -> float:
+        """``U_s = 1 - D_s``."""
+        return 1.0 - self.downtime_probability
+
+    @property
+    def minutes_per_year(self) -> float:
+        """Expected downtime minutes in a year."""
+        return probability_to_minutes_per_year(self.downtime_probability)
+
+    @property
+    def hours_per_month(self) -> float:
+        """Expected downtime hours in a month (Eq. 5's time base)."""
+        return probability_to_hours_per_month(self.downtime_probability)
+
+    @property
+    def nines(self) -> float:
+        """Availability expressed as a count of nines (3.0 = 99.9%)."""
+        return availability_to_nines(self.availability)
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``99.83% up (2.5 nines, 14.9 h/yr down)``."""
+        hours_per_year = self.minutes_per_year / 60.0
+        return (
+            f"{self.availability * 100:.4f}% up "
+            f"({self.nines:.2f} nines, {hours_per_year:.1f} h/yr down)"
+        )

@@ -1,0 +1,58 @@
+"""Failover downtime probability ``F_s`` (paper Eq. 3).
+
+Each failover transaction in cluster ``C_i`` blacks out the system for
+``t_i`` minutes.  With ``f_i`` failures per node-year and ``K_i - K̂_i``
+active nodes, cluster ``C_i`` accumulates ``f_i * t_i * (K_i - K̂_i)``
+failover minutes per year.  To avoid double counting minutes when some
+*other* cluster is simultaneously down, the term is weighted by
+``P(X_i)`` — the probability that every other cluster's active nodes are
+all up:
+
+    F_s(C_i) = f_i t_i (K_i - K̂_i) / delta * prod_{j != i} (1-P_j)^(K_j - K̂_j)
+
+    F_s = sum_i F_s(C_i)
+
+Per DESIGN.md §3, a cluster without HA (``K̂_i = 0``) has no failover
+mechanism: its ``t_i`` is forced to zero by the topology validator, so it
+contributes nothing here (its failures appear in ``B_s`` instead).
+"""
+
+from __future__ import annotations
+
+from repro.availability.cluster_math import active_nodes_up_probability
+from repro.topology.cluster import ClusterSpec
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
+
+
+def cluster_yearly_failover_minutes(cluster: ClusterSpec) -> float:
+    """``f_i * t_i * (K_i - K̂_i)``: raw failover minutes per year."""
+    return (
+        cluster.node.failures_per_year
+        * cluster.failover_minutes
+        * cluster.active_nodes
+    )
+
+
+def others_quiet_probability(system: SystemTopology, cluster_name: str) -> float:
+    """``P(X_i)``: all *other* clusters' active nodes are up."""
+    product = 1.0
+    for other in system.clusters:
+        if other.name != cluster_name:
+            product *= active_nodes_up_probability(other)
+    return product
+
+
+def cluster_failover_downtime(system: SystemTopology, cluster_name: str) -> float:
+    """``F_s(C_i)``: downtime probability from ``C_i``'s failovers."""
+    cluster = system.cluster(cluster_name)
+    raw = cluster_yearly_failover_minutes(cluster) / MINUTES_PER_YEAR
+    return raw * others_quiet_probability(system, cluster_name)
+
+
+def failover_downtime_probability(system: SystemTopology) -> float:
+    """``F_s``: total downtime probability from failover latencies."""
+    return sum(
+        cluster_failover_downtime(system, cluster.name)
+        for cluster in system.clusters
+    )

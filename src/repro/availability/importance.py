@@ -1,0 +1,125 @@
+"""Component importance measures for the serial chain.
+
+When a broker must prioritize where to spend HA budget, classical
+reliability-engineering importance measures answer "which cluster
+matters most?".  For the paper's serial chain (breakdown model, Eq. 2):
+
+- **Birnbaum importance** ``I_B(i) = dU / dA_i`` — the partial
+  derivative of system availability w.r.t. cluster ``i``'s
+  availability.  For a serial system this is the product of the other
+  clusters' availabilities.
+- **Improvement potential** ``IP(i) = U(A_i := 1) - U`` — uptime gained
+  if cluster ``i`` were made perfect; this is what an (idealized) HA
+  investment in ``i`` could buy at most.
+- **Risk achievement worth** ``RAW(i) = D(A_i := 0) / D`` — how much
+  worse total downtime gets if cluster ``i`` is lost entirely; for a
+  serial chain the numerator is 1, so ``RAW = 1/D``, identical across
+  clusters — reported for completeness and for future non-serial use.
+
+All three are computed on the breakdown availability (``1 - B_s``);
+failover downtime is a property of the HA *choice*, not of the cluster
+position, so it is excluded from positional importance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.errors import ValidationError
+from repro.topology.system import SystemTopology
+
+
+@dataclass(frozen=True)
+class ClusterImportance:
+    """Importance measures of one cluster."""
+
+    name: str
+    availability: float
+    birnbaum: float
+    improvement_potential: float
+    risk_achievement_worth: float
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """All clusters' importance, plus the ranking the broker wants."""
+
+    system_name: str
+    system_availability: float
+    clusters: tuple[ClusterImportance, ...]
+
+    def ranked_by_improvement(self) -> tuple[ClusterImportance, ...]:
+        """Clusters ordered by improvement potential, best first."""
+        return tuple(
+            sorted(
+                self.clusters,
+                key=lambda entry: entry.improvement_potential,
+                reverse=True,
+            )
+        )
+
+    def most_critical(self) -> ClusterImportance:
+        """The cluster whose perfection would buy the most uptime."""
+        return self.ranked_by_improvement()[0]
+
+    def for_cluster(self, name: str) -> ClusterImportance:
+        """Look up one cluster's measures."""
+        for entry in self.clusters:
+            if entry.name == name:
+                return entry
+        raise ValidationError(
+            f"no importance entry for cluster {name!r}; have "
+            f"{[entry.name for entry in self.clusters]}"
+        )
+
+    def describe(self) -> str:
+        """Ranked table, one cluster per line."""
+        lines = [
+            f"Cluster importance for {self.system_name!r} "
+            f"(breakdown availability {self.system_availability:.6f}):"
+        ]
+        for entry in self.ranked_by_improvement():
+            lines.append(
+                f"  {entry.name}: A={entry.availability:.6f} "
+                f"Birnbaum={entry.birnbaum:.6f} "
+                f"improvement={entry.improvement_potential:.6f}"
+            )
+        return "\n".join(lines)
+
+
+def importance_analysis(system: SystemTopology) -> ImportanceReport:
+    """Compute Birnbaum / improvement-potential / RAW for every cluster."""
+    availabilities = {
+        cluster.name: cluster_up_probability(cluster)
+        for cluster in system.clusters
+    }
+    total = 1.0
+    for value in availabilities.values():
+        total *= value
+    downtime = 1.0 - total
+
+    entries = []
+    for cluster in system.clusters:
+        own = availabilities[cluster.name]
+        others = 1.0
+        for name, value in availabilities.items():
+            if name != cluster.name:
+                others *= value
+        birnbaum = others
+        improvement = others - total  # U with A_i := 1, minus U
+        raw = (1.0 / downtime) if downtime > 0.0 else float("inf")
+        entries.append(
+            ClusterImportance(
+                name=cluster.name,
+                availability=own,
+                birnbaum=birnbaum,
+                improvement_potential=improvement,
+                risk_achievement_worth=raw,
+            )
+        )
+    return ImportanceReport(
+        system_name=system.name,
+        system_availability=total,
+        clusters=tuple(entries),
+    )

@@ -1,0 +1,150 @@
+"""Exact birth-death Markov model of a cluster (ablation substrate).
+
+The paper's Eq. 2 treats nodes as i.i.d. coins with down probability
+``P_i`` — implicitly assuming every failed node is repaired in parallel
+(an unlimited repair crew).  Real operations pools repair staff.  This
+module models a cluster as a continuous-time birth-death chain on the
+number of failed nodes:
+
+- state ``j`` (``j`` nodes down) fails at rate ``(K - j) * lambda``;
+- repairs complete at rate ``min(j, c) * mu`` with a crew of ``c``.
+
+Steady-state probabilities follow from the standard balance equations:
+
+    pi_j = pi_0 * prod_{i=0}^{j-1} [ (K - i) lambda / repair_rate(i+1) ]
+
+With ``c >= K`` the chain is the M/M/inf-like independent-repair model
+and its steady state is exactly ``Binomial(K, P)`` with
+``P = lambda / (lambda + mu)`` — i.e. Eq. 2's inner sum.  With a finite
+crew, repairs queue, failed nodes linger, and the cluster's breakdown
+probability rises above the paper's estimate.  Experiment A1
+(``benchmarks/bench_ablation_markov.py``) quantifies that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.cluster_math import up_probability
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec
+from repro.units import HOURS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class MarkovClusterModel:
+    """Birth-death steady state of one cluster under a finite repair crew.
+
+    Parameters
+    ----------
+    total_nodes:
+        ``K`` — cluster size.
+    failure_rate_per_hour:
+        ``lambda`` — per-node failure rate while up.
+    repair_rate_per_hour:
+        ``mu`` — per-repair completion rate (1 / MTTR hours).
+    repair_crew:
+        ``c`` — simultaneous repairs possible; ``c >= K`` reproduces the
+        paper's independent-node model exactly.
+    """
+
+    total_nodes: int
+    failure_rate_per_hour: float
+    repair_rate_per_hour: float
+    repair_crew: int
+
+    def __post_init__(self) -> None:
+        if self.total_nodes < 1:
+            raise ValidationError(
+                f"total_nodes must be >= 1, got {self.total_nodes!r}"
+            )
+        if self.failure_rate_per_hour < 0.0:
+            raise ValidationError(
+                f"failure_rate_per_hour must be >= 0, got {self.failure_rate_per_hour!r}"
+            )
+        if self.repair_rate_per_hour <= 0.0:
+            raise ValidationError(
+                f"repair_rate_per_hour must be > 0, got {self.repair_rate_per_hour!r}"
+            )
+        if self.repair_crew < 1:
+            raise ValidationError(
+                f"repair_crew must be >= 1, got {self.repair_crew!r}"
+            )
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec, repair_crew: int | None = None) -> "MarkovClusterModel":
+        """Derive rates from a cluster spec's ``(P, f)`` parameters.
+
+        ``repair_crew=None`` means unlimited (``c = K``), matching the
+        paper's model.
+        """
+        node = cluster.node
+        if node.failures_per_year <= 0.0 or node.down_probability <= 0.0:
+            # A never-failing node: any rates with lambda=0 work.
+            return cls(
+                total_nodes=cluster.total_nodes,
+                failure_rate_per_hour=0.0,
+                repair_rate_per_hour=1.0,
+                repair_crew=repair_crew or cluster.total_nodes,
+            )
+        cycle_hours = HOURS_PER_YEAR / node.failures_per_year
+        mttr_hours = node.down_probability * cycle_hours
+        mtbf_hours = cycle_hours - mttr_hours
+        return cls(
+            total_nodes=cluster.total_nodes,
+            failure_rate_per_hour=1.0 / mtbf_hours,
+            repair_rate_per_hour=1.0 / mttr_hours,
+            repair_crew=repair_crew or cluster.total_nodes,
+        )
+
+    def steady_state(self) -> tuple[float, ...]:
+        """``pi_0 .. pi_K``: stationary distribution over #down nodes."""
+        if self.failure_rate_per_hour == 0.0:
+            return (1.0,) + (0.0,) * self.total_nodes
+        weights = [1.0]
+        for j in range(self.total_nodes):
+            birth = (self.total_nodes - j) * self.failure_rate_per_hour
+            death = min(j + 1, self.repair_crew) * self.repair_rate_per_hour
+            weights.append(weights[-1] * birth / death)
+        total = sum(weights)
+        return tuple(weight / total for weight in weights)
+
+    def up_probability(self, standby_tolerance: int) -> float:
+        """Probability at most ``K̂`` nodes are down at steady state."""
+        if not 0 <= standby_tolerance < self.total_nodes:
+            raise ValidationError(
+                f"standby_tolerance must be in [0, K), got {standby_tolerance!r}"
+            )
+        pi = self.steady_state()
+        return sum(pi[: standby_tolerance + 1])
+
+    def expected_down_nodes(self) -> float:
+        """Mean number of simultaneously failed nodes."""
+        pi = self.steady_state()
+        return sum(j * p for j, p in enumerate(pi))
+
+
+def markov_cluster_up_probability(
+    cluster: ClusterSpec, repair_crew: int | None = None
+) -> float:
+    """Cluster up-probability under a finite repair crew.
+
+    With ``repair_crew=None`` this equals the paper's binomial model
+    (verified by property tests); smaller crews yield lower values.
+    """
+    model = MarkovClusterModel.from_cluster(cluster, repair_crew)
+    return model.up_probability(cluster.standby_tolerance)
+
+
+def crew_size_penalty(cluster: ClusterSpec, repair_crew: int) -> float:
+    """How much breakdown probability a finite crew adds over Eq. 2.
+
+    Returns ``P_down(markov, crew) - P_down(binomial)`` — always >= 0.
+    """
+    binomial_up = up_probability(
+        cluster.total_nodes,
+        cluster.standby_tolerance,
+        cluster.node.down_probability,
+    )
+    markov_up = markov_cluster_up_probability(cluster, repair_crew)
+    return max(0.0, binomial_up - markov_up)

@@ -1,0 +1,106 @@
+"""Top-level availability evaluation: Eq. 1 and Eq. 4.
+
+:func:`evaluate_availability` combines the breakdown term (Eq. 2) and
+failover term (Eq. 3) into the system downtime ``D_s`` and uptime
+``U_s``, together with a per-cluster decomposition for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.breakdown import breakdown_downtime_probability
+from repro.availability.cluster_math import cluster_up_probability
+from repro.availability.downtime import DowntimeBudget
+from repro.availability.failover import (
+    cluster_failover_downtime,
+    failover_downtime_probability,
+)
+from repro.topology.system import SystemTopology
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterAvailability:
+    """Per-cluster slice of the availability report."""
+
+    name: str
+    up_probability: float
+    breakdown_probability: float
+    failover_contribution: float
+
+    def describe(self) -> str:
+        """One-line summary for report tables."""
+        return (
+            f"{self.name}: up={self.up_probability:.6f} "
+            f"breakdown={self.breakdown_probability:.2e} "
+            f"failover={self.failover_contribution:.2e}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AvailabilityReport:
+    """Full evaluation of a system's expected availability.
+
+    Attributes
+    ----------
+    breakdown_probability:
+        ``B_s`` (Eq. 2).
+    failover_probability:
+        ``F_s`` (Eq. 3).
+    clusters:
+        Per-cluster decomposition, in chain order.
+    """
+
+    system_name: str
+    breakdown_probability: float
+    failover_probability: float
+    clusters: tuple[ClusterAvailability, ...]
+
+    @property
+    def downtime_probability(self) -> float:
+        """``D_s = B_s + F_s`` (Eq. 1)."""
+        return self.breakdown_probability + self.failover_probability
+
+    @property
+    def uptime_probability(self) -> float:
+        """``U_s = 1 - D_s`` (Eq. 4)."""
+        return 1.0 - self.downtime_probability
+
+    @property
+    def budget(self) -> DowntimeBudget:
+        """The downtime expressed in operator units."""
+        return DowntimeBudget(min(max(self.downtime_probability, 0.0), 1.0))
+
+    def describe(self) -> str:
+        """Multi-line human summary of the evaluation."""
+        lines = [
+            f"Availability of {self.system_name!r}: {self.budget.describe()}",
+            f"  B_s (breakdown) = {self.breakdown_probability:.6e}",
+            f"  F_s (failover)  = {self.failover_probability:.6e}",
+        ]
+        lines.extend(f"  {cluster.describe()}" for cluster in self.clusters)
+        return "\n".join(lines)
+
+
+def evaluate_availability(system: SystemTopology) -> AvailabilityReport:
+    """Evaluate Eq. 1-4 for ``system`` and return the full report."""
+    per_cluster = tuple(
+        ClusterAvailability(
+            name=cluster.name,
+            up_probability=cluster_up_probability(cluster),
+            breakdown_probability=1.0 - cluster_up_probability(cluster),
+            failover_contribution=cluster_failover_downtime(system, cluster.name),
+        )
+        for cluster in system.clusters
+    )
+    return AvailabilityReport(
+        system_name=system.name,
+        breakdown_probability=breakdown_downtime_probability(system),
+        failover_probability=failover_downtime_probability(system),
+        clusters=per_cluster,
+    )
+
+
+def uptime_probability(system: SystemTopology) -> float:
+    """Shortcut for ``evaluate_availability(system).uptime_probability``."""
+    return evaluate_availability(system).uptime_probability

@@ -1,0 +1,81 @@
+"""Availability of reliability block diagrams.
+
+The recursive algebra (independent components):
+
+- leaf: the cluster's availability;
+- serial: product of child availabilities;
+- parallel: ``1 - prod(1 - child availability)``.
+
+Leaf availability comes in two flavours:
+
+- ``include_failover=False`` — pure breakdown availability (Eq. 2's
+  inner sum).  For a plain chain the serial evaluation then equals
+  exactly ``1 - B_s``.
+- ``include_failover=True`` — additionally debits the cluster's raw
+  failover downtime ``f t (K - K̂) / delta``.  This *approximates*
+  Eq. 3 (it omits the cross-cluster ``P(X_i)`` weighting, which is a
+  second-order correction — the weighting factor is within ``1e-3`` of
+  1 at realistic parameters), because the exact weighting does not
+  factor through arbitrary parallel compositions.
+"""
+
+from __future__ import annotations
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.availability.failover import cluster_yearly_failover_minutes
+from repro.errors import ValidationError
+from repro.topology.blocks import Block, ClusterBlock, ParallelBlock, SerialBlock
+from repro.topology.cluster import ClusterSpec
+from repro.units import MINUTES_PER_YEAR
+
+
+def cluster_effective_availability(
+    cluster: ClusterSpec, include_failover: bool = True
+) -> float:
+    """One cluster's availability, optionally net of failover windows."""
+    availability = cluster_up_probability(cluster)
+    if include_failover:
+        failover_fraction = (
+            cluster_yearly_failover_minutes(cluster) / MINUTES_PER_YEAR
+        )
+        availability = max(0.0, availability - failover_fraction)
+    return availability
+
+
+def block_availability(block: Block, include_failover: bool = True) -> float:
+    """Recursive RBD availability of an arbitrary diagram."""
+    if isinstance(block, ClusterBlock):
+        return cluster_effective_availability(block.cluster, include_failover)
+    if isinstance(block, SerialBlock):
+        product = 1.0
+        for child in block.children:
+            product *= block_availability(child, include_failover)
+        return product
+    if isinstance(block, ParallelBlock):
+        all_down = 1.0
+        for child in block.children:
+            all_down *= 1.0 - block_availability(child, include_failover)
+        return 1.0 - all_down
+    raise ValidationError(f"unknown block type {type(block).__name__!r}")
+
+
+def block_downtime_probability(block: Block, include_failover: bool = True) -> float:
+    """``1 - availability`` of the diagram."""
+    return 1.0 - block_availability(block, include_failover)
+
+
+def parallel_gain(block: Block, include_failover: bool = True) -> float:
+    """How much the diagram's parallelism buys over serializing it.
+
+    Compares the diagram against the fully *serial* arrangement of the
+    same leaves.  Zero for already-serial diagrams; positive whenever a
+    parallel block actually protects something.
+    """
+    from repro.topology.blocks import SerialBlock as _Serial, ClusterBlock as _Leaf
+
+    serialized = _Serial(
+        children=tuple(_Leaf(cluster) for cluster in block.iter_clusters())
+    )
+    return block_availability(block, include_failover) - block_availability(
+        serialized, include_failover
+    )

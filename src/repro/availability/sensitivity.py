@@ -1,0 +1,139 @@
+"""Sensitivity analysis of ``U_s`` to the broker-supplied inputs.
+
+The paper's threats-to-validity section (§IV) worries about skew in the
+broker's estimates of ``P_i``, ``f_i`` and ``t_i``.  This module
+quantifies how much a given skew matters: it computes finite-difference
+sensitivities of system uptime to each input, per cluster, so a broker
+can see which estimate deserves the most observation effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.availability.model import evaluate_availability
+from repro.topology.cluster import ClusterSpec
+from repro.topology.system import SystemTopology
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSensitivity:
+    """Partial sensitivities of ``U_s`` for one cluster's inputs.
+
+    Each value approximates ``dU_s/dx`` for input ``x``; sign is almost
+    always negative (worse inputs lower uptime).
+    """
+
+    name: str
+    wrt_down_probability: float
+    wrt_failures_per_year: float
+    wrt_failover_minutes: float
+
+    @property
+    def dominant_input(self) -> str:
+        """Which input's *relative* error moves ``U_s`` most."""
+        magnitudes = {
+            "down_probability": abs(self.wrt_down_probability),
+            "failures_per_year": abs(self.wrt_failures_per_year),
+            "failover_minutes": abs(self.wrt_failover_minutes),
+        }
+        return max(magnitudes, key=magnitudes.get)
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityReport:
+    """Sensitivities for every cluster of a system."""
+
+    system_name: str
+    baseline_uptime: float
+    clusters: tuple[ClusterSensitivity, ...]
+
+    def for_cluster(self, name: str) -> ClusterSensitivity:
+        """Look up one cluster's sensitivities by name."""
+        for entry in self.clusters:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no sensitivity entry for cluster {name!r}")
+
+    def describe(self) -> str:
+        """Multi-line summary, one row per cluster."""
+        lines = [
+            f"Sensitivity of U_s for {self.system_name!r} "
+            f"(baseline {self.baseline_uptime:.6f}):"
+        ]
+        for entry in self.clusters:
+            lines.append(
+                f"  {entry.name}: dU/dP={entry.wrt_down_probability:+.4g} "
+                f"dU/df={entry.wrt_failures_per_year:+.4g} "
+                f"dU/dt={entry.wrt_failover_minutes:+.4g} "
+                f"(dominant: {entry.dominant_input})"
+            )
+        return "\n".join(lines)
+
+
+def _uptime_with(system: SystemTopology, name: str, cluster: ClusterSpec) -> float:
+    return evaluate_availability(system.replace_cluster(name, cluster)).uptime_probability
+
+
+def sensitivity_analysis(
+    system: SystemTopology,
+    relative_step: float = 0.01,
+) -> SensitivityReport:
+    """Finite-difference sensitivities of ``U_s`` per cluster input.
+
+    Uses a central difference with a relative step (default 1%) for each
+    of ``P_i``, ``f_i`` and ``t_i``.  Inputs currently at zero use a
+    small absolute step instead so the derivative is still defined.
+    """
+    baseline = evaluate_availability(system).uptime_probability
+    entries = []
+    for cluster in system.clusters:
+        node = cluster.node
+
+        step_p = max(node.down_probability * relative_step, 1e-9)
+        lo_p = max(node.down_probability - step_p, 0.0)
+        hi_p = min(node.down_probability + step_p, 1.0 - 1e-12)
+        d_up = _uptime_with(
+            system, cluster.name, replace(cluster, node=replace(node, down_probability=hi_p))
+        )
+        d_dn = _uptime_with(
+            system, cluster.name, replace(cluster, node=replace(node, down_probability=lo_p))
+        )
+        wrt_p = (d_up - d_dn) / (hi_p - lo_p)
+
+        step_f = max(node.failures_per_year * relative_step, 1e-9)
+        lo_f = max(node.failures_per_year - step_f, 0.0)
+        hi_f = node.failures_per_year + step_f
+        f_up = _uptime_with(
+            system, cluster.name, replace(cluster, node=replace(node, failures_per_year=hi_f))
+        )
+        f_dn = _uptime_with(
+            system, cluster.name, replace(cluster, node=replace(node, failures_per_year=lo_f))
+        )
+        wrt_f = (f_up - f_dn) / (hi_f - lo_f)
+
+        if cluster.has_ha:
+            step_t = max(cluster.failover_minutes * relative_step, 1e-9)
+            lo_t = max(cluster.failover_minutes - step_t, 0.0)
+            hi_t = cluster.failover_minutes + step_t
+            t_up = _uptime_with(system, cluster.name, replace(cluster, failover_minutes=hi_t))
+            t_dn = _uptime_with(system, cluster.name, replace(cluster, failover_minutes=lo_t))
+            wrt_t = (t_up - t_dn) / (hi_t - lo_t)
+        else:
+            # No HA means no failover mechanism: t_i is pinned at zero and
+            # uptime has no dependence on it.
+            wrt_t = 0.0
+
+        entries.append(
+            ClusterSensitivity(
+                name=cluster.name,
+                wrt_down_probability=wrt_p,
+                wrt_failures_per_year=wrt_f,
+                wrt_failover_minutes=wrt_t,
+            )
+        )
+    return SensitivityReport(
+        system_name=system.name,
+        baseline_uptime=baseline,
+        clusters=tuple(entries),
+    )

@@ -1,0 +1,180 @@
+"""Propagating broker-estimate uncertainty into ``U_s`` and TCO.
+
+§IV worries that the broker's ``P̂/f̂/t̂`` carry skew.  Sensitivity
+analysis says how much a *given* error moves uptime; this module closes
+the loop with the *statistical* error of the estimates themselves:
+
+- first-order (delta-method) propagation: with independent input errors
+  ``sigma_x`` and derivatives ``dU/dx`` from
+  :func:`~repro.availability.sensitivity.sensitivity_analysis`,
+
+      Var[U_s] ≈ Σ (dU/dx)² sigma_x²
+
+- a TCO band per option, evaluating the contract's penalty at
+  ``U ± z·sigma``;
+- a recommendation-confidence score: the probability option A's TCO is
+  really below option B's, treating both TCOs as independent normals.
+
+All of it is approximate (first order, normality) and says so; the point
+is to tell a broker *when its database is not yet good enough to commit
+to a recommendation* — the actionable version of §IV's threat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.availability.sensitivity import sensitivity_analysis
+from repro.errors import ValidationError
+from repro.sla.contract import Contract
+from repro.topology.system import SystemTopology
+
+#: Two-sided 95% normal quantile.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ClusterInputUncertainty:
+    """Standard errors of one cluster's broker-supplied inputs."""
+
+    sigma_down_probability: float = 0.0
+    sigma_failures_per_year: float = 0.0
+    sigma_failover_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("sigma_down_probability", self.sigma_down_probability),
+            ("sigma_failures_per_year", self.sigma_failures_per_year),
+            ("sigma_failover_minutes", self.sigma_failover_minutes),
+        ):
+            if value < 0.0:
+                raise ValidationError(f"{label} must be >= 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class UptimeUncertainty:
+    """Delta-method uncertainty of a system's ``U_s``."""
+
+    uptime_mean: float
+    uptime_stderr: float
+    variance_by_cluster: dict[str, float]
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """95% normal interval on ``U_s`` (clipped to [0, 1])."""
+        half = _Z95 * self.uptime_stderr
+        return (
+            max(self.uptime_mean - half, 0.0),
+            min(self.uptime_mean + half, 1.0),
+        )
+
+    @property
+    def dominant_cluster(self) -> str:
+        """The cluster contributing the most uptime variance."""
+        return max(self.variance_by_cluster, key=self.variance_by_cluster.get)
+
+    def describe(self) -> str:
+        """One-line summary with the CI and the variance driver."""
+        low, high = self.ci95
+        return (
+            f"U_s = {self.uptime_mean:.6f} +/- {self.uptime_stderr:.2e} "
+            f"(95% CI [{low:.6f}, {high:.6f}]; "
+            f"driven by {self.dominant_cluster!r})"
+        )
+
+
+def propagate_uptime_uncertainty(
+    system: SystemTopology,
+    uncertainties: Mapping[str, ClusterInputUncertainty],
+) -> UptimeUncertainty:
+    """First-order uncertainty of ``U_s`` from per-cluster input errors.
+
+    Clusters absent from ``uncertainties`` are treated as exactly known.
+    """
+    unknown = set(uncertainties) - set(system.cluster_names)
+    if unknown:
+        raise ValidationError(
+            f"uncertainties reference unknown clusters: {sorted(unknown)}"
+        )
+    report = sensitivity_analysis(system)
+    variance_by_cluster: dict[str, float] = {}
+    for entry in report.clusters:
+        inputs = uncertainties.get(entry.name)
+        if inputs is None:
+            variance_by_cluster[entry.name] = 0.0
+            continue
+        variance = (
+            (entry.wrt_down_probability * inputs.sigma_down_probability) ** 2
+            + (entry.wrt_failures_per_year * inputs.sigma_failures_per_year) ** 2
+            + (entry.wrt_failover_minutes * inputs.sigma_failover_minutes) ** 2
+        )
+        variance_by_cluster[entry.name] = variance
+    return UptimeUncertainty(
+        uptime_mean=report.baseline_uptime,
+        uptime_stderr=math.sqrt(sum(variance_by_cluster.values())),
+        variance_by_cluster=variance_by_cluster,
+    )
+
+
+@dataclass(frozen=True)
+class TcoBand:
+    """TCO evaluated across the uptime confidence interval."""
+
+    tco_at_mean: float
+    tco_low_uptime: float
+    tco_high_uptime: float
+
+    @property
+    def spread(self) -> float:
+        """Dollars between the optimistic and pessimistic TCO."""
+        return self.tco_low_uptime - self.tco_high_uptime
+
+    def describe(self) -> str:
+        """E.g. ``TCO $395.35 [best $260.00, worst $540.12]``."""
+        return (
+            f"TCO ${self.tco_at_mean:,.2f} "
+            f"[best ${self.tco_high_uptime:,.2f}, "
+            f"worst ${self.tco_low_uptime:,.2f}]"
+        )
+
+
+def tco_band(
+    ha_cost: float,
+    contract: Contract,
+    uncertainty: UptimeUncertainty,
+) -> TcoBand:
+    """Eq. 5 TCO at the uptime mean and at its 95% CI endpoints.
+
+    Lower uptime means larger penalty, so ``tco_low_uptime`` is the
+    pessimistic end of the band.
+    """
+    low_uptime, high_uptime = uncertainty.ci95
+    return TcoBand(
+        tco_at_mean=ha_cost
+        + contract.expected_monthly_penalty(uncertainty.uptime_mean),
+        tco_low_uptime=ha_cost + contract.expected_monthly_penalty(low_uptime),
+        tco_high_uptime=ha_cost + contract.expected_monthly_penalty(high_uptime),
+    )
+
+
+def recommendation_confidence(
+    tco_best: float,
+    sigma_best: float,
+    tco_runner_up: float,
+    sigma_runner_up: float,
+) -> float:
+    """``Pr[TCO_best < TCO_runner_up]`` under independent normals.
+
+    Returns 0.5 when both are identical with zero spread; approaches 1
+    as the gap grows relative to the combined uncertainty.
+    """
+    for label, sigma in (("sigma_best", sigma_best), ("sigma_runner_up", sigma_runner_up)):
+        if sigma < 0.0:
+            raise ValidationError(f"{label} must be >= 0, got {sigma!r}")
+    gap = tco_runner_up - tco_best
+    combined = math.sqrt(sigma_best**2 + sigma_runner_up**2)
+    if combined == 0.0:
+        return 1.0 if gap > 0.0 else (0.5 if gap == 0.0 else 0.0)
+    return 0.5 * (1.0 + math.erf(gap / (combined * math.sqrt(2.0))))

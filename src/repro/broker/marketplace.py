@@ -1,0 +1,74 @@
+"""Cross-provider marketplace comparison (extension toward §V's
+"commercial meta-cloud").
+
+``compare_providers`` runs the same request against every registered
+provider and lays the outcomes side by side: best option per provider,
+expected uptime, and total monthly cost including the base fleet — the
+numbers a broker's marketplace UI would show a customer choosing where
+to land a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.request import RecommendationRequest
+from repro.broker.service import BrokerService, ProviderRecommendation
+from repro.errors import BrokerError
+from repro.units import format_money
+
+
+@dataclass(frozen=True)
+class MarketplaceComparison:
+    """Ranked cross-provider placement comparison."""
+
+    request_name: str
+    ranked: tuple[ProviderRecommendation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranked:
+            raise BrokerError("marketplace comparison has no entries")
+
+    @property
+    def winner(self) -> ProviderRecommendation:
+        """The cheapest total placement."""
+        return self.ranked[0]
+
+    @property
+    def spread(self) -> float:
+        """Monthly dollars between the best and worst placement."""
+        return self.ranked[-1].monthly_total - self.ranked[0].monthly_total
+
+    def premium_over_winner(self, provider_name: str) -> float:
+        """How much more a given provider costs than the winner."""
+        entry = next(
+            (rec for rec in self.ranked if rec.provider_name == provider_name),
+            None,
+        )
+        if entry is None:
+            raise BrokerError(
+                f"provider {provider_name!r} not in comparison; have "
+                f"{[rec.provider_name for rec in self.ranked]}"
+            )
+        return entry.monthly_total - self.winner.monthly_total
+
+    def describe(self) -> str:
+        """Marketplace table, winner first."""
+        lines = [
+            f"Marketplace comparison for {self.request_name!r} "
+            f"(spread {format_money(self.spread)}/month):"
+        ]
+        for rank, entry in enumerate(self.ranked, start=1):
+            lines.append(f"  {rank}. {entry.describe()}")
+        return "\n".join(lines)
+
+
+def compare_providers(
+    broker: BrokerService, request: RecommendationRequest
+) -> MarketplaceComparison:
+    """Rank all capable providers for a request by total monthly cost."""
+    report = broker.recommend(request)
+    ranked = tuple(
+        sorted(report.recommendations, key=lambda rec: rec.monthly_total)
+    )
+    return MarketplaceComparison(request_name=request.system_name, ranked=ranked)

@@ -1,0 +1,76 @@
+"""Persisting the broker's telemetry database.
+
+A real broker's value is its accumulated history — it must survive
+restarts.  This module snapshots a :class:`TelemetryStore` to a plain
+JSON document (versioned, like the topology wire format) and restores
+it, so examples and tests can build a knowledge base once and reload it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.broker.telemetry import TelemetryStore, _ComponentStats
+from repro.errors import ValidationError
+
+#: Current snapshot format version.
+SNAPSHOT_VERSION = 1
+
+
+def telemetry_to_dict(store: TelemetryStore) -> dict[str, Any]:
+    """Snapshot a telemetry store to JSON-safe types."""
+    components = []
+    for (provider, kind), stats in sorted(store._stats.items()):
+        components.append(
+            {
+                "provider": provider,
+                "component_kind": kind,
+                "exposure_minutes": stats.exposure_minutes,
+                "down_minutes": stats.down_minutes,
+                "failures": stats.failures,
+                "failover_samples": list(stats.failover_samples),
+            }
+        )
+    return {"snapshot_version": SNAPSHOT_VERSION, "components": components}
+
+
+def telemetry_from_dict(payload: Mapping[str, Any]) -> TelemetryStore:
+    """Restore a telemetry store from a snapshot dict."""
+    version = payload.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"unsupported telemetry snapshot_version {version!r}; "
+            f"this library reads version {SNAPSHOT_VERSION}"
+        )
+    store = TelemetryStore()
+    for entry in payload.get("components", []):
+        stats = _ComponentStats(
+            exposure_minutes=float(entry["exposure_minutes"]),
+            down_minutes=float(entry["down_minutes"]),
+            failures=int(entry["failures"]),
+            failover_samples=[float(x) for x in entry["failover_samples"]],
+        )
+        if stats.exposure_minutes < 0 or stats.down_minutes < 0 or stats.failures < 0:
+            raise ValidationError(
+                f"negative statistics in snapshot entry {entry!r}"
+            )
+        store._stats[(entry["provider"], entry["component_kind"])] = stats
+    return store
+
+
+def save_telemetry(store: TelemetryStore, path: str | Path) -> None:
+    """Write a snapshot to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(telemetry_to_dict(store), indent=2, sort_keys=True)
+    )
+
+
+def load_telemetry(path: str | Path) -> TelemetryStore:
+    """Read a snapshot back from ``path``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid telemetry snapshot JSON: {exc}") from exc
+    return telemetry_from_dict(payload)

@@ -1,0 +1,106 @@
+"""Building provider-specific technology registries.
+
+The broker knows each provider's "rate-carded price ``C_HA``" (§II-C
+item 3).  This module turns a provider's rate card — HA add-on prices
+and labor-hour norms — plus failover-time estimates into the
+:class:`TechnologyRegistry` the optimizer enumerates over.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.catalog.hypervisor import HypervisorHA
+from repro.catalog.multipath import StorageMultipath
+from repro.catalog.network import BGPDualCircuit, DualGateway
+from repro.catalog.os_cluster import OSCluster
+from repro.catalog.raid import RAID1
+from repro.catalog.registry import TechnologyRegistry
+from repro.catalog.sds import SDSReplication
+from repro.cloud.provider import CloudProvider
+
+#: Fallback failover minutes per component kind when the caller supplies
+#: no estimate (values in line with the case-study technologies).
+_DEFAULT_FAILOVER = {"vm": 10.0, "volume": 1.0, "gateway": 2.0}
+
+
+def registry_for_provider(
+    provider: CloudProvider,
+    failover_minutes: Mapping[str, float] | None = None,
+    extended: bool = False,
+) -> TechnologyRegistry:
+    """Build the HA choice set priced from a provider's rate card.
+
+    ``failover_minutes`` maps component kinds (``"vm"``, ``"volume"``,
+    ``"gateway"``) to the broker's ``t̂`` estimates; missing kinds fall
+    back to catalog defaults.  With ``extended=True`` the §V future-work
+    technologies are included, widening each layer's choice set.
+    """
+    failover = dict(_DEFAULT_FAILOVER)
+    if failover_minutes:
+        failover.update(failover_minutes)
+    card = provider.rate_card
+
+    registry = TechnologyRegistry()
+    registry.register(
+        HypervisorHA(
+            standby_nodes=1,
+            failover_minutes=failover["vm"],
+            monthly_license_per_node=card.addon("hypervisor-license-per-node", 0.0),
+            monthly_labor_hours=card.labor_hours("hypervisor"),
+        )
+    )
+    registry.register(
+        RAID1(
+            failover_minutes=failover["volume"],
+            monthly_controller_cost=card.addon("raid-controller", 0.0),
+            monthly_labor_hours=card.labor_hours("raid"),
+        )
+    )
+    registry.register(
+        DualGateway(
+            failover_minutes=failover["gateway"],
+            monthly_vip_cost=card.addon("gateway-vip", 0.0),
+            monthly_labor_hours=card.labor_hours("gateway"),
+        )
+    )
+    if extended:
+        registry.register(
+            HypervisorHA(
+                standby_nodes=2,
+                failover_minutes=failover["vm"],
+                monthly_license_per_node=card.addon("hypervisor-license-per-node", 0.0),
+                monthly_labor_hours=card.labor_hours("hypervisor") * 1.5,
+            )
+        )
+        registry.register(
+            OSCluster(
+                standby_nodes=1,
+                failover_minutes=failover["vm"] * 1.5,
+                monthly_support_per_node=card.addon("hypervisor-license-per-node", 0.0) * 0.6,
+                monthly_labor_hours=card.labor_hours("os-cluster"),
+            )
+        )
+        registry.register(
+            SDSReplication(
+                replica_count=3,
+                failover_minutes=failover["volume"] * 0.5,
+                monthly_software_cost=card.addon("sds-software", 0.0),
+                monthly_labor_hours=card.labor_hours("sds"),
+            )
+        )
+        registry.register(
+            StorageMultipath(
+                failover_minutes=failover["volume"] * 0.1,
+                monthly_path_cost=card.addon("multipath-port", 0.0),
+                monthly_labor_hours=card.labor_hours("multipath"),
+            )
+        )
+        registry.register(
+            BGPDualCircuit(
+                failover_minutes=failover["gateway"] * 1.5,
+                monthly_circuit_cost=card.addon("bgp-circuit", 0.0),
+                monthly_labor_hours=card.labor_hours("bgp"),
+            )
+        )
+    return registry

@@ -1,0 +1,59 @@
+"""Rendering option tables the way the paper's figures present them.
+
+``render_option_table`` reproduces the per-option rows of Figures 3-9;
+``render_summary`` reproduces Figure 10's as-is vs recommended
+comparison with the savings percentage.  Both return plain strings so
+the CLI, examples and benchmarks share one formatter.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.result import EvaluatedOption, OptimizationResult
+from repro.units import format_money
+
+
+def render_option_table(result: OptimizationResult, title: str = "Solution options") -> str:
+    """ASCII table: one row per evaluated option (Figures 3-9)."""
+    header = (
+        f"{'#':>3} {'HA configuration':<34} {'U_s %':>9} "
+        f"{'C_HA/mo':>12} {'penalty/mo':>12} {'TCO/mo':>12} {'SLA':>6}"
+    )
+    rows = [title, header, "-" * len(header)]
+    for option in result.options:
+        clustered = "+".join(option.clustered_components) or "(none)"
+        rows.append(
+            f"{option.option_id:>3} {clustered:<34} "
+            f"{option.tco.uptime_probability * 100:>9.4f} "
+            f"{format_money(option.tco.ha_cost):>12} "
+            f"{format_money(option.tco.expected_penalty):>12} "
+            f"{format_money(option.tco.total):>12} "
+            f"{'meets' if option.meets_sla else 'slips':>6}"
+        )
+    if result.pruned:
+        rows.append(
+            f"({result.pruned} option(s) pruned without evaluation; "
+            f"{result.evaluations}/{result.space_size} evaluated)"
+        )
+    return "\n".join(rows)
+
+
+def render_summary(
+    result: OptimizationResult,
+    as_is: EvaluatedOption,
+    title: str = "Summary of results & resulting cost efficiency",
+) -> str:
+    """Figure 10: as-is strategy vs the framework's recommendation."""
+    best = result.best
+    min_penalty = result.min_penalty_option
+    savings = result.savings_vs(as_is)
+    lines = [
+        title,
+        f"  as-is strategy:        {as_is.label:<36} "
+        f"TCO {format_money(as_is.tco.total)}/mo",
+        f"  recommended (min TCO): {best.label:<36} "
+        f"TCO {format_money(best.tco.total)}/mo",
+        f"  min-penalty option:    {min_penalty.label:<36} "
+        f"TCO {format_money(min_penalty.tco.total)}/mo",
+        f"  savings vs as-is:      {savings * 100:.1f}%",
+    ]
+    return "\n".join(lines)

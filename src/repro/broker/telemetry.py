@@ -1,0 +1,181 @@
+"""The broker's observation store.
+
+The broker "determines and maintains a database of the ``P_i`` and
+``f_i`` across IaaS components across clouds [and] the ``t_i`` for
+various components" (§II-C).  :class:`TelemetryStore` is that database:
+it tracks *exposure* (how many component-minutes were observed) and
+*events* (failures, repair durations, failover latencies), and derives
+the estimates:
+
+- ``P̂`` = observed down minutes / observed exposure minutes;
+- ``f̂`` = observed failures / observed exposure years;
+- ``t̂`` = mean observed failover minutes.
+
+The paper's §IV notes short-term skews "smooth out over the long term";
+experiment E5 measures exactly that convergence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.errors import InsufficientTelemetryError, ValidationError
+from repro.units import MINUTES_PER_YEAR
+
+#: Key of one observed component class: (provider name, component kind).
+ComponentKey = tuple[str, str]
+
+
+@dataclass
+class _ComponentStats:
+    """Accumulated observations for one (provider, kind) pair."""
+
+    exposure_minutes: float = 0.0
+    down_minutes: float = 0.0
+    failures: int = 0
+    failover_samples: list[float] = field(default_factory=list)
+
+
+class TelemetryStore:
+    """Accumulates observations and answers estimate queries."""
+
+    def __init__(self) -> None:
+        self._stats: dict[ComponentKey, _ComponentStats] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def register_exposure(
+        self,
+        provider: str,
+        component_kind: str,
+        node_count: int,
+        horizon_minutes: float,
+    ) -> None:
+        """Record that ``node_count`` components were watched for a span.
+
+        Exposure is the denominator of both ``P̂`` and ``f̂``; ingesting
+        events without registering exposure is rejected at query time.
+        """
+        if node_count < 1:
+            raise ValidationError(f"node_count must be >= 1, got {node_count!r}")
+        if horizon_minutes <= 0.0:
+            raise ValidationError(
+                f"horizon_minutes must be > 0, got {horizon_minutes!r}"
+            )
+        stats = self._stats.setdefault((provider, component_kind), _ComponentStats())
+        stats.exposure_minutes += node_count * horizon_minutes
+
+    def record_failure(self, provider: str, component_kind: str) -> None:
+        """Count one component failure."""
+        stats = self._stats.setdefault((provider, component_kind), _ComponentStats())
+        stats.failures += 1
+
+    def record_outage(
+        self, provider: str, component_kind: str, down_minutes: float
+    ) -> None:
+        """Record the duration of a completed outage."""
+        if down_minutes < 0.0:
+            raise ValidationError(
+                f"down_minutes must be >= 0, got {down_minutes!r}"
+            )
+        stats = self._stats.setdefault((provider, component_kind), _ComponentStats())
+        stats.down_minutes += down_minutes
+
+    def record_failover(
+        self, provider: str, component_kind: str, failover_minutes: float
+    ) -> None:
+        """Record one observed failover latency."""
+        if failover_minutes < 0.0:
+            raise ValidationError(
+                f"failover_minutes must be >= 0, got {failover_minutes!r}"
+            )
+        stats = self._stats.setdefault((provider, component_kind), _ComponentStats())
+        stats.failover_samples.append(failover_minutes)
+
+    def ingest(self, events: Iterable[ResourceEvent]) -> int:
+        """Consume a fault-injector event stream; returns events read.
+
+        FAILURE events count failures; REPAIR events carry the outage
+        duration; FAILOVER events carry takeover latencies.
+        """
+        count = 0
+        for event in events:
+            count += 1
+            if event.kind is ResourceEventKind.FAILURE:
+                self.record_failure(event.provider, event.component_kind)
+            elif event.kind is ResourceEventKind.REPAIR:
+                self.record_outage(
+                    event.provider, event.component_kind, event.duration_minutes
+                )
+            elif event.kind is ResourceEventKind.FAILOVER:
+                self.record_failover(
+                    event.provider, event.component_kind, event.duration_minutes
+                )
+            else:  # pragma: no cover - exhaustive enum guard
+                raise ValidationError(f"unknown event kind {event.kind!r}")
+        return count
+
+    # -- queries -----------------------------------------------------------
+
+    def observed_components(self) -> tuple[ComponentKey, ...]:
+        """All (provider, kind) pairs with any exposure or events."""
+        return tuple(sorted(self._stats))
+
+    def exposure_years(self, provider: str, component_kind: str) -> float:
+        """Observed component-years for a pair (0 when never watched)."""
+        stats = self._stats.get((provider, component_kind))
+        if stats is None:
+            return 0.0
+        return stats.exposure_minutes / MINUTES_PER_YEAR
+
+    def down_probability(self, provider: str, component_kind: str) -> float:
+        """``P̂``: observed fraction of exposure spent down."""
+        stats = self._require(provider, component_kind)
+        return min(stats.down_minutes / stats.exposure_minutes, 1.0)
+
+    def failures_per_year(self, provider: str, component_kind: str) -> float:
+        """``f̂``: observed failures per component-year."""
+        stats = self._require(provider, component_kind)
+        return stats.failures / (stats.exposure_minutes / MINUTES_PER_YEAR)
+
+    def failover_minutes(self, provider: str, component_kind: str) -> float:
+        """``t̂``: mean observed failover latency.
+
+        Requires at least one failover observation.
+        """
+        stats = self._require(provider, component_kind)
+        if not stats.failover_samples:
+            raise InsufficientTelemetryError(
+                f"no failover observations for {component_kind!r} on "
+                f"{provider!r}; cannot estimate t"
+            )
+        return sum(stats.failover_samples) / len(stats.failover_samples)
+
+    def failover_minutes_std(self, provider: str, component_kind: str) -> float:
+        """Sample standard deviation of observed failover latencies.
+
+        0 with fewer than two samples (no spread measurable yet).
+        """
+        stats = self._require(provider, component_kind)
+        samples = stats.failover_samples
+        if len(samples) < 2:
+            return 0.0
+        mean = sum(samples) / len(samples)
+        variance = sum((x - mean) ** 2 for x in samples) / (len(samples) - 1)
+        return variance**0.5
+
+    def failure_count(self, provider: str, component_kind: str) -> int:
+        """Raw failure count (useful as a sample-size indicator)."""
+        stats = self._stats.get((provider, component_kind))
+        return 0 if stats is None else stats.failures
+
+    def _require(self, provider: str, component_kind: str) -> _ComponentStats:
+        stats = self._stats.get((provider, component_kind))
+        if stats is None or stats.exposure_minutes <= 0.0:
+            raise InsufficientTelemetryError(
+                f"no exposure recorded for component {component_kind!r} on "
+                f"provider {provider!r}; register_exposure() first"
+            )
+        return stats

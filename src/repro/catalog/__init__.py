@@ -1,0 +1,48 @@
+"""HA technology catalog.
+
+Each :class:`~repro.catalog.base.HATechnology` transforms a *bare*
+cluster spec into an HA-enabled one — setting ``K``, ``K̂``, the failover
+time and the incremental cost — exactly the quantities the availability
+and TCO models consume.
+
+The catalog covers the paper's case-study stack (hypervisor N+M
+clustering, RAID-1, dual gateways) plus the §V *future work* list
+implemented as extensions: OS clustering, software-defined storage /
+clustered filesystems, storage multipathing and BGP dual circuits.
+"""
+
+from repro.catalog.base import HATechnology, NoHA
+from repro.catalog.dr import ColdStandby, WarmStandby
+from repro.catalog.hypervisor import HypervisorHA
+from repro.catalog.network import BGPDualCircuit, DualGateway
+from repro.catalog.os_cluster import OSCluster
+from repro.catalog.raid import RAID1, RAID5, RAID6, RAID10
+from repro.catalog.registry import (
+    TechnologyRegistry,
+    case_study_registry,
+    default_registry,
+    extended_registry,
+)
+from repro.catalog.sds import SDSReplication
+from repro.catalog.multipath import StorageMultipath
+
+__all__ = [
+    "BGPDualCircuit",
+    "ColdStandby",
+    "DualGateway",
+    "WarmStandby",
+    "HATechnology",
+    "HypervisorHA",
+    "NoHA",
+    "OSCluster",
+    "RAID1",
+    "RAID5",
+    "RAID6",
+    "RAID10",
+    "SDSReplication",
+    "StorageMultipath",
+    "TechnologyRegistry",
+    "case_study_registry",
+    "default_registry",
+    "extended_registry",
+]

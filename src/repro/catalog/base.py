@@ -1,0 +1,90 @@
+"""Base interface for HA technologies.
+
+An HA technology is a pure transformation on cluster specs: given the
+*bare* (no-HA) cluster of active nodes, it returns the HA-enabled
+cluster — more nodes, a failure tolerance ``K̂``, a failover time and a
+monthly cost delta.  Keeping the transformation pure lets the optimizer
+enumerate ``k^n`` variants without side effects.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+class HATechnology(abc.ABC):
+    """One entry in the HA catalog.
+
+    Subclasses are frozen dataclasses whose fields are the technology's
+    commercial knobs (license prices, labor hours, standby counts);
+    provider-specific rate cards build instances with their own numbers.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable identifier, e.g. ``"vmware-esx-n+1"`` or ``"raid-1"``."""
+
+    @property
+    @abc.abstractmethod
+    def layer(self) -> Layer | None:
+        """Layer this technology applies to; ``None`` means any layer."""
+
+    @abc.abstractmethod
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        """Return the HA-enabled version of a bare cluster.
+
+        Implementations must call :meth:`check_applicable` first.
+        """
+
+    def check_applicable(self, cluster: ClusterSpec) -> None:
+        """Validate the technology can be applied to this cluster.
+
+        Raises :class:`CatalogError` when the cluster already has HA
+        (technologies compose through the registry, not by stacking) or
+        lives in a different layer.
+        """
+        if cluster.has_ha:
+            raise CatalogError(
+                f"{self.name} must be applied to a bare cluster; "
+                f"{cluster.name!r} already has {cluster.ha_technology!r}"
+            )
+        if self.layer is not None and cluster.layer is not self.layer:
+            raise CatalogError(
+                f"{self.name} applies to {self.layer.value} clusters; "
+                f"{cluster.name!r} is a {cluster.layer.value} cluster"
+            )
+
+    def describe(self) -> str:
+        """Human-readable one-liner; subclasses may extend."""
+        scope = self.layer.value if self.layer is not None else "any layer"
+        return f"{self.name} ({scope})"
+
+
+@dataclass(frozen=True)
+class NoHA(HATechnology):
+    """The identity choice: leave the cluster bare.
+
+    Always present in every cluster's choice set — the paper's option #1
+    (Figure 4) is the permutation choosing this everywhere.
+    """
+
+    @property
+    def name(self) -> str:
+        return "none"
+
+    @property
+    def layer(self) -> Layer | None:
+        return None
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        if cluster.has_ha:
+            raise CatalogError(
+                f"NoHA must be applied to a bare cluster; "
+                f"{cluster.name!r} already has {cluster.ha_technology!r}"
+            )
+        return cluster

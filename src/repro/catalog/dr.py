@@ -1,0 +1,84 @@
+"""Disaster-recovery standbys: cold and warm (extension).
+
+Between "no HA" and a fully active hypervisor cluster sit the classic
+DR postures:
+
+- **cold standby** — hardware reserved but powered down: cheap (a
+  fraction of an active node's price) but slow to take over (boot +
+  restore);
+- **warm standby** — powered and replicating, faster takeover, priced
+  between cold and hot.
+
+Both map onto the k-redundancy model as an extra node with tolerance 1
+and a long failover time; the optimizer then gets a genuine price/
+recovery-time trade-off on the compute layer rather than a binary
+HA-or-not choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class _StandbyBase(HATechnology):
+    """Shared shape of the DR postures: one standby, slow takeover."""
+
+    failover_minutes: float
+    standby_cost_factor: float
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+        if not 0.0 <= self.standby_cost_factor <= 1.0:
+            raise CatalogError(
+                "standby_cost_factor must be in [0, 1] (a fraction of the "
+                f"active node price), got {self.standby_cost_factor!r}"
+            )
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.COMPUTE
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        infra_cost = self.standby_cost_factor * cluster.node.monthly_cost
+        return cluster.with_ha(
+            standby_tolerance=1,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=1,
+        )
+
+
+@dataclass(frozen=True)
+class ColdStandby(_StandbyBase):
+    """Powered-down reserve hardware: cheapest, slowest takeover."""
+
+    failover_minutes: float = 45.0
+    standby_cost_factor: float = 0.35
+
+    @property
+    def name(self) -> str:
+        return "cold-standby"
+
+
+@dataclass(frozen=True)
+class WarmStandby(_StandbyBase):
+    """Powered, replicating standby: mid-priced, mid-speed takeover."""
+
+    failover_minutes: float = 20.0
+    standby_cost_factor: float = 0.7
+
+    @property
+    def name(self) -> str:
+        return "warm-standby"

@@ -1,0 +1,76 @@
+"""Hypervisor-level N+M clustering (VMware-ESX-style).
+
+The paper's case study uses a VMware ESX HA solution in a 3+1
+configuration: three active hosts, one standby, ``K̂ = 1``.  When an
+active host dies, the HA layer restarts its VMs on the standby after a
+failover latency (detection + boot + takeover).
+
+Cost model: the standby hosts are paid for like active ones, every host
+carries a per-host HA license, and sustaining the cluster takes monthly
+labor hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class HypervisorHA(HATechnology):
+    """N+M hypervisor clustering for compute tiers.
+
+    Parameters
+    ----------
+    standby_nodes:
+        ``M`` — standby hosts added to the active set (also ``K̂``).
+    failover_minutes:
+        Outage minutes per failover transaction (detection + VM restart
+        + takeover).
+    monthly_license_per_node:
+        HA software license dollars/month, charged on every node.
+    monthly_labor_hours:
+        Sustainment hours/month for the whole cluster.
+    """
+
+    standby_nodes: int = 1
+    failover_minutes: float = 10.0
+    monthly_license_per_node: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.standby_nodes < 1:
+            raise CatalogError(
+                f"standby_nodes must be >= 1, got {self.standby_nodes!r}"
+            )
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"hypervisor-n+{self.standby_nodes}"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.COMPUTE
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        total_nodes = cluster.total_nodes + self.standby_nodes
+        infra_cost = (
+            self.standby_nodes * cluster.node.monthly_cost
+            + total_nodes * self.monthly_license_per_node
+        )
+        return cluster.with_ha(
+            standby_tolerance=self.standby_nodes,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=self.standby_nodes,
+        )

@@ -1,0 +1,68 @@
+"""Storage I/O multipathing (paper §V future work).
+
+Multipathing duplicates the *access path* to storage — a second HBA /
+controller / fabric route — rather than the data itself.  We model the
+path pair as doubling the cluster's node count with a tolerance of the
+original path count and a near-instant path switch.
+
+This is an approximation (documented in DESIGN.md): the k-redundancy
+model has one node class per cluster, so the path hardware is modeled as
+peer nodes of the storage cluster.  The availability effect — a second
+independently failing element whose takeover is nearly free — is
+preserved, which is what the optimizer compares on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class StorageMultipath(HATechnology):
+    """Dual-path storage I/O for storage tiers.
+
+    Parameters
+    ----------
+    failover_minutes:
+        Path-switch time; multipath drivers retry in seconds, so the
+        default is a small fraction of a minute.
+    monthly_path_cost:
+        Second HBA/fabric port cost per original node, dollars/month.
+    monthly_labor_hours:
+        Sustainment hours/month.
+    """
+
+    failover_minutes: float = 0.1
+    monthly_path_cost: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "storage-multipath"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.STORAGE
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        extra = cluster.total_nodes
+        infra_cost = cluster.total_nodes * self.monthly_path_cost
+        return cluster.with_ha(
+            standby_tolerance=extra,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=extra,
+        )

@@ -1,0 +1,98 @@
+"""Network-layer redundancy: dual gateways and BGP dual circuits.
+
+The case study clusters the network layer "via dual gateways"
+(Figure 5): a second gateway in an active/standby pair with VRRP-style
+takeover.  The paper's future-work list adds BGP over dual circuits —
+two independent uplinks with routing convergence as the failover event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class DualGateway(HATechnology):
+    """Active/standby gateway pair (VRRP-style takeover).
+
+    Each active gateway gains a standby twin: ``K`` doubles and the
+    worst-case guaranteed tolerance is the number of standby twins.
+    For the common single-gateway case this is the classic 1+1 pair.
+    """
+
+    failover_minutes: float = 2.0
+    monthly_vip_cost: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "dual-gateway"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.NETWORK
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        extra = cluster.total_nodes
+        infra_cost = extra * cluster.node.monthly_cost + self.monthly_vip_cost
+        return cluster.with_ha(
+            standby_tolerance=extra,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=extra,
+        )
+
+
+@dataclass(frozen=True)
+class BGPDualCircuit(HATechnology):
+    """BGP over dual circuits (paper §V future work).
+
+    A second, independently routed uplink; failover is BGP route
+    convergence, typically slower than VRRP but surviving carrier-level
+    faults.  Priced by the second circuit's monthly cost rather than by
+    doubling the gateway hardware.
+    """
+
+    failover_minutes: float = 3.0
+    monthly_circuit_cost: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "bgp-dual-circuit"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.NETWORK
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        extra = cluster.total_nodes
+        infra_cost = self.monthly_circuit_cost
+        return cluster.with_ha(
+            standby_tolerance=extra,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=extra,
+        )

@@ -1,0 +1,71 @@
+"""OS-level clustering (paper §V future work).
+
+Pacemaker/Corosync-style active/passive clustering at the operating
+system layer.  Compared to hypervisor HA it avoids per-host hypervisor
+licenses but typically needs more hands-on sustainment and has a longer
+takeover (service restart plus resource fencing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class OSCluster(HATechnology):
+    """Active/passive OS clustering for compute tiers.
+
+    Parameters
+    ----------
+    standby_nodes:
+        Passive nodes added (also the tolerance ``K̂``).
+    failover_minutes:
+        Service restart + fencing time.
+    monthly_support_per_node:
+        OS cluster-stack support subscription, dollars/node/month.
+    monthly_labor_hours:
+        Sustainment hours/month (usually higher than hypervisor HA).
+    """
+
+    standby_nodes: int = 1
+    failover_minutes: float = 15.0
+    monthly_support_per_node: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.standby_nodes < 1:
+            raise CatalogError(
+                f"standby_nodes must be >= 1, got {self.standby_nodes!r}"
+            )
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"os-cluster-n+{self.standby_nodes}"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.COMPUTE
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        total_nodes = cluster.total_nodes + self.standby_nodes
+        infra_cost = (
+            self.standby_nodes * cluster.node.monthly_cost
+            + total_nodes * self.monthly_support_per_node
+        )
+        return cluster.with_ha(
+            standby_tolerance=self.standby_nodes,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=self.standby_nodes,
+        )

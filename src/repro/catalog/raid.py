@@ -1,0 +1,138 @@
+"""RAID redundancy for storage tiers.
+
+The case study protects storage with RAID-1 (mirroring): a single volume
+becomes a mirrored pair, ``K = 2``, ``K̂ = 1``.  Other common levels are
+provided with *conservative* mappings onto the paper's k-redundancy
+model (the model counts worst-case tolerated failures, so striped-mirror
+layouts are credited only their guaranteed tolerance):
+
+========  ==================================  =====================
+Level     Nodes (from ``A`` active disks)     Tolerance ``K̂``
+========  ==================================  =====================
+RAID-1    ``m * A`` (m-way mirror, m >= 2)    ``m - 1``
+RAID-5    ``A + 1`` (one parity disk)          1
+RAID-6    ``A + 2`` (two parity disks)         2
+RAID-10   ``2 * A`` (striped mirrors)          1 (guaranteed)
+========  ==================================  =====================
+
+RAID failover (degraded-mode entry) is near-instant compared to host
+failover; the default reflects a brief I/O stall, and is configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class _RaidBase(HATechnology):
+    """Shared knobs for every RAID level."""
+
+    failover_minutes: float = 1.0
+    monthly_controller_cost: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.STORAGE
+
+    def _apply_shape(
+        self,
+        cluster: ClusterSpec,
+        extra_nodes: int,
+        tolerance: int,
+    ) -> ClusterSpec:
+        """Apply a RAID shape: add disks, set tolerance, price the delta."""
+        self.check_applicable(cluster)
+        infra_cost = extra_nodes * cluster.node.monthly_cost + self.monthly_controller_cost
+        return cluster.with_ha(
+            standby_tolerance=tolerance,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=extra_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class RAID1(_RaidBase):
+    """m-way mirroring (default m=2, the case-study configuration)."""
+
+    mirror_count: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mirror_count < 2:
+            raise CatalogError(
+                f"mirror_count must be >= 2, got {self.mirror_count!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "raid-1" if self.mirror_count == 2 else f"raid-1x{self.mirror_count}"
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        extra = (self.mirror_count - 1) * cluster.total_nodes
+        return self._apply_shape(cluster, extra_nodes=extra, tolerance=self.mirror_count - 1)
+
+
+@dataclass(frozen=True)
+class RAID5(_RaidBase):
+    """Single-parity stripe: one extra disk, tolerates one failure."""
+
+    @property
+    def name(self) -> str:
+        return "raid-5"
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        return self._apply_shape(cluster, extra_nodes=1, tolerance=1)
+
+
+@dataclass(frozen=True)
+class RAID6(_RaidBase):
+    """Double-parity stripe: two extra disks, tolerates two failures.
+
+    Requires at least two active disks (a two-disk RAID-6 is just a
+    mirror and should be modeled as RAID-1).
+    """
+
+    @property
+    def name(self) -> str:
+        return "raid-6"
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        if cluster.total_nodes < 2:
+            raise CatalogError(
+                "raid-6 requires >= 2 active disks; use raid-1 for a "
+                f"single volume (cluster {cluster.name!r})"
+            )
+        return self._apply_shape(cluster, extra_nodes=2, tolerance=2)
+
+
+@dataclass(frozen=True)
+class RAID10(_RaidBase):
+    """Striped mirrors: doubles the disks, guaranteed tolerance of 1.
+
+    A lucky spread of failures can survive more, but the k-redundancy
+    model credits only the worst-case guarantee.
+    """
+
+    @property
+    def name(self) -> str:
+        return "raid-10"
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        return self._apply_shape(
+            cluster, extra_nodes=cluster.total_nodes, tolerance=1
+        )

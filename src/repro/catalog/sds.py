@@ -1,0 +1,71 @@
+"""Software-defined storage replication (paper §V future work).
+
+Ceph/GlusterFS-style replicated storage: data is kept in ``replica_count``
+copies across commodity disks.  Loss of up to ``replica_count - 1``
+replicas is tolerated; recovery is a cluster-level rebalance with a brief
+I/O degradation window modeled as the failover time.
+
+Compared to RAID the infrastructure is cheaper per protected byte (no
+dedicated controller) but sustainment labor is higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.base import HATechnology
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True)
+class SDSReplication(HATechnology):
+    """Replicated software-defined storage / clustered filesystem.
+
+    Parameters
+    ----------
+    replica_count:
+        Copies of every object (>= 2); tolerance is ``replica_count - 1``.
+    failover_minutes:
+        I/O degradation window while the cluster remaps a failed disk.
+    monthly_software_cost:
+        SDS control-plane cost for the whole cluster, dollars/month.
+    monthly_labor_hours:
+        Sustainment hours/month (rebalances, scrub monitoring, ...).
+    """
+
+    replica_count: int = 3
+    failover_minutes: float = 0.5
+    monthly_software_cost: float = 0.0
+    monthly_labor_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.replica_count < 2:
+            raise CatalogError(
+                f"replica_count must be >= 2, got {self.replica_count!r}"
+            )
+        if self.failover_minutes < 0.0:
+            raise CatalogError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"sds-replica-{self.replica_count}"
+
+    @property
+    def layer(self) -> Layer | None:
+        return Layer.STORAGE
+
+    def apply(self, cluster: ClusterSpec) -> ClusterSpec:
+        self.check_applicable(cluster)
+        extra = (self.replica_count - 1) * cluster.total_nodes
+        infra_cost = extra * cluster.node.monthly_cost + self.monthly_software_cost
+        return cluster.with_ha(
+            standby_tolerance=self.replica_count - 1,
+            failover_minutes=self.failover_minutes,
+            ha_technology=self.name,
+            monthly_ha_infra_cost=infra_cost,
+            monthly_ha_labor_hours=self.monthly_labor_hours,
+            extra_nodes=extra,
+        )

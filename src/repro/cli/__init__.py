@@ -1,0 +1,11 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-broker`` console script) exposes the
+library's main entry points: the paper's case study, availability
+evaluation of a topology file, Monte Carlo simulation, brokered
+recommendations over the built-in providers, and parameter sweeps.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,27 @@
+"""Small ASCII-table helper shared by CLI subcommands."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a left-padded ASCII table.
+
+    Column widths adapt to content; numeric-looking cells are rendered
+    by ``str`` so callers pre-format floats the way they want.
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

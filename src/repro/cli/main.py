@@ -1,0 +1,344 @@
+"""CLI entry point: ``python -m repro`` / ``repro-broker``.
+
+Subcommands
+-----------
+``case-study``
+    Reproduce the paper's §III option table and Figure 10 summary.
+``evaluate FILE``
+    Evaluate Eq. 1-4 availability for a topology JSON file.
+``simulate FILE``
+    Monte Carlo-simulate a topology and compare with the analytic model.
+``recommend``
+    Run the brokered service over the built-in providers for a
+    three-tier request with a given SLA and penalty.
+``sweep``
+    Sweep the penalty rate for the case study and show where the
+    recommendation changes.
+``scenario NAME``
+    Optimize one of the named example scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.broker.reports import render_option_table, render_summary
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.cli.formatting import render_table
+from repro.cloud.providers import all_providers
+from repro.errors import ReproError
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pruned import pruned_optimize
+from repro.availability.model import evaluate_availability
+from repro.simulation.validation import validate_against_model
+from repro.sla.contract import Contract
+from repro.topology.serialization import system_from_json
+from repro.units import MINUTES_PER_YEAR
+from repro.workloads.case_study import AS_IS_OPTION_ID, case_study_problem
+from repro.workloads.scenarios import SCENARIOS, scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-broker",
+        description="Uptime-optimized cloud architecture as a brokered service",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "case-study", help="reproduce the paper's §III case study"
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate", help="evaluate availability of a topology JSON file"
+    )
+    evaluate.add_argument("file", type=Path, help="topology JSON path")
+
+    simulate = commands.add_parser(
+        "simulate", help="Monte Carlo-simulate a topology JSON file"
+    )
+    simulate.add_argument("file", type=Path, help="topology JSON path")
+    simulate.add_argument(
+        "--replications", type=int, default=50, help="number of runs"
+    )
+    simulate.add_argument(
+        "--years", type=float, default=1.0, help="simulated years per run"
+    )
+    simulate.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    recommend = commands.add_parser(
+        "recommend", help="brokered recommendation across built-in providers"
+    )
+    recommend.add_argument(
+        "--sla", type=float, default=98.0, help="uptime SLA percent"
+    )
+    recommend.add_argument(
+        "--penalty", type=float, default=100.0, help="penalty $/hour"
+    )
+    recommend.add_argument(
+        "--compute-nodes", type=int, default=3, help="active compute nodes"
+    )
+    recommend.add_argument(
+        "--observe-years",
+        type=float,
+        default=3.0,
+        help="synthetic telemetry horizon per provider",
+    )
+    recommend.add_argument(
+        "--extended",
+        action="store_true",
+        help="include the extended (future-work) HA catalog",
+    )
+    recommend.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    sweep = commands.add_parser(
+        "sweep", help="sweep penalty rates over the case study"
+    )
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0],
+        help="penalty rates ($/hour) to sweep",
+    )
+
+    run_scenario = commands.add_parser(
+        "scenario", help="optimize one of the named example scenarios"
+    )
+    run_scenario.add_argument(
+        "name", choices=sorted(SCENARIOS), help="scenario name"
+    )
+
+    advise = commands.add_parser(
+        "advise", help="single-move upgrade advice from a deployed case-study option"
+    )
+    advise.add_argument(
+        "--current",
+        nargs=3,
+        metavar=("COMPUTE", "STORAGE", "NETWORK"),
+        default=["hypervisor-n+1", "raid-1", "dual-gateway"],
+        help="deployed technology per layer ('none' for bare)",
+    )
+    advise.add_argument(
+        "--migration-cost", type=float, default=0.0,
+        help="one-off dollars per move",
+    )
+    advise.add_argument(
+        "--amortization-months", type=int, default=12,
+        help="months to amortize the migration cost over",
+    )
+
+    compliance = commands.add_parser(
+        "compliance",
+        help="settle simulated months against the case-study contract",
+    )
+    compliance.add_argument(
+        "--option", type=int, default=3, choices=range(1, 9),
+        help="case-study option id to settle",
+    )
+    compliance.add_argument(
+        "--years", type=float, default=10.0, help="simulated years to settle"
+    )
+    compliance.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    importance = commands.add_parser(
+        "importance",
+        help="rank a topology's clusters by availability importance",
+    )
+    importance.add_argument(
+        "file", type=Path, nargs="?", default=None,
+        help="topology JSON path (defaults to the case-study base system)",
+    )
+
+    commands.add_parser(
+        "pareto", help="cost/uptime Pareto frontier of the case study"
+    )
+
+    return parser
+
+
+def _cmd_case_study() -> int:
+    result = brute_force_optimize(case_study_problem())
+    print(render_option_table(result, title="Case study (Figures 3-9):"))
+    print()
+    print(render_summary(result, result.option(AS_IS_OPTION_ID)))
+    print()
+    pruned = pruned_optimize(case_study_problem())
+    skipped = [f"#{i}" for i in range(1, 9) if not any(
+        option.option_id == i for option in pruned.options
+    )]
+    print(
+        f"Pruned search: {pruned.evaluations}/{pruned.space_size} evaluated, "
+        f"clipped {', '.join(skipped) or 'none'} (§III-C)"
+    )
+    return 0
+
+
+def _cmd_evaluate(path: Path) -> int:
+    system = system_from_json(path.read_text())
+    print(evaluate_availability(system).describe())
+    return 0
+
+
+def _cmd_simulate(path: Path, replications: int, years: float, seed: int | None) -> int:
+    system = system_from_json(path.read_text())
+    report = validate_against_model(
+        system,
+        replications=replications,
+        horizon_minutes=years * MINUTES_PER_YEAR,
+        seed=seed,
+    )
+    print(report.describe())
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    broker = BrokerService(all_providers())
+    print(f"Observing providers ({args.observe_years:g} synthetic years each)...")
+    events = broker.observe_all(years=args.observe_years, seed=args.seed)
+    print(f"  ingested {events} telemetry events")
+    request = three_tier_request(
+        Contract.linear(args.sla, args.penalty),
+        compute_nodes=args.compute_nodes,
+        extended_catalog=args.extended,
+    )
+    report = broker.recommend(request)
+    print(report.describe())
+    print()
+    best = report.best
+    print(render_option_table(
+        best.result, title=f"Option table on {best.provider_name}:"
+    ))
+    return 0
+
+
+def _cmd_sweep(rates: list[float]) -> int:
+    rows = []
+    for rate in rates:
+        problem = case_study_problem()
+        problem = type(problem)(
+            base_system=problem.base_system,
+            registry=problem.registry,
+            contract=Contract.linear(98.0, rate),
+            labor_rate=problem.labor_rate,
+        )
+        result = brute_force_optimize(problem)
+        best = result.best
+        rows.append(
+            (
+                f"${rate:,.0f}",
+                best.label,
+                f"{best.tco.uptime_probability * 100:.4f}%",
+                f"${best.tco.total:,.2f}",
+            )
+        )
+    print("Penalty-rate sweep over the case study (SLA fixed at 98%):")
+    print(render_table(("S_P/hour", "recommended", "U_s", "TCO/mo"), rows))
+    return 0
+
+
+def _cmd_scenario(name: str) -> int:
+    entry = scenario(name)
+    print(f"Scenario {entry.name!r}: {entry.summary}")
+    result = pruned_optimize(entry.problem)
+    print(render_option_table(result, title="Evaluated options:"))
+    print()
+    print(f"recommended: {result.best.label} "
+          f"(TCO ${result.best.tco.total:,.2f}/month)")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.optimizer.advisor import advise_upgrades
+
+    advice = advise_upgrades(
+        case_study_problem(),
+        tuple(args.current),
+        migration_cost=args.migration_cost,
+        amortization_months=args.amortization_months,
+    )
+    print(advice.describe())
+    return 0
+
+
+def _cmd_compliance(args: argparse.Namespace) -> int:
+    from repro.sla.measurement import measure_compliance
+    from repro.workloads.case_study import case_study_contract
+
+    result = brute_force_optimize(case_study_problem())
+    option = result.option(args.option)
+    report = measure_compliance(
+        option.system, case_study_contract(), years=args.years, seed=args.seed
+    )
+    print(f"Settling {option.label}:")
+    print(report.describe())
+    return 0
+
+
+def _cmd_importance(path: Path | None) -> int:
+    from repro.availability.importance import importance_analysis
+    from repro.workloads.case_study import case_study_base_system
+
+    if path is None:
+        system = case_study_base_system()
+    else:
+        system = system_from_json(path.read_text())
+    report = importance_analysis(system)
+    print(report.describe())
+    print(
+        f"priority: protect {report.most_critical().name!r} first "
+        f"(up to {report.most_critical().improvement_potential * 100:.3f}% "
+        "uptime recoverable)"
+    )
+    return 0
+
+
+def _cmd_pareto() -> int:
+    from repro.optimizer.pareto import pareto_frontier
+
+    result = brute_force_optimize(case_study_problem())
+    print("Cost/uptime Pareto frontier of the case study:")
+    for option in pareto_frontier(result.options):
+        print(
+            f"  {option.label:<36} C_HA ${option.tco.ha_cost:>9,.2f}/mo  "
+            f"U_s {option.tco.uptime_probability * 100:.4f}%"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "case-study":
+            return _cmd_case_study()
+        if args.command == "evaluate":
+            return _cmd_evaluate(args.file)
+        if args.command == "simulate":
+            return _cmd_simulate(args.file, args.replications, args.years, args.seed)
+        if args.command == "recommend":
+            return _cmd_recommend(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args.rates)
+        if args.command == "scenario":
+            return _cmd_scenario(args.name)
+        if args.command == "advise":
+            return _cmd_advise(args)
+        if args.command == "compliance":
+            return _cmd_compliance(args)
+        if args.command == "importance":
+            return _cmd_importance(args.file)
+        if args.command == "pareto":
+            return _cmd_pareto()
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

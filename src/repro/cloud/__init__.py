@@ -1,0 +1,47 @@
+"""Simulated multi-provider IaaS substrate.
+
+The paper's framework runs inside a *hybrid cloud broker*: an entity
+that provisions onto several clouds and observes their reliability and
+prices.  With no live clouds available offline, this package provides an
+in-process substitute with the same shape a libcloud/boto driver would
+have: providers with instance catalogs and rate cards, a provisioning
+lifecycle, deployments of topologies onto providers, and a fault
+injector that generates the failure events the broker's telemetry
+consumes (DESIGN.md §2 documents the substitution).
+
+Three synthetic providers ship built in:
+
+- ``metalcloud`` — bare-metal heavy, modeled on the case study's
+  SoftLayer environment (baseline prices and reliability);
+- ``stratus``   — premium: pricier, more reliable, faster failover;
+- ``cumulus``   — budget: cheaper, less reliable, slower recovery.
+"""
+
+from repro.cloud.deployment import Deployment, deploy_system, hybrid_deploy
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.cloud.faults import FaultInjector
+from repro.cloud.instance_types import GatewayType, InstanceType, VolumeType
+from repro.cloud.pricing import RateCard
+from repro.cloud.provider import CloudProvider, ProviderReliability, Resource, ResourceState
+from repro.cloud.providers import all_providers, cumulus, metalcloud, stratus
+
+__all__ = [
+    "CloudProvider",
+    "Deployment",
+    "FaultInjector",
+    "GatewayType",
+    "InstanceType",
+    "ProviderReliability",
+    "RateCard",
+    "Resource",
+    "ResourceEvent",
+    "ResourceEventKind",
+    "ResourceState",
+    "VolumeType",
+    "all_providers",
+    "cumulus",
+    "deploy_system",
+    "hybrid_deploy",
+    "metalcloud",
+    "stratus",
+]

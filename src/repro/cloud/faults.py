@@ -1,0 +1,103 @@
+"""Fault injection: synthesizing the broker's observation history.
+
+The paper's broker learns ``P_i``, ``f_i`` and ``t_i`` "by virtue of its
+vantage point above clouds ... across customers spanning a long
+timeline" (§II-C).  Offline we generate that timeline: the injector
+replays each provider's ground-truth reliability over simulated months
+or years of fleet operation, emitting the :class:`ResourceEvent` stream
+a real broker would have collected from monitoring hooks.
+
+Experiment E5 feeds these streams into
+:class:`~repro.broker.telemetry.TelemetryStore` and measures how fast
+the estimates converge to the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.cloud.provider import CloudProvider, Resource
+from repro.errors import CloudError
+from repro.rng import make_rng
+from repro.simulation.processes import NodeProcess
+from repro.topology.node import NodeSpec
+
+
+class FaultInjector:
+    """Generates failure/repair/failover event streams for one provider."""
+
+    def __init__(self, provider: CloudProvider, seed: int | random.Random | None = None) -> None:
+        self.provider = provider
+        self._rng = make_rng(seed)
+
+    def inject(
+        self,
+        resources: Iterable[Resource],
+        horizon_minutes: float,
+        ha_protected: bool = True,
+    ) -> list[ResourceEvent]:
+        """Simulate ``horizon_minutes`` of operation for ``resources``.
+
+        Every resource alternates exponential up/down periods drawn from
+        the provider's ground truth for its component kind.  When
+        ``ha_protected`` is true, each failure additionally produces a
+        FAILOVER observation whose duration is the provider's takeover
+        latency with ±20% jitter — the broker's source for ``t̂``.
+
+        Returns the merged event stream sorted by time.
+        """
+        if horizon_minutes <= 0.0:
+            raise CloudError(
+                f"horizon_minutes must be > 0, got {horizon_minutes!r}"
+            )
+        events: list[ResourceEvent] = []
+        for resource in resources:
+            kind = resource.kind.value
+            down_p, failures, failover_t = self.provider.reliability.triple(kind)
+            process = NodeProcess.from_spec(
+                NodeSpec(
+                    kind=kind,
+                    down_probability=down_p,
+                    failures_per_year=failures,
+                )
+            )
+            clock = process.sample_up_duration(self._rng)
+            while clock < horizon_minutes:
+                outage = process.sample_down_duration(self._rng)
+                events.append(
+                    ResourceEvent(
+                        time_minutes=clock,
+                        provider=self.provider.name,
+                        component_kind=kind,
+                        resource_id=resource.resource_id,
+                        kind=ResourceEventKind.FAILURE,
+                    )
+                )
+                repair_time = min(clock + outage, horizon_minutes)
+                events.append(
+                    ResourceEvent(
+                        time_minutes=repair_time,
+                        provider=self.provider.name,
+                        component_kind=kind,
+                        resource_id=resource.resource_id,
+                        kind=ResourceEventKind.REPAIR,
+                        duration_minutes=repair_time - clock,
+                    )
+                )
+                if ha_protected:
+                    jitter = self._rng.uniform(0.8, 1.2)
+                    events.append(
+                        ResourceEvent(
+                            time_minutes=clock,
+                            provider=self.provider.name,
+                            component_kind=kind,
+                            resource_id=resource.resource_id,
+                            kind=ResourceEventKind.FAILOVER,
+                            duration_minutes=failover_t * jitter,
+                        )
+                    )
+                clock = clock + outage + process.sample_up_duration(self._rng)
+        events.sort(key=lambda event: (event.time_minutes, event.resource_id, event.kind.value))
+        return events

@@ -1,0 +1,76 @@
+"""Provider catalogs: instance, volume and gateway types.
+
+Each type is a priced SKU; providers expose catalogs of them and the
+deployment layer matches topology node kinds onto SKUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceType:
+    """A compute flavor, e.g. ``bm.medium`` with 8 vCPUs / 64 GB."""
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    monthly_price: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("InstanceType.name must be non-empty")
+        if self.vcpus < 1:
+            raise ValidationError(f"vcpus must be >= 1, got {self.vcpus!r}")
+        if self.memory_gb <= 0.0:
+            raise ValidationError(f"memory_gb must be > 0, got {self.memory_gb!r}")
+        if self.monthly_price < 0.0:
+            raise ValidationError(
+                f"monthly_price must be >= 0, got {self.monthly_price!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class VolumeType:
+    """A block-storage SKU, e.g. ``ssd.500`` — 500 GB at some IOPS."""
+
+    name: str
+    size_gb: int
+    iops: int
+    monthly_price: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("VolumeType.name must be non-empty")
+        if self.size_gb < 1:
+            raise ValidationError(f"size_gb must be >= 1, got {self.size_gb!r}")
+        if self.iops < 1:
+            raise ValidationError(f"iops must be >= 1, got {self.iops!r}")
+        if self.monthly_price < 0.0:
+            raise ValidationError(
+                f"monthly_price must be >= 0, got {self.monthly_price!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayType:
+    """A network gateway SKU, e.g. ``gw.1g`` — 1 Gbps throughput."""
+
+    name: str
+    throughput_gbps: float
+    monthly_price: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("GatewayType.name must be non-empty")
+        if self.throughput_gbps <= 0.0:
+            raise ValidationError(
+                f"throughput_gbps must be > 0, got {self.throughput_gbps!r}"
+            )
+        if self.monthly_price < 0.0:
+            raise ValidationError(
+                f"monthly_price must be >= 0, got {self.monthly_price!r}"
+            )

@@ -1,0 +1,70 @@
+"""Rate cards: everything a provider charges for.
+
+A provider's rate card covers its SKU catalogs plus the add-on prices
+the HA catalog needs (licenses, RAID controllers, floating VIPs, second
+circuits) and a labor-rate factor reflecting the provider's managed-
+service market.  The broker reads these to build provider-specific
+:class:`~repro.catalog.registry.TechnologyRegistry` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.instance_types import GatewayType, InstanceType, VolumeType
+from repro.errors import CloudError
+
+
+@dataclass(frozen=True)
+class RateCard:
+    """One provider's complete price list.
+
+    ``ha_addons`` maps add-on keys (``"hypervisor-license-per-node"``,
+    ``"raid-controller"``, ``"gateway-vip"``, ``"bgp-circuit"``,
+    ``"sds-software"``, ``"multipath-port"``) to dollars/month, and
+    ``ha_labor_hours`` maps technology groups (``"hypervisor"``,
+    ``"raid"``, ``"gateway"``, ...) to sustainment hours/month.
+    """
+
+    instance_types: tuple[InstanceType, ...]
+    volume_types: tuple[VolumeType, ...]
+    gateway_types: tuple[GatewayType, ...]
+    ha_addons: dict[str, float] = field(default_factory=dict)
+    ha_labor_hours: dict[str, float] = field(default_factory=dict)
+    labor_rate_per_hour: float = 30.0
+
+    def instance_type(self, name: str) -> InstanceType:
+        """Look up a compute flavor by name."""
+        return _lookup(self.instance_types, name, "instance type")
+
+    def volume_type(self, name: str) -> VolumeType:
+        """Look up a volume SKU by name."""
+        return _lookup(self.volume_types, name, "volume type")
+
+    def gateway_type(self, name: str) -> GatewayType:
+        """Look up a gateway SKU by name."""
+        return _lookup(self.gateway_types, name, "gateway type")
+
+    def addon(self, key: str, default: float | None = None) -> float:
+        """Price of an HA add-on; raises unless a default is supplied."""
+        if key in self.ha_addons:
+            return self.ha_addons[key]
+        if default is not None:
+            return default
+        raise CloudError(
+            f"rate card has no HA addon {key!r}; "
+            f"known: {sorted(self.ha_addons)}"
+        )
+
+    def labor_hours(self, group: str, default: float = 0.0) -> float:
+        """Monthly sustainment hours for a technology group."""
+        return self.ha_labor_hours.get(group, default)
+
+
+def _lookup(catalog: tuple, name: str, what: str):
+    for sku in catalog:
+        if sku.name == name:
+            return sku
+    raise CloudError(
+        f"unknown {what} {name!r}; available: {[sku.name for sku in catalog]}"
+    )

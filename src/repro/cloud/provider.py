@@ -1,0 +1,233 @@
+"""The simulated cloud provider: provisioning lifecycle + reliability.
+
+A :class:`CloudProvider` behaves like a thin IaaS driver: you provision
+VMs, volumes and gateways against its catalog, resources move through a
+small state machine (``REQUESTED -> RUNNING -> (FAILED <-> RUNNING) ->
+DELETED``), and capacity is bounded per region.  The provider also
+carries its ground-truth :class:`ProviderReliability` — the ``P/f/t``
+values the fault injector draws from and the broker's telemetry tries to
+re-estimate (experiment E5 measures how well it converges).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.instance_types import GatewayType, InstanceType, VolumeType
+from repro.cloud.pricing import RateCard
+from repro.errors import CloudError, ProvisioningError, ResourceNotFoundError
+
+
+class ResourceState(str, enum.Enum):
+    """Lifecycle states of a provisioned resource."""
+
+    REQUESTED = "requested"
+    RUNNING = "running"
+    FAILED = "failed"
+    DELETED = "deleted"
+
+
+class ResourceKind(str, enum.Enum):
+    """What a resource is (mirrors the three IaaS layers)."""
+
+    VM = "vm"
+    VOLUME = "volume"
+    GATEWAY = "gateway"
+
+
+@dataclass
+class Resource:
+    """One provisioned resource."""
+
+    resource_id: str
+    kind: ResourceKind
+    sku_name: str
+    region: str
+    monthly_price: float
+    state: ResourceState = ResourceState.REQUESTED
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """E.g. ``vm-7 (bm.medium, dal10): running``."""
+        return (
+            f"{self.resource_id} ({self.sku_name}, {self.region}): "
+            f"{self.state.value}"
+        )
+
+
+@dataclass(frozen=True)
+class ProviderReliability:
+    """Ground-truth reliability of a provider's component classes.
+
+    Maps component kind (``"vm"``, ``"volume"``, ``"gateway"``) to the
+    triple the paper's broker maintains: steady-state down probability
+    ``P``, failures/year ``f``, and the observed failover minutes ``t``
+    of the provider's native HA constructs.
+    """
+
+    down_probability: dict[str, float]
+    failures_per_year: dict[str, float]
+    failover_minutes: dict[str, float]
+
+    def triple(self, kind: str) -> tuple[float, float, float]:
+        """``(P, f, t)`` for a component kind."""
+        try:
+            return (
+                self.down_probability[kind],
+                self.failures_per_year[kind],
+                self.failover_minutes[kind],
+            )
+        except KeyError as exc:
+            raise CloudError(
+                f"provider has no reliability data for component {kind!r}; "
+                f"known: {sorted(self.down_probability)}"
+            ) from exc
+
+
+class CloudProvider:
+    """An in-process IaaS endpoint with a catalog and capacity limits."""
+
+    def __init__(
+        self,
+        name: str,
+        regions: tuple[str, ...],
+        rate_card: RateCard,
+        reliability: ProviderReliability,
+        capacity_per_region: int = 1000,
+    ) -> None:
+        if not name:
+            raise CloudError("provider name must be non-empty")
+        if not regions:
+            raise CloudError(f"provider {name!r} must have at least one region")
+        if capacity_per_region < 1:
+            raise CloudError(
+                f"capacity_per_region must be >= 1, got {capacity_per_region!r}"
+            )
+        self.name = name
+        self.regions = regions
+        self.rate_card = rate_card
+        self.reliability = reliability
+        self.capacity_per_region = capacity_per_region
+        self._resources: dict[str, Resource] = {}
+        self._ids = itertools.count(1)
+
+    # -- provisioning -----------------------------------------------------
+
+    def provision_vm(self, flavor: str, region: str | None = None, **tags: str) -> Resource:
+        """Provision a compute instance of the named flavor."""
+        sku: InstanceType = self.rate_card.instance_type(flavor)
+        return self._provision(ResourceKind.VM, sku.name, sku.monthly_price, region, tags)
+
+    def provision_volume(self, volume_type: str, region: str | None = None, **tags: str) -> Resource:
+        """Provision a block-storage volume of the named SKU."""
+        sku: VolumeType = self.rate_card.volume_type(volume_type)
+        return self._provision(ResourceKind.VOLUME, sku.name, sku.monthly_price, region, tags)
+
+    def provision_gateway(self, gateway_type: str, region: str | None = None, **tags: str) -> Resource:
+        """Provision a network gateway of the named SKU."""
+        sku: GatewayType = self.rate_card.gateway_type(gateway_type)
+        return self._provision(ResourceKind.GATEWAY, sku.name, sku.monthly_price, region, tags)
+
+    def deprovision(self, resource_id: str) -> None:
+        """Delete a resource; deleting twice is an error."""
+        resource = self.get(resource_id)
+        if resource.state is ResourceState.DELETED:
+            raise CloudError(f"resource {resource_id!r} is already deleted")
+        resource.state = ResourceState.DELETED
+
+    # -- lookups ----------------------------------------------------------
+
+    def get(self, resource_id: str) -> Resource:
+        """Fetch a resource by id (including deleted ones)."""
+        try:
+            return self._resources[resource_id]
+        except KeyError as exc:
+            raise ResourceNotFoundError(
+                f"provider {self.name!r} has no resource {resource_id!r}"
+            ) from exc
+
+    def list_resources(
+        self,
+        kind: ResourceKind | None = None,
+        state: ResourceState | None = None,
+    ) -> tuple[Resource, ...]:
+        """All resources, optionally filtered by kind and/or state."""
+        found = []
+        for resource in self._resources.values():
+            if kind is not None and resource.kind is not kind:
+                continue
+            if state is not None and resource.state is not state:
+                continue
+            found.append(resource)
+        return tuple(found)
+
+    def monthly_spend(self) -> float:
+        """Total monthly price of all live (non-deleted) resources."""
+        return sum(
+            resource.monthly_price
+            for resource in self._resources.values()
+            if resource.state is not ResourceState.DELETED
+        )
+
+    # -- failure injection hooks (used by FaultInjector) -------------------
+
+    def mark_failed(self, resource_id: str) -> None:
+        """Transition a running resource to FAILED."""
+        resource = self.get(resource_id)
+        if resource.state is not ResourceState.RUNNING:
+            raise CloudError(
+                f"cannot fail resource {resource_id!r} in state "
+                f"{resource.state.value!r}"
+            )
+        resource.state = ResourceState.FAILED
+
+    def mark_repaired(self, resource_id: str) -> None:
+        """Transition a failed resource back to RUNNING."""
+        resource = self.get(resource_id)
+        if resource.state is not ResourceState.FAILED:
+            raise CloudError(
+                f"cannot repair resource {resource_id!r} in state "
+                f"{resource.state.value!r}"
+            )
+        resource.state = ResourceState.RUNNING
+
+    # -- internals ----------------------------------------------------------
+
+    def _provision(
+        self,
+        kind: ResourceKind,
+        sku_name: str,
+        monthly_price: float,
+        region: str | None,
+        tags: dict[str, str],
+    ) -> Resource:
+        region = region or self.regions[0]
+        if region not in self.regions:
+            raise ProvisioningError(
+                f"provider {self.name!r} has no region {region!r}; "
+                f"available: {list(self.regions)}"
+            )
+        live_in_region = sum(
+            1
+            for resource in self._resources.values()
+            if resource.region == region
+            and resource.state is not ResourceState.DELETED
+        )
+        if live_in_region >= self.capacity_per_region:
+            raise ProvisioningError(
+                f"region {region!r} of provider {self.name!r} is at "
+                f"capacity ({self.capacity_per_region} resources)"
+            )
+        resource = Resource(
+            resource_id=f"{self.name}-{kind.value}-{next(self._ids)}",
+            kind=kind,
+            sku_name=sku_name,
+            region=region,
+            monthly_price=monthly_price,
+            tags=dict(tags),
+        )
+        resource.state = ResourceState.RUNNING
+        self._resources[resource.resource_id] = resource
+        return resource

@@ -1,0 +1,167 @@
+"""The three built-in synthetic providers.
+
+``metalcloud`` reproduces the case study's environment: its reliability
+triples and HA add-on prices are exactly the calibrated case-study
+numbers, so a broker estimating from metalcloud telemetry should land on
+the paper's option table.  ``stratus`` (premium) and ``cumulus``
+(budget) bracket it from above and below, giving the marketplace
+experiments a real trade-off to explore.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instance_types import GatewayType, InstanceType, VolumeType
+from repro.cloud.pricing import RateCard
+from repro.cloud.provider import CloudProvider, ProviderReliability
+
+
+def metalcloud() -> CloudProvider:
+    """SoftLayer-like baseline provider (the case-study environment)."""
+    rate_card = RateCard(
+        instance_types=(
+            InstanceType("bm.small", vcpus=4, memory_gb=32.0, monthly_price=190.0),
+            InstanceType("bm.medium", vcpus=8, memory_gb=64.0, monthly_price=330.0),
+            InstanceType("bm.large", vcpus=16, memory_gb=128.0, monthly_price=560.0),
+        ),
+        volume_types=(
+            VolumeType("ssd.250", size_gb=250, iops=6000, monthly_price=110.0),
+            VolumeType("ssd.500", size_gb=500, iops=8000, monthly_price=170.0),
+            VolumeType("ssd.1000", size_gb=1000, iops=10000, monthly_price=290.0),
+        ),
+        gateway_types=(
+            GatewayType("gw.1g", throughput_gbps=1.0, monthly_price=190.0),
+            GatewayType("gw.10g", throughput_gbps=10.0, monthly_price=420.0),
+        ),
+        ha_addons={
+            "hypervisor-license-per-node": 12.5,
+            "raid-controller": 30.0,
+            "gateway-vip": 30.0,
+            "bgp-circuit": 260.0,
+            "sds-software": 90.0,
+            "multipath-port": 45.0,
+        },
+        ha_labor_hours={
+            "hypervisor": 4.0,
+            "os-cluster": 6.0,
+            "raid": 2.0,
+            "sds": 5.0,
+            "multipath": 1.0,
+            "gateway": 2.0,
+            "bgp": 3.0,
+        },
+        labor_rate_per_hour=30.0,
+    )
+    reliability = ProviderReliability(
+        down_probability={"vm": 0.0025, "volume": 0.015, "gateway": 0.01425},
+        failures_per_year={"vm": 6.0, "volume": 5.0, "gateway": 4.0},
+        failover_minutes={"vm": 10.0, "volume": 1.0, "gateway": 2.0},
+    )
+    return CloudProvider(
+        name="metalcloud",
+        regions=("dal10", "ams01", "che01"),
+        rate_card=rate_card,
+        reliability=reliability,
+    )
+
+
+def stratus() -> CloudProvider:
+    """Premium provider: ~35% pricier, roughly twice as reliable."""
+    rate_card = RateCard(
+        instance_types=(
+            InstanceType("c.small", vcpus=4, memory_gb=32.0, monthly_price=260.0),
+            InstanceType("c.medium", vcpus=8, memory_gb=64.0, monthly_price=450.0),
+            InstanceType("c.large", vcpus=16, memory_gb=128.0, monthly_price=760.0),
+        ),
+        volume_types=(
+            VolumeType("prm.250", size_gb=250, iops=12000, monthly_price=150.0),
+            VolumeType("prm.500", size_gb=500, iops=16000, monthly_price=230.0),
+            VolumeType("prm.1000", size_gb=1000, iops=20000, monthly_price=390.0),
+        ),
+        gateway_types=(
+            GatewayType("edge.1g", throughput_gbps=1.0, monthly_price=260.0),
+            GatewayType("edge.10g", throughput_gbps=10.0, monthly_price=540.0),
+        ),
+        ha_addons={
+            "hypervisor-license-per-node": 18.0,
+            "raid-controller": 42.0,
+            "gateway-vip": 40.0,
+            "bgp-circuit": 330.0,
+            "sds-software": 120.0,
+            "multipath-port": 60.0,
+        },
+        ha_labor_hours={
+            "hypervisor": 3.0,
+            "os-cluster": 5.0,
+            "raid": 1.5,
+            "sds": 4.0,
+            "multipath": 1.0,
+            "gateway": 1.5,
+            "bgp": 2.5,
+        },
+        labor_rate_per_hour=38.0,
+    )
+    reliability = ProviderReliability(
+        down_probability={"vm": 0.0012, "volume": 0.007, "gateway": 0.006},
+        failures_per_year={"vm": 3.0, "volume": 2.5, "gateway": 2.0},
+        failover_minutes={"vm": 6.0, "volume": 0.5, "gateway": 1.0},
+    )
+    return CloudProvider(
+        name="stratus",
+        regions=("us-east", "eu-west"),
+        rate_card=rate_card,
+        reliability=reliability,
+    )
+
+
+def cumulus() -> CloudProvider:
+    """Budget provider: ~30% cheaper, noticeably flakier."""
+    rate_card = RateCard(
+        instance_types=(
+            InstanceType("b.small", vcpus=4, memory_gb=32.0, monthly_price=130.0),
+            InstanceType("b.medium", vcpus=8, memory_gb=64.0, monthly_price=230.0),
+            InstanceType("b.large", vcpus=16, memory_gb=128.0, monthly_price=400.0),
+        ),
+        volume_types=(
+            VolumeType("std.250", size_gb=250, iops=3000, monthly_price=75.0),
+            VolumeType("std.500", size_gb=500, iops=4000, monthly_price=120.0),
+            VolumeType("std.1000", size_gb=1000, iops=5000, monthly_price=200.0),
+        ),
+        gateway_types=(
+            GatewayType("net.1g", throughput_gbps=1.0, monthly_price=130.0),
+            GatewayType("net.10g", throughput_gbps=10.0, monthly_price=300.0),
+        ),
+        ha_addons={
+            "hypervisor-license-per-node": 9.0,
+            "raid-controller": 22.0,
+            "gateway-vip": 20.0,
+            "bgp-circuit": 190.0,
+            "sds-software": 65.0,
+            "multipath-port": 32.0,
+        },
+        ha_labor_hours={
+            "hypervisor": 5.0,
+            "os-cluster": 8.0,
+            "raid": 2.5,
+            "sds": 6.0,
+            "multipath": 1.5,
+            "gateway": 2.5,
+            "bgp": 4.0,
+        },
+        labor_rate_per_hour=24.0,
+    )
+    reliability = ProviderReliability(
+        down_probability={"vm": 0.005, "volume": 0.025, "gateway": 0.022},
+        failures_per_year={"vm": 10.0, "volume": 8.0, "gateway": 6.0},
+        failover_minutes={"vm": 15.0, "volume": 2.0, "gateway": 4.0},
+    )
+    return CloudProvider(
+        name="cumulus",
+        regions=("central-1",),
+        rate_card=rate_card,
+        reliability=reliability,
+    )
+
+
+def all_providers() -> tuple[CloudProvider, ...]:
+    """Fresh instances of all three built-in providers."""
+    return (metalcloud(), stratus(), cumulus())

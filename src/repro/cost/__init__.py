@@ -1,0 +1,16 @@
+"""Cost model: ``C_HA`` decomposition and Eq. 5 TCO.
+
+``C_HA`` is the monthly cost of engineering and sustaining HA —
+incremental infrastructure plus labor.  The TCO of a candidate option
+adds the expected slippage penalty from the contract.
+"""
+
+from repro.cost.rates import LaborRate
+from repro.cost.tco import TCOBreakdown, compute_tco, monthly_ha_cost
+
+__all__ = [
+    "LaborRate",
+    "TCOBreakdown",
+    "compute_tco",
+    "monthly_ha_cost",
+]

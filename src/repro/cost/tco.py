@@ -1,0 +1,113 @@
+"""Total cost of ownership (paper Eq. 5).
+
+    TCO_i = C_HA + max(0, (U_SLA/100 - U_s)) * delta/(12*60) * S_P
+
+where ``C_HA`` is the monthly cost to implement and sustain the HA
+construct (infrastructure + labor) and the second term is the expected
+monthly slippage penalty.  :class:`TCOBreakdown` keeps the components
+itemized so reports can show *why* an option costs what it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.model import evaluate_availability
+from repro.cost.rates import LaborRate
+from repro.sla.contract import Contract
+from repro.topology.system import SystemTopology
+from repro.units import format_money
+
+
+@dataclass(frozen=True, slots=True)
+class TCOBreakdown:
+    """Itemized monthly cost of one HA-enabled system option.
+
+    Attributes
+    ----------
+    ha_infra_cost:
+        Incremental HA infrastructure dollars/month (extra nodes,
+        licenses, replication links) summed over clusters.
+    ha_labor_cost:
+        HA sustainment labor dollars/month.
+    expected_penalty:
+        Expected SLA slippage penalty dollars/month (0 when the SLA is
+        met in expectation).
+    base_infra_cost:
+        Dollars/month for the base (pre-HA) node fleet.  Recorded for
+        completeness; *not* part of Eq. 5's TCO, which compares HA
+        deltas over a fixed base architecture.
+    uptime_probability:
+        The ``U_s`` used to price the penalty.
+    slippage_hours:
+        Expected monthly slippage hours behind ``expected_penalty``.
+    """
+
+    ha_infra_cost: float
+    ha_labor_cost: float
+    expected_penalty: float
+    base_infra_cost: float
+    uptime_probability: float
+    slippage_hours: float
+
+    @property
+    def ha_cost(self) -> float:
+        """``C_HA``: infrastructure plus labor, dollars/month."""
+        return self.ha_infra_cost + self.ha_labor_cost
+
+    @property
+    def total(self) -> float:
+        """Eq. 5 TCO: ``C_HA`` plus expected penalty, dollars/month."""
+        return self.ha_cost + self.expected_penalty
+
+    @property
+    def total_with_base(self) -> float:
+        """TCO including the base node fleet (for absolute budgeting)."""
+        return self.total + self.base_infra_cost
+
+    def describe(self) -> str:
+        """One-line summary used in option tables."""
+        return (
+            f"C_HA={format_money(self.ha_cost)} "
+            f"(infra {format_money(self.ha_infra_cost)} + "
+            f"labor {format_money(self.ha_labor_cost)}), "
+            f"penalty={format_money(self.expected_penalty)}, "
+            f"TCO={format_money(self.total)}"
+        )
+
+
+def monthly_ha_cost(system: SystemTopology, labor_rate: LaborRate) -> tuple[float, float]:
+    """Return ``(infra, labor)`` dollars/month of the system's HA.
+
+    Sums each cluster's incremental HA infrastructure cost and prices
+    its sustainment hours at ``labor_rate``.
+    """
+    infra = sum(cluster.monthly_ha_infra_cost for cluster in system.clusters)
+    labor_hours = sum(cluster.monthly_ha_labor_hours for cluster in system.clusters)
+    return infra, labor_rate.monthly_cost(labor_hours)
+
+
+def compute_tco(
+    system: SystemTopology,
+    contract: Contract,
+    labor_rate: LaborRate,
+) -> TCOBreakdown:
+    """Evaluate Eq. 5 for one candidate system.
+
+    Runs the availability model (Eq. 1-4), converts the uptime shortfall
+    into expected slippage hours, prices them with the contract's penalty
+    clause, and returns the itemized breakdown.
+    """
+    report = evaluate_availability(system)
+    uptime = report.uptime_probability
+    slippage_hours = contract.expected_slippage_hours(uptime)
+    penalty = contract.penalty.monthly_penalty(slippage_hours)
+    infra, labor = monthly_ha_cost(system, labor_rate)
+    return TCOBreakdown(
+        ha_infra_cost=infra,
+        ha_labor_cost=labor,
+        expected_penalty=penalty,
+        base_infra_cost=system.monthly_base_infra_cost,
+        uptime_probability=uptime,
+        slippage_hours=slippage_hours,
+    )

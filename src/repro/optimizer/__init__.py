@@ -1,0 +1,42 @@
+"""The brokered optimization: enumerate ``k^n`` HA variants, pick min TCO.
+
+- :class:`~repro.optimizer.space.OptimizationProblem` — inputs: base
+  architecture, technology registry, contract, labor rate.
+- :class:`~repro.optimizer.space.CandidateSpace` — the ``k^n`` candidate
+  permutations, ordered the way the paper numbers its options.
+- :mod:`~repro.optimizer.brute_force` — exhaustive evaluation (Eq. 6).
+- :mod:`~repro.optimizer.pruned` — the paper's §III-C superset pruning.
+- :mod:`~repro.optimizer.branch_bound` — an admissible branch-and-bound
+  extension with availability-based lower bounds.
+- :mod:`~repro.optimizer.pareto` — cost/uptime Pareto frontier.
+"""
+
+from repro.optimizer.advisor import UpgradeAdvice, UpgradeMove, advise_upgrades
+from repro.optimizer.branch_bound import branch_and_bound_optimize
+from repro.optimizer.constraints import (
+    ConstrainedResult,
+    constrained_optimize,
+    is_feasible,
+)
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pareto import pareto_frontier
+from repro.optimizer.pruned import pruned_optimize
+from repro.optimizer.result import EvaluatedOption, OptimizationResult
+from repro.optimizer.space import CandidateSpace, OptimizationProblem
+
+__all__ = [
+    "CandidateSpace",
+    "EvaluatedOption",
+    "OptimizationProblem",
+    "OptimizationResult",
+    "ConstrainedResult",
+    "UpgradeAdvice",
+    "UpgradeMove",
+    "advise_upgrades",
+    "constrained_optimize",
+    "is_feasible",
+    "branch_and_bound_optimize",
+    "brute_force_optimize",
+    "pareto_frontier",
+    "pruned_optimize",
+]

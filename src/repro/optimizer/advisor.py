@@ -1,0 +1,148 @@
+"""Upgrade advisor: marginal analysis from a deployed configuration.
+
+The paper optimizes greenfield deployments; brownfield customers ask a
+different question — *"we already run option X; which single change
+pays for itself?"*.  The advisor evaluates every configuration that
+differs from the current one in exactly one cluster (swap, add or drop
+an HA technology) and ranks the moves by TCO delta, including a simple
+one-off migration cost amortized over a horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.optimizer.brute_force import evaluate_candidate
+from repro.optimizer.result import EvaluatedOption
+from repro.optimizer.space import ChoiceNames, OptimizationProblem
+
+
+@dataclass(frozen=True)
+class UpgradeMove:
+    """One single-cluster change away from the current configuration."""
+
+    cluster_name: str
+    from_technology: str
+    to_technology: str
+    option: EvaluatedOption
+    monthly_delta: float
+    amortized_migration_cost: float
+
+    @property
+    def total_monthly_delta(self) -> float:
+        """TCO delta including amortized migration cost ($/month)."""
+        return self.monthly_delta + self.amortized_migration_cost
+
+    @property
+    def pays_off(self) -> bool:
+        """True when the move lowers total monthly cost."""
+        return self.total_monthly_delta < 0.0
+
+    def describe(self) -> str:
+        """E.g. ``storage: none -> raid-1  (-$794.57/mo, migration $8.33/mo)``."""
+        return (
+            f"{self.cluster_name}: {self.from_technology} -> "
+            f"{self.to_technology}  ({self.monthly_delta:+,.2f}/mo, "
+            f"migration {self.amortized_migration_cost:+,.2f}/mo)"
+        )
+
+
+@dataclass(frozen=True)
+class UpgradeAdvice:
+    """All single-cluster moves, best first."""
+
+    current: EvaluatedOption
+    moves: tuple[UpgradeMove, ...]
+
+    @property
+    def best_move(self) -> UpgradeMove | None:
+        """The most valuable paying move, or None if staying put wins."""
+        paying = [move for move in self.moves if move.pays_off]
+        return paying[0] if paying else None
+
+    def describe(self) -> str:
+        """Ranked move table."""
+        lines = [
+            f"Currently deployed: {self.current.label} "
+            f"(TCO ${self.current.tco.total:,.2f}/mo)"
+        ]
+        if not self.moves:
+            lines.append("  no alternative single-cluster moves available")
+        for move in self.moves:
+            marker = "=> " if move.pays_off else "   "
+            lines.append(f"  {marker}{move.describe()}")
+        best = self.best_move
+        lines.append(
+            f"recommendation: {'apply ' + best.describe() if best else 'stay put'}"
+        )
+        return "\n".join(lines)
+
+
+def advise_upgrades(
+    problem: OptimizationProblem,
+    current_choices: ChoiceNames,
+    migration_cost: float = 0.0,
+    amortization_months: int = 12,
+) -> UpgradeAdvice:
+    """Rank every single-cluster change from ``current_choices``.
+
+    ``migration_cost`` is a one-off dollar figure per move (change
+    windows, data resilvering, cutover labor) amortized linearly over
+    ``amortization_months``.
+    """
+    if amortization_months < 1:
+        raise OptimizerError(
+            f"amortization_months must be >= 1, got {amortization_months!r}"
+        )
+    space = problem.space()
+    name_to_index = [
+        {tech.name: i for i, tech in enumerate(space.choices_for(c))}
+        for c in range(space.cluster_count)
+    ]
+    if len(current_choices) != space.cluster_count:
+        raise OptimizerError(
+            f"expected {space.cluster_count} choice names, got {len(current_choices)}"
+        )
+    try:
+        current_indices = tuple(
+            name_to_index[i][name] for i, name in enumerate(current_choices)
+        )
+    except KeyError as exc:
+        raise OptimizerError(
+            f"current configuration references unknown technology: {exc}"
+        ) from exc
+
+    option_ids = {
+        indices: option_id
+        for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1)
+    }
+    current = evaluate_candidate(
+        problem, space, option_ids[current_indices], current_indices
+    )
+
+    amortized = migration_cost / amortization_months
+    moves = []
+    for cluster_pos in range(space.cluster_count):
+        cluster_name = space.bare_system.clusters[cluster_pos].name
+        for alt_index, technology in enumerate(space.choices_for(cluster_pos)):
+            if alt_index == current_indices[cluster_pos]:
+                continue
+            candidate = list(current_indices)
+            candidate[cluster_pos] = alt_index
+            candidate_indices = tuple(candidate)
+            option = evaluate_candidate(
+                problem, space, option_ids[candidate_indices], candidate_indices
+            )
+            moves.append(
+                UpgradeMove(
+                    cluster_name=cluster_name,
+                    from_technology=current_choices[cluster_pos],
+                    to_technology=technology.name,
+                    option=option,
+                    monthly_delta=option.tco.total - current.tco.total,
+                    amortized_migration_cost=amortized,
+                )
+            )
+    moves.sort(key=lambda move: move.total_monthly_delta)
+    return UpgradeAdvice(current=current, moves=tuple(moves))

@@ -1,0 +1,48 @@
+"""Exhaustive evaluation of the candidate space (Eq. 6).
+
+Walks all ``k^n`` permutations in paper order, evaluates Eq. 1-5 for
+each, and returns the full table.  This is the reference implementation
+the pruned and branch-and-bound searches are tested against.
+"""
+
+from __future__ import annotations
+
+from repro.cost.tco import compute_tco
+from repro.availability.model import evaluate_availability
+from repro.optimizer.result import EvaluatedOption, OptimizationResult
+from repro.optimizer.space import CandidateSpace, OptimizationProblem
+
+
+def evaluate_candidate(
+    problem: OptimizationProblem,
+    space: CandidateSpace,
+    option_id: int,
+    indices: tuple[int, ...],
+) -> EvaluatedOption:
+    """Instantiate and fully evaluate one candidate permutation."""
+    system = space.instantiate(indices)
+    availability = evaluate_availability(system)
+    tco = compute_tco(system, problem.contract, problem.labor_rate)
+    return EvaluatedOption(
+        option_id=option_id,
+        choice_names=space.choice_names(indices),
+        system=system,
+        availability=availability,
+        tco=tco,
+        meets_sla=problem.contract.sla.is_met_by(availability.uptime_probability),
+    )
+
+
+def brute_force_optimize(problem: OptimizationProblem) -> OptimizationResult:
+    """Evaluate every candidate and return the complete option table."""
+    space = problem.space()
+    options = []
+    for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1):
+        options.append(evaluate_candidate(problem, space, option_id, indices))
+    return OptimizationResult(
+        options=tuple(options),
+        evaluations=len(options),
+        pruned=0,
+        space_size=space.size,
+        strategy="brute-force",
+    )

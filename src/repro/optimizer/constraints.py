@@ -1,0 +1,117 @@
+"""Constrained optimization: budgets and uptime floors.
+
+Eq. 6 minimizes unconstrained TCO.  Procurement reality adds side
+constraints the paper leaves implicit:
+
+- a **budget**: ``C_HA <= B`` dollars/month for the HA line item;
+- an **uptime floor**: ``U_s >= U_min`` regardless of penalty math
+  (e.g. a reputational requirement stricter than the contract).
+
+``constrained_optimize`` evaluates the space (brute force — constraints
+break the superset-pruning argument, since the cheapest feasible option
+may be a superset of an SLA-meeting infeasible one) and minimizes TCO
+over the feasible set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.result import EvaluatedOption, OptimizationResult
+from repro.optimizer.space import OptimizationProblem
+
+
+@dataclass(frozen=True)
+class ConstrainedResult:
+    """Feasible subset of an optimization sweep plus the winner."""
+
+    unconstrained: OptimizationResult
+    feasible: tuple[EvaluatedOption, ...]
+    max_ha_budget: float | None
+    min_uptime: float | None
+
+    def __post_init__(self) -> None:
+        if not self.feasible:
+            raise OptimizerError(
+                "no option satisfies the constraints: "
+                f"budget={self.max_ha_budget!r}, min_uptime={self.min_uptime!r}"
+            )
+
+    @property
+    def best(self) -> EvaluatedOption:
+        """Minimum-TCO feasible option."""
+        return min(
+            self.feasible, key=lambda option: (option.tco.total, option.option_id)
+        )
+
+    @property
+    def constraint_cost(self) -> float:
+        """Monthly dollars the constraints add over the free optimum.
+
+        Zero when the unconstrained optimum is itself feasible.
+        """
+        return self.best.tco.total - self.unconstrained.best.tco.total
+
+    def describe(self) -> str:
+        """Feasible-set summary."""
+        parts = []
+        if self.max_ha_budget is not None:
+            parts.append(f"C_HA <= ${self.max_ha_budget:,.2f}/mo")
+        if self.min_uptime is not None:
+            parts.append(f"U_s >= {self.min_uptime * 100:g}%")
+        lines = [
+            f"Constrained optimization ({' and '.join(parts) or 'no constraints'}):",
+            f"  feasible options: {[option.option_id for option in self.feasible]}",
+            f"  best feasible:    {self.best.label} "
+            f"(TCO ${self.best.tco.total:,.2f}/mo)",
+            f"  constraint cost:  ${self.constraint_cost:,.2f}/mo over the "
+            f"free optimum ({self.unconstrained.best.label})",
+        ]
+        return "\n".join(lines)
+
+
+def is_feasible(
+    option: EvaluatedOption,
+    max_ha_budget: float | None = None,
+    min_uptime: float | None = None,
+) -> bool:
+    """Does an option satisfy the given constraints?"""
+    if max_ha_budget is not None and option.tco.ha_cost > max_ha_budget:
+        return False
+    if min_uptime is not None and option.tco.uptime_probability < min_uptime:
+        return False
+    return True
+
+
+def constrained_optimize(
+    problem: OptimizationProblem,
+    max_ha_budget: float | None = None,
+    min_uptime: float | None = None,
+) -> ConstrainedResult:
+    """Minimize TCO subject to a budget and/or an uptime floor.
+
+    Raises :class:`OptimizerError` when nothing is feasible — with the
+    constraints echoed so the caller can see which to relax.
+    """
+    if max_ha_budget is not None and max_ha_budget < 0.0:
+        raise OptimizerError(
+            f"max_ha_budget must be >= 0, got {max_ha_budget!r}"
+        )
+    if min_uptime is not None and not 0.0 <= min_uptime <= 1.0:
+        raise OptimizerError(
+            f"min_uptime must be in [0, 1], got {min_uptime!r}"
+        )
+    sweep = brute_force_optimize(problem)
+    feasible = tuple(
+        option
+        for option in sweep.options
+        if is_feasible(option, max_ha_budget, min_uptime)
+    )
+    return ConstrainedResult(
+        unconstrained=sweep,
+        feasible=feasible,
+        max_ha_budget=max_ha_budget,
+        min_uptime=min_uptime,
+    )

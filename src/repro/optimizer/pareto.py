@@ -1,0 +1,47 @@
+"""Cost/uptime Pareto frontier over evaluated options.
+
+The minimum-TCO recommendation collapses cost and risk into one number;
+customers often want to *see* the trade-off instead.  The frontier keeps
+every option for which no other option is at least as cheap (``C_HA``)
+and at least as available, with one of the two strictly better.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.optimizer.result import EvaluatedOption
+
+
+def dominates(a: EvaluatedOption, b: EvaluatedOption) -> bool:
+    """True when ``a`` is no worse than ``b`` on both axes, better on one."""
+    cheaper_or_equal = a.tco.ha_cost <= b.tco.ha_cost
+    at_least_as_available = a.tco.uptime_probability >= b.tco.uptime_probability
+    strictly_better = (
+        a.tco.ha_cost < b.tco.ha_cost
+        or a.tco.uptime_probability > b.tco.uptime_probability
+    )
+    return cheaper_or_equal and at_least_as_available and strictly_better
+
+
+def pareto_frontier(options: Iterable[EvaluatedOption]) -> tuple[EvaluatedOption, ...]:
+    """Non-dominated options, sorted by ``C_HA`` ascending.
+
+    Ties on both axes keep the option with the lowest id (deterministic
+    output for reporting).
+    """
+    pool: Sequence[EvaluatedOption] = sorted(
+        options, key=lambda option: (option.tco.ha_cost, -option.tco.uptime_probability, option.option_id)
+    )
+    frontier: list[EvaluatedOption] = []
+    best_uptime = -1.0
+    seen: set[tuple[float, float]] = set()
+    for option in pool:
+        key = (option.tco.ha_cost, option.tco.uptime_probability)
+        if key in seen:
+            continue
+        if option.tco.uptime_probability > best_uptime:
+            frontier.append(option)
+            best_uptime = option.tco.uptime_probability
+            seen.add(key)
+    return tuple(frontier)

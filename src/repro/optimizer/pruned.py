@@ -1,0 +1,68 @@
+"""The paper's §III-C superset pruning search.
+
+The search walks permutations in order of how many components are
+clustered.  Whenever a permutation meets the SLA in expectation, every
+*superset extension* of it — same technologies on the same clusters,
+plus HA on additional clusters — is pruned without evaluation: its
+``C_HA`` can only be larger and its penalty cannot drop below zero, so
+its TCO cannot beat the already-evaluated subset.  (In the case study,
+after option #5 meets the SLA, option #8 is clipped.)
+
+Correctness does not even require that more HA raises uptime: with
+non-negative per-cluster HA costs,
+
+    TCO(superset) >= C_HA(superset) >= C_HA(subset) = TCO(subset),
+
+and the subset was evaluated earlier, so the optimum is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.brute_force import evaluate_candidate
+from repro.optimizer.result import OptimizationResult
+from repro.optimizer.space import ChoiceNames, OptimizationProblem
+
+
+def _is_superset_extension(candidate: ChoiceNames, met: ChoiceNames) -> bool:
+    """True when ``candidate`` extends ``met`` with extra clustered layers.
+
+    Extension means: every technology ``met`` chose is chosen identically
+    by ``candidate``, and ``candidate`` clusters at least one component
+    that ``met`` left bare.
+    """
+    extends = False
+    for met_choice, candidate_choice in zip(met, candidate):
+        if met_choice == "none":
+            if candidate_choice != "none":
+                extends = True
+        elif candidate_choice != met_choice:
+            return False
+    return extends
+
+
+def pruned_optimize(problem: OptimizationProblem) -> OptimizationResult:
+    """Run the pruned search; returns only the evaluated options.
+
+    The result's ``best`` equals the brute-force optimum (see module
+    docstring); ``pruned`` counts the skipped candidates.
+    """
+    space = problem.space()
+    options = []
+    sla_meeting: list[ChoiceNames] = []
+    pruned_count = 0
+    for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1):
+        names = space.choice_names(indices)
+        if any(_is_superset_extension(names, met) for met in sla_meeting):
+            pruned_count += 1
+            continue
+        option = evaluate_candidate(problem, space, option_id, indices)
+        options.append(option)
+        if option.meets_sla:
+            sla_meeting.append(names)
+    return OptimizationResult(
+        options=tuple(options),
+        evaluations=len(options),
+        pruned=pruned_count,
+        space_size=space.size,
+        strategy="pruned",
+    )

@@ -1,0 +1,153 @@
+"""Evaluated options and optimization results.
+
+An :class:`EvaluatedOption` is one HA permutation with its availability
+report and TCO breakdown; an :class:`OptimizationResult` is the full
+(or pruned) sweep plus the recommendations the paper defines:
+
+- ``best`` — minimum TCO (Eq. 6), the broker's recommendation;
+- ``min_penalty_option`` — the cheapest option whose expected penalty is
+  minimal (the paper's "if the possibility of slippage penalty is to be
+  minimized" alternative, option #5 in the case study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.availability.model import AvailabilityReport
+from repro.cost.tco import TCOBreakdown
+from repro.errors import OptimizerError
+from repro.optimizer.space import ChoiceNames
+from repro.topology.system import SystemTopology
+from repro.units import format_money
+
+
+@dataclass(frozen=True)
+class EvaluatedOption:
+    """One HA permutation, fully evaluated.
+
+    ``option_id`` is 1-based in paper order (option #1 = no HA).
+    """
+
+    option_id: int
+    choice_names: ChoiceNames
+    system: SystemTopology
+    availability: AvailabilityReport
+    tco: TCOBreakdown
+    meets_sla: bool
+
+    @property
+    def clustered_components(self) -> tuple[str, ...]:
+        """Names of clusters that received an HA technology."""
+        return tuple(
+            cluster.name
+            for cluster, choice in zip(self.system.clusters, self.choice_names)
+            if choice != "none"
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human label, e.g. ``#3 HA: storage`` or ``#1 no HA``."""
+        clustered = self.clustered_components
+        if not clustered:
+            return f"#{self.option_id} no HA"
+        return f"#{self.option_id} HA: {'+'.join(clustered)}"
+
+    def describe(self) -> str:
+        """One-line row for option tables."""
+        sla_mark = "meets SLA" if self.meets_sla else "slips SLA"
+        return (
+            f"{self.label:<40} U_s={self.tco.uptime_probability * 100:8.4f}% "
+            f"C_HA={format_money(self.tco.ha_cost):>12} "
+            f"penalty={format_money(self.tco.expected_penalty):>12} "
+            f"TCO={format_money(self.tco.total):>12} ({sla_mark})"
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of one optimization sweep.
+
+    Attributes
+    ----------
+    options:
+        Evaluated options, in paper order.  Pruned searches omit the
+        candidates they skipped.
+    evaluations:
+        How many candidates were actually evaluated.
+    pruned:
+        How many candidates were skipped by pruning (0 for brute force).
+    space_size:
+        Total ``k^n`` candidates in the space.
+    strategy:
+        Which search produced this result (``"brute-force"``,
+        ``"pruned"``, ``"branch-and-bound"``).
+    """
+
+    options: tuple[EvaluatedOption, ...]
+    evaluations: int
+    pruned: int
+    space_size: int
+    strategy: str
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise OptimizerError("optimization produced no evaluated options")
+
+    @property
+    def best(self) -> EvaluatedOption:
+        """Eq. 6: the minimum-TCO option (ties broken by option id)."""
+        return min(self.options, key=lambda option: (option.tco.total, option.option_id))
+
+    @property
+    def min_penalty_option(self) -> EvaluatedOption:
+        """Cheapest option among those with the lowest expected penalty.
+
+        When any option meets the SLA this is the cheapest SLA-meeting
+        option — the paper's minimum-slippage-risk recommendation.
+        """
+        lowest_penalty = min(option.tco.expected_penalty for option in self.options)
+        eligible = [
+            option
+            for option in self.options
+            if option.tco.expected_penalty == lowest_penalty
+        ]
+        return min(eligible, key=lambda option: (option.tco.ha_cost, option.option_id))
+
+    def option(self, option_id: int) -> EvaluatedOption:
+        """Look up an evaluated option by its paper-order id."""
+        for candidate in self.options:
+            if candidate.option_id == option_id:
+                return candidate
+        raise OptimizerError(
+            f"option #{option_id} was not evaluated "
+            f"(it may have been pruned); evaluated ids: "
+            f"{[option.option_id for option in self.options]}"
+        )
+
+    def by_label(self) -> dict[str, EvaluatedOption]:
+        """Evaluated options keyed by their human label."""
+        return {option.label: option for option in self.options}
+
+    def savings_vs(self, reference: EvaluatedOption) -> float:
+        """Fractional TCO savings of ``best`` against a reference option.
+
+        The paper's headline number compares the recommendation with the
+        deployed ad-hoc option (#8): ``1 - TCO_best / TCO_reference``.
+        """
+        if reference.tco.total <= 0.0:
+            raise OptimizerError(
+                "cannot compute savings against a zero-cost reference"
+            )
+        return 1.0 - self.best.tco.total / reference.tco.total
+
+    def describe(self) -> str:
+        """Multi-line option table plus the two recommendations."""
+        lines = [
+            f"{self.strategy}: evaluated {self.evaluations}/{self.space_size} "
+            f"candidates ({self.pruned} pruned)"
+        ]
+        lines.extend(option.describe() for option in self.options)
+        lines.append(f"recommended (min TCO):     {self.best.label}")
+        lines.append(f"recommended (min penalty): {self.min_penalty_option.label}")
+        return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""The candidate space of HA-enabled system variants.
+
+A *candidate* assigns one HA technology (possibly ``none``) to each
+cluster of the base architecture: ``k^n`` permutations for ``n``
+clusters with ``k`` choices each (§II-C).
+
+Candidates are enumerated in **paper order** — by increasing number of
+clustered components, matching how §III-C's pruned search walks the
+space and how the paper numbers its case-study options (#1 = no HA,
+#2-#4 = one layer clustered, #5-#7 = two layers, #8 = all three).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.catalog.base import HATechnology
+from repro.catalog.registry import TechnologyRegistry
+from repro.cost.rates import LaborRate
+from repro.errors import OptimizerError
+from repro.sla.contract import Contract
+from repro.topology.system import SystemTopology
+
+#: A candidate's identity: the chosen technology name per cluster,
+#: in chain order, e.g. ``("none", "raid-1", "dual-gateway")``.
+ChoiceNames = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OptimizationProblem:
+    """Everything the broker needs to optimize one customer request.
+
+    Parameters
+    ----------
+    base_system:
+        The base architecture.  Any existing HA is stripped: the broker
+        explores variants of the *bare* topology.
+    registry:
+        The HA technology catalog to draw per-cluster choices from.
+    contract:
+        Uptime SLA plus penalty clause.
+    labor_rate:
+        Prices each technology's sustainment hours.
+    """
+
+    base_system: SystemTopology
+    registry: TechnologyRegistry
+    contract: Contract
+    labor_rate: LaborRate
+
+    @property
+    def bare_system(self) -> SystemTopology:
+        """The base architecture with all HA removed."""
+        return self.base_system.strip_ha()
+
+    def space(self) -> "CandidateSpace":
+        """Build the candidate space for this problem."""
+        return CandidateSpace(self.bare_system, self.registry)
+
+
+@dataclass
+class CandidateSpace:
+    """The ``k^n`` candidate permutations over a bare topology."""
+
+    bare_system: SystemTopology
+    registry: TechnologyRegistry
+    _choices: tuple[tuple[HATechnology, ...], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._choices = tuple(
+            self.registry.choices_for_cluster(cluster)
+            for cluster in self.bare_system.clusters
+        )
+        for cluster, choices in zip(self.bare_system.clusters, self._choices):
+            if not choices:
+                raise OptimizerError(
+                    f"cluster {cluster.name!r} has an empty choice set"
+                )
+
+    @property
+    def cluster_count(self) -> int:
+        """``n``: number of clusters in the chain."""
+        return len(self.bare_system.clusters)
+
+    @property
+    def choice_counts(self) -> tuple[int, ...]:
+        """Per-cluster ``k`` values (includes the ``none`` choice)."""
+        return tuple(len(choices) for choices in self._choices)
+
+    @property
+    def size(self) -> int:
+        """Total candidates: the product of the per-cluster ``k`` values."""
+        return math.prod(self.choice_counts)
+
+    def choices_for(self, cluster_index: int) -> tuple[HATechnology, ...]:
+        """The choice set of the ``i``-th cluster (``none`` first)."""
+        return self._choices[cluster_index]
+
+    def candidates_in_paper_order(self) -> Iterator[tuple[int, ...]]:
+        """Yield candidate index vectors ordered the paper's way.
+
+        Primary key: number of clustered (non-``none``) components,
+        ascending.  Secondary key: which components are clustered —
+        later clusters in the chain first, matching the paper's #2 =
+        network, #3 = storage, #4 = compute numbering.  Tertiary key:
+        the per-cluster choice indices, so multiple technologies on the
+        same subset enumerate deterministically.
+        """
+        everything = itertools.product(*(range(k) for k in self.choice_counts))
+
+        def paper_key(indices: tuple[int, ...]) -> tuple:
+            clustered = [i for i, choice in enumerate(indices) if choice != 0]
+            # Negating the indices sorts "rightmost clusters first"
+            # within the same subset size.
+            subset_key = tuple(-i for i in sorted(clustered))
+            return (len(clustered), subset_key, indices)
+
+        return iter(sorted(everything, key=paper_key))
+
+    def choice_names(self, indices: tuple[int, ...]) -> ChoiceNames:
+        """Map an index vector to the per-cluster technology names."""
+        return tuple(
+            self._choices[i][choice].name for i, choice in enumerate(indices)
+        )
+
+    def instantiate(self, indices: tuple[int, ...]) -> SystemTopology:
+        """Apply the chosen technologies to the bare topology."""
+        if len(indices) != self.cluster_count:
+            raise OptimizerError(
+                f"expected {self.cluster_count} choice indices, got {len(indices)}"
+            )
+        clusters = []
+        for i, (cluster, choice) in enumerate(zip(self.bare_system.clusters, indices)):
+            technologies = self._choices[i]
+            if not 0 <= choice < len(technologies):
+                raise OptimizerError(
+                    f"choice index {choice} out of range for cluster "
+                    f"{cluster.name!r} (k={len(technologies)})"
+                )
+            clusters.append(technologies[choice].apply(cluster))
+        return SystemTopology(
+            name=self.bare_system.name,
+            clusters=tuple(clusters),
+        )

@@ -1,0 +1,64 @@
+"""Discrete-event Monte Carlo failure simulator.
+
+The analytic model (Eq. 1-4) makes two stated approximations: it treats
+breakdown and failover downtime as mutually exclusive (footnote 2) and
+ignores overlapping failover windows (footnote 3).  This simulator plays
+the actual failure/repair/failover dynamics of a topology over simulated
+years, attributing every downtime minute to its cause, so the analytic
+numbers can be validated empirically (experiment E6) — and it doubles as
+the event source for the broker's telemetry (experiment E5).
+
+Entry points:
+
+- :func:`~repro.simulation.engine.simulate` — one replication.
+- :func:`~repro.simulation.monte_carlo.monte_carlo` — many replications
+  with confidence intervals.
+- :func:`~repro.simulation.validation.validate_against_model` —
+  side-by-side analytic vs simulated comparison.
+"""
+
+from repro.simulation.correlated import (
+    CorrelatedRunResult,
+    ZoneOutageSpec,
+    correlated_monte_carlo,
+    simulate_with_zones,
+    zone_aware_uptime,
+)
+from repro.simulation.distributions import (
+    DETERMINISTIC,
+    EXPONENTIAL,
+    HEAVY_TAILED,
+    LOW_VARIANCE,
+    DurationDistribution,
+)
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.events import EventKind, SimulationEvent
+from repro.simulation.metrics import DowntimeMetrics
+from repro.simulation.monte_carlo import MonteCarloResult, monte_carlo
+from repro.simulation.trace import TraceRecorder, ingest_trace, trace_to_resource_events
+from repro.simulation.validation import ValidationReport, validate_against_model
+
+__all__ = [
+    "CorrelatedRunResult",
+    "DETERMINISTIC",
+    "DowntimeMetrics",
+    "DurationDistribution",
+    "EXPONENTIAL",
+    "HEAVY_TAILED",
+    "LOW_VARIANCE",
+    "EventKind",
+    "MonteCarloResult",
+    "SimulationEvent",
+    "SimulationOptions",
+    "TraceRecorder",
+    "ValidationReport",
+    "ZoneOutageSpec",
+    "ingest_trace",
+    "trace_to_resource_events",
+    "correlated_monte_carlo",
+    "monte_carlo",
+    "simulate",
+    "simulate_with_zones",
+    "validate_against_model",
+    "zone_aware_uptime",
+]

@@ -1,0 +1,221 @@
+"""Correlated (zone-level) failures: an ablation on node independence.
+
+Eq. 2 assumes node failures are independent.  Real clouds also suffer
+*zone events* — a power feed, a top-of-rack switch, a control-plane
+incident — that take a whole cluster down at once.  The paper's §IV
+(construct validity) implicitly excludes these; this module measures
+what they do to the model's accuracy.
+
+A zone process per cluster is an independent two-state alternating
+renewal process (exponential occurrence, exponential duration).  System
+downtime becomes the *union* of node-level downtime (from the base
+engine) and zone downtime.  The analytic counterpart multiplies each
+cluster's Eq. 2 up-probability by its zone availability:
+
+    Pr[cluster up] = binomial_up * (1 - P_zone),
+    P_zone = d_z / (T_z + d_z)
+
+where ``T_z`` is the mean time between zone events and ``d_z`` the mean
+outage length.  Experiment A2 (``bench_ablation_correlated.py``)
+compares the naive Eq. 2, this zone-aware analytic model, and the
+merged-timeline simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.availability.failover import failover_downtime_probability
+from repro.errors import SimulationError, ValidationError
+from repro.rng import make_rng
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.metrics import DowntimeMetrics
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
+
+
+@dataclass(frozen=True)
+class ZoneOutageSpec:
+    """Zone-event process of one cluster.
+
+    Parameters
+    ----------
+    events_per_year:
+        Mean zone events per year affecting the cluster.
+    mean_outage_minutes:
+        Mean duration of one zone event.
+    """
+
+    events_per_year: float
+    mean_outage_minutes: float
+
+    def __post_init__(self) -> None:
+        if self.events_per_year < 0.0:
+            raise ValidationError(
+                f"events_per_year must be >= 0, got {self.events_per_year!r}"
+            )
+        if self.mean_outage_minutes < 0.0:
+            raise ValidationError(
+                f"mean_outage_minutes must be >= 0, got {self.mean_outage_minutes!r}"
+            )
+
+    @property
+    def unavailability(self) -> float:
+        """Steady-state probability the zone is down (``P_zone``)."""
+        if self.events_per_year == 0.0 or self.mean_outage_minutes == 0.0:
+            return 0.0
+        mean_up = MINUTES_PER_YEAR / self.events_per_year - self.mean_outage_minutes
+        if mean_up <= 0.0:
+            raise SimulationError(
+                "zone outage spec implies the zone is down more than up; "
+                f"events_per_year={self.events_per_year}, "
+                f"mean_outage_minutes={self.mean_outage_minutes}"
+            )
+        return self.mean_outage_minutes / (mean_up + self.mean_outage_minutes)
+
+    def sample_intervals(
+        self, horizon_minutes: float, rng: random.Random
+    ) -> list[tuple[float, float]]:
+        """Zone-down intervals over a horizon (clipped to it)."""
+        if self.events_per_year == 0.0 or self.mean_outage_minutes == 0.0:
+            return []
+        mean_up = MINUTES_PER_YEAR / self.events_per_year - self.mean_outage_minutes
+        intervals = []
+        clock = rng.expovariate(1.0 / mean_up)
+        while clock < horizon_minutes:
+            outage = rng.expovariate(1.0 / self.mean_outage_minutes)
+            intervals.append((clock, min(clock + outage, horizon_minutes)))
+            clock = clock + outage + rng.expovariate(1.0 / mean_up)
+        return intervals
+
+
+def zone_aware_uptime(
+    system: SystemTopology,
+    zones: dict[str, ZoneOutageSpec],
+) -> float:
+    """Analytic ``U_s`` with per-cluster zone availability factored in.
+
+    Clusters absent from ``zones`` are assumed zone-perfect.  The
+    failover term is unchanged (zone events are breakdowns, not
+    failovers).
+    """
+    product = 1.0
+    for cluster in system.clusters:
+        up = cluster_up_probability(cluster)
+        zone = zones.get(cluster.name)
+        if zone is not None:
+            up *= 1.0 - zone.unavailability
+        product *= up
+    breakdown = 1.0 - product
+    return 1.0 - breakdown - failover_downtime_probability(system)
+
+
+def merge_downtime(
+    spans: list[tuple[float, float]], horizon_minutes: float
+) -> float:
+    """Total length of the union of (possibly overlapping) spans."""
+    if not spans:
+        return 0.0
+    merged_total = 0.0
+    current_start, current_end = None, None
+    for start, end in sorted(spans):
+        start = max(0.0, start)
+        end = min(end, horizon_minutes)
+        if end <= start:
+            continue
+        if current_start is None:
+            current_start, current_end = start, end
+        elif start <= current_end:
+            current_end = max(current_end, end)
+        else:
+            merged_total += current_end - current_start
+            current_start, current_end = start, end
+    if current_start is not None:
+        merged_total += current_end - current_start
+    return merged_total
+
+
+@dataclass(frozen=True)
+class CorrelatedRunResult:
+    """One replication with zone events merged in."""
+
+    base_metrics: DowntimeMetrics
+    zone_downtime_minutes: float
+    total_downtime_minutes: float
+    horizon_minutes: float
+
+    @property
+    def availability(self) -> float:
+        """Observed uptime fraction including zone events."""
+        return 1.0 - self.total_downtime_minutes / self.horizon_minutes
+
+    @property
+    def correlation_penalty(self) -> float:
+        """Extra downtime fraction the zone process added."""
+        base = self.base_metrics.downtime_minutes
+        return (self.total_downtime_minutes - base) / self.horizon_minutes
+
+
+def simulate_with_zones(
+    system: SystemTopology,
+    zones: dict[str, ZoneOutageSpec],
+    options: SimulationOptions | None = None,
+    seed: int | random.Random | None = None,
+) -> CorrelatedRunResult:
+    """Run one replication with zone outages unioned into the timeline.
+
+    Node-level dynamics come from the standard engine; zone intervals
+    are sampled independently per cluster and merged: the system is down
+    whenever node-level downtime *or* any zone outage is active.
+    """
+    unknown = set(zones) - set(system.cluster_names)
+    if unknown:
+        raise SimulationError(
+            f"zone specs reference unknown clusters: {sorted(unknown)}"
+        )
+    options = options or SimulationOptions()
+    rng = make_rng(seed)
+
+    interval_log: list[tuple[float, float, str]] = []
+    base_metrics = simulate(system, options, interval_log=interval_log)
+
+    spans = [(start, end) for start, end, _cause in interval_log]
+    zone_spans: list[tuple[float, float]] = []
+    for cluster_name in system.cluster_names:
+        zone = zones.get(cluster_name)
+        if zone is not None:
+            zone_spans.extend(
+                zone.sample_intervals(options.horizon_minutes, rng)
+            )
+
+    total = merge_downtime(spans + zone_spans, options.horizon_minutes)
+    return CorrelatedRunResult(
+        base_metrics=base_metrics,
+        zone_downtime_minutes=merge_downtime(zone_spans, options.horizon_minutes),
+        total_downtime_minutes=total,
+        horizon_minutes=options.horizon_minutes,
+    )
+
+
+def correlated_monte_carlo(
+    system: SystemTopology,
+    zones: dict[str, ZoneOutageSpec],
+    replications: int = 50,
+    horizon_minutes: float = float(MINUTES_PER_YEAR),
+    seed: int | random.Random | None = None,
+) -> list[CorrelatedRunResult]:
+    """Independent replications of :func:`simulate_with_zones`."""
+    if replications < 1:
+        raise SimulationError(f"replications must be >= 1, got {replications!r}")
+    master = make_rng(seed)
+    runs = []
+    for _ in range(replications):
+        options = SimulationOptions(
+            horizon_minutes=horizon_minutes, seed=master.getrandbits(64)
+        )
+        runs.append(
+            simulate_with_zones(system, zones, options, seed=master.getrandbits(64))
+        )
+    return runs

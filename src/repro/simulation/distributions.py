@@ -1,0 +1,97 @@
+"""Holding-time distributions for the failure simulator.
+
+The analytic model only consumes *steady-state* quantities (``P_i``,
+``f_i``), and by the renewal-reward theorem the long-run availability of
+an alternating renewal process depends only on the *means* of the up
+and down durations — not their shapes.  The engine's default
+exponential processes are therefore not load-bearing for ``U_s``;
+what the shape does change is the *variance* of monthly downtime, which
+drives the realized-penalty ablation (A3/A4).
+
+This module provides mean-parameterized families so the engine can run
+the same topology under different shapes:
+
+- ``exponential`` — the memoryless default (CV = 1);
+- ``weibull(k)`` — heavier tail for ``k < 1`` (CV > 1), lighter for
+  ``k > 1`` (CV < 1), scaled so the mean is preserved;
+- ``deterministic`` — fixed durations (CV = 0), the variance floor.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DurationDistribution:
+    """A mean-parameterized duration family.
+
+    Parameters
+    ----------
+    family:
+        ``"exponential"``, ``"weibull"`` or ``"deterministic"``.
+    weibull_shape:
+        The Weibull ``k`` (only used by the weibull family).  ``k < 1``
+        produces occasional very long durations; ``k > 1`` concentrates
+        around the mean.
+    """
+
+    family: str = "exponential"
+    weibull_shape: float = 1.0
+
+    _FAMILIES = ("exponential", "weibull", "deterministic")
+
+    def __post_init__(self) -> None:
+        if self.family not in self._FAMILIES:
+            raise ValidationError(
+                f"unknown duration family {self.family!r}; "
+                f"choose one of {self._FAMILIES}"
+            )
+        if self.weibull_shape <= 0.0:
+            raise ValidationError(
+                f"weibull_shape must be > 0, got {self.weibull_shape!r}"
+            )
+
+    def sample(self, mean: float, rng: random.Random) -> float:
+        """Draw one duration with the given mean.
+
+        Infinite means return ``inf`` (a never-failing node); zero means
+        return 0.
+        """
+        if math.isinf(mean):
+            return math.inf
+        if mean <= 0.0:
+            return 0.0
+        if self.family == "exponential":
+            return rng.expovariate(1.0 / mean)
+        if self.family == "deterministic":
+            return mean
+        # Weibull with mean preserved: scale = mean / Gamma(1 + 1/k).
+        shape = self.weibull_shape
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return rng.weibullvariate(scale, shape)
+
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of the family (0 for deterministic, 1 for expo)."""
+        if self.family == "deterministic":
+            return 0.0
+        if self.family == "exponential":
+            return 1.0
+        shape = self.weibull_shape
+        g1 = math.gamma(1.0 + 1.0 / shape)
+        g2 = math.gamma(1.0 + 2.0 / shape)
+        return math.sqrt(max(g2 / (g1 * g1) - 1.0, 0.0))
+
+
+#: The engine default.
+EXPONENTIAL = DurationDistribution("exponential")
+#: Heavy-tailed repairs (occasional marathon outages).
+HEAVY_TAILED = DurationDistribution("weibull", weibull_shape=0.5)
+#: Tightly scheduled repairs.
+LOW_VARIANCE = DurationDistribution("weibull", weibull_shape=3.0)
+#: Clockwork durations (variance floor).
+DETERMINISTIC = DurationDistribution("deterministic")

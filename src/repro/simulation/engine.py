@@ -1,0 +1,189 @@
+"""The discrete-event simulation engine.
+
+A classic event-queue loop: node failures and repairs are scheduled from
+the exponential processes, failover windows end at their scheduled time,
+and between consecutive events the system occupies exactly one state —
+up, failover, or breakdown — whose duration is accumulated into the
+metrics.  All randomness flows from one seeded stream per run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rng import make_rng
+from repro.simulation.distributions import EXPONENTIAL, DurationDistribution
+from repro.simulation.events import EventKind, SimulationEvent
+from repro.simulation.metrics import DowntimeMetrics
+from repro.simulation.processes import NodeProcess
+from repro.simulation.state import ClusterState
+from repro.errors import SimulationError
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
+
+#: Optional observer invoked for every event (used by telemetry capture).
+EventObserver = Callable[[SimulationEvent], None]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationOptions:
+    """Knobs for one simulation run.
+
+    Parameters
+    ----------
+    horizon_minutes:
+        Simulated duration; defaults to one year.
+    seed:
+        Seed for the run's private random stream.
+    up_distribution / down_distribution:
+        Holding-time shapes for node up/down durations.  Means always
+        come from the node specs; shapes default to exponential and can
+        be varied to probe distributional robustness (ablation A4).
+    """
+
+    horizon_minutes: float = float(MINUTES_PER_YEAR)
+    seed: int | None = None
+    up_distribution: DurationDistribution = EXPONENTIAL
+    down_distribution: DurationDistribution = EXPONENTIAL
+
+    def __post_init__(self) -> None:
+        if self.horizon_minutes <= 0.0:
+            raise SimulationError(
+                f"horizon_minutes must be > 0, got {self.horizon_minutes!r}"
+            )
+
+
+def simulate(
+    system: SystemTopology,
+    options: SimulationOptions | None = None,
+    observer: EventObserver | None = None,
+    interval_log: list[tuple[float, float, str]] | None = None,
+) -> DowntimeMetrics:
+    """Run one replication and return its downtime metrics.
+
+    ``observer``, when given, receives every event as it fires — the
+    broker's telemetry capture plugs in here without the engine knowing
+    about brokers.
+
+    ``interval_log``, when given, receives every *down* span as a
+    ``(start_minute, end_minute, cause)`` triple with cause
+    ``"breakdown"`` or ``"failover"`` — the raw timeline used by SLA
+    compliance measurement and the correlated-failure ablation.
+    """
+    options = options or SimulationOptions()
+    rng = make_rng(options.seed)
+    horizon = options.horizon_minutes
+
+    clusters = {cluster.name: ClusterState(cluster) for cluster in system.clusters}
+    processes = {
+        cluster.name: NodeProcess.from_spec(
+            cluster.node,
+            up_distribution=options.up_distribution,
+            down_distribution=options.down_distribution,
+        )
+        for cluster in system.clusters
+    }
+
+    queue: list[SimulationEvent] = []
+    sequence = 0
+
+    def push(time_minutes: float, kind: EventKind, cluster_name: str, node_index: int) -> None:
+        nonlocal sequence
+        if time_minutes > horizon or math.isinf(time_minutes):
+            return
+        heapq.heappush(
+            queue,
+            SimulationEvent(
+                time_minutes=time_minutes,
+                sequence=sequence,
+                kind=kind,
+                cluster_name=cluster_name,
+                node_index=node_index,
+            ),
+        )
+        sequence += 1
+
+    # Seed initial failures for every node.
+    for name, state in clusters.items():
+        process = processes[name]
+        for node_index in range(state.spec.total_nodes):
+            push(process.sample_up_duration(rng), EventKind.NODE_FAILED, name, node_index)
+
+    breakdown_minutes = 0.0
+    failover_minutes = 0.0
+    overlap_minutes = 0.0
+    now = 0.0
+
+    def account(until: float) -> None:
+        """Attribute the interval [now, until) to one system state."""
+        nonlocal breakdown_minutes, failover_minutes, overlap_minutes
+        span = until - now
+        if span <= 0.0:
+            return
+        any_broken = any(state.is_broken for state in clusters.values())
+        any_failover = any(state.in_failover(now) for state in clusters.values())
+        if any_broken:
+            breakdown_minutes += span
+            if any_failover:
+                overlap_minutes += span
+            if interval_log is not None:
+                interval_log.append((now, until, "breakdown"))
+        elif any_failover:
+            failover_minutes += span
+            if interval_log is not None:
+                interval_log.append((now, until, "failover"))
+
+    while queue:
+        event = heapq.heappop(queue)
+        # Failover windows may end between queue events; they are queued
+        # as events too, so states only change at event timestamps.
+        account(event.time_minutes)
+        now = event.time_minutes
+        state = clusters[event.cluster_name]
+        process = processes[event.cluster_name]
+
+        if event.kind is EventKind.NODE_FAILED:
+            triggered = state.fail_node(event.node_index, now)
+            push(
+                now + process.sample_down_duration(rng),
+                EventKind.NODE_REPAIRED,
+                event.cluster_name,
+                event.node_index,
+            )
+            if triggered:
+                push(
+                    state.failover_until,
+                    EventKind.FAILOVER_ENDED,
+                    event.cluster_name,
+                    event.node_index,
+                )
+        elif event.kind is EventKind.NODE_REPAIRED:
+            state.repair_node(event.node_index)
+            push(
+                now + process.sample_up_duration(rng),
+                EventKind.NODE_FAILED,
+                event.cluster_name,
+                event.node_index,
+            )
+        elif event.kind is EventKind.FAILOVER_ENDED:
+            pass  # state change is implicit: in_failover() reads the clock
+        else:  # pragma: no cover - exhaustive enum guard
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+        if observer is not None:
+            observer(event)
+
+    account(horizon)
+
+    return DowntimeMetrics(
+        horizon_minutes=horizon,
+        breakdown_minutes=breakdown_minutes,
+        failover_minutes=failover_minutes,
+        overlap_minutes=overlap_minutes,
+        failover_events=sum(state.failover_count for state in clusters.values()),
+        breakdown_events=sum(state.breakdown_count for state in clusters.values()),
+    )

@@ -1,0 +1,41 @@
+"""Event vocabulary of the failure simulator.
+
+Three event kinds drive the state machine; everything else (cluster
+breakdown, system outage) is *derived* state recomputed when an event
+fires.  Traces of these events feed the broker's telemetry store.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(str, enum.Enum):
+    """What happened at an event timestamp."""
+
+    NODE_FAILED = "node-failed"
+    NODE_REPAIRED = "node-repaired"
+    FAILOVER_ENDED = "failover-ended"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SimulationEvent:
+    """One timestamped event, orderable for the event queue.
+
+    ``sequence`` breaks timestamp ties deterministically so runs with the
+    same seed replay identically.
+    """
+
+    time_minutes: float
+    sequence: int
+    kind: EventKind
+    cluster_name: str
+    node_index: int
+
+    def describe(self) -> str:
+        """E.g. ``[t=123.4m] node-failed compute/2``."""
+        return (
+            f"[t={self.time_minutes:.1f}m] {self.kind.value} "
+            f"{self.cluster_name}/{self.node_index}"
+        )

@@ -1,0 +1,127 @@
+"""Monte Carlo driver: many replications with confidence intervals.
+
+Each replication runs the engine with an independent child seed derived
+from one master stream, so a ``MonteCarloResult`` is reproducible from
+``(system, options, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.rng import make_rng
+from repro.simulation.distributions import EXPONENTIAL, DurationDistribution
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.metrics import DowntimeMetrics
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
+
+#: Two-sided 95% normal quantile used for the confidence intervals.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregated outcome of ``replications`` independent runs."""
+
+    replications: int
+    horizon_minutes: float
+    runs: tuple[DowntimeMetrics, ...]
+
+    @property
+    def mean_availability(self) -> float:
+        """Sample mean of per-run availability."""
+        return _mean([run.availability for run in self.runs])
+
+    @property
+    def availability_stderr(self) -> float:
+        """Standard error of the availability estimate."""
+        return _stderr([run.availability for run in self.runs])
+
+    @property
+    def availability_ci95(self) -> tuple[float, float]:
+        """95% normal-approximation confidence interval."""
+        mean = self.mean_availability
+        half = _Z95 * self.availability_stderr
+        return (mean - half, mean + half)
+
+    @property
+    def mean_breakdown_fraction(self) -> float:
+        """Sample mean of the breakdown (``B_s``) fraction."""
+        return _mean([run.breakdown_fraction for run in self.runs])
+
+    @property
+    def mean_failover_fraction(self) -> float:
+        """Sample mean of the failover (``F_s``) fraction."""
+        return _mean([run.failover_fraction for run in self.runs])
+
+    @property
+    def mean_overlap_fraction(self) -> float:
+        """Mean fraction of time both conditions held (footnote-2 error)."""
+        return _mean(
+            [run.overlap_minutes / run.horizon_minutes for run in self.runs]
+        )
+
+    def contains(self, availability: float) -> bool:
+        """True when ``availability`` lies inside the 95% CI."""
+        low, high = self.availability_ci95
+        return low <= availability <= high
+
+    def describe(self) -> str:
+        """Multi-line summary of the aggregate estimates."""
+        low, high = self.availability_ci95
+        return "\n".join(
+            [
+                f"Monte Carlo: {self.replications} runs x "
+                f"{self.horizon_minutes / MINUTES_PER_YEAR:.1f} simulated years",
+                f"  availability = {self.mean_availability:.6f} "
+                f"(95% CI [{low:.6f}, {high:.6f}])",
+                f"  breakdown fraction = {self.mean_breakdown_fraction:.6e}",
+                f"  failover fraction  = {self.mean_failover_fraction:.6e}",
+            ]
+        )
+
+
+def monte_carlo(
+    system: SystemTopology,
+    replications: int = 100,
+    horizon_minutes: float = float(MINUTES_PER_YEAR),
+    seed: int | random.Random | None = None,
+    up_distribution: "DurationDistribution" = EXPONENTIAL,
+    down_distribution: "DurationDistribution" = EXPONENTIAL,
+) -> MonteCarloResult:
+    """Run ``replications`` independent simulations of ``system``."""
+    if replications < 1:
+        raise SimulationError(
+            f"replications must be >= 1, got {replications!r}"
+        )
+    master = make_rng(seed)
+    runs = []
+    for _ in range(replications):
+        options = SimulationOptions(
+            horizon_minutes=horizon_minutes,
+            seed=master.getrandbits(64),
+            up_distribution=up_distribution,
+            down_distribution=down_distribution,
+        )
+        runs.append(simulate(system, options))
+    return MonteCarloResult(
+        replications=replications,
+        horizon_minutes=horizon_minutes,
+        runs=tuple(runs),
+    )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _stderr(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    return math.sqrt(variance / len(values))

@@ -1,0 +1,82 @@
+"""Failure/repair stochastic processes.
+
+Nodes alternate exponentially distributed up and down periods whose
+means reproduce the spec's steady-state numbers:
+
+- cycle length (up + down) = hours-per-year / ``failures_per_year``;
+- mean down time = ``down_probability`` * cycle (so the long-run
+  fraction of time down equals ``P_i``);
+- mean up time = cycle - mean down time.
+
+Exponential holding times make the node a two-state Markov process —
+the memoryless counterpart of the analytic model's i.i.d. snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simulation.distributions import EXPONENTIAL, DurationDistribution
+from repro.topology.node import NodeSpec
+from repro.units import MINUTES_PER_HOUR, HOURS_PER_YEAR
+
+
+@dataclass(frozen=True, slots=True)
+class NodeProcess:
+    """Sampling distributions for one node class, in minutes.
+
+    Defaults to exponential holding times (the memoryless counterpart of
+    the analytic model); other mean-preserving shapes can be supplied to
+    probe the model's distributional robustness (ablation A4).
+    """
+
+    mean_up_minutes: float
+    mean_down_minutes: float
+    up_distribution: DurationDistribution = EXPONENTIAL
+    down_distribution: DurationDistribution = EXPONENTIAL
+
+    @classmethod
+    def from_spec(
+        cls,
+        node: NodeSpec,
+        up_distribution: DurationDistribution = EXPONENTIAL,
+        down_distribution: DurationDistribution = EXPONENTIAL,
+    ) -> "NodeProcess":
+        """Derive the process means from a node spec.
+
+        A node that never fails (``failures_per_year == 0``) gets an
+        infinite mean up time; sampling returns ``inf`` and the engine
+        simply never schedules its failure.
+        """
+        if node.failures_per_year == 0.0:
+            return cls(
+                mean_up_minutes=math.inf,
+                mean_down_minutes=0.0,
+                up_distribution=up_distribution,
+                down_distribution=down_distribution,
+            )
+        cycle_minutes = (HOURS_PER_YEAR / node.failures_per_year) * MINUTES_PER_HOUR
+        mean_down = node.down_probability * cycle_minutes
+        mean_up = cycle_minutes - mean_down
+        if mean_up <= 0.0:
+            raise SimulationError(
+                f"node {node.kind!r} has non-positive mean up time; "
+                "its down_probability and failures_per_year are inconsistent"
+            )
+        return cls(
+            mean_up_minutes=mean_up,
+            mean_down_minutes=mean_down,
+            up_distribution=up_distribution,
+            down_distribution=down_distribution,
+        )
+
+    def sample_up_duration(self, rng: random.Random) -> float:
+        """Minutes until the next failure of an up node."""
+        return self.up_distribution.sample(self.mean_up_minutes, rng)
+
+    def sample_down_duration(self, rng: random.Random) -> float:
+        """Minutes until a failed node is repaired."""
+        return self.down_distribution.sample(self.mean_down_minutes, rng)

@@ -1,0 +1,104 @@
+"""Mutable cluster state tracked during a simulation run.
+
+A cluster distinguishes *active* nodes (serving traffic) from *standby*
+nodes.  The failure semantics mirror §II-A:
+
+- an **active** node failing with an up standby available triggers a
+  *failover*: the standby is promoted and the cluster is unavailable
+  for the failover window;
+- a **standby** node failing causes no outage by itself;
+- whenever more than ``K̂`` nodes are down simultaneously the cluster is
+  **broken** (down until repairs bring it back within tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.topology.cluster import ClusterSpec
+
+
+@dataclass
+class ClusterState:
+    """Live state of one cluster during a run."""
+
+    spec: ClusterSpec
+    node_up: list[bool] = field(init=False)
+    active: set[int] = field(init=False)
+    failover_until: float = field(default=0.0, init=False)
+    failover_count: int = field(default=0, init=False)
+    breakdown_count: int = field(default=0, init=False)
+    _was_broken: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        self.node_up = [True] * self.spec.total_nodes
+        # The first K - K̂ nodes start active; the rest are standby.
+        self.active = set(range(self.spec.active_nodes))
+
+    @property
+    def down_count(self) -> int:
+        """Nodes currently failed."""
+        return self.node_up.count(False)
+
+    @property
+    def is_broken(self) -> bool:
+        """More simultaneous failures than the HA budget tolerates."""
+        return self.down_count > self.spec.standby_tolerance
+
+    def in_failover(self, now: float) -> bool:
+        """True while a failover window is still running."""
+        return now < self.failover_until
+
+    def note_breakdown_transition(self) -> None:
+        """Count entry edges into the broken state (for reporting)."""
+        if self.is_broken and not self._was_broken:
+            self.breakdown_count += 1
+        self._was_broken = self.is_broken
+
+    def fail_node(self, node_index: int, now: float) -> bool:
+        """Mark a node failed; returns True when this triggers a failover.
+
+        A failover happens when the failed node was active, the cluster
+        still has its tolerance intact (not broken), and an up standby
+        exists to promote.
+        """
+        if not self.node_up[node_index]:
+            raise SimulationError(
+                f"node {self.spec.name}/{node_index} failed while already down"
+            )
+        self.node_up[node_index] = False
+        was_active = node_index in self.active
+        if was_active:
+            self.active.discard(node_index)
+        triggers_failover = False
+        if was_active and not self.is_broken and self.spec.standby_tolerance > 0:
+            standby = self._find_up_standby()
+            if standby is not None:
+                self.active.add(standby)
+                self.failover_until = max(
+                    self.failover_until, now + self.spec.failover_minutes
+                )
+                self.failover_count += 1
+                triggers_failover = True
+        self.note_breakdown_transition()
+        return triggers_failover
+
+    def repair_node(self, node_index: int) -> None:
+        """Mark a node repaired; it returns as standby (or active if the
+        active set is short, e.g. when recovering from a breakdown)."""
+        if self.node_up[node_index]:
+            raise SimulationError(
+                f"node {self.spec.name}/{node_index} repaired while already up"
+            )
+        self.node_up[node_index] = True
+        if len(self.active) < self.spec.active_nodes:
+            self.active.add(node_index)
+        self.note_breakdown_transition()
+
+    def _find_up_standby(self) -> int | None:
+        """An up node outside the active set, if any."""
+        for index, is_up in enumerate(self.node_up):
+            if is_up and index not in self.active:
+                return index
+        return None

@@ -1,0 +1,198 @@
+"""Simulation traces: capture, export, and replay into broker telemetry.
+
+The fault injector (``repro.cloud.faults``) synthesizes the broker's
+history from a provider's *declared* ground truth.  A stricter pipeline
+replays what the discrete-event engine *actually did*: capture its
+event stream, convert it to the broker's observation vocabulary, and
+ingest it.  Estimates learned this way must agree with the node specs
+the simulation ran on — a cross-check wired into the test suite.
+
+Traces also serialize to JSON so a run can be archived and re-ingested
+later (mirroring how a production broker would consume monitoring logs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.errors import SimulationError, ValidationError
+from repro.simulation.events import EventKind, SimulationEvent
+from repro.topology.cluster import COMPONENT_KIND_BY_LAYER
+from repro.topology.system import SystemTopology
+
+if TYPE_CHECKING:  # avoid a module-level simulation -> broker cycle
+    from repro.broker.telemetry import TelemetryStore
+
+#: Current trace wire-format version.
+TRACE_VERSION = 1
+
+
+@dataclass
+class TraceRecorder:
+    """An engine observer that accumulates the full event stream.
+
+    Pass ``recorder`` as the engine's ``observer``::
+
+        recorder = TraceRecorder()
+        simulate(system, options, observer=recorder)
+    """
+
+    events: list[SimulationEvent] = field(default_factory=list)
+
+    def __call__(self, event: SimulationEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe trace document."""
+        return {
+            "trace_version": TRACE_VERSION,
+            "events": [
+                {
+                    "time_minutes": event.time_minutes,
+                    "sequence": event.sequence,
+                    "kind": event.kind.value,
+                    "cluster_name": event.cluster_name,
+                    "node_index": event.node_index,
+                }
+                for event in self.events
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Serialize the trace to JSON."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceRecorder":
+        """Restore a trace from its document form."""
+        version = payload.get("trace_version")
+        if version != TRACE_VERSION:
+            raise ValidationError(
+                f"unsupported trace_version {version!r}; this library "
+                f"reads version {TRACE_VERSION}"
+            )
+        recorder = cls()
+        for entry in payload.get("events", []):
+            recorder.events.append(
+                SimulationEvent(
+                    time_minutes=float(entry["time_minutes"]),
+                    sequence=int(entry["sequence"]),
+                    kind=EventKind(entry["kind"]),
+                    cluster_name=entry["cluster_name"],
+                    node_index=int(entry["node_index"]),
+                )
+            )
+        return recorder
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecorder":
+        """Restore a trace from a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid trace JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+def trace_to_resource_events(
+    system: SystemTopology,
+    trace: TraceRecorder,
+    provider_name: str,
+) -> list[ResourceEvent]:
+    """Convert an engine trace into broker observations.
+
+    Failure/repair pairs become FAILURE + REPAIR (with the measured
+    outage duration); each failover window becomes a FAILOVER carrying
+    the cluster's configured takeover time.  Unclosed outages at the
+    end of the trace are dropped (a real monitoring pipeline would hold
+    them open too).
+    """
+    kind_by_cluster = {
+        cluster.name: COMPONENT_KIND_BY_LAYER[cluster.layer]
+        for cluster in system.clusters
+    }
+    failover_by_cluster = {
+        cluster.name: cluster.failover_minutes for cluster in system.clusters
+    }
+
+    open_outages: dict[tuple[str, int], float] = {}
+    observations: list[ResourceEvent] = []
+    for event in trace.events:
+        key = (event.cluster_name, event.node_index)
+        if event.cluster_name not in kind_by_cluster:
+            raise SimulationError(
+                f"trace references unknown cluster {event.cluster_name!r}"
+            )
+        kind = kind_by_cluster[event.cluster_name]
+        resource_id = f"{event.cluster_name}/{event.node_index}"
+        if event.kind is EventKind.NODE_FAILED:
+            open_outages[key] = event.time_minutes
+            observations.append(
+                ResourceEvent(
+                    time_minutes=event.time_minutes,
+                    provider=provider_name,
+                    component_kind=kind,
+                    resource_id=resource_id,
+                    kind=ResourceEventKind.FAILURE,
+                )
+            )
+        elif event.kind is EventKind.NODE_REPAIRED:
+            started = open_outages.pop(key, None)
+            if started is None:
+                raise SimulationError(
+                    f"trace repairs {resource_id} without a prior failure"
+                )
+            observations.append(
+                ResourceEvent(
+                    time_minutes=event.time_minutes,
+                    provider=provider_name,
+                    component_kind=kind,
+                    resource_id=resource_id,
+                    kind=ResourceEventKind.REPAIR,
+                    duration_minutes=event.time_minutes - started,
+                )
+            )
+        elif event.kind is EventKind.FAILOVER_ENDED:
+            observations.append(
+                ResourceEvent(
+                    time_minutes=event.time_minutes,
+                    provider=provider_name,
+                    component_kind=kind,
+                    resource_id=resource_id,
+                    kind=ResourceEventKind.FAILOVER,
+                    duration_minutes=failover_by_cluster[event.cluster_name],
+                )
+            )
+    return observations
+
+
+def ingest_trace(
+    store: "TelemetryStore",
+    system: SystemTopology,
+    trace: TraceRecorder,
+    provider_name: str,
+    horizon_minutes: float,
+) -> int:
+    """Register exposure and ingest a trace; returns observations read.
+
+    Exposure is derived from the topology: every node of every cluster
+    was watched for the whole horizon.
+    """
+    if horizon_minutes <= 0.0:
+        raise ValidationError(
+            f"horizon_minutes must be > 0, got {horizon_minutes!r}"
+        )
+    kind_counts: dict[str, int] = {}
+    for cluster in system.clusters:
+        kind = COMPONENT_KIND_BY_LAYER[cluster.layer]
+        kind_counts[kind] = kind_counts.get(kind, 0) + cluster.total_nodes
+    for kind, count in kind_counts.items():
+        store.register_exposure(provider_name, kind, count, horizon_minutes)
+    observations = trace_to_resource_events(system, trace, provider_name)
+    return store.ingest(observations)

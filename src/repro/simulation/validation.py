@@ -1,0 +1,84 @@
+"""Analytic-vs-simulated comparison (experiment E6).
+
+``validate_against_model`` evaluates Eq. 1-4 for a topology and runs the
+Monte Carlo simulator on the same topology, reporting both estimates of
+``U_s``, ``B_s`` and ``F_s`` side by side plus whether the analytic
+uptime falls inside the simulation's 95% confidence interval.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.availability.model import AvailabilityReport, evaluate_availability
+from repro.simulation.monte_carlo import MonteCarloResult, monte_carlo
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Side-by-side analytic and simulated availability estimates."""
+
+    system_name: str
+    analytic: AvailabilityReport
+    simulated: MonteCarloResult
+
+    @property
+    def analytic_uptime(self) -> float:
+        """``U_s`` from Eq. 4."""
+        return self.analytic.uptime_probability
+
+    @property
+    def simulated_uptime(self) -> float:
+        """Mean availability across replications."""
+        return self.simulated.mean_availability
+
+    @property
+    def absolute_error(self) -> float:
+        """``|analytic - simulated|`` uptime gap."""
+        return abs(self.analytic_uptime - self.simulated_uptime)
+
+    @property
+    def analytic_inside_ci(self) -> bool:
+        """Whether Eq. 4 lands inside the simulation's 95% CI."""
+        return self.simulated.contains(self.analytic_uptime)
+
+    def describe(self) -> str:
+        """Multi-line comparison table."""
+        low, high = self.simulated.availability_ci95
+        return "\n".join(
+            [
+                f"Validation of {self.system_name!r}:",
+                f"  analytic  U_s = {self.analytic_uptime:.6f} "
+                f"(B_s={self.analytic.breakdown_probability:.3e}, "
+                f"F_s={self.analytic.failover_probability:.3e})",
+                f"  simulated U_s = {self.simulated_uptime:.6f} "
+                f"(B_s={self.simulated.mean_breakdown_fraction:.3e}, "
+                f"F_s={self.simulated.mean_failover_fraction:.3e})",
+                f"  95% CI [{low:.6f}, {high:.6f}] "
+                f"{'contains' if self.analytic_inside_ci else 'MISSES'} analytic",
+                f"  |gap| = {self.absolute_error:.2e}; overlap fraction "
+                f"(footnote-2 error) = {self.simulated.mean_overlap_fraction:.2e}",
+            ]
+        )
+
+
+def validate_against_model(
+    system: SystemTopology,
+    replications: int = 100,
+    horizon_minutes: float = float(MINUTES_PER_YEAR),
+    seed: int | random.Random | None = None,
+) -> ValidationReport:
+    """Run both estimators on ``system`` and return the comparison."""
+    return ValidationReport(
+        system_name=system.name,
+        analytic=evaluate_availability(system),
+        simulated=monte_carlo(
+            system,
+            replications=replications,
+            horizon_minutes=horizon_minutes,
+            seed=seed,
+        ),
+    )

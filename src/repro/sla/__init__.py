@@ -1,0 +1,40 @@
+"""SLA, penalty clauses and slippage computation.
+
+The paper's contract input (§II-C) is an uptime SLA percentage ``U_SLA``
+plus a slippage penalty ``S_P`` per hour of unavailability beyond the
+SLA.  This package models that — and, as extensions, the tiered /
+capped / service-credit penalty shapes found in real cloud contracts —
+behind one :class:`~repro.sla.penalty.PenaltyClause` interface.
+"""
+
+from repro.sla.contract import Contract
+from repro.sla.measurement import (
+    ComplianceReport,
+    MonthlySettlement,
+    measure_compliance,
+)
+from repro.sla.penalty import (
+    CappedPenalty,
+    LinearPenalty,
+    NoPenalty,
+    PenaltyClause,
+    ServiceCreditPenalty,
+    TieredPenalty,
+)
+from repro.sla.sla import UptimeSLA
+from repro.sla.slippage import expected_slippage_hours_per_month
+
+__all__ = [
+    "CappedPenalty",
+    "ComplianceReport",
+    "Contract",
+    "MonthlySettlement",
+    "measure_compliance",
+    "LinearPenalty",
+    "NoPenalty",
+    "PenaltyClause",
+    "ServiceCreditPenalty",
+    "TieredPenalty",
+    "UptimeSLA",
+    "expected_slippage_hours_per_month",
+]

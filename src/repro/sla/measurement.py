@@ -1,0 +1,167 @@
+"""Realized SLA compliance: expectation vs what the provider pays.
+
+Eq. 5 prices the penalty on the *expected* uptime: penalty of the mean.
+Contracts, however, are settled monthly on *realized* downtime, and
+``max(0, X - allowance)`` is convex, so by Jensen's inequality the mean
+realized penalty is at least the penalty of the mean — strictly more
+whenever downtime straddles the allowance.  A provider pricing HA with
+Eq. 5 alone systematically underestimates the payout.
+
+This module bins a simulated downtime timeline into contract months,
+applies the penalty clause to each month's realized slippage, and
+reports the distribution — giving the broker (and experiment A3) the
+gap between the paper's expectation-based TCO and settled reality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.rng import make_rng
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.sla.contract import Contract
+from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_HOUR, MINUTES_PER_YEAR, MONTHS_PER_YEAR
+
+#: Settlement-month length used to bin timelines (delta / 12).
+MONTH_MINUTES = MINUTES_PER_YEAR / MONTHS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class MonthlySettlement:
+    """One contract month's realized outcome."""
+
+    month_index: int
+    downtime_minutes: float
+    slippage_hours: float
+    penalty: float
+
+    @property
+    def slipped(self) -> bool:
+        """Did this month breach the SLA allowance?"""
+        return self.slippage_hours > 0.0
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Realized monthly settlements of one (or more) simulated years."""
+
+    system_name: str
+    contract: Contract
+    months: tuple[MonthlySettlement, ...]
+    expected_monthly_penalty: float
+
+    def __post_init__(self) -> None:
+        if not self.months:
+            raise ValidationError("compliance report needs at least one month")
+
+    @property
+    def mean_realized_penalty(self) -> float:
+        """Average dollars actually paid per month."""
+        return sum(month.penalty for month in self.months) / len(self.months)
+
+    @property
+    def worst_month_penalty(self) -> float:
+        """The most expensive single month."""
+        return max(month.penalty for month in self.months)
+
+    @property
+    def breach_fraction(self) -> float:
+        """Fraction of months that breached the SLA."""
+        breaches = sum(1 for month in self.months if month.slipped)
+        return breaches / len(self.months)
+
+    @property
+    def jensen_gap(self) -> float:
+        """Mean realized minus expectation-based penalty (>= 0 - noise).
+
+        The systematic underestimate of Eq. 5's penalty term.
+        """
+        return self.mean_realized_penalty - self.expected_monthly_penalty
+
+    def describe(self) -> str:
+        """Multi-line settlement summary."""
+        return "\n".join(
+            [
+                f"SLA compliance of {self.system_name!r} over "
+                f"{len(self.months)} settled months:",
+                f"  contract: {self.contract.describe()}",
+                f"  months breaching SLA: {self.breach_fraction * 100:.1f}%",
+                f"  Eq. 5 expected penalty: ${self.expected_monthly_penalty:,.2f}/mo",
+                f"  mean realized penalty:  ${self.mean_realized_penalty:,.2f}/mo "
+                f"(worst month ${self.worst_month_penalty:,.2f})",
+                f"  Jensen gap (realized - expected): ${self.jensen_gap:,.2f}/mo",
+            ]
+        )
+
+
+def _bin_downtime_by_month(
+    spans: list[tuple[float, float, str]], horizon_minutes: float
+) -> list[float]:
+    """Split down spans across month boundaries; returns minutes/month."""
+    month_count = int(round(horizon_minutes / MONTH_MINUTES))
+    if month_count < 1:
+        raise ValidationError(
+            f"horizon {horizon_minutes} shorter than one settlement month"
+        )
+    minutes = [0.0] * month_count
+    for start, end, _cause in spans:
+        position = start
+        while position < end:
+            index = min(int(position // MONTH_MINUTES), month_count - 1)
+            month_end = (index + 1) * MONTH_MINUTES
+            chunk = min(end, month_end) - position
+            minutes[index] += chunk
+            position += chunk
+    return minutes
+
+
+def measure_compliance(
+    system: SystemTopology,
+    contract: Contract,
+    years: float = 10.0,
+    seed: int | random.Random | None = None,
+) -> ComplianceReport:
+    """Simulate ``years`` of operation and settle each month.
+
+    Returns the realized settlement distribution next to the Eq. 5
+    expectation computed from the analytic model.
+    """
+    if years <= 0.0:
+        raise ValidationError(f"years must be > 0, got {years!r}")
+    from repro.availability.model import evaluate_availability
+
+    rng = make_rng(seed)
+    horizon = years * MINUTES_PER_YEAR
+    interval_log: list[tuple[float, float, str]] = []
+    simulate(
+        system,
+        SimulationOptions(horizon_minutes=horizon, seed=rng.getrandbits(64)),
+        interval_log=interval_log,
+    )
+
+    allowance_minutes = (
+        contract.sla.allowed_downtime_hours_per_month * MINUTES_PER_HOUR
+    )
+    months = []
+    for index, downtime in enumerate(_bin_downtime_by_month(interval_log, horizon)):
+        slippage_minutes = max(0.0, downtime - allowance_minutes)
+        slippage_hours = slippage_minutes / MINUTES_PER_HOUR
+        months.append(
+            MonthlySettlement(
+                month_index=index,
+                downtime_minutes=downtime,
+                slippage_hours=slippage_hours,
+                penalty=contract.penalty.monthly_penalty(slippage_hours),
+            )
+        )
+
+    analytic_uptime = evaluate_availability(system).uptime_probability
+    return ComplianceReport(
+        system_name=system.name,
+        contract=contract,
+        months=tuple(months),
+        expected_monthly_penalty=contract.expected_monthly_penalty(analytic_uptime),
+    )

@@ -1,0 +1,55 @@
+"""System topology substrate.
+
+The paper models a cloud-hosted system ``S`` as a *serial combination* of
+``n`` clusters, each built from identical nodes with k-redundancy
+(Figure 1).  This package provides the value objects for that model:
+
+- :class:`~repro.topology.node.NodeSpec` — a node class with its
+  steady-state down probability ``P_i``, failure rate ``f_i`` and cost.
+- :class:`~repro.topology.cluster.ClusterSpec` — ``K_i`` nodes of one
+  class, tolerating up to ``K̂_i`` failures with failover time ``t_i``.
+- :class:`~repro.topology.system.SystemTopology` — the serial chain.
+- :class:`~repro.topology.builder.TopologyBuilder` — fluent construction.
+- :mod:`~repro.topology.serialization` — dict/JSON round-tripping.
+"""
+
+from repro.topology.blocks import (
+    Block,
+    ClusterBlock,
+    ParallelBlock,
+    SerialBlock,
+    leaf,
+    parallel,
+    serial,
+    system_to_block,
+)
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.serialization import (
+    system_from_dict,
+    system_from_json,
+    system_to_dict,
+    system_to_json,
+)
+from repro.topology.system import SystemTopology
+
+__all__ = [
+    "Block",
+    "ClusterBlock",
+    "ClusterSpec",
+    "Layer",
+    "NodeSpec",
+    "ParallelBlock",
+    "SerialBlock",
+    "SystemTopology",
+    "TopologyBuilder",
+    "leaf",
+    "parallel",
+    "serial",
+    "system_to_block",
+    "system_from_dict",
+    "system_from_json",
+    "system_to_dict",
+    "system_to_json",
+]

@@ -1,0 +1,135 @@
+"""Reliability block diagrams: composition beyond the serial chain.
+
+The paper models a system as a *serial* combination of clusters
+(Figure 1).  Real architectures also contain parallel paths — an
+active/active pair of middleware stacks, dual independent network
+spines — where the system survives as long as *one* branch is up.
+This module adds the standard reliability-block-diagram (RBD) algebra:
+
+- :class:`ClusterBlock` — a leaf wrapping one cluster;
+- :class:`SerialBlock` — up iff *every* child is up (the paper's chain);
+- :class:`ParallelBlock` — up iff *any* child is up.
+
+Blocks compose arbitrarily.  The availability math lives in
+:mod:`repro.availability.rbd`; a plain chain converts via
+:func:`system_to_block` and evaluates to exactly the paper's
+``1 - B_s`` (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TopologyError
+from repro.topology.cluster import ClusterSpec
+from repro.topology.system import SystemTopology
+
+
+class Block(abc.ABC):
+    """One node of a reliability block diagram."""
+
+    @abc.abstractmethod
+    def iter_clusters(self) -> Iterator[ClusterSpec]:
+        """Yield every leaf cluster in the diagram (depth first)."""
+
+    @abc.abstractmethod
+    def describe(self, indent: int = 0) -> str:
+        """Indented tree rendering."""
+
+    def cluster_names(self) -> tuple[str, ...]:
+        """Names of all leaf clusters, depth first."""
+        return tuple(cluster.name for cluster in self.iter_clusters())
+
+    def validate_unique_names(self) -> None:
+        """Reject diagrams reusing a cluster name in two leaves."""
+        names = list(self.cluster_names())
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise TopologyError(
+                f"block diagram reuses cluster names: {sorted(duplicates)}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterBlock(Block):
+    """A leaf: one k-redundant cluster."""
+
+    cluster: ClusterSpec
+
+    def iter_clusters(self) -> Iterator[ClusterSpec]:
+        yield self.cluster
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"- {self.cluster.describe()}"
+
+
+@dataclass(frozen=True)
+class SerialBlock(Block):
+    """Up iff every child is up (the paper's serial combination)."""
+
+    children: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 1:
+            raise TopologyError("SerialBlock needs at least one child")
+
+    def iter_clusters(self) -> Iterator[ClusterSpec]:
+        for child in self.children:
+            yield from child.iter_clusters()
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + "serial:"]
+        lines.extend(child.describe(indent + 2) for child in self.children)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ParallelBlock(Block):
+    """Up iff at least one child is up (redundant branches).
+
+    Branches are assumed to fail independently — the same assumption
+    Eq. 2 makes for nodes; the zone-outage ablation (A2) quantifies the
+    cost of that assumption when it breaks.
+    """
+
+    children: tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise TopologyError(
+                "ParallelBlock needs at least two children; a single "
+                "branch is just that branch"
+            )
+
+    def iter_clusters(self) -> Iterator[ClusterSpec]:
+        for child in self.children:
+            yield from child.iter_clusters()
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + "parallel:"]
+        lines.extend(child.describe(indent + 2) for child in self.children)
+        return "\n".join(lines)
+
+
+def serial(*children: Block) -> SerialBlock:
+    """Convenience constructor: ``serial(a, b, c)``."""
+    return SerialBlock(children=tuple(children))
+
+
+def parallel(*children: Block) -> ParallelBlock:
+    """Convenience constructor: ``parallel(a, b)``."""
+    return ParallelBlock(children=tuple(children))
+
+
+def leaf(cluster: ClusterSpec) -> ClusterBlock:
+    """Convenience constructor for a leaf block."""
+    return ClusterBlock(cluster=cluster)
+
+
+def system_to_block(system: SystemTopology) -> SerialBlock:
+    """The paper's chain as an RBD: a serial block of leaves."""
+    return SerialBlock(
+        children=tuple(ClusterBlock(cluster) for cluster in system.clusters)
+    )

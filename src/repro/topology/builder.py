@@ -1,0 +1,86 @@
+"""Fluent builder for :class:`~repro.topology.system.SystemTopology`.
+
+The builder exists for the common case — assembling a serial chain layer
+by layer — without forcing callers through nested dataclass constructors:
+
+>>> from repro.topology import TopologyBuilder, NodeSpec
+>>> system = (
+...     TopologyBuilder("three-tier")
+...     .compute("compute", NodeSpec("host", 0.004, 6.0, 400.0), nodes=3)
+...     .storage("storage", NodeSpec("disk", 0.01, 4.0, 120.0), nodes=1)
+...     .network("network", NodeSpec("gateway", 0.005, 3.0, 150.0), nodes=1)
+...     .build()
+... )
+>>> len(system)
+3
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.system import SystemTopology
+
+
+class TopologyBuilder:
+    """Accumulates clusters and produces an immutable topology.
+
+    Each ``add_*`` method appends a *bare* (no-HA) cluster by default;
+    pass ``standby_tolerance``/``failover_minutes`` to start from an
+    HA-enabled configuration instead.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise TopologyError("topology name must be a non-empty string")
+        self._name = name
+        self._clusters: list[ClusterSpec] = []
+
+    def add_cluster(
+        self,
+        name: str,
+        layer: Layer,
+        node: NodeSpec,
+        nodes: int,
+        standby_tolerance: int = 0,
+        failover_minutes: float = 0.0,
+        ha_technology: str = "none",
+        monthly_ha_infra_cost: float = 0.0,
+        monthly_ha_labor_hours: float = 0.0,
+    ) -> "TopologyBuilder":
+        """Append a cluster to the serial chain; returns ``self``."""
+        self._clusters.append(
+            ClusterSpec(
+                name=name,
+                layer=layer,
+                node=node,
+                total_nodes=nodes,
+                standby_tolerance=standby_tolerance,
+                failover_minutes=failover_minutes,
+                ha_technology=ha_technology,
+                monthly_ha_infra_cost=monthly_ha_infra_cost,
+                monthly_ha_labor_hours=monthly_ha_labor_hours,
+            )
+        )
+        return self
+
+    def compute(self, name: str, node: NodeSpec, nodes: int, **kwargs) -> "TopologyBuilder":
+        """Append a compute-layer cluster."""
+        return self.add_cluster(name, Layer.COMPUTE, node, nodes, **kwargs)
+
+    def storage(self, name: str, node: NodeSpec, nodes: int, **kwargs) -> "TopologyBuilder":
+        """Append a storage-layer cluster."""
+        return self.add_cluster(name, Layer.STORAGE, node, nodes, **kwargs)
+
+    def network(self, name: str, node: NodeSpec, nodes: int, **kwargs) -> "TopologyBuilder":
+        """Append a network-layer cluster."""
+        return self.add_cluster(name, Layer.NETWORK, node, nodes, **kwargs)
+
+    def other(self, name: str, node: NodeSpec, nodes: int, **kwargs) -> "TopologyBuilder":
+        """Append a cluster outside the three classic IaaS layers."""
+        return self.add_cluster(name, Layer.OTHER, node, nodes, **kwargs)
+
+    def build(self) -> SystemTopology:
+        """Produce the immutable :class:`SystemTopology`."""
+        return SystemTopology(name=self._name, clusters=tuple(self._clusters))

@@ -1,0 +1,176 @@
+"""Cluster specification: ``K_i`` nodes with k-redundancy.
+
+A cluster ``C_i`` in the paper's model (§II-A) is described by:
+
+- ``K_i`` — total nodes (``total_nodes``);
+- ``K̂_i`` — maximum simultaneous node failures the HA infrastructure can
+  tolerate (``standby_tolerance``); ``K_i - K̂_i`` nodes are active;
+- ``t_i`` — failover time in minutes (``failover_minutes``): detection +
+  standby bring-up + takeover;
+- the node class, and the incremental cost of the HA machinery.
+
+A cluster with ``standby_tolerance == 0`` has *no* HA: any node failure is
+a breakdown, there are no failover events, so ``failover_minutes`` must be
+zero (this encodes the model semantics fixed in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ValidationError
+from repro.topology.node import NodeSpec
+
+
+class Layer(str, enum.Enum):
+    """Architectural layer a cluster belongs to.
+
+    The paper's case study uses the three classic IaaS layers; ``OTHER``
+    accommodates middleware/application tiers in extended scenarios.
+    """
+
+    COMPUTE = "compute"
+    STORAGE = "storage"
+    NETWORK = "network"
+    OTHER = "other"
+
+
+#: The broker's component-kind vocabulary per layer (used to key
+#: telemetry: compute nodes are "vm"s, storage nodes "volume"s, ...).
+COMPONENT_KIND_BY_LAYER = {
+    Layer.COMPUTE: "vm",
+    Layer.STORAGE: "volume",
+    Layer.NETWORK: "gateway",
+    Layer.OTHER: "vm",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """One cluster in the serial chain.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the system, e.g. ``"compute"``.
+    layer:
+        Which architectural layer this cluster implements.
+    node:
+        The node class all ``total_nodes`` members share.
+    total_nodes:
+        ``K_i`` (>= 1).
+    standby_tolerance:
+        ``K̂_i`` — tolerated simultaneous node failures (0 <= K̂ < K).
+    failover_minutes:
+        ``t_i`` — outage minutes per failover transaction.  Must be 0
+        when ``standby_tolerance`` is 0 (no HA, no failover).
+    ha_technology:
+        Informational label of the HA construct (``"none"``,
+        ``"vmware-esx-n+1"``, ``"raid-1"``, ...).
+    monthly_ha_infra_cost:
+        Incremental infrastructure dollars/month to engineer the HA
+        (extra nodes, licenses, replication links).
+    monthly_ha_labor_hours:
+        Labor hours/month to deploy and sustain the HA; priced by the
+        cost model using a labor rate.
+    """
+
+    name: str
+    layer: Layer
+    node: NodeSpec
+    total_nodes: int
+    standby_tolerance: int = 0
+    failover_minutes: float = 0.0
+    ha_technology: str = "none"
+    monthly_ha_infra_cost: float = 0.0
+    monthly_ha_labor_hours: float = 0.0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("ClusterSpec.name must be a non-empty string")
+        if not isinstance(self.layer, Layer):
+            raise ValidationError(f"layer must be a Layer, got {self.layer!r}")
+        if self.total_nodes < 1:
+            raise ValidationError(
+                f"total_nodes must be >= 1, got {self.total_nodes!r}"
+            )
+        if not 0 <= self.standby_tolerance < self.total_nodes:
+            raise ValidationError(
+                "standby_tolerance must satisfy 0 <= K-hat < K, got "
+                f"K-hat={self.standby_tolerance!r} with K={self.total_nodes!r}"
+            )
+        if self.failover_minutes < 0.0:
+            raise ValidationError(
+                f"failover_minutes must be >= 0, got {self.failover_minutes!r}"
+            )
+        if self.standby_tolerance == 0 and self.failover_minutes != 0.0:
+            raise ValidationError(
+                f"cluster {self.name!r} has no standby (K-hat=0) so it cannot "
+                "have a failover time; set failover_minutes=0"
+            )
+        if self.monthly_ha_infra_cost < 0.0:
+            raise ValidationError(
+                f"monthly_ha_infra_cost must be >= 0, got {self.monthly_ha_infra_cost!r}"
+            )
+        if self.monthly_ha_labor_hours < 0.0:
+            raise ValidationError(
+                f"monthly_ha_labor_hours must be >= 0, got {self.monthly_ha_labor_hours!r}"
+            )
+
+    @property
+    def active_nodes(self) -> int:
+        """``K_i - K̂_i``: nodes serving traffic at any instant."""
+        return self.total_nodes - self.standby_tolerance
+
+    @property
+    def has_ha(self) -> bool:
+        """True when the cluster tolerates at least one node failure."""
+        return self.standby_tolerance > 0
+
+    @property
+    def monthly_node_cost(self) -> float:
+        """Base infrastructure dollars/month for all ``K_i`` nodes."""
+        return self.total_nodes * self.node.monthly_cost
+
+    def describe(self) -> str:
+        """One-line human description, e.g. ``compute: 3+1 vmware-esx``."""
+        shape = f"{self.active_nodes}+{self.standby_tolerance}"
+        return f"{self.name}: {shape} {self.ha_technology}"
+
+    def with_ha(
+        self,
+        standby_tolerance: int,
+        failover_minutes: float,
+        ha_technology: str,
+        monthly_ha_infra_cost: float = 0.0,
+        monthly_ha_labor_hours: float = 0.0,
+        extra_nodes: int = 0,
+    ) -> "ClusterSpec":
+        """Return a copy with an HA construct applied.
+
+        ``extra_nodes`` adds standby hardware on top of the current node
+        count (e.g. turning a 3-node active set into a 3+1 cluster).
+        """
+        return replace(
+            self,
+            total_nodes=self.total_nodes + extra_nodes,
+            standby_tolerance=standby_tolerance,
+            failover_minutes=failover_minutes,
+            ha_technology=ha_technology,
+            monthly_ha_infra_cost=monthly_ha_infra_cost,
+            monthly_ha_labor_hours=monthly_ha_labor_hours,
+        )
+
+    def without_ha(self) -> "ClusterSpec":
+        """Return the bare (no-HA) version keeping only the active nodes."""
+        return replace(
+            self,
+            total_nodes=self.active_nodes,
+            standby_tolerance=0,
+            failover_minutes=0.0,
+            ha_technology="none",
+            monthly_ha_infra_cost=0.0,
+            monthly_ha_labor_hours=0.0,
+        )

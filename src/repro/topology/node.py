@@ -1,0 +1,110 @@
+"""Node specification: the per-node reliability and cost inputs.
+
+The availability model consumes two reliability numbers per node class:
+
+- ``down_probability`` — the paper's ``P_i``: steady-state probability
+  that a node is down, i.e. ``MTTR / (MTBF + MTTR)``.
+- ``failures_per_year`` — the paper's ``f_i``: average failures one node
+  experiences per year, i.e. one failure per ``MTBF + MTTR`` cycle.
+
+These can be supplied directly (as a broker would, from telemetry) or
+derived from MTBF/MTTR via :meth:`NodeSpec.from_mtbf_mttr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+from repro.units import HOURS_PER_YEAR
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """One node class inside a cluster.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component class, e.g. ``"esx-host"`` or
+        ``"sata-disk"``.  Used by the broker's knowledge base as the key
+        for telemetry lookups.
+    down_probability:
+        ``P_i`` — steady-state probability the node is down (0 <= P < 1).
+    failures_per_year:
+        ``f_i`` — expected failures per node per year (>= 0).
+    monthly_cost:
+        Infrastructure price of one node per month, in dollars.  The
+        *base* deployment cost; HA cost deltas live on the cluster.
+    """
+
+    kind: str
+    down_probability: float
+    failures_per_year: float
+    monthly_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValidationError("NodeSpec.kind must be a non-empty string")
+        if not 0.0 <= self.down_probability < 1.0:
+            raise ValidationError(
+                f"down_probability must be in [0, 1), got {self.down_probability!r}"
+            )
+        if self.failures_per_year < 0.0:
+            raise ValidationError(
+                f"failures_per_year must be >= 0, got {self.failures_per_year!r}"
+            )
+        if self.monthly_cost < 0.0:
+            raise ValidationError(
+                f"monthly_cost must be >= 0, got {self.monthly_cost!r}"
+            )
+
+    @classmethod
+    def from_mtbf_mttr(
+        cls,
+        kind: str,
+        mtbf_hours: float,
+        mttr_hours: float,
+        monthly_cost: float = 0.0,
+    ) -> "NodeSpec":
+        """Build a spec from mean-time-between-failures / -to-repair.
+
+        ``P = MTTR / (MTBF + MTTR)`` and ``f = hours-per-year / (MTBF +
+        MTTR)`` (one failure per full up/down cycle).
+        """
+        if mtbf_hours <= 0.0:
+            raise ValidationError(f"mtbf_hours must be > 0, got {mtbf_hours!r}")
+        if mttr_hours < 0.0:
+            raise ValidationError(f"mttr_hours must be >= 0, got {mttr_hours!r}")
+        cycle = mtbf_hours + mttr_hours
+        return cls(
+            kind=kind,
+            down_probability=mttr_hours / cycle,
+            failures_per_year=HOURS_PER_YEAR / cycle,
+            monthly_cost=monthly_cost,
+        )
+
+    @property
+    def up_probability(self) -> float:
+        """``1 - P_i``: steady-state probability the node is up."""
+        return 1.0 - self.down_probability
+
+    @property
+    def mtbf_hours(self) -> float:
+        """Implied MTBF in hours (infinite if the node never fails)."""
+        if self.failures_per_year == 0.0:
+            return float("inf")
+        cycle = HOURS_PER_YEAR / self.failures_per_year
+        return cycle * (1.0 - self.down_probability)
+
+    @property
+    def mttr_hours(self) -> float:
+        """Implied MTTR in hours (0 if the node never fails)."""
+        if self.failures_per_year == 0.0:
+            return 0.0
+        cycle = HOURS_PER_YEAR / self.failures_per_year
+        return cycle * self.down_probability
+
+    def with_cost(self, monthly_cost: float) -> "NodeSpec":
+        """Return a copy priced at ``monthly_cost`` dollars per month."""
+        return replace(self, monthly_cost=monthly_cost)

@@ -1,0 +1,134 @@
+"""Dict/JSON (de)serialization for topology objects.
+
+Used by the CLI to load base architectures from files, and by the broker
+to persist recommendation requests.  The wire format is intentionally
+flat and versioned so future schema changes can migrate old documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.system import SystemTopology
+
+#: Current wire-format version.
+SCHEMA_VERSION = 1
+
+
+def node_to_dict(node: NodeSpec) -> dict[str, Any]:
+    """Serialize a node spec to plain JSON-safe types."""
+    return {
+        "kind": node.kind,
+        "down_probability": node.down_probability,
+        "failures_per_year": node.failures_per_year,
+        "monthly_cost": node.monthly_cost,
+    }
+
+
+def node_from_dict(payload: Mapping[str, Any]) -> NodeSpec:
+    """Deserialize a node spec; unknown keys are rejected."""
+    _check_keys(payload, {"kind", "down_probability", "failures_per_year", "monthly_cost"}, "node")
+    return NodeSpec(
+        kind=payload["kind"],
+        down_probability=float(payload["down_probability"]),
+        failures_per_year=float(payload["failures_per_year"]),
+        monthly_cost=float(payload.get("monthly_cost", 0.0)),
+    )
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> dict[str, Any]:
+    """Serialize a cluster spec to plain JSON-safe types."""
+    return {
+        "name": cluster.name,
+        "layer": cluster.layer.value,
+        "node": node_to_dict(cluster.node),
+        "total_nodes": cluster.total_nodes,
+        "standby_tolerance": cluster.standby_tolerance,
+        "failover_minutes": cluster.failover_minutes,
+        "ha_technology": cluster.ha_technology,
+        "monthly_ha_infra_cost": cluster.monthly_ha_infra_cost,
+        "monthly_ha_labor_hours": cluster.monthly_ha_labor_hours,
+    }
+
+
+def cluster_from_dict(payload: Mapping[str, Any]) -> ClusterSpec:
+    """Deserialize a cluster spec; unknown keys are rejected."""
+    allowed = {
+        "name",
+        "layer",
+        "node",
+        "total_nodes",
+        "standby_tolerance",
+        "failover_minutes",
+        "ha_technology",
+        "monthly_ha_infra_cost",
+        "monthly_ha_labor_hours",
+    }
+    _check_keys(payload, allowed, "cluster")
+    try:
+        layer = Layer(payload["layer"])
+    except ValueError as exc:
+        raise ValidationError(
+            f"unknown layer {payload['layer']!r}; expected one of "
+            f"{[member.value for member in Layer]}"
+        ) from exc
+    return ClusterSpec(
+        name=payload["name"],
+        layer=layer,
+        node=node_from_dict(payload["node"]),
+        total_nodes=int(payload["total_nodes"]),
+        standby_tolerance=int(payload.get("standby_tolerance", 0)),
+        failover_minutes=float(payload.get("failover_minutes", 0.0)),
+        ha_technology=payload.get("ha_technology", "none"),
+        monthly_ha_infra_cost=float(payload.get("monthly_ha_infra_cost", 0.0)),
+        monthly_ha_labor_hours=float(payload.get("monthly_ha_labor_hours", 0.0)),
+    )
+
+
+def system_to_dict(system: SystemTopology) -> dict[str, Any]:
+    """Serialize a topology, embedding the schema version."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": system.name,
+        "clusters": [cluster_to_dict(cluster) for cluster in system.clusters],
+    }
+
+
+def system_from_dict(payload: Mapping[str, Any]) -> SystemTopology:
+    """Deserialize a topology; validates the schema version."""
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported topology schema_version {version!r}; "
+            f"this library reads version {SCHEMA_VERSION}"
+        )
+    _check_keys(payload, {"schema_version", "name", "clusters"}, "system")
+    clusters = tuple(cluster_from_dict(item) for item in payload["clusters"])
+    return SystemTopology(name=payload["name"], clusters=clusters)
+
+
+def system_to_json(system: SystemTopology, indent: int = 2) -> str:
+    """Serialize a topology to a JSON string."""
+    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+
+
+def system_from_json(text: str) -> SystemTopology:
+    """Deserialize a topology from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid topology JSON: {exc}") from exc
+    return system_from_dict(payload)
+
+
+def _check_keys(payload: Mapping[str, Any], allowed: set[str], what: str) -> None:
+    """Reject unknown keys so typos fail loudly instead of silently."""
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValidationError(
+            f"unknown {what} keys: {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )

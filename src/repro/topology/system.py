@@ -1,0 +1,120 @@
+"""System topology: the serial combination of clusters (paper Figure 1).
+
+The system is up only when *every* cluster is up; it is additionally down
+during any single cluster's failover window.  This module holds only the
+structure — the math lives in :mod:`repro.availability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping
+
+from repro.errors import TopologyError
+from repro.topology.cluster import ClusterSpec, Layer
+
+
+@dataclass(frozen=True, slots=True)
+class SystemTopology:
+    """A cloud-hosted system ``S``: an ordered serial chain of clusters.
+
+    Cluster order is preserved for presentation but has no effect on the
+    availability math (serial composition is commutative).
+    """
+
+    name: str
+    clusters: tuple[ClusterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("SystemTopology.name must be a non-empty string")
+        if not self.clusters:
+            raise TopologyError(
+                f"system {self.name!r} must contain at least one cluster"
+            )
+        names = [cluster.name for cluster in self.clusters]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise TopologyError(
+                f"system {self.name!r} has duplicate cluster names: "
+                f"{sorted(duplicates)}"
+            )
+
+    def __iter__(self) -> Iterator[ClusterSpec]:
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def cluster_names(self) -> tuple[str, ...]:
+        """Cluster names in chain order."""
+        return tuple(cluster.name for cluster in self.clusters)
+
+    def cluster(self, name: str) -> ClusterSpec:
+        """Look up a cluster by name.
+
+        Raises :class:`TopologyError` when absent — a misspelt cluster
+        name is a caller bug we want to surface loudly.
+        """
+        for candidate in self.clusters:
+            if candidate.name == name:
+                return candidate
+        raise TopologyError(
+            f"system {self.name!r} has no cluster named {name!r}; "
+            f"available: {list(self.cluster_names)}"
+        )
+
+    def clusters_in_layer(self, layer: Layer) -> tuple[ClusterSpec, ...]:
+        """All clusters implementing the given architectural layer."""
+        return tuple(c for c in self.clusters if c.layer is layer)
+
+    def replace_cluster(self, name: str, new_cluster: ClusterSpec) -> "SystemTopology":
+        """Return a copy with the named cluster swapped out.
+
+        The replacement may change the cluster's name; uniqueness is
+        re-validated by the constructor.
+        """
+        self.cluster(name)  # raise early if absent
+        new_clusters = tuple(
+            new_cluster if candidate.name == name else candidate
+            for candidate in self.clusters
+        )
+        return replace(self, clusters=new_clusters)
+
+    def with_clusters(self, mapping: Mapping[str, ClusterSpec]) -> "SystemTopology":
+        """Return a copy with several clusters swapped at once."""
+        topology = self
+        for name, new_cluster in mapping.items():
+            topology = topology.replace_cluster(name, new_cluster)
+        return topology
+
+    def strip_ha(self) -> "SystemTopology":
+        """Return the *base architecture*: every cluster without HA.
+
+        This is the starting point the broker enumerates HA variants of.
+        """
+        return replace(
+            self,
+            clusters=tuple(cluster.without_ha() for cluster in self.clusters),
+        )
+
+    @property
+    def monthly_base_infra_cost(self) -> float:
+        """Dollars/month for all nodes, before HA labor/infra deltas."""
+        return sum(cluster.monthly_node_cost for cluster in self.clusters)
+
+    @property
+    def ha_signature(self) -> tuple[str, ...]:
+        """The HA technology applied per cluster, in chain order.
+
+        Two topologies with equal signatures over the same base
+        architecture are the same "solution option" in paper terms.
+        """
+        return tuple(cluster.ha_technology for cluster in self.clusters)
+
+    def describe(self) -> str:
+        """Multi-line human description of the chain."""
+        lines = [f"System {self.name!r} ({len(self.clusters)} serial clusters):"]
+        lines.extend(f"  - {cluster.describe()}" for cluster in self.clusters)
+        return "\n".join(lines)

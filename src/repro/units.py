@@ -1,0 +1,88 @@
+"""Time and money unit helpers shared across the library.
+
+The paper's model (Eq. 5) mixes several time bases: node failure rates are
+per *year*, failover times are in *minutes*, penalties are per *hour* and
+TCO is per *month*.  Keeping the conversions in one module avoids the
+class of bug where a caller divides by the wrong constant.
+
+``MINUTES_PER_YEAR`` is the paper's ``delta`` = 525 600 (365-day year).
+"""
+
+from __future__ import annotations
+
+MINUTES_PER_HOUR = 60
+HOURS_PER_DAY = 24
+DAYS_PER_YEAR = 365
+MONTHS_PER_YEAR = 12
+
+MINUTES_PER_DAY = MINUTES_PER_HOUR * HOURS_PER_DAY
+#: The paper's ``delta``: number of minutes in a (non-leap) year.
+MINUTES_PER_YEAR = MINUTES_PER_DAY * DAYS_PER_YEAR
+HOURS_PER_YEAR = HOURS_PER_DAY * DAYS_PER_YEAR
+#: Average hours per month used by Eq. 5: ``delta / (12 * 60)`` = 730.
+HOURS_PER_MONTH = MINUTES_PER_YEAR / (MONTHS_PER_YEAR * MINUTES_PER_HOUR)
+MINUTES_PER_MONTH = MINUTES_PER_YEAR / MONTHS_PER_YEAR
+
+
+def minutes_to_hours(minutes: float) -> float:
+    """Convert minutes to hours."""
+    return minutes / MINUTES_PER_HOUR
+
+
+def hours_to_minutes(hours: float) -> float:
+    """Convert hours to minutes."""
+    return hours * MINUTES_PER_HOUR
+
+
+def yearly_to_monthly(amount_per_year: float) -> float:
+    """Convert a per-year quantity (cost, hours, ...) to per-month."""
+    return amount_per_year / MONTHS_PER_YEAR
+
+
+def monthly_to_yearly(amount_per_month: float) -> float:
+    """Convert a per-month quantity to per-year."""
+    return amount_per_month * MONTHS_PER_YEAR
+
+
+def probability_to_minutes_per_year(probability: float) -> float:
+    """Downtime probability -> expected downtime minutes in a year."""
+    return probability * MINUTES_PER_YEAR
+
+
+def probability_to_hours_per_month(probability: float) -> float:
+    """Downtime probability -> expected downtime hours in a month.
+
+    This is the paper's ``(U_SLA/100 - U_s) * delta / (12 * 60)``
+    conversion applied to a single probability.
+    """
+    return probability * MINUTES_PER_YEAR / (MONTHS_PER_YEAR * MINUTES_PER_HOUR)
+
+
+def availability_to_nines(availability: float) -> float:
+    """Express an availability as a (possibly fractional) count of nines.
+
+    ``0.999 -> 3.0``; ``1.0`` maps to ``float('inf')``.  Values at or
+    below 0 are reported as 0 nines.
+    """
+    import math
+
+    if availability >= 1.0:
+        return float("inf")
+    downtime = 1.0 - availability
+    if downtime >= 1.0:
+        return 0.0
+    return -math.log10(downtime)
+
+
+def format_money(amount: float) -> str:
+    """Render a dollar amount with thousands separators, e.g. ``$1,234.56``.
+
+    Negative amounts render as ``-$123.45``.
+    """
+    sign = "-" if amount < 0 else ""
+    return f"{sign}${abs(amount):,.2f}"
+
+
+def format_percent(fraction: float, places: int = 4) -> str:
+    """Render a fraction (0..1) as a percentage string."""
+    return f"{fraction * 100:.{places}f}%"

@@ -1,0 +1,40 @@
+"""Workloads: the paper's case study plus synthetic generators.
+
+- :mod:`~repro.workloads.case_study` — the §III client case study with a
+  calibrated parameter set (figure data is not in the paper text; see
+  DESIGN.md for the calibration constraints).
+- :mod:`~repro.workloads.generators` — random topologies and problems
+  for scaling benchmarks and property tests.
+- :mod:`~repro.workloads.scenarios` — named realistic scenarios used by
+  the examples.
+"""
+
+from repro.workloads.case_study import (
+    case_study_base_system,
+    case_study_contract,
+    case_study_labor_rate,
+    case_study_problem,
+    case_study_registry,
+)
+from repro.workloads.generators import (
+    random_node_spec,
+    random_problem,
+    random_registry,
+    random_system,
+)
+from repro.workloads.scenarios import SCENARIOS, Scenario, scenario
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "case_study_base_system",
+    "case_study_contract",
+    "case_study_labor_rate",
+    "case_study_problem",
+    "case_study_registry",
+    "random_node_spec",
+    "random_problem",
+    "random_registry",
+    "random_system",
+    "scenario",
+]

@@ -1,0 +1,153 @@
+"""Named realistic scenarios used by the example applications.
+
+Each scenario is a complete :class:`OptimizationProblem` modeled on a
+workload class the paper's introduction motivates: an enterprise web
+property, a payments platform with a strict SLA, and a batch-analytics
+pipeline with a lenient one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.registry import (
+    TechnologyRegistry,
+    case_study_registry,
+    extended_registry,
+)
+from repro.cost.rates import LaborRate
+from repro.errors import ValidationError
+from repro.optimizer.space import OptimizationProblem
+from repro.sla.contract import Contract
+from repro.sla.penalty import CappedPenalty, LinearPenalty, TieredPenalty
+from repro.sla.sla import UptimeSLA
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+from repro.topology.system import SystemTopology
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, self-describing optimization problem."""
+
+    name: str
+    summary: str
+    problem: OptimizationProblem
+
+
+def _ecommerce_system() -> SystemTopology:
+    """Five serial tiers of an enterprise web property."""
+    return (
+        TopologyBuilder("ecommerce")
+        .compute("web", NodeSpec("web-host", 0.003, 8.0, 220.0), nodes=4)
+        .compute("app", NodeSpec("app-host", 0.0035, 7.0, 340.0), nodes=3)
+        .compute("db", NodeSpec("db-host", 0.002, 4.0, 520.0), nodes=2)
+        .storage("storage", NodeSpec("ssd-volume", 0.012, 5.0, 210.0), nodes=2)
+        .network("network", NodeSpec("gateway", 0.009, 4.0, 180.0), nodes=1)
+        .build()
+    )
+
+
+def _ecommerce() -> Scenario:
+    problem = OptimizationProblem(
+        base_system=_ecommerce_system(),
+        registry=case_study_registry(
+            hypervisor_license_per_node=15.0,
+            hypervisor_labor_hours=5.0,
+            raid_controller_cost=40.0,
+            raid_labor_hours=2.0,
+            gateway_vip_cost=25.0,
+            gateway_labor_hours=2.0,
+        ),
+        contract=Contract.linear(99.5, 250.0),
+        labor_rate=LaborRate(30.0),
+    )
+    return Scenario(
+        name="ecommerce",
+        summary=(
+            "Five-tier enterprise web property, 99.5% SLA at $250/hour; "
+            "k=2 HA choices on each of 5 layers (32 options)"
+        ),
+        problem=problem,
+    )
+
+
+def _payments() -> Scenario:
+    """A payments platform: strict SLA, tiered-and-capped penalty."""
+    system = (
+        TopologyBuilder("payments")
+        .compute("api", NodeSpec("api-host", 0.0015, 5.0, 410.0), nodes=3)
+        .compute("ledger", NodeSpec("ledger-host", 0.001, 3.0, 650.0), nodes=2)
+        .storage("ledger-store", NodeSpec("nvme-volume", 0.006, 4.0, 260.0), nodes=2)
+        .network("edge", NodeSpec("edge-gateway", 0.004, 3.0, 240.0), nodes=1)
+        .build()
+    )
+    penalty = CappedPenalty(
+        inner=TieredPenalty(((1.0, 500.0), (4.0, 1500.0), (float("inf"), 4000.0))),
+        monthly_cap=50000.0,
+    )
+    problem = OptimizationProblem(
+        base_system=system,
+        registry=extended_registry(),
+        contract=Contract(sla=UptimeSLA(99.95), penalty=penalty),
+        labor_rate=LaborRate(45.0),
+    )
+    return Scenario(
+        name="payments",
+        summary=(
+            "Payments platform, 99.95% SLA with tiered+capped penalties; "
+            "extended HA catalog including SDS, multipath and BGP"
+        ),
+        problem=problem,
+    )
+
+
+def _analytics() -> Scenario:
+    """Batch analytics: lenient SLA where HA rarely pays for itself."""
+    system = (
+        TopologyBuilder("analytics")
+        .compute("workers", NodeSpec("worker-host", 0.005, 10.0, 150.0), nodes=6)
+        .storage("datalake", NodeSpec("hdd-volume", 0.02, 6.0, 90.0), nodes=4)
+        .network("fabric", NodeSpec("tor-switch", 0.006, 3.0, 120.0), nodes=1)
+        .build()
+    )
+    problem = OptimizationProblem(
+        base_system=system,
+        registry=case_study_registry(
+            hypervisor_license_per_node=10.0,
+            hypervisor_labor_hours=6.0,
+            raid_controller_cost=25.0,
+            raid_labor_hours=3.0,
+            gateway_vip_cost=15.0,
+            gateway_labor_hours=1.0,
+        ),
+        contract=Contract(sla=UptimeSLA(95.0), penalty=LinearPenalty(20.0)),
+        labor_rate=LaborRate(25.0),
+    )
+    return Scenario(
+        name="analytics",
+        summary=(
+            "Batch analytics pipeline, lenient 95% SLA at $20/hour; "
+            "checks that the optimizer recommends little or no HA"
+        ),
+        problem=problem,
+    )
+
+
+def _build_all() -> dict[str, Scenario]:
+    scenarios = (_ecommerce(), _payments(), _analytics())
+    return {entry.name: entry for entry in scenarios}
+
+
+#: All named scenarios, keyed by name.
+SCENARIOS: dict[str, Scenario] = _build_all()
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario by name; raises with the valid names listed."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from exc

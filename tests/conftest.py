@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.registry import case_study_registry
+from repro.cost.rates import LaborRate
+from repro.optimizer.space import OptimizationProblem
+from repro.sla.contract import Contract
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.system import SystemTopology
+from repro.workloads.case_study import case_study_problem
+
+
+@pytest.fixture
+def reliable_node() -> NodeSpec:
+    """A node that is down 0.1% of the time, failing twice a year."""
+    return NodeSpec(
+        kind="reliable", down_probability=0.001, failures_per_year=2.0,
+        monthly_cost=100.0,
+    )
+
+
+@pytest.fixture
+def flaky_node() -> NodeSpec:
+    """A node that is down 2% of the time, failing monthly."""
+    return NodeSpec(
+        kind="flaky", down_probability=0.02, failures_per_year=12.0,
+        monthly_cost=40.0,
+    )
+
+
+@pytest.fixture
+def bare_cluster(reliable_node: NodeSpec) -> ClusterSpec:
+    """A 3-node compute cluster with no HA."""
+    return ClusterSpec(
+        name="compute", layer=Layer.COMPUTE, node=reliable_node, total_nodes=3
+    )
+
+
+@pytest.fixture
+def ha_cluster(reliable_node: NodeSpec) -> ClusterSpec:
+    """A 3+1 compute cluster with a 10-minute failover."""
+    return ClusterSpec(
+        name="compute",
+        layer=Layer.COMPUTE,
+        node=reliable_node,
+        total_nodes=4,
+        standby_tolerance=1,
+        failover_minutes=10.0,
+        ha_technology="hypervisor-n+1",
+        monthly_ha_infra_cost=150.0,
+        monthly_ha_labor_hours=4.0,
+    )
+
+
+@pytest.fixture
+def three_tier(reliable_node: NodeSpec, flaky_node: NodeSpec) -> SystemTopology:
+    """A bare three-tier system mixing reliable and flaky nodes."""
+    gateway = NodeSpec(
+        kind="gateway", down_probability=0.005, failures_per_year=4.0,
+        monthly_cost=120.0,
+    )
+    return (
+        TopologyBuilder("three-tier")
+        .compute("compute", reliable_node, nodes=3)
+        .storage("storage", flaky_node, nodes=1)
+        .network("network", gateway, nodes=1)
+        .build()
+    )
+
+
+@pytest.fixture
+def simple_problem(three_tier: SystemTopology) -> OptimizationProblem:
+    """A small k=2, n=3 optimization problem with non-zero HA costs."""
+    return OptimizationProblem(
+        base_system=three_tier,
+        registry=case_study_registry(
+            hypervisor_license_per_node=10.0,
+            hypervisor_labor_hours=4.0,
+            raid_controller_cost=20.0,
+            raid_labor_hours=2.0,
+            gateway_vip_cost=15.0,
+            gateway_labor_hours=1.0,
+        ),
+        contract=Contract.linear(99.0, 200.0),
+        labor_rate=LaborRate(30.0),
+    )
+
+
+@pytest.fixture
+def paper_problem() -> OptimizationProblem:
+    """The calibrated §III case-study problem."""
+    return case_study_problem()

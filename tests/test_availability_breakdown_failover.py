@@ -1,0 +1,136 @@
+"""System-level B_s (Eq. 2) and F_s (Eq. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.breakdown import (
+    breakdown_downtime_probability,
+    cluster_breakdown_contributions,
+)
+from repro.availability.failover import (
+    cluster_failover_downtime,
+    cluster_yearly_failover_minutes,
+    failover_downtime_probability,
+    others_quiet_probability,
+)
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+from repro.units import MINUTES_PER_YEAR
+
+
+def single_cluster_system(p: float, nodes: int = 1, tolerance: int = 0,
+                          failover: float = 0.0, failures: float = 4.0):
+    node = NodeSpec("n", p, failures)
+    return (
+        TopologyBuilder("s")
+        .compute(
+            "c", node, nodes=nodes, standby_tolerance=tolerance,
+            failover_minutes=failover,
+        )
+        .build()
+    )
+
+
+class TestBreakdown:
+    def test_single_bare_node(self):
+        system = single_cluster_system(0.05)
+        assert breakdown_downtime_probability(system) == pytest.approx(0.05)
+
+    def test_serial_chain_multiplies(self):
+        node_a = NodeSpec("a", 0.1, 4.0)
+        node_b = NodeSpec("b", 0.2, 4.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("ca", node_a, nodes=1)
+            .storage("cb", node_b, nodes=1)
+            .build()
+        )
+        # B_s = 1 - 0.9 * 0.8
+        assert breakdown_downtime_probability(system) == pytest.approx(1 - 0.72)
+
+    def test_redundancy_lowers_breakdown(self):
+        bare = single_cluster_system(0.05, nodes=1)
+        mirrored = single_cluster_system(0.05, nodes=2, tolerance=1, failover=1.0)
+        assert breakdown_downtime_probability(mirrored) < breakdown_downtime_probability(bare)
+
+    def test_perfect_nodes_never_break(self):
+        system = single_cluster_system(0.0)
+        assert breakdown_downtime_probability(system) == 0.0
+
+    def test_contributions_keyed_by_cluster(self):
+        node = NodeSpec("n", 0.1, 4.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("ca", node, nodes=1)
+            .storage("cb", node, nodes=1)
+            .build()
+        )
+        contributions = cluster_breakdown_contributions(system)
+        assert set(contributions) == {"ca", "cb"}
+        assert contributions["ca"] == pytest.approx(0.1)
+
+
+class TestFailover:
+    def test_no_ha_contributes_nothing(self):
+        system = single_cluster_system(0.05, nodes=3)
+        assert failover_downtime_probability(system) == 0.0
+
+    def test_single_ha_cluster_formula(self):
+        # K=2, K-hat=1, f=4/yr, t=10m: F_s = 4*10*1/delta (no other clusters).
+        system = single_cluster_system(
+            0.01, nodes=2, tolerance=1, failover=10.0, failures=4.0
+        )
+        assert failover_downtime_probability(system) == pytest.approx(
+            4.0 * 10.0 * 1.0 / MINUTES_PER_YEAR
+        )
+
+    def test_yearly_failover_minutes(self):
+        system = single_cluster_system(
+            0.01, nodes=4, tolerance=1, failover=10.0, failures=6.0
+        )
+        cluster = system.cluster("c")
+        # f * t * (K - K-hat) = 6 * 10 * 3
+        assert cluster_yearly_failover_minutes(cluster) == pytest.approx(180.0)
+
+    def test_others_quiet_probability_excludes_self(self):
+        node = NodeSpec("n", 0.1, 4.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("ca", node, nodes=1)
+            .storage("cb", node, nodes=1)
+            .network("cc", node, nodes=1)
+            .build()
+        )
+        # For ca: product over cb, cc of (1-P)^(K-K-hat) = 0.9 * 0.9
+        assert others_quiet_probability(system, "ca") == pytest.approx(0.81)
+
+    def test_eq3_weighting_applied(self):
+        # Two clusters: one with HA and failovers, one bare and flaky.
+        ha_node = NodeSpec("ha", 0.01, 4.0)
+        flaky = NodeSpec("fl", 0.2, 4.0)
+        system = (
+            TopologyBuilder("s")
+            .compute(
+                "c", ha_node, nodes=2, standby_tolerance=1, failover_minutes=10.0
+            )
+            .storage("st", flaky, nodes=1)
+            .build()
+        )
+        raw = 4.0 * 10.0 * 1.0 / MINUTES_PER_YEAR
+        assert cluster_failover_downtime(system, "c") == pytest.approx(raw * 0.8)
+
+    def test_fs_sums_over_clusters(self):
+        node = NodeSpec("n", 0.01, 4.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("a", node, nodes=2, standby_tolerance=1, failover_minutes=5.0)
+            .storage("b", node, nodes=2, standby_tolerance=1, failover_minutes=3.0)
+            .build()
+        )
+        total = failover_downtime_probability(system)
+        parts = (
+            cluster_failover_downtime(system, "a")
+            + cluster_failover_downtime(system, "b")
+        )
+        assert total == pytest.approx(parts)

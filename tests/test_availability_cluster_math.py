@@ -1,0 +1,109 @@
+"""Per-cluster binomial math (the inner sum of Eq. 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.availability.cluster_math import (
+    active_nodes_up_probability,
+    binomial_pmf,
+    cluster_down_probability,
+    cluster_up_probability,
+    up_probability,
+)
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(k, 5, 0.3) for k in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_matches_closed_form(self):
+        # C(4,2) * 0.7^2 * 0.3^2 = 6 * 0.49 * 0.09
+        assert binomial_pmf(2, 4, 0.7) == pytest.approx(6 * 0.49 * 0.09)
+
+    def test_certain_success(self):
+        assert binomial_pmf(3, 3, 1.0) == 1.0
+
+    def test_certain_failure(self):
+        assert binomial_pmf(0, 3, 0.0) == 1.0
+
+    def test_rejects_successes_above_trials(self):
+        with pytest.raises(ValidationError):
+            binomial_pmf(4, 3, 0.5)
+
+    def test_rejects_negative_trials(self):
+        with pytest.raises(ValidationError):
+            binomial_pmf(0, -1, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            binomial_pmf(1, 2, 1.5)
+
+
+class TestUpProbability:
+    def test_single_node_no_tolerance(self):
+        # Cluster up iff its one node is up.
+        assert up_probability(1, 0, 0.02) == pytest.approx(0.98)
+
+    def test_all_nodes_needed(self):
+        # No tolerance: all 3 up -> (1-P)^3.
+        assert up_probability(3, 0, 0.01) == pytest.approx(0.99**3)
+
+    def test_mirrored_pair(self):
+        # RAID-1 pair: up unless both disks fail -> 1 - P^2.
+        assert up_probability(2, 1, 0.1) == pytest.approx(1 - 0.01)
+
+    def test_three_plus_one(self):
+        # The case study's compute shape: K=4, K-hat=1.
+        p = 0.0025
+        expected = (1 - p) ** 4 + 4 * (1 - p) ** 3 * p
+        assert up_probability(4, 1, p) == pytest.approx(expected)
+
+    def test_perfect_nodes(self):
+        assert up_probability(5, 2, 0.0) == 1.0
+
+    def test_tolerance_improves_availability(self):
+        base = up_probability(4, 0, 0.05)
+        tolerant = up_probability(4, 1, 0.05)
+        more_tolerant = up_probability(4, 2, 0.05)
+        assert base < tolerant < more_tolerant
+
+    def test_result_is_probability(self):
+        for tolerance in range(4):
+            value = up_probability(5, tolerance, 0.3)
+            assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValidationError):
+            up_probability(3, 3, 0.1)
+
+
+class TestClusterWrappers:
+    def test_cluster_up_probability_uses_spec(self):
+        node = NodeSpec("disk", 0.1, 4.0)
+        cluster = ClusterSpec(
+            "st", Layer.STORAGE, node, total_nodes=2,
+            standby_tolerance=1, failover_minutes=1.0,
+        )
+        assert cluster_up_probability(cluster) == pytest.approx(0.99)
+
+    def test_down_is_complement_of_up(self):
+        node = NodeSpec("disk", 0.07, 4.0)
+        cluster = ClusterSpec("st", Layer.STORAGE, node, total_nodes=3)
+        total = cluster_up_probability(cluster) + cluster_down_probability(cluster)
+        assert total == pytest.approx(1.0)
+
+    def test_active_nodes_up_probability(self):
+        node = NodeSpec("host", 0.02, 4.0)
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, node, total_nodes=4,
+            standby_tolerance=1, failover_minutes=5.0,
+        )
+        # (1-P)^(K - K-hat) = 0.98^3
+        assert active_nodes_up_probability(cluster) == pytest.approx(0.98**3)

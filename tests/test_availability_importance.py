@@ -1,0 +1,86 @@
+"""Cluster importance measures (Birnbaum, improvement potential, RAW)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.importance import importance_analysis
+from repro.errors import ValidationError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+from repro.workloads.case_study import case_study_base_system
+
+
+@pytest.fixture
+def system():
+    return (
+        TopologyBuilder("s")
+        .compute("solid", NodeSpec("a", 0.001, 4.0), nodes=1)
+        .storage("weak", NodeSpec("b", 0.05, 4.0), nodes=1)
+        .network("middling", NodeSpec("c", 0.01, 4.0), nodes=1)
+        .build()
+    )
+
+
+class TestImportance:
+    def test_covers_every_cluster(self, system):
+        report = importance_analysis(system)
+        assert {entry.name for entry in report.clusters} == {
+            "solid", "weak", "middling",
+        }
+
+    def test_birnbaum_is_product_of_others(self, system):
+        report = importance_analysis(system)
+        assert report.for_cluster("weak").birnbaum == pytest.approx(
+            0.999 * 0.99
+        )
+
+    def test_improvement_potential_formula(self, system):
+        # IP = (product of others) - (full product).
+        report = importance_analysis(system)
+        full = 0.999 * 0.95 * 0.99
+        assert report.for_cluster("weak").improvement_potential == pytest.approx(
+            0.999 * 0.99 - full
+        )
+
+    def test_weakest_cluster_is_most_critical(self, system):
+        report = importance_analysis(system)
+        assert report.most_critical().name == "weak"
+
+    def test_ranking_order(self, system):
+        report = importance_analysis(system)
+        names = [entry.name for entry in report.ranked_by_improvement()]
+        assert names == ["weak", "middling", "solid"]
+
+    def test_serial_raw_is_reciprocal_downtime(self, system):
+        report = importance_analysis(system)
+        downtime = 1.0 - report.system_availability
+        for entry in report.clusters:
+            assert entry.risk_achievement_worth == pytest.approx(1.0 / downtime)
+
+    def test_perfect_system_has_infinite_raw(self):
+        node = NodeSpec("n", 0.0, 0.0)
+        system = TopologyBuilder("p").compute("c", node, nodes=1).build()
+        report = importance_analysis(system)
+        assert report.clusters[0].risk_achievement_worth == float("inf")
+
+    def test_case_study_priority_is_storage(self):
+        # The case study's HA money goes to storage first — importance
+        # analysis independently agrees with the TCO optimization.
+        report = importance_analysis(case_study_base_system())
+        assert report.most_critical().name == "storage"
+
+    def test_unknown_cluster_raises(self, system):
+        with pytest.raises(ValidationError):
+            importance_analysis(system).for_cluster("nope")
+
+    def test_describe_ranks(self, system):
+        text = importance_analysis(system).describe()
+        assert text.index("weak") < text.index("solid")
+
+    def test_improvement_bounded_by_downtime(self, system):
+        # Perfecting one cluster cannot recover more than total downtime.
+        report = importance_analysis(system)
+        downtime = 1.0 - report.system_availability
+        for entry in report.clusters:
+            assert 0.0 <= entry.improvement_potential <= downtime + 1e-12

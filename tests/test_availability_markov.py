@@ -1,0 +1,151 @@
+"""Markov cluster model: exactness vs Eq. 2 and repair-crew effects."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.cluster_math import cluster_up_probability, up_probability
+from repro.availability.markov import (
+    MarkovClusterModel,
+    crew_size_penalty,
+    markov_cluster_up_probability,
+)
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec(
+        "c", Layer.COMPUTE, NodeSpec("h", 0.01, 6.0), total_nodes=4,
+        standby_tolerance=1, failover_minutes=5.0,
+    )
+
+
+class TestSteadyState:
+    def test_distribution_sums_to_one(self, cluster):
+        model = MarkovClusterModel.from_cluster(cluster)
+        assert sum(model.steady_state()) == pytest.approx(1.0)
+
+    def test_unlimited_crew_equals_binomial(self, cluster):
+        """c >= K reproduces Eq. 2's inner sum exactly."""
+        assert markov_cluster_up_probability(cluster) == pytest.approx(
+            cluster_up_probability(cluster), rel=1e-12
+        )
+
+    def test_unlimited_crew_matches_binomial_pointwise(self, cluster):
+        import math
+
+        model = MarkovClusterModel.from_cluster(cluster)
+        pi = model.steady_state()
+        p = cluster.node.down_probability
+        for j, probability in enumerate(pi):
+            binomial = (
+                math.comb(cluster.total_nodes, j)
+                * p**j
+                * (1 - p) ** (cluster.total_nodes - j)
+            )
+            assert probability == pytest.approx(binomial, rel=1e-9)
+
+    def test_single_repair_crew_is_worse(self, cluster):
+        assert markov_cluster_up_probability(cluster, 1) < (
+            markov_cluster_up_probability(cluster)
+        )
+
+    def test_crew_monotonicity(self, cluster):
+        values = [
+            markov_cluster_up_probability(cluster, crew)
+            for crew in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_crew_beyond_k_changes_nothing(self, cluster):
+        assert markov_cluster_up_probability(cluster, 4) == pytest.approx(
+            markov_cluster_up_probability(cluster, 10)
+        )
+
+    def test_never_failing_node(self):
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, NodeSpec("h", 0.0, 0.0), total_nodes=3
+        )
+        assert markov_cluster_up_probability(cluster, 1) == 1.0
+
+    def test_expected_down_nodes_scales_with_p(self):
+        def expected(p):
+            cluster = ClusterSpec(
+                "c", Layer.COMPUTE, NodeSpec("h", p, 6.0), total_nodes=4,
+                standby_tolerance=1, failover_minutes=5.0,
+            )
+            return MarkovClusterModel.from_cluster(cluster).expected_down_nodes()
+
+        assert expected(0.05) > expected(0.005)
+
+    def test_expected_down_nodes_binomial_mean(self, cluster):
+        # Unlimited crew: E[#down] = K * P.
+        model = MarkovClusterModel.from_cluster(cluster)
+        assert model.expected_down_nodes() == pytest.approx(4 * 0.01, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_bad_tolerance(self, cluster):
+        model = MarkovClusterModel.from_cluster(cluster)
+        with pytest.raises(ValidationError):
+            model.up_probability(4)
+
+    def test_rejects_zero_crew(self):
+        with pytest.raises(ValidationError):
+            MarkovClusterModel(4, 0.001, 0.1, repair_crew=0)
+
+    def test_rejects_zero_repair_rate(self):
+        with pytest.raises(ValidationError):
+            MarkovClusterModel(4, 0.001, 0.0, repair_crew=1)
+
+
+class TestCrewPenalty:
+    def test_penalty_non_negative(self, cluster):
+        for crew in (1, 2, 3):
+            assert crew_size_penalty(cluster, crew) >= 0.0
+
+    def test_penalty_vanishes_with_full_crew(self, cluster):
+        assert crew_size_penalty(cluster, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_penalty_decreasing_in_crew(self, cluster):
+        penalties = [crew_size_penalty(cluster, crew) for crew in (1, 2, 3)]
+        assert penalties == sorted(penalties, reverse=True)
+
+
+class TestMarkovBinomialEquivalenceProperty:
+    @given(
+        total=st.integers(min_value=1, max_value=8),
+        p=st.floats(min_value=1e-5, max_value=0.4),
+        failures=st.floats(min_value=0.5, max_value=24.0),
+    )
+    @settings(max_examples=150)
+    def test_unlimited_crew_equals_binomial_everywhere(self, total, p, failures):
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, NodeSpec("h", p, failures),
+            total_nodes=total,
+        )
+        for tolerance in range(total):
+            model = MarkovClusterModel.from_cluster(cluster)
+            assert model.up_probability(tolerance) == pytest.approx(
+                up_probability(total, tolerance, p), rel=1e-9
+            )
+
+    @given(
+        total=st.integers(min_value=2, max_value=8),
+        p=st.floats(min_value=1e-4, max_value=0.4),
+        crew=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_finite_crew_never_beats_unlimited(self, total, p, crew):
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, NodeSpec("h", p, 6.0), total_nodes=total,
+            standby_tolerance=1, failover_minutes=1.0,
+        )
+        assert markov_cluster_up_probability(cluster, crew) <= (
+            markov_cluster_up_probability(cluster) + 1e-12
+        )

@@ -1,0 +1,94 @@
+"""Top-level availability evaluation (Eq. 1 and 4) and DowntimeBudget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.breakdown import breakdown_downtime_probability
+from repro.availability.downtime import DowntimeBudget
+from repro.availability.failover import failover_downtime_probability
+from repro.availability.model import evaluate_availability, uptime_probability
+from repro.errors import ValidationError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def system():
+    host = NodeSpec("host", 0.01, 6.0)
+    disk = NodeSpec("disk", 0.02, 5.0)
+    return (
+        TopologyBuilder("s")
+        .compute("c", host, nodes=4, standby_tolerance=1, failover_minutes=10.0)
+        .storage("st", disk, nodes=2, standby_tolerance=1, failover_minutes=1.0)
+        .build()
+    )
+
+
+class TestEvaluate:
+    def test_ds_is_bs_plus_fs(self, system):
+        report = evaluate_availability(system)
+        assert report.downtime_probability == pytest.approx(
+            report.breakdown_probability + report.failover_probability
+        )
+
+    def test_us_is_complement(self, system):
+        report = evaluate_availability(system)
+        assert report.uptime_probability == pytest.approx(
+            1.0 - report.downtime_probability
+        )
+
+    def test_matches_component_functions(self, system):
+        report = evaluate_availability(system)
+        assert report.breakdown_probability == pytest.approx(
+            breakdown_downtime_probability(system)
+        )
+        assert report.failover_probability == pytest.approx(
+            failover_downtime_probability(system)
+        )
+
+    def test_per_cluster_entries_in_chain_order(self, system):
+        report = evaluate_availability(system)
+        assert [entry.name for entry in report.clusters] == ["c", "st"]
+
+    def test_cluster_up_and_breakdown_are_complements(self, system):
+        report = evaluate_availability(system)
+        for entry in report.clusters:
+            assert entry.up_probability + entry.breakdown_probability == pytest.approx(1.0)
+
+    def test_uptime_probability_shortcut(self, system):
+        assert uptime_probability(system) == pytest.approx(
+            evaluate_availability(system).uptime_probability
+        )
+
+    def test_describe_mentions_terms(self, system):
+        text = evaluate_availability(system).describe()
+        assert "B_s" in text and "F_s" in text
+
+
+class TestDowntimeBudget:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            DowntimeBudget(1.5)
+        with pytest.raises(ValidationError):
+            DowntimeBudget(-0.1)
+
+    def test_availability_complement(self):
+        assert DowntimeBudget(0.02).availability == pytest.approx(0.98)
+
+    def test_minutes_per_year(self):
+        assert DowntimeBudget(0.01).minutes_per_year == pytest.approx(5256.0)
+
+    def test_hours_per_month(self):
+        assert DowntimeBudget(0.01).hours_per_month == pytest.approx(7.3)
+
+    def test_nines(self):
+        assert DowntimeBudget(0.001).nines == pytest.approx(3.0)
+
+    def test_describe_contains_percentage(self):
+        assert "%" in DowntimeBudget(0.02).describe()
+
+    def test_report_budget_clamps_rounding(self, system):
+        report = evaluate_availability(system)
+        budget = report.budget
+        assert 0.0 <= budget.downtime_probability <= 1.0

@@ -1,0 +1,74 @@
+"""Sensitivity analysis of U_s to the broker-supplied inputs (§IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.sensitivity import sensitivity_analysis
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def system():
+    host = NodeSpec("host", 0.01, 6.0)
+    disk = NodeSpec("disk", 0.03, 5.0)
+    return (
+        TopologyBuilder("s")
+        .compute("c", host, nodes=4, standby_tolerance=1, failover_minutes=10.0)
+        .storage("st", disk, nodes=1)
+        .build()
+    )
+
+
+class TestSensitivity:
+    def test_report_covers_all_clusters(self, system):
+        report = sensitivity_analysis(system)
+        assert [entry.name for entry in report.clusters] == ["c", "st"]
+
+    def test_baseline_matches_model(self, system):
+        from repro.availability.model import evaluate_availability
+
+        report = sensitivity_analysis(system)
+        assert report.baseline_uptime == pytest.approx(
+            evaluate_availability(system).uptime_probability
+        )
+
+    def test_higher_down_probability_lowers_uptime(self, system):
+        report = sensitivity_analysis(system)
+        for entry in report.clusters:
+            assert entry.wrt_down_probability < 0.0
+
+    def test_failover_sensitivity_negative_for_ha_cluster(self, system):
+        report = sensitivity_analysis(system)
+        assert report.for_cluster("c").wrt_failover_minutes < 0.0
+
+    def test_failover_sensitivity_zero_without_ha(self, system):
+        report = sensitivity_analysis(system)
+        assert report.for_cluster("st").wrt_failover_minutes == 0.0
+
+    def test_failure_rate_sensitivity_zero_without_ha(self, system):
+        # f_i only enters U_s through F_s; a bare cluster has no failovers.
+        report = sensitivity_analysis(system)
+        assert report.for_cluster("st").wrt_failures_per_year == pytest.approx(0.0)
+
+    def test_bare_flaky_storage_dominated_by_p(self, system):
+        report = sensitivity_analysis(system)
+        assert report.for_cluster("st").dominant_input == "down_probability"
+
+    def test_unknown_cluster_raises(self, system):
+        report = sensitivity_analysis(system)
+        with pytest.raises(KeyError):
+            report.for_cluster("nope")
+
+    def test_describe_is_multiline(self, system):
+        text = sensitivity_analysis(system).describe()
+        assert text.count("\n") >= 2
+
+    def test_magnitude_ordering_matches_structure(self, system):
+        # The serial chain is far more sensitive to the unprotected flaky
+        # disk than to one host in a 3+1 cluster.
+        report = sensitivity_analysis(system)
+        assert abs(report.for_cluster("st").wrt_down_probability) > abs(
+            report.for_cluster("c").wrt_down_probability
+        )

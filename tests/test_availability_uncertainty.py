@@ -1,0 +1,204 @@
+"""Uncertainty propagation: delta method, TCO bands, confidence."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.availability.model import evaluate_availability
+from repro.availability.uncertainty import (
+    ClusterInputUncertainty,
+    propagate_uptime_uncertainty,
+    recommendation_confidence,
+    tco_band,
+)
+from repro.errors import ValidationError
+from repro.sla.contract import Contract
+from repro.topology.node import NodeSpec
+from repro.workloads.case_study import case_study_base_system
+
+
+@pytest.fixture
+def system():
+    return case_study_base_system()
+
+
+@pytest.fixture
+def uniform_uncertainty(system):
+    return {
+        name: ClusterInputUncertainty(sigma_down_probability=0.001)
+        for name in system.cluster_names
+    }
+
+
+class TestPropagation:
+    def test_zero_inputs_give_zero_stderr(self, system):
+        result = propagate_uptime_uncertainty(system, {})
+        assert result.uptime_stderr == 0.0
+        assert result.uptime_mean == pytest.approx(
+            evaluate_availability(system).uptime_probability
+        )
+
+    def test_stderr_positive_with_inputs(self, system, uniform_uncertainty):
+        result = propagate_uptime_uncertainty(system, uniform_uncertainty)
+        assert result.uptime_stderr > 0.0
+
+    def test_variance_decomposes(self, system, uniform_uncertainty):
+        result = propagate_uptime_uncertainty(system, uniform_uncertainty)
+        assert result.uptime_stderr**2 == pytest.approx(
+            sum(result.variance_by_cluster.values())
+        )
+
+    def test_more_input_error_more_output_error(self, system):
+        def stderr(sigma):
+            uncertainties = {
+                name: ClusterInputUncertainty(sigma_down_probability=sigma)
+                for name in system.cluster_names
+            }
+            return propagate_uptime_uncertainty(system, uncertainties).uptime_stderr
+
+        assert stderr(0.002) > stderr(0.0005)
+
+    def test_ci_brackets_mean(self, system, uniform_uncertainty):
+        result = propagate_uptime_uncertainty(system, uniform_uncertainty)
+        low, high = result.ci95
+        assert low <= result.uptime_mean <= high
+
+    def test_unknown_cluster_rejected(self, system):
+        with pytest.raises(ValidationError, match="unknown clusters"):
+            propagate_uptime_uncertainty(
+                system, {"mars": ClusterInputUncertainty()}
+            )
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterInputUncertainty(sigma_down_probability=-0.1)
+
+    def test_delta_method_matches_parameter_resampling(self, system):
+        """The first-order stderr agrees with brute-force resampling of
+        the inputs (the ground truth the delta method approximates)."""
+        sigma = 0.0015
+        uncertainties = {
+            "compute": ClusterInputUncertainty(sigma_down_probability=sigma)
+        }
+        predicted = propagate_uptime_uncertainty(system, uncertainties)
+
+        rng = random.Random(13)
+        node = system.cluster("compute").node
+        samples = []
+        for _ in range(4000):
+            perturbed = max(node.down_probability + rng.gauss(0.0, sigma), 0.0)
+            resampled = system.replace_cluster(
+                "compute",
+                system.cluster("compute").__class__(
+                    **{
+                        **{
+                            "name": "compute",
+                            "layer": system.cluster("compute").layer,
+                            "node": NodeSpec(
+                                node.kind, perturbed, node.failures_per_year,
+                                node.monthly_cost,
+                            ),
+                            "total_nodes": system.cluster("compute").total_nodes,
+                        },
+                    }
+                ),
+            )
+            samples.append(
+                evaluate_availability(resampled).uptime_probability
+            )
+        mean = sum(samples) / len(samples)
+        empirical = math.sqrt(
+            sum((x - mean) ** 2 for x in samples) / (len(samples) - 1)
+        )
+        assert predicted.uptime_stderr == pytest.approx(empirical, rel=0.1)
+
+    def test_dominant_cluster_identified(self, system):
+        uncertainties = {
+            "storage": ClusterInputUncertainty(sigma_down_probability=0.01),
+            "network": ClusterInputUncertainty(sigma_down_probability=0.0001),
+        }
+        result = propagate_uptime_uncertainty(system, uncertainties)
+        assert result.dominant_cluster == "storage"
+
+
+class TestTcoBand:
+    def test_band_ordering(self, system, uniform_uncertainty):
+        uncertainty = propagate_uptime_uncertainty(system, uniform_uncertainty)
+        band = tco_band(260.0, Contract.linear(98.0, 100.0), uncertainty)
+        assert band.tco_high_uptime <= band.tco_at_mean <= band.tco_low_uptime
+        assert band.spread >= 0.0
+
+    def test_sla_met_band_collapses(self, system):
+        # With uptime far above the SLA the whole CI pays no penalty.
+        uncertainty = propagate_uptime_uncertainty(system, {})
+        band = tco_band(100.0, Contract.linear(50.0, 100.0), uncertainty)
+        assert band.spread == 0.0
+        assert band.tco_at_mean == 100.0
+
+
+class TestRecommendationConfidence:
+    def test_huge_gap_is_certain(self):
+        assert recommendation_confidence(100.0, 1.0, 1000.0, 1.0) == (
+            pytest.approx(1.0, abs=1e-9)
+        )
+
+    def test_tie_with_noise_is_even(self):
+        assert recommendation_confidence(100.0, 5.0, 100.0, 5.0) == 0.5
+
+    def test_zero_noise_is_deterministic(self):
+        assert recommendation_confidence(100.0, 0.0, 200.0, 0.0) == 1.0
+        assert recommendation_confidence(200.0, 0.0, 100.0, 0.0) == 0.0
+        assert recommendation_confidence(100.0, 0.0, 100.0, 0.0) == 0.5
+
+    def test_symmetry(self):
+        forward = recommendation_confidence(100.0, 10.0, 130.0, 10.0)
+        backward = recommendation_confidence(130.0, 10.0, 100.0, 10.0)
+        assert forward + backward == pytest.approx(1.0)
+
+    def test_more_noise_less_confidence(self):
+        crisp = recommendation_confidence(100.0, 1.0, 150.0, 1.0)
+        noisy = recommendation_confidence(100.0, 100.0, 150.0, 100.0)
+        assert crisp > noisy > 0.5
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValidationError):
+            recommendation_confidence(1.0, -1.0, 2.0, 0.0)
+
+
+class TestEstimateStderrs:
+    def test_knowledge_base_exposes_stderrs(self):
+        from repro.broker.service import BrokerService
+        from repro.cloud.providers import metalcloud
+
+        broker = BrokerService((metalcloud(),))
+        broker.observe_provider("metalcloud", years=4.0, seed=43)
+        estimate = broker.knowledge_base.estimate("metalcloud", "volume")
+        assert estimate.down_probability_stderr > 0.0
+        assert estimate.failures_per_year_stderr > 0.0
+        assert estimate.failover_minutes_stderr > 0.0
+
+    def test_stderr_shrinks_with_observation(self):
+        from repro.broker.service import BrokerService
+        from repro.cloud.providers import metalcloud
+
+        def stderr(years):
+            broker = BrokerService((metalcloud(),))
+            broker.observe_provider("metalcloud", years=years, seed=47)
+            return broker.knowledge_base.estimate(
+                "metalcloud", "volume"
+            ).failures_per_year_stderr
+
+        assert stderr(20.0) < stderr(1.0)
+
+    def test_input_uncertainty_bridge(self):
+        from repro.broker.service import BrokerService
+        from repro.cloud.providers import metalcloud
+
+        broker = BrokerService((metalcloud(),))
+        broker.observe_provider("metalcloud", years=4.0, seed=53)
+        estimate = broker.knowledge_base.estimate("metalcloud", "vm")
+        record = estimate.input_uncertainty()
+        assert record.sigma_down_probability == estimate.down_probability_stderr

@@ -1,0 +1,107 @@
+"""Telemetry snapshots: JSON round-trips and restart survival."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.knowledge_base import KnowledgeBase
+from repro.broker.persistence import (
+    load_telemetry,
+    save_telemetry,
+    telemetry_from_dict,
+    telemetry_to_dict,
+)
+from repro.broker.service import BrokerService
+from repro.broker.telemetry import TelemetryStore
+from repro.cloud.providers import metalcloud
+from repro.errors import ValidationError
+from repro.units import MINUTES_PER_YEAR
+
+
+@pytest.fixture
+def populated_store() -> TelemetryStore:
+    store = TelemetryStore()
+    store.register_exposure("p", "vm", 10, 2 * MINUTES_PER_YEAR)
+    for _ in range(12):
+        store.record_failure("p", "vm")
+    store.record_outage("p", "vm", 480.0)
+    store.record_failover("p", "vm", 9.5)
+    store.record_failover("p", "vm", 10.5)
+    store.register_exposure("q", "volume", 5, MINUTES_PER_YEAR)
+    return store
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_estimates(self, populated_store):
+        restored = telemetry_from_dict(telemetry_to_dict(populated_store))
+        assert restored.down_probability("p", "vm") == (
+            populated_store.down_probability("p", "vm")
+        )
+        assert restored.failures_per_year("p", "vm") == (
+            populated_store.failures_per_year("p", "vm")
+        )
+        assert restored.failover_minutes("p", "vm") == (
+            populated_store.failover_minutes("p", "vm")
+        )
+
+    def test_roundtrip_preserves_all_components(self, populated_store):
+        restored = telemetry_from_dict(telemetry_to_dict(populated_store))
+        assert restored.observed_components() == (
+            populated_store.observed_components()
+        )
+
+    def test_file_roundtrip(self, populated_store, tmp_path):
+        path = tmp_path / "telemetry.json"
+        save_telemetry(populated_store, path)
+        restored = load_telemetry(path)
+        assert restored.exposure_years("p", "vm") == pytest.approx(20.0)
+
+    def test_snapshot_is_versioned(self, populated_store):
+        assert telemetry_to_dict(populated_store)["snapshot_version"] == 1
+
+    def test_rejects_unknown_version(self, populated_store):
+        payload = telemetry_to_dict(populated_store)
+        payload["snapshot_version"] = 42
+        with pytest.raises(ValidationError, match="snapshot_version"):
+            telemetry_from_dict(payload)
+
+    def test_rejects_negative_statistics(self, populated_store):
+        payload = telemetry_to_dict(populated_store)
+        payload["components"][0]["failures"] = -1
+        with pytest.raises(ValidationError, match="negative"):
+            telemetry_from_dict(payload)
+
+    def test_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="invalid telemetry"):
+            load_telemetry(path)
+
+
+class TestBrokerRestart:
+    def test_broker_resumes_from_snapshot(self, tmp_path):
+        """A broker restarted from a snapshot gives identical advice."""
+        first = BrokerService((metalcloud(),))
+        first.observe_provider("metalcloud", years=6.0, seed=61)
+        path = tmp_path / "telemetry.json"
+        save_telemetry(first.telemetry, path)
+
+        restarted = BrokerService((metalcloud(),), telemetry=load_telemetry(path))
+        original = KnowledgeBase(first.telemetry).estimate("metalcloud", "vm")
+        restored = restarted.knowledge_base.estimate("metalcloud", "vm")
+        assert restored.down_probability == original.down_probability
+        assert restored.failures_per_year == original.failures_per_year
+        assert restored.failover_minutes == original.failover_minutes
+
+    def test_snapshot_accumulates_across_sessions(self, tmp_path):
+        """Observe, snapshot, reload, observe more: exposure accumulates."""
+        path = tmp_path / "telemetry.json"
+        broker = BrokerService((metalcloud(),))
+        broker.observe_provider("metalcloud", years=2.0, seed=67)
+        save_telemetry(broker.telemetry, path)
+
+        resumed = BrokerService((metalcloud(),), telemetry=load_telemetry(path))
+        before = resumed.telemetry.exposure_years("metalcloud", "vm")
+        resumed.observe_provider("metalcloud", years=2.0, seed=71)
+        after = resumed.telemetry.exposure_years("metalcloud", "vm")
+        assert after == pytest.approx(2 * before)

@@ -1,0 +1,59 @@
+"""Report rendering: the paper-figure formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.reports import render_option_table, render_summary
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pruned import pruned_optimize
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.workloads.case_study import case_study_problem
+
+    return brute_force_optimize(case_study_problem())
+
+
+class TestOptionTable:
+    def test_one_row_per_option(self, result):
+        text = render_option_table(result)
+        # title + header + rule + 8 option rows.
+        assert len(text.splitlines()) == 11
+
+    def test_contains_key_columns(self, result):
+        text = render_option_table(result)
+        for column in ("U_s %", "C_HA/mo", "penalty/mo", "TCO/mo", "SLA"):
+            assert column in text
+
+    def test_meets_and_slips_marked(self, result):
+        text = render_option_table(result)
+        assert "meets" in text and "slips" in text
+
+    def test_custom_title(self, result):
+        assert render_option_table(result, title="XYZ").startswith("XYZ")
+
+    def test_pruned_result_notes_skips(self, paper_problem):
+        text = render_option_table(pruned_optimize(paper_problem))
+        assert "pruned without evaluation" in text
+
+    def test_unpruned_result_has_no_skip_note(self, result):
+        assert "pruned without evaluation" not in render_option_table(result)
+
+
+class TestSummary:
+    def test_reproduces_figure10_fields(self, result):
+        text = render_summary(result, result.option(8))
+        assert "as-is strategy" in text
+        assert "recommended (min TCO)" in text
+        assert "min-penalty option" in text
+        assert "savings vs as-is" in text
+
+    def test_savings_value_present(self, result):
+        text = render_summary(result, result.option(8))
+        assert "62.0%" in text
+
+    def test_custom_title(self, result):
+        text = render_summary(result, result.option(8), title="Fig. 10")
+        assert text.startswith("Fig. 10")

@@ -1,0 +1,138 @@
+"""TelemetryStore and KnowledgeBase: the broker's P/f/t database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.knowledge_base import KnowledgeBase
+from repro.broker.telemetry import TelemetryStore
+from repro.cloud.deployment import deploy_system
+from repro.cloud.faults import FaultInjector
+from repro.cloud.providers import metalcloud
+from repro.errors import InsufficientTelemetryError, ValidationError
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestTelemetryStore:
+    def test_exposure_required_for_estimates(self):
+        store = TelemetryStore()
+        store.record_failure("p", "vm")
+        with pytest.raises(InsufficientTelemetryError, match="exposure"):
+            store.down_probability("p", "vm")
+
+    def test_down_probability_is_down_over_exposure(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", node_count=10, horizon_minutes=1000.0)
+        store.record_outage("p", "vm", down_minutes=100.0)
+        assert store.down_probability("p", "vm") == pytest.approx(0.01)
+
+    def test_failures_per_year(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 1, MINUTES_PER_YEAR)
+        for _ in range(6):
+            store.record_failure("p", "vm")
+        assert store.failures_per_year("p", "vm") == pytest.approx(6.0)
+
+    def test_failover_minutes_is_mean(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 1, MINUTES_PER_YEAR)
+        store.record_failover("p", "vm", 8.0)
+        store.record_failover("p", "vm", 12.0)
+        assert store.failover_minutes("p", "vm") == pytest.approx(10.0)
+
+    def test_failover_without_samples_raises(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 1, MINUTES_PER_YEAR)
+        with pytest.raises(InsufficientTelemetryError, match="failover"):
+            store.failover_minutes("p", "vm")
+
+    def test_exposure_accumulates(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 2, MINUTES_PER_YEAR)
+        store.register_exposure("p", "vm", 3, MINUTES_PER_YEAR)
+        assert store.exposure_years("p", "vm") == pytest.approx(5.0)
+
+    def test_providers_kept_separate(self):
+        store = TelemetryStore()
+        store.register_exposure("a", "vm", 1, 1000.0)
+        store.register_exposure("b", "vm", 1, 1000.0)
+        store.record_outage("a", "vm", 100.0)
+        assert store.down_probability("a", "vm") == pytest.approx(0.1)
+        assert store.down_probability("b", "vm") == 0.0
+
+    def test_ingest_counts_events(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small")
+        events = FaultInjector(provider, seed=1).inject(
+            [vm], horizon_minutes=10 * MINUTES_PER_YEAR
+        )
+        store = TelemetryStore()
+        assert store.ingest(events) == len(events)
+
+    def test_validation_of_inputs(self):
+        store = TelemetryStore()
+        with pytest.raises(ValidationError):
+            store.register_exposure("p", "vm", 0, 100.0)
+        with pytest.raises(ValidationError):
+            store.register_exposure("p", "vm", 1, 0.0)
+        with pytest.raises(ValidationError):
+            store.record_outage("p", "vm", -1.0)
+        with pytest.raises(ValidationError):
+            store.record_failover("p", "vm", -1.0)
+
+    def test_observed_components_sorted(self):
+        store = TelemetryStore()
+        store.register_exposure("b", "vm", 1, 100.0)
+        store.register_exposure("a", "volume", 1, 100.0)
+        assert store.observed_components() == (("a", "volume"), ("b", "vm"))
+
+
+class TestKnowledgeBase:
+    def make_populated_store(self, years=10.0, fleet=20, seed=2):
+        provider = metalcloud()
+        deployment_resources = [
+            provider.provision_vm("bm.small") for _ in range(fleet)
+        ]
+        store = TelemetryStore()
+        store.register_exposure(
+            provider.name, "vm", fleet, years * MINUTES_PER_YEAR
+        )
+        events = FaultInjector(provider, seed=seed).inject(
+            deployment_resources, horizon_minutes=years * MINUTES_PER_YEAR
+        )
+        store.ingest(events)
+        return provider, store
+
+    def test_estimate_converges_to_ground_truth(self):
+        provider, store = self.make_populated_store(years=30.0, fleet=50)
+        estimate = KnowledgeBase(store).estimate(provider.name, "vm")
+        truth_p, truth_f, truth_t = provider.reliability.triple("vm")
+        assert estimate.down_probability == pytest.approx(truth_p, rel=0.15)
+        assert estimate.failures_per_year == pytest.approx(truth_f, rel=0.1)
+        assert estimate.failover_minutes == pytest.approx(truth_t, rel=0.1)
+
+    def test_min_failure_samples_enforced(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 1, MINUTES_PER_YEAR)
+        store.record_failure("p", "vm")
+        kb = KnowledgeBase(store, min_failure_samples=5)
+        with pytest.raises(InsufficientTelemetryError, match="at least 5"):
+            kb.estimate("p", "vm")
+
+    def test_node_spec_materialization(self):
+        provider, store = self.make_populated_store()
+        node = KnowledgeBase(store).node_spec(provider.name, "vm", monthly_cost=200.0)
+        assert node.kind == "vm"
+        assert node.monthly_cost == 200.0
+        assert 0.0 < node.down_probability < 0.01
+
+    def test_describe_includes_estimates(self):
+        provider, store = self.make_populated_store()
+        text = KnowledgeBase(store).describe()
+        assert "metalcloud/vm" in text
+
+    def test_describe_flags_insufficient_data(self):
+        store = TelemetryStore()
+        store.register_exposure("p", "vm", 1, 1000.0)
+        text = KnowledgeBase(store).describe()
+        assert "insufficient" in text

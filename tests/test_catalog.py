@@ -1,0 +1,218 @@
+"""HA technology catalog: every technology's shape and cost transform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.base import NoHA
+from repro.catalog.hypervisor import HypervisorHA
+from repro.catalog.multipath import StorageMultipath
+from repro.catalog.network import BGPDualCircuit, DualGateway
+from repro.catalog.os_cluster import OSCluster
+from repro.catalog.raid import RAID1, RAID5, RAID6, RAID10
+from repro.catalog.sds import SDSReplication
+from repro.errors import CatalogError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def compute_cluster():
+    return ClusterSpec(
+        "c", Layer.COMPUTE, NodeSpec("host", 0.01, 6.0, 300.0), total_nodes=3
+    )
+
+
+@pytest.fixture
+def storage_cluster():
+    return ClusterSpec(
+        "st", Layer.STORAGE, NodeSpec("disk", 0.02, 5.0, 100.0), total_nodes=1
+    )
+
+
+@pytest.fixture
+def multi_disk_cluster():
+    return ClusterSpec(
+        "st", Layer.STORAGE, NodeSpec("disk", 0.02, 5.0, 100.0), total_nodes=4
+    )
+
+
+@pytest.fixture
+def network_cluster():
+    return ClusterSpec(
+        "n", Layer.NETWORK, NodeSpec("gw", 0.005, 4.0, 150.0), total_nodes=1
+    )
+
+
+class TestNoHA:
+    def test_identity(self, compute_cluster):
+        assert NoHA().apply(compute_cluster) == compute_cluster
+
+    def test_applies_to_any_layer(self, storage_cluster, network_cluster):
+        assert NoHA().apply(storage_cluster) == storage_cluster
+        assert NoHA().apply(network_cluster) == network_cluster
+
+    def test_rejects_already_clustered(self, compute_cluster):
+        clustered = compute_cluster.with_ha(1, 5.0, "x", extra_nodes=1)
+        with pytest.raises(CatalogError):
+            NoHA().apply(clustered)
+
+
+class TestHypervisorHA:
+    def test_three_plus_one_shape(self, compute_cluster):
+        applied = HypervisorHA(standby_nodes=1, failover_minutes=10.0).apply(compute_cluster)
+        assert applied.total_nodes == 4
+        assert applied.standby_tolerance == 1
+        assert applied.active_nodes == 3
+        assert applied.failover_minutes == 10.0
+
+    def test_cost_includes_standby_and_licenses(self, compute_cluster):
+        tech = HypervisorHA(
+            standby_nodes=1, monthly_license_per_node=20.0, monthly_labor_hours=4.0
+        )
+        applied = tech.apply(compute_cluster)
+        # one standby host ($300) + 4 licenses ($80).
+        assert applied.monthly_ha_infra_cost == pytest.approx(380.0)
+        assert applied.monthly_ha_labor_hours == 4.0
+
+    def test_n_plus_two(self, compute_cluster):
+        applied = HypervisorHA(standby_nodes=2).apply(compute_cluster)
+        assert applied.total_nodes == 5
+        assert applied.standby_tolerance == 2
+
+    def test_wrong_layer_rejected(self, storage_cluster):
+        with pytest.raises(CatalogError, match="compute"):
+            HypervisorHA().apply(storage_cluster)
+
+    def test_rejects_zero_standby(self):
+        with pytest.raises(CatalogError):
+            HypervisorHA(standby_nodes=0)
+
+    def test_name_encodes_standby_count(self):
+        assert HypervisorHA(standby_nodes=2).name == "hypervisor-n+2"
+
+
+class TestRaid:
+    def test_raid1_mirrors_single_volume(self, storage_cluster):
+        applied = RAID1().apply(storage_cluster)
+        assert applied.total_nodes == 2
+        assert applied.standby_tolerance == 1
+
+    def test_raid1_triple_mirror(self, storage_cluster):
+        applied = RAID1(mirror_count=3).apply(storage_cluster)
+        assert applied.total_nodes == 3
+        assert applied.standby_tolerance == 2
+        assert applied.ha_technology == "raid-1x3"
+
+    def test_raid1_cost_is_extra_copies(self, storage_cluster):
+        applied = RAID1(monthly_controller_cost=30.0).apply(storage_cluster)
+        # one extra disk ($100) + controller ($30).
+        assert applied.monthly_ha_infra_cost == pytest.approx(130.0)
+
+    def test_raid5_adds_one_parity(self, multi_disk_cluster):
+        applied = RAID5().apply(multi_disk_cluster)
+        assert applied.total_nodes == 5
+        assert applied.standby_tolerance == 1
+
+    def test_raid6_adds_two_parity(self, multi_disk_cluster):
+        applied = RAID6().apply(multi_disk_cluster)
+        assert applied.total_nodes == 6
+        assert applied.standby_tolerance == 2
+
+    def test_raid6_rejects_single_disk(self, storage_cluster):
+        with pytest.raises(CatalogError, match="raid-1"):
+            RAID6().apply(storage_cluster)
+
+    def test_raid10_doubles_disks(self, multi_disk_cluster):
+        applied = RAID10().apply(multi_disk_cluster)
+        assert applied.total_nodes == 8
+        assert applied.standby_tolerance == 1  # conservative guarantee
+
+    def test_wrong_layer_rejected(self, compute_cluster):
+        with pytest.raises(CatalogError, match="storage"):
+            RAID1().apply(compute_cluster)
+
+    def test_rejects_single_mirror(self):
+        with pytest.raises(CatalogError):
+            RAID1(mirror_count=1)
+
+
+class TestNetwork:
+    def test_dual_gateway_pairs_up(self, network_cluster):
+        applied = DualGateway().apply(network_cluster)
+        assert applied.total_nodes == 2
+        assert applied.standby_tolerance == 1
+        assert applied.active_nodes == 1
+
+    def test_dual_gateway_cost(self, network_cluster):
+        applied = DualGateway(monthly_vip_cost=25.0).apply(network_cluster)
+        # one extra gateway ($150) + VIP ($25).
+        assert applied.monthly_ha_infra_cost == pytest.approx(175.0)
+
+    def test_bgp_prices_circuit_not_hardware(self, network_cluster):
+        applied = BGPDualCircuit(monthly_circuit_cost=300.0).apply(network_cluster)
+        assert applied.monthly_ha_infra_cost == pytest.approx(300.0)
+        assert applied.total_nodes == 2
+
+    def test_bgp_failover_slower_than_vrrp(self):
+        assert BGPDualCircuit().failover_minutes > DualGateway().failover_minutes
+
+    def test_wrong_layer_rejected(self, compute_cluster):
+        with pytest.raises(CatalogError):
+            DualGateway().apply(compute_cluster)
+
+
+class TestFutureWorkTechnologies:
+    def test_os_cluster_shape(self, compute_cluster):
+        applied = OSCluster(standby_nodes=1).apply(compute_cluster)
+        assert applied.total_nodes == 4
+        assert applied.standby_tolerance == 1
+
+    def test_os_cluster_slower_than_hypervisor(self):
+        assert OSCluster().failover_minutes > HypervisorHA().failover_minutes
+
+    def test_sds_replication_shape(self, storage_cluster):
+        applied = SDSReplication(replica_count=3).apply(storage_cluster)
+        assert applied.total_nodes == 3
+        assert applied.standby_tolerance == 2
+
+    def test_sds_rejects_single_replica(self):
+        with pytest.raises(CatalogError):
+            SDSReplication(replica_count=1)
+
+    def test_multipath_near_instant_failover(self, storage_cluster):
+        applied = StorageMultipath().apply(storage_cluster)
+        assert applied.failover_minutes < 1.0
+        assert applied.total_nodes == 2
+
+    def test_multipath_cost_is_ports_not_disks(self, storage_cluster):
+        applied = StorageMultipath(monthly_path_cost=40.0).apply(storage_cluster)
+        assert applied.monthly_ha_infra_cost == pytest.approx(40.0)
+
+
+class TestAvailabilityImprovement:
+    """Every technology must improve its cluster's breakdown availability."""
+
+    @pytest.mark.parametrize(
+        "technology,fixture_name",
+        [
+            (HypervisorHA(), "compute_cluster"),
+            (OSCluster(), "compute_cluster"),
+            (RAID1(), "storage_cluster"),
+            (RAID10(), "multi_disk_cluster"),
+            (RAID5(), "multi_disk_cluster"),
+            (RAID6(), "multi_disk_cluster"),
+            (SDSReplication(), "storage_cluster"),
+            (StorageMultipath(), "storage_cluster"),
+            (DualGateway(), "network_cluster"),
+            (BGPDualCircuit(), "network_cluster"),
+        ],
+        ids=lambda value: value.name if hasattr(value, "name") else value,
+    )
+    def test_up_probability_increases(self, technology, fixture_name, request):
+        from repro.availability.cluster_math import cluster_up_probability
+
+        cluster = request.getfixturevalue(fixture_name)
+        assert cluster_up_probability(technology.apply(cluster)) > (
+            cluster_up_probability(cluster)
+        )

@@ -1,0 +1,126 @@
+"""DR standby catalog entries and the broker portfolio view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.cluster_math import cluster_up_probability
+from repro.broker.portfolio import optimize_portfolio
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.catalog.dr import ColdStandby, WarmStandby
+from repro.catalog.hypervisor import HypervisorHA
+from repro.cloud.providers import all_providers
+from repro.errors import BrokerError, CatalogError
+from repro.sla.contract import Contract
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def compute_cluster():
+    return ClusterSpec(
+        "c", Layer.COMPUTE, NodeSpec("host", 0.004, 6.0, 400.0), total_nodes=2
+    )
+
+
+class TestDrStandbys:
+    def test_cold_standby_shape(self, compute_cluster):
+        applied = ColdStandby().apply(compute_cluster)
+        assert applied.total_nodes == 3
+        assert applied.standby_tolerance == 1
+        assert applied.failover_minutes == 45.0
+
+    def test_cold_cheaper_than_warm_cheaper_than_hot(self, compute_cluster):
+        cold = ColdStandby().apply(compute_cluster)
+        warm = WarmStandby().apply(compute_cluster)
+        hot = HypervisorHA(standby_nodes=1).apply(compute_cluster)
+        assert (
+            cold.monthly_ha_infra_cost
+            < warm.monthly_ha_infra_cost
+            < hot.monthly_ha_infra_cost
+        )
+
+    def test_takeover_speed_ordering(self, compute_cluster):
+        cold = ColdStandby().apply(compute_cluster)
+        warm = WarmStandby().apply(compute_cluster)
+        hot = HypervisorHA(standby_nodes=1).apply(compute_cluster)
+        assert cold.failover_minutes > warm.failover_minutes > hot.failover_minutes
+
+    def test_all_postures_improve_breakdown_availability(self, compute_cluster):
+        base = cluster_up_probability(compute_cluster)
+        for technology in (ColdStandby(), WarmStandby()):
+            assert cluster_up_probability(technology.apply(compute_cluster)) > base
+
+    def test_cost_factor_validation(self):
+        with pytest.raises(CatalogError, match="standby_cost_factor"):
+            ColdStandby(standby_cost_factor=1.5)
+
+    def test_compute_only(self):
+        storage = ClusterSpec(
+            "st", Layer.STORAGE, NodeSpec("disk", 0.01, 4.0), total_nodes=1
+        )
+        with pytest.raises(CatalogError):
+            WarmStandby().apply(storage)
+
+
+class TestPortfolio:
+    @pytest.fixture(scope="class")
+    def broker(self):
+        service = BrokerService(all_providers())
+        service.observe_all(years=5.0, seed=83)
+        return service
+
+    @pytest.fixture(scope="class")
+    def requests(self):
+        return [
+            three_tier_request(
+                Contract.linear(98.0, 100.0), system_name="retailer"
+            ),
+            three_tier_request(
+                Contract.linear(99.0, 400.0), system_name="bank",
+                compute_nodes=4,
+            ),
+            three_tier_request(
+                Contract.linear(95.0, 25.0), system_name="batch-shop"
+            ),
+        ]
+
+    def test_one_outcome_per_customer(self, broker, requests):
+        report = optimize_portfolio(broker, requests)
+        assert [o.request_name for o in report.outcomes] == [
+            "retailer", "bank", "batch-shop",
+        ]
+
+    def test_totals_aggregate(self, broker, requests):
+        report = optimize_portfolio(broker, requests)
+        assert report.total_recommended == pytest.approx(
+            sum(o.recommended_tco for o in report.outcomes)
+        )
+        assert report.total_savings == pytest.approx(
+            report.total_ad_hoc - report.total_recommended
+        )
+
+    def test_savings_non_negative_per_customer(self, broker, requests):
+        # The recommendation is TCO-minimal, so it can never cost more
+        # than the ad-hoc (most-clustered) posture.
+        report = optimize_portfolio(broker, requests)
+        for outcome in report.outcomes:
+            assert outcome.monthly_savings >= -1e-9
+
+    def test_strict_customer_saves_the_smallest_fraction(self, broker, requests):
+        # The 99%/$400 customer genuinely needs heavy HA, so the ad-hoc
+        # posture wastes the least on them; lenient customers save more.
+        report = optimize_portfolio(broker, requests)
+        fractions = {o.request_name: o.savings_fraction for o in report.outcomes}
+        assert fractions["bank"] == min(fractions.values())
+        assert fractions["retailer"] > fractions["bank"]
+        assert fractions["batch-shop"] > fractions["bank"]
+
+    def test_empty_portfolio_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            optimize_portfolio(broker, [])
+
+    def test_describe_has_total_line(self, broker, requests):
+        text = optimize_portfolio(broker, requests).describe()
+        assert "TOTAL:" in text

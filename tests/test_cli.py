@@ -1,0 +1,137 @@
+"""CLI: every subcommand runs and prints what it promises."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.formatting import render_table
+from repro.cli.main import build_parser, main
+from repro.topology.serialization import system_to_json
+from repro.workloads.case_study import case_study_base_system
+
+
+@pytest.fixture
+def topology_file(tmp_path):
+    path = tmp_path / "system.json"
+    path.write_text(system_to_json(case_study_base_system()))
+    return path
+
+
+class TestFormatting:
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_render_table_empty_rows(self):
+        text = render_table(("x",), [])
+        assert "x" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for args in (
+            ["case-study"],
+            ["evaluate", "f.json"],
+            ["simulate", "f.json"],
+            ["recommend"],
+            ["sweep"],
+            ["scenario", "ecommerce"],
+        ):
+            assert parser.parse_args(args).command == args[0]
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "bogus"])
+
+
+class TestCommands:
+    def test_case_study_prints_summary(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "savings vs as-is" in out
+        assert "62" in out
+        assert "clipped #8" in out
+
+    def test_evaluate_topology_file(self, capsys, topology_file):
+        assert main(["evaluate", str(topology_file)]) == 0
+        out = capsys.readouterr().out
+        assert "B_s" in out and "F_s" in out
+
+    def test_simulate_topology_file(self, capsys, topology_file):
+        assert main([
+            "simulate", str(topology_file),
+            "--replications", "5", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulated U_s" in out
+
+    def test_sweep_prints_rows_per_rate(self, capsys):
+        assert main(["sweep", "--rates", "0", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "$0" in out and "$100" in out
+
+    def test_scenario_runs(self, capsys):
+        assert main(["scenario", "analytics"]) == 0
+        assert "recommended" in capsys.readouterr().out
+
+    def test_recommend_with_tiny_observation(self, capsys):
+        assert main([
+            "recommend", "--observe-years", "2",
+            "--seed", "5", "--sla", "98", "--penalty", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "place on" in out
+
+    def test_evaluate_bad_json_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["evaluate", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_advise_from_default_as_is(self, capsys):
+        assert main(["advise"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+        assert "compute" in out
+
+    def test_advise_with_migration_cost(self, capsys):
+        assert main(["advise", "--migration-cost", "120000"]) == 0
+        assert "stay put" in capsys.readouterr().out
+
+    def test_advise_unknown_technology_is_clean_error(self, capsys):
+        assert main(["advise", "--current", "warp", "raid-1", "none"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compliance_settles_months(self, capsys):
+        assert main([
+            "compliance", "--option", "3", "--years", "2", "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Jensen gap" in out
+        assert "24 settled months" in out
+
+    def test_importance_default_case_study(self, capsys):
+        assert main(["importance"]) == 0
+        out = capsys.readouterr().out
+        assert "priority: protect 'storage'" in out
+
+    def test_importance_from_file(self, capsys, topology_file):
+        assert main(["importance", str(topology_file)]) == 0
+        assert "Birnbaum" in capsys.readouterr().out
+
+    def test_pareto_lists_frontier(self, capsys):
+        assert main(["pareto"]) == 0
+        out = capsys.readouterr().out
+        assert "#1 no HA" in out
+        assert "#8" in out
+        assert "#4" not in out  # dominated option stays off the frontier

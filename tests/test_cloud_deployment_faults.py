@@ -1,0 +1,152 @@
+"""Deployments and fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.deployment import default_sku, deploy_system, hybrid_deploy
+from repro.cloud.events import ResourceEventKind
+from repro.cloud.faults import FaultInjector
+from repro.cloud.provider import ResourceKind
+from repro.cloud.providers import cumulus, metalcloud, stratus
+from repro.errors import CloudError
+from repro.topology.cluster import Layer
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestDefaultSku:
+    def test_middle_of_catalog(self):
+        provider = metalcloud()
+        assert default_sku(provider, Layer.COMPUTE) == "bm.medium"
+        assert default_sku(provider, Layer.STORAGE) == "ssd.500"
+        assert default_sku(provider, Layer.NETWORK) == "gw.10g"
+
+    def test_other_layer_uses_compute_catalog(self):
+        assert default_sku(metalcloud(), Layer.OTHER) == "bm.medium"
+
+
+class TestDeploySystem:
+    def test_one_resource_per_node(self, three_tier):
+        provider = metalcloud()
+        deployment = deploy_system(three_tier, provider)
+        assert len(deployment.cluster_resources("compute")) == 3
+        assert len(deployment.cluster_resources("storage")) == 1
+        assert len(deployment.cluster_resources("network")) == 1
+
+    def test_layers_map_to_resource_kinds(self, three_tier):
+        deployment = deploy_system(three_tier, metalcloud())
+        assert all(
+            r.kind is ResourceKind.VM
+            for r in deployment.cluster_resources("compute")
+        )
+        assert deployment.cluster_resources("storage")[0].kind is ResourceKind.VOLUME
+        assert deployment.cluster_resources("network")[0].kind is ResourceKind.GATEWAY
+
+    def test_monthly_cost_matches_provider_spend(self, three_tier):
+        provider = metalcloud()
+        deployment = deploy_system(three_tier, provider)
+        assert deployment.monthly_infra_cost == pytest.approx(provider.monthly_spend())
+
+    def test_teardown_deletes_everything(self, three_tier):
+        provider = metalcloud()
+        deployment = deploy_system(three_tier, provider)
+        assert deployment.teardown() == 5
+        assert provider.monthly_spend() == 0.0
+        assert deployment.monthly_infra_cost == 0.0
+
+    def test_resources_tagged_with_cluster(self, three_tier):
+        deployment = deploy_system(three_tier, metalcloud())
+        for resource in deployment.cluster_resources("compute"):
+            assert resource.tags["cluster"] == "compute"
+
+    def test_unknown_cluster_lookup(self, three_tier):
+        deployment = deploy_system(three_tier, metalcloud())
+        with pytest.raises(CloudError):
+            deployment.cluster_resources("nope")
+
+
+class TestHybridDeploy:
+    def test_spreads_clusters_across_providers(self, three_tier):
+        providers = {
+            "compute": stratus(),
+            "storage": metalcloud(),
+            "network": cumulus(),
+        }
+        deployment = hybrid_deploy(three_tier, providers)
+        assert deployment.provider_for("compute").name == "stratus"
+        assert deployment.provider_for("storage").name == "metalcloud"
+        assert deployment.provider_for("network").name == "cumulus"
+
+    def test_missing_placement_rejected(self, three_tier):
+        with pytest.raises(CloudError, match="missing"):
+            hybrid_deploy(three_tier, {"compute": metalcloud()})
+
+    def test_describe_names_providers(self, three_tier):
+        providers = {
+            "compute": stratus(),
+            "storage": metalcloud(),
+            "network": cumulus(),
+        }
+        text = hybrid_deploy(three_tier, providers).describe()
+        assert "stratus" in text and "metalcloud" in text
+
+
+class TestFaultInjector:
+    @pytest.fixture
+    def deployment(self, three_tier):
+        return deploy_system(three_tier, metalcloud())
+
+    def test_deterministic_with_seed(self, deployment):
+        a = FaultInjector(deployment.provider_for("compute"), seed=5).inject(
+            deployment.all_resources(), horizon_minutes=MINUTES_PER_YEAR
+        )
+        b = FaultInjector(deployment.provider_for("compute"), seed=5).inject(
+            deployment.all_resources(), horizon_minutes=MINUTES_PER_YEAR
+        )
+        assert a == b
+
+    def test_events_sorted_by_time(self, deployment):
+        events = FaultInjector(metalcloud(), seed=6).inject(
+            deployment.all_resources(), horizon_minutes=MINUTES_PER_YEAR
+        )
+        times = [event.time_minutes for event in events]
+        assert times == sorted(times)
+
+    def test_failures_paired_with_repairs(self, deployment):
+        events = FaultInjector(metalcloud(), seed=7).inject(
+            deployment.all_resources(), horizon_minutes=5 * MINUTES_PER_YEAR
+        )
+        failures = sum(1 for e in events if e.kind is ResourceEventKind.FAILURE)
+        repairs = sum(1 for e in events if e.kind is ResourceEventKind.REPAIR)
+        assert failures == repairs > 0
+
+    def test_ha_protected_emits_failovers(self, deployment):
+        events = FaultInjector(metalcloud(), seed=8).inject(
+            deployment.all_resources(), horizon_minutes=5 * MINUTES_PER_YEAR
+        )
+        failovers = [e for e in events if e.kind is ResourceEventKind.FAILOVER]
+        assert failovers
+        assert all(e.duration_minutes > 0 for e in failovers)
+
+    def test_unprotected_fleet_has_no_failovers(self, deployment):
+        events = FaultInjector(metalcloud(), seed=9).inject(
+            deployment.all_resources(),
+            horizon_minutes=5 * MINUTES_PER_YEAR,
+            ha_protected=False,
+        )
+        assert not any(e.kind is ResourceEventKind.FAILOVER for e in events)
+
+    def test_failure_rate_roughly_matches_ground_truth(self, deployment):
+        # 3 VMs x 6 failures/yr x 10 yrs = ~180 VM failures expected.
+        vms = [r for r in deployment.all_resources() if r.kind is ResourceKind.VM]
+        events = FaultInjector(metalcloud(), seed=10).inject(
+            vms, horizon_minutes=10 * MINUTES_PER_YEAR
+        )
+        failures = sum(1 for e in events if e.kind is ResourceEventKind.FAILURE)
+        assert 120 <= failures <= 250
+
+    def test_rejects_nonpositive_horizon(self, deployment):
+        with pytest.raises(CloudError):
+            FaultInjector(metalcloud(), seed=11).inject(
+                deployment.all_resources(), horizon_minutes=0.0
+            )

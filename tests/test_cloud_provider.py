@@ -1,0 +1,174 @@
+"""Simulated cloud providers: catalogs, provisioning lifecycle, failure hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.instance_types import GatewayType, InstanceType, VolumeType
+from repro.cloud.provider import ResourceKind, ResourceState
+from repro.cloud.providers import all_providers, cumulus, metalcloud, stratus
+from repro.errors import CloudError, ProvisioningError, ResourceNotFoundError, ValidationError
+
+
+class TestSkuValidation:
+    def test_instance_type_rejects_zero_vcpus(self):
+        with pytest.raises(ValidationError):
+            InstanceType("x", vcpus=0, memory_gb=1.0, monthly_price=1.0)
+
+    def test_volume_type_rejects_zero_size(self):
+        with pytest.raises(ValidationError):
+            VolumeType("x", size_gb=0, iops=100, monthly_price=1.0)
+
+    def test_gateway_type_rejects_zero_throughput(self):
+        with pytest.raises(ValidationError):
+            GatewayType("x", throughput_gbps=0.0, monthly_price=1.0)
+
+
+class TestRateCard:
+    def test_lookup_by_name(self):
+        card = metalcloud().rate_card
+        assert card.instance_type("bm.medium").monthly_price == 330.0
+        assert card.volume_type("ssd.500").monthly_price == 170.0
+        assert card.gateway_type("gw.1g").monthly_price == 190.0
+
+    def test_unknown_sku_lists_available(self):
+        with pytest.raises(CloudError, match="available"):
+            metalcloud().rate_card.instance_type("nope")
+
+    def test_addon_with_default(self):
+        card = metalcloud().rate_card
+        assert card.addon("raid-controller") == 30.0
+        assert card.addon("unknown-addon", default=7.0) == 7.0
+
+    def test_addon_without_default_raises(self):
+        with pytest.raises(CloudError, match="known"):
+            metalcloud().rate_card.addon("unknown-addon")
+
+
+class TestProvisioning:
+    def test_vm_lifecycle(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.medium")
+        assert vm.state is ResourceState.RUNNING
+        assert vm.kind is ResourceKind.VM
+        provider.deprovision(vm.resource_id)
+        assert provider.get(vm.resource_id).state is ResourceState.DELETED
+
+    def test_ids_are_unique(self):
+        provider = metalcloud()
+        ids = {provider.provision_vm("bm.small").resource_id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_tags_stored(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small", cluster="compute")
+        assert vm.tags == {"cluster": "compute"}
+
+    def test_region_validation(self):
+        provider = metalcloud()
+        with pytest.raises(ProvisioningError, match="region"):
+            provider.provision_vm("bm.small", region="mars-1")
+
+    def test_default_region_is_first(self):
+        provider = metalcloud()
+        assert provider.provision_vm("bm.small").region == "dal10"
+
+    def test_capacity_enforced(self):
+        provider = stratus()
+        provider.capacity_per_region = 2
+        provider.provision_vm("c.small")
+        provider.provision_vm("c.small")
+        with pytest.raises(ProvisioningError, match="capacity"):
+            provider.provision_vm("c.small")
+
+    def test_deprovision_frees_capacity(self):
+        provider = stratus()
+        provider.capacity_per_region = 1
+        vm = provider.provision_vm("c.small")
+        provider.deprovision(vm.resource_id)
+        provider.provision_vm("c.small")  # no raise
+
+    def test_double_delete_rejected(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small")
+        provider.deprovision(vm.resource_id)
+        with pytest.raises(CloudError, match="already deleted"):
+            provider.deprovision(vm.resource_id)
+
+    def test_unknown_resource(self):
+        with pytest.raises(ResourceNotFoundError):
+            metalcloud().get("nope-1")
+
+    def test_monthly_spend_tracks_live_resources(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.medium")
+        provider.provision_volume("ssd.500")
+        assert provider.monthly_spend() == pytest.approx(500.0)
+        provider.deprovision(vm.resource_id)
+        assert provider.monthly_spend() == pytest.approx(170.0)
+
+    def test_list_filters(self):
+        provider = metalcloud()
+        provider.provision_vm("bm.small")
+        volume = provider.provision_volume("ssd.250")
+        provider.deprovision(volume.resource_id)
+        assert len(provider.list_resources(kind=ResourceKind.VM)) == 1
+        assert len(provider.list_resources(state=ResourceState.DELETED)) == 1
+
+
+class TestFailureHooks:
+    def test_fail_and_repair(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small")
+        provider.mark_failed(vm.resource_id)
+        assert provider.get(vm.resource_id).state is ResourceState.FAILED
+        provider.mark_repaired(vm.resource_id)
+        assert provider.get(vm.resource_id).state is ResourceState.RUNNING
+
+    def test_cannot_fail_deleted_resource(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small")
+        provider.deprovision(vm.resource_id)
+        with pytest.raises(CloudError):
+            provider.mark_failed(vm.resource_id)
+
+    def test_cannot_repair_running_resource(self):
+        provider = metalcloud()
+        vm = provider.provision_vm("bm.small")
+        with pytest.raises(CloudError):
+            provider.mark_repaired(vm.resource_id)
+
+
+class TestBuiltInProviders:
+    def test_three_distinct_providers(self):
+        names = {provider.name for provider in all_providers()}
+        assert names == {"metalcloud", "stratus", "cumulus"}
+
+    def test_reliability_ordering(self):
+        # stratus (premium) beats metalcloud beats cumulus on every kind.
+        premium, baseline, budget = stratus(), metalcloud(), cumulus()
+        for kind in ("vm", "volume", "gateway"):
+            assert (
+                premium.reliability.triple(kind)[0]
+                < baseline.reliability.triple(kind)[0]
+                < budget.reliability.triple(kind)[0]
+            )
+
+    def test_price_ordering(self):
+        # Mid-size compute: premium > baseline > budget.
+        premium = stratus().rate_card.instance_types[1].monthly_price
+        baseline = metalcloud().rate_card.instance_types[1].monthly_price
+        budget = cumulus().rate_card.instance_types[1].monthly_price
+        assert premium > baseline > budget
+
+    def test_metalcloud_matches_case_study_ground_truth(self):
+        from repro.workloads import case_study
+
+        reliability = metalcloud().reliability
+        assert reliability.triple("vm")[0] == case_study.COMPUTE_NODE.down_probability
+        assert reliability.triple("volume")[0] == case_study.STORAGE_NODE.down_probability
+        assert reliability.triple("gateway")[0] == case_study.NETWORK_NODE.down_probability
+
+    def test_unknown_reliability_kind(self):
+        with pytest.raises(CloudError, match="known"):
+            metalcloud().reliability.triple("mainframe")

@@ -1,0 +1,74 @@
+"""Exception hierarchy and seeded-randomness helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import errors
+from repro.rng import DEFAULT_SEED, make_rng, spawn
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ValidationError",
+            "TopologyError",
+            "CatalogError",
+            "OptimizerError",
+            "CloudError",
+            "ProvisioningError",
+            "ResourceNotFoundError",
+            "BrokerError",
+            "InsufficientTelemetryError",
+            "SimulationError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError), name
+
+    def test_validation_error_is_value_error(self):
+        # Callers using stdlib idioms still catch our validation errors.
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(errors.CatalogError, KeyError)
+        assert issubclass(errors.ResourceNotFoundError, KeyError)
+
+    def test_topology_error_is_validation_error(self):
+        assert issubclass(errors.TopologyError, errors.ValidationError)
+
+    def test_cloud_error_family(self):
+        assert issubclass(errors.ProvisioningError, errors.CloudError)
+        assert issubclass(errors.ResourceNotFoundError, errors.CloudError)
+
+    def test_one_except_clause_catches_all(self):
+        try:
+            raise errors.InsufficientTelemetryError("no data")
+        except errors.ReproError as exc:
+            assert "no data" in str(exc)
+
+
+class TestRng:
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).random() == random.Random(DEFAULT_SEED).random()
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_existing_rng_passes_through(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+    def test_spawn_is_deterministic(self):
+        a = spawn(random.Random(5))
+        b = spawn(random.Random(5))
+        assert a.random() == b.random()
+
+    def test_spawn_children_independent_of_order(self):
+        parent = random.Random(9)
+        first, second = spawn(parent), spawn(parent)
+        assert first.random() != second.random()
+
+    def test_default_seed_is_fixed_constant(self):
+        # Examples and benches rely on run-to-run identical output.
+        assert DEFAULT_SEED == 20170612

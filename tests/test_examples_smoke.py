@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  The slower broker examples run with reduced parameters via
+environment-free execution, so this module just runs each script in a
+subprocess and checks for a zero exit and non-trivial output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+#: Expected fragments proving each example did its real work.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Deploy #3 HA: storage",
+    "case_study_softlayer.py": "savings vs as-is",
+    "hybrid_brokerage.py": "Placement:",
+    "monte_carlo_validation.py": "worst |analytic - simulated| gap",
+    "penalty_sensitivity.py": "Penalty *shape* also matters",
+    "sla_compliance.py": "Jensen gap",
+    "upgrade_advisor.py": "the paper's recommendation",
+    "parallel_paths.py": "parallel gain",
+    "broker_portfolio.py": "TOTAL:",
+}
+
+
+def test_every_example_is_covered():
+    """Adding an example without a smoke test should fail loudly."""
+    assert set(ALL_EXAMPLES) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in completed.stdout

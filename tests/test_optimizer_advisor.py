@@ -1,0 +1,98 @@
+"""Upgrade advisor: marginal single-cluster moves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.advisor import advise_upgrades
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.workloads.case_study import case_study_problem
+
+#: The case study's deployed (ad-hoc, all-HA) configuration.
+AS_IS = ("hypervisor-n+1", "raid-1", "dual-gateway")
+#: The paper's recommended configuration.
+RECOMMENDED = ("none", "raid-1", "none")
+
+
+class TestAdviseUpgrades:
+    def test_current_option_evaluated_correctly(self, paper_problem):
+        advice = advise_upgrades(paper_problem, AS_IS)
+        reference = brute_force_optimize(paper_problem).option(8)
+        assert advice.current.tco.total == pytest.approx(reference.tco.total)
+
+    def test_one_move_per_cluster_alternative(self, paper_problem):
+        # k=2 per cluster: each cluster has exactly one alternative.
+        advice = advise_upgrades(paper_problem, AS_IS)
+        assert len(advice.moves) == 3
+
+    def test_moves_sorted_by_value(self, paper_problem):
+        advice = advise_upgrades(paper_problem, AS_IS)
+        deltas = [move.total_monthly_delta for move in advice.moves]
+        assert deltas == sorted(deltas)
+
+    def test_from_overbuilt_all_moves_save_money(self, paper_problem):
+        # The as-is deployment is over-engineered: dropping any layer's
+        # HA still meets or nearly meets the SLA and reduces TCO.
+        advice = advise_upgrades(paper_problem, AS_IS)
+        assert advice.best_move is not None
+        assert advice.best_move.monthly_delta < 0.0
+
+    def test_best_single_move_from_as_is_drops_compute(self, paper_problem):
+        # Dropping the expensive compute HA recovers $500/month.
+        advice = advise_upgrades(paper_problem, AS_IS)
+        assert advice.best_move.cluster_name == "compute"
+        assert advice.best_move.to_technology == "none"
+
+    def test_optimum_is_a_local_optimum(self, paper_problem):
+        # From the paper's recommendation, no single move pays off.
+        advice = advise_upgrades(paper_problem, RECOMMENDED)
+        assert advice.best_move is None
+        assert all(move.total_monthly_delta >= 0.0 for move in advice.moves)
+
+    def test_migration_cost_discourages_marginal_moves(self, paper_problem):
+        free = advise_upgrades(paper_problem, AS_IS, migration_cost=0.0)
+        taxed = advise_upgrades(
+            paper_problem, AS_IS, migration_cost=120_000.0,
+            amortization_months=12,
+        )
+        # $10k/month amortized swamps every saving.
+        assert free.best_move is not None
+        assert taxed.best_move is None
+
+    def test_amortization_spreads_cost(self, paper_problem):
+        advice = advise_upgrades(
+            paper_problem, AS_IS, migration_cost=1200.0, amortization_months=12
+        )
+        assert advice.moves[0].amortized_migration_cost == pytest.approx(100.0)
+
+    def test_unknown_technology_rejected(self, paper_problem):
+        with pytest.raises(OptimizerError, match="unknown technology"):
+            advise_upgrades(paper_problem, ("warp-drive", "raid-1", "none"))
+
+    def test_wrong_arity_rejected(self, paper_problem):
+        with pytest.raises(OptimizerError, match="choice names"):
+            advise_upgrades(paper_problem, ("none", "none"))
+
+    def test_zero_amortization_rejected(self, paper_problem):
+        with pytest.raises(OptimizerError):
+            advise_upgrades(
+                paper_problem, AS_IS, migration_cost=100.0, amortization_months=0
+            )
+
+    def test_describe_flags_recommendation(self, paper_problem):
+        text = advise_upgrades(paper_problem, AS_IS).describe()
+        assert "recommendation:" in text
+
+    def test_greedy_walk_reaches_global_optimum(self, paper_problem):
+        """Following best single moves from the as-is deployment reaches
+        the paper's recommended option (a nice structural property of
+        this problem instance, not a general theorem)."""
+        reference = brute_force_optimize(paper_problem).best
+        current = AS_IS
+        for _ in range(4):
+            advice = advise_upgrades(paper_problem, current)
+            if advice.best_move is None:
+                break
+            current = advice.best_move.option.choice_names
+        assert current == reference.choice_names

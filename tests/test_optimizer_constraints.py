@@ -1,0 +1,84 @@
+"""Constrained optimization: budgets and uptime floors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.constraints import constrained_optimize, is_feasible
+
+
+class TestFeasibility:
+    def test_budget_filter(self, paper_problem):
+        sweep = brute_force_optimize(paper_problem)
+        option8 = sweep.option(8)
+        assert not is_feasible(option8, max_ha_budget=500.0)
+        assert is_feasible(option8, max_ha_budget=2000.0)
+
+    def test_uptime_filter(self, paper_problem):
+        sweep = brute_force_optimize(paper_problem)
+        assert not is_feasible(sweep.option(1), min_uptime=0.99)
+        assert is_feasible(sweep.option(8), min_uptime=0.99)
+
+    def test_no_constraints_is_always_feasible(self, paper_problem):
+        sweep = brute_force_optimize(paper_problem)
+        assert all(is_feasible(option) for option in sweep.options)
+
+
+class TestConstrainedOptimize:
+    def test_unconstrained_matches_eq6(self, paper_problem):
+        result = constrained_optimize(paper_problem)
+        assert result.best.option_id == 3
+        assert result.constraint_cost == 0.0
+
+    def test_budget_excludes_expensive_options(self, paper_problem):
+        result = constrained_optimize(paper_problem, max_ha_budget=300.0)
+        ids = {option.option_id for option in result.feasible}
+        # Only no-HA, network-only and storage-only fit under $300.
+        assert ids == {1, 2, 3}
+        assert result.best.option_id == 3
+
+    def test_tiny_budget_forces_no_ha(self, paper_problem):
+        result = constrained_optimize(paper_problem, max_ha_budget=0.0)
+        assert result.best.option_id == 1
+        assert result.constraint_cost > 0.0
+
+    def test_uptime_floor_overrides_tco(self, paper_problem):
+        # Demanding 99% uptime forces past the free optimum (#3 at 97.8%).
+        result = constrained_optimize(paper_problem, min_uptime=0.99)
+        assert result.best.option_id == 5
+        assert result.constraint_cost == pytest.approx(540.0 - 395.35, abs=0.01)
+
+    def test_extreme_floor_forces_all_ha(self, paper_problem):
+        result = constrained_optimize(paper_problem, min_uptime=0.995)
+        assert result.best.option_id == 8
+
+    def test_joint_constraints(self, paper_problem):
+        result = constrained_optimize(
+            paper_problem, max_ha_budget=600.0, min_uptime=0.99
+        )
+        assert result.best.option_id == 5
+
+    def test_infeasible_raises_with_context(self, paper_problem):
+        with pytest.raises(OptimizerError, match="no option satisfies"):
+            constrained_optimize(
+                paper_problem, max_ha_budget=100.0, min_uptime=0.99
+            )
+
+    def test_invalid_constraints_rejected(self, paper_problem):
+        with pytest.raises(OptimizerError):
+            constrained_optimize(paper_problem, max_ha_budget=-1.0)
+        with pytest.raises(OptimizerError):
+            constrained_optimize(paper_problem, min_uptime=1.5)
+
+    def test_describe_reports_cost_of_constraints(self, paper_problem):
+        text = constrained_optimize(paper_problem, min_uptime=0.99).describe()
+        assert "constraint cost" in text
+
+    def test_constraint_cost_monotone_in_floor(self, paper_problem):
+        costs = [
+            constrained_optimize(paper_problem, min_uptime=floor).constraint_cost
+            for floor in (0.97, 0.99, 0.995)
+        ]
+        assert costs == sorted(costs)

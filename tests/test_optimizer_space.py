@@ -1,0 +1,96 @@
+"""CandidateSpace: k^n enumeration in paper order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.space import CandidateSpace, OptimizationProblem
+
+
+class TestSpaceShape:
+    def test_size_is_k_to_the_n(self, simple_problem):
+        space = simple_problem.space()
+        assert space.cluster_count == 3
+        assert space.choice_counts == (2, 2, 2)
+        assert space.size == 8
+
+    def test_enumerates_exactly_size_candidates(self, simple_problem):
+        space = simple_problem.space()
+        candidates = list(space.candidates_in_paper_order())
+        assert len(candidates) == space.size
+        assert len(set(candidates)) == space.size
+
+    def test_base_system_ha_is_stripped(self, simple_problem):
+        space = simple_problem.space()
+        assert all(not cluster.has_ha for cluster in space.bare_system.clusters)
+
+
+class TestPaperOrder:
+    def test_first_candidate_is_all_bare(self, simple_problem):
+        space = simple_problem.space()
+        first = next(iter(space.candidates_in_paper_order()))
+        assert first == (0, 0, 0)
+
+    def test_order_matches_paper_numbering(self, simple_problem):
+        """For k=2, n=3 the paper numbers options #1..#8 as:
+
+        none; network; storage; compute; storage+network;
+        compute+network; compute+storage; all.
+        """
+        space = simple_problem.space()
+        candidates = list(space.candidates_in_paper_order())
+        assert candidates == [
+            (0, 0, 0),
+            (0, 0, 1),
+            (0, 1, 0),
+            (1, 0, 0),
+            (0, 1, 1),
+            (1, 0, 1),
+            (1, 1, 0),
+            (1, 1, 1),
+        ]
+
+    def test_clustered_count_non_decreasing(self, simple_problem):
+        space = simple_problem.space()
+        counts = [
+            sum(1 for index in candidate if index != 0)
+            for candidate in space.candidates_in_paper_order()
+        ]
+        assert counts == sorted(counts)
+
+
+class TestInstantiate:
+    def test_all_none_is_bare(self, simple_problem):
+        space = simple_problem.space()
+        system = space.instantiate((0, 0, 0))
+        assert all(not cluster.has_ha for cluster in system.clusters)
+
+    def test_choice_applies_technology(self, simple_problem):
+        space = simple_problem.space()
+        system = space.instantiate((0, 1, 0))
+        assert system.cluster("storage").ha_technology == "raid-1"
+        assert not system.cluster("compute").has_ha
+
+    def test_choice_names(self, simple_problem):
+        space = simple_problem.space()
+        assert space.choice_names((1, 0, 1)) == (
+            "hypervisor-n+1", "none", "dual-gateway",
+        )
+
+    def test_wrong_arity_rejected(self, simple_problem):
+        space = simple_problem.space()
+        with pytest.raises(OptimizerError, match="choice indices"):
+            space.instantiate((0, 0))
+
+    def test_out_of_range_choice_rejected(self, simple_problem):
+        space = simple_problem.space()
+        with pytest.raises(OptimizerError, match="out of range"):
+            space.instantiate((0, 0, 5))
+
+    def test_instantiation_is_pure(self, simple_problem):
+        space = simple_problem.space()
+        first = space.instantiate((1, 1, 1))
+        second = space.instantiate((1, 1, 1))
+        assert first == second
+        assert all(not cluster.has_ha for cluster in space.bare_system.clusters)

@@ -1,0 +1,132 @@
+"""Property-based tests on the availability model (Eq. 1-4)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.cluster_math import up_probability
+from repro.availability.model import evaluate_availability
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+# -- strategies -------------------------------------------------------------
+
+probabilities = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+failure_rates = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+failover_times = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+
+@st.composite
+def cluster_shapes(draw):
+    """(total_nodes, standby_tolerance) with 0 <= K-hat < K <= 8."""
+    total = draw(st.integers(min_value=1, max_value=8))
+    tolerance = draw(st.integers(min_value=0, max_value=total - 1))
+    return total, tolerance
+
+
+@st.composite
+def clusters(draw, name="c", layer=Layer.COMPUTE):
+    total, tolerance = draw(cluster_shapes())
+    node = NodeSpec(
+        kind="n",
+        down_probability=draw(probabilities),
+        failures_per_year=draw(failure_rates),
+    )
+    failover = draw(failover_times) if tolerance > 0 else 0.0
+    return ClusterSpec(
+        name, layer, node, total_nodes=total,
+        standby_tolerance=tolerance, failover_minutes=failover,
+    )
+
+
+@st.composite
+def systems(draw, max_clusters=4):
+    count = draw(st.integers(min_value=1, max_value=max_clusters))
+    layer_cycle = [Layer.COMPUTE, Layer.STORAGE, Layer.NETWORK, Layer.OTHER]
+    built = tuple(
+        draw(clusters(name=f"c{i}", layer=layer_cycle[i % 4]))
+        for i in range(count)
+    )
+    from repro.topology.system import SystemTopology
+
+    return SystemTopology("prop", built)
+
+
+# -- properties -------------------------------------------------------------
+
+
+class TestClusterMathProperties:
+    @given(shape=cluster_shapes(), p=probabilities)
+    def test_up_probability_is_probability(self, shape, p):
+        total, tolerance = shape
+        value = up_probability(total, tolerance, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(shape=cluster_shapes(), p=probabilities)
+    def test_up_probability_at_least_all_up(self, shape, p):
+        # The all-nodes-up term is always included in the sum.
+        total, tolerance = shape
+        assert up_probability(total, tolerance, p) >= (1.0 - p) ** total - 1e-12
+
+    @given(shape=cluster_shapes(), p=probabilities)
+    def test_more_tolerance_never_hurts(self, shape, p):
+        total, tolerance = shape
+        if tolerance + 1 >= total:
+            return
+        assert up_probability(total, tolerance + 1, p) >= (
+            up_probability(total, tolerance, p) - 1e-12
+        )
+
+    @given(shape=cluster_shapes(), p=probabilities)
+    def test_monotone_in_node_reliability(self, shape, p):
+        total, tolerance = shape
+        worse = min(p + 0.1, 0.99)
+        assert up_probability(total, tolerance, p) >= (
+            up_probability(total, tolerance, worse) - 1e-12
+        )
+
+
+class TestSystemProperties:
+    @given(system=systems())
+    @settings(max_examples=150)
+    def test_probabilities_in_range(self, system):
+        report = evaluate_availability(system)
+        assert 0.0 <= report.breakdown_probability <= 1.0
+        assert report.failover_probability >= 0.0
+        assert report.uptime_probability <= 1.0
+
+    @given(system=systems())
+    @settings(max_examples=150)
+    def test_ds_decomposition(self, system):
+        report = evaluate_availability(system)
+        assert report.downtime_probability == (
+            report.breakdown_probability + report.failover_probability
+        )
+
+    @given(system=systems())
+    @settings(max_examples=100)
+    def test_uptime_bounded_by_breakdown_availability(self, system):
+        # U_s <= 1 - B_s always (F_s only subtracts).
+        report = evaluate_availability(system)
+        assert report.uptime_probability <= 1.0 - report.breakdown_probability + 1e-12
+
+    @given(system=systems(max_clusters=3), extra=clusters(name="extra"))
+    @settings(max_examples=100)
+    def test_serial_chain_never_gains_from_extra_cluster(self, system, extra):
+        # Adding any cluster to a serial chain cannot raise breakdown
+        # availability.
+        from repro.topology.system import SystemTopology
+
+        extended = SystemTopology("ext", system.clusters + (extra,))
+        base = evaluate_availability(system)
+        longer = evaluate_availability(extended)
+        assert longer.breakdown_probability >= base.breakdown_probability - 1e-12
+
+    @given(system=systems())
+    @settings(max_examples=100)
+    def test_report_deterministic(self, system):
+        first = evaluate_availability(system)
+        second = evaluate_availability(system)
+        assert first.uptime_probability == second.uptime_probability

@@ -1,0 +1,104 @@
+"""Property-based tests on broker telemetry invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.persistence import telemetry_from_dict, telemetry_to_dict
+from repro.broker.telemetry import TelemetryStore
+from repro.units import MINUTES_PER_YEAR
+
+outage_minutes = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+failover_minutes = st.floats(min_value=0.0, max_value=120.0, allow_nan=False)
+
+
+@st.composite
+def observation_batches(draw):
+    """A plausible (exposure, outages, failovers) batch for one component."""
+    node_count = draw(st.integers(min_value=1, max_value=50))
+    years = draw(st.floats(min_value=0.5, max_value=20.0))
+    outages = draw(st.lists(outage_minutes, min_size=0, max_size=30))
+    failovers = draw(st.lists(failover_minutes, min_size=0, max_size=30))
+    return node_count, years, outages, failovers
+
+
+def _populate(store: TelemetryStore, batch, provider="p", kind="vm") -> None:
+    node_count, years, outages, failovers = batch
+    store.register_exposure(provider, kind, node_count, years * MINUTES_PER_YEAR)
+    for duration in outages:
+        store.record_failure(provider, kind)
+        store.record_outage(provider, kind, duration)
+    for duration in failovers:
+        store.record_failover(provider, kind, duration)
+
+
+class TestTelemetryProperties:
+    @given(batch=observation_batches())
+    @settings(max_examples=150)
+    def test_down_probability_is_probability(self, batch):
+        store = TelemetryStore()
+        _populate(store, batch)
+        assert 0.0 <= store.down_probability("p", "vm") <= 1.0
+
+    @given(batch=observation_batches())
+    @settings(max_examples=150)
+    def test_failure_rate_non_negative(self, batch):
+        store = TelemetryStore()
+        _populate(store, batch)
+        assert store.failures_per_year("p", "vm") >= 0.0
+
+    @given(batch=observation_batches())
+    @settings(max_examples=100)
+    def test_more_exposure_never_raises_estimates(self, batch):
+        """Registering extra clean exposure dilutes P-hat and f-hat."""
+        store = TelemetryStore()
+        _populate(store, batch)
+        before_p = store.down_probability("p", "vm")
+        before_f = store.failures_per_year("p", "vm")
+        store.register_exposure("p", "vm", 10, MINUTES_PER_YEAR)
+        assert store.down_probability("p", "vm") <= before_p + 1e-12
+        assert store.failures_per_year("p", "vm") <= before_f + 1e-12
+
+    @given(batch=observation_batches())
+    @settings(max_examples=100)
+    def test_snapshot_roundtrip_preserves_everything(self, batch):
+        store = TelemetryStore()
+        _populate(store, batch)
+        restored = telemetry_from_dict(telemetry_to_dict(store))
+        assert restored.down_probability("p", "vm") == store.down_probability("p", "vm")
+        assert restored.failures_per_year("p", "vm") == store.failures_per_year("p", "vm")
+        assert restored.failure_count("p", "vm") == store.failure_count("p", "vm")
+
+    @given(batch=observation_batches())
+    @settings(max_examples=100)
+    def test_failover_mean_within_sample_range(self, batch):
+        _node_count, _years, _outages, failovers = batch
+        if not failovers:
+            return
+        store = TelemetryStore()
+        _populate(store, batch)
+        mean = store.failover_minutes("p", "vm")
+        assert min(failovers) - 1e-9 <= mean <= max(failovers) + 1e-9
+
+    @given(
+        first=observation_batches(),
+        second=observation_batches(),
+    )
+    @settings(max_examples=75)
+    def test_ingest_order_irrelevant_for_estimates(self, first, second):
+        """Telemetry is a sufficient-statistics accumulator: combining
+        two observation batches gives the same estimates either way."""
+        forward = TelemetryStore()
+        _populate(forward, first)
+        _populate(forward, second)
+        backward = TelemetryStore()
+        _populate(backward, second)
+        _populate(backward, first)
+        assert forward.down_probability("p", "vm") == pytest.approx(
+            backward.down_probability("p", "vm")
+        )
+        assert forward.failures_per_year("p", "vm") == pytest.approx(
+            backward.failures_per_year("p", "vm")
+        )

@@ -1,0 +1,141 @@
+"""Property-based tests on the optimizer: all searches agree.
+
+The central invariant of the reproduction: the pruned search (§III-C)
+and the branch-and-bound extension must return the same minimum TCO as
+exhaustive enumeration on *any* well-formed problem, not just the case
+study.  Problems are generated from seeded generators to keep hypothesis
+shrinking effective.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.branch_bound import branch_and_bound_optimize
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pruned import pruned_optimize
+from repro.optimizer.pareto import dominates, pareto_frontier
+from repro.optimizer.space import OptimizationProblem
+from repro.sla.contract import Contract
+from repro.workloads.generators import random_problem
+
+problem_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestSearchAgreement:
+    @given(seed=problem_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_matches_brute_force(self, seed):
+        problem = random_problem(seed, clusters=3, choices_per_layer=2)
+        brute = brute_force_optimize(problem)
+        pruned = pruned_optimize(problem)
+        assert pruned.best.tco.total == pytest.approx(brute.best.tco.total)
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_matches_brute_force(self, seed):
+        problem = random_problem(seed, clusters=3, choices_per_layer=2)
+        brute = brute_force_optimize(problem)
+        bnb = branch_and_bound_optimize(problem)
+        assert bnb.best.tco.total == pytest.approx(brute.best.tco.total)
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_on_wider_spaces(self, seed):
+        problem = random_problem(seed, clusters=4, choices_per_layer=3)
+        brute = brute_force_optimize(problem)
+        assert pruned_optimize(problem).best.tco.total == pytest.approx(
+            brute.best.tco.total
+        )
+        assert branch_and_bound_optimize(problem).best.tco.total == pytest.approx(
+            brute.best.tco.total
+        )
+
+
+class TestSearchInvariants:
+    @given(seed=problem_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_adds_up(self, seed):
+        problem = random_problem(seed)
+        for optimize in (pruned_optimize, branch_and_bound_optimize):
+            result = optimize(problem)
+            assert result.evaluations + result.pruned == result.space_size
+            assert result.evaluations == len(result.options)
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_only_skips_sla_meeting_supersets(self, seed):
+        """Everything pruned must be a superset extension of an evaluated
+        SLA-meeting option (and therefore at least as expensive)."""
+        problem = random_problem(seed)
+        brute = brute_force_optimize(problem)
+        pruned = pruned_optimize(problem)
+        evaluated_ids = {option.option_id for option in pruned.options}
+        met = [option for option in pruned.options if option.meets_sla]
+        for option in brute.options:
+            if option.option_id in evaluated_ids:
+                continue
+            assert any(
+                option.tco.ha_cost >= subset.tco.ha_cost - 1e-9
+                for subset in met
+            )
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_best_never_pruned(self, seed):
+        problem = random_problem(seed)
+        brute = brute_force_optimize(problem)
+        for optimize in (pruned_optimize, branch_and_bound_optimize):
+            result = optimize(problem)
+            # Identical TCO value must be reachable among evaluated options.
+            assert min(
+                option.tco.total for option in result.options
+            ) == pytest.approx(brute.best.tco.total)
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_penalty_contract_recommends_no_ha(self, seed):
+        """With no penalty, HA is pure cost: option #1 must win."""
+        base = random_problem(seed)
+        problem = OptimizationProblem(
+            base_system=base.base_system,
+            registry=base.registry,
+            contract=Contract.linear(99.0, 0.0),
+            labor_rate=base.labor_rate,
+        )
+        result = brute_force_optimize(problem)
+        assert result.best.tco.ha_cost == pytest.approx(0.0)
+
+
+class TestParetoProperties:
+    @given(seed=problem_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_contains_no_dominated_member(self, seed):
+        result = brute_force_optimize(random_problem(seed))
+        frontier = pareto_frontier(result.options)
+        for member in frontier:
+            assert not any(
+                dominates(other, member)
+                for other in result.options
+                if other is not member
+            )
+
+    @given(seed=problem_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_every_option_dominated_or_on_frontier(self, seed):
+        result = brute_force_optimize(random_problem(seed))
+        frontier = set(id(option) for option in pareto_frontier(result.options))
+        for option in result.options:
+            on_frontier = id(option) in frontier
+            dominated_or_tied = any(
+                dominates(other, option)
+                or (
+                    other.tco.ha_cost == option.tco.ha_cost
+                    and other.tco.uptime_probability == option.tco.uptime_probability
+                    and other is not option
+                )
+                for other in result.options
+            )
+            assert on_frontier or dominated_or_tied

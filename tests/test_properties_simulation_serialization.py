@@ -1,0 +1,121 @@
+"""Property-based tests: simulator conservation laws and JSON round-trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.serialization import system_from_json, system_to_json
+from repro.topology.system import SystemTopology
+
+probabilities = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+failure_rates = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+costs = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+
+
+@st.composite
+def node_specs(draw):
+    return NodeSpec(
+        kind=draw(st.text(alphabet="abcdefgh", min_size=1, max_size=8)),
+        down_probability=draw(probabilities),
+        failures_per_year=draw(failure_rates),
+        monthly_cost=draw(costs),
+    )
+
+
+@st.composite
+def arbitrary_systems(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    clusters = []
+    layers = [Layer.COMPUTE, Layer.STORAGE, Layer.NETWORK, Layer.OTHER]
+    for i in range(count):
+        total = draw(st.integers(min_value=1, max_value=5))
+        tolerance = draw(st.integers(min_value=0, max_value=total - 1))
+        clusters.append(
+            ClusterSpec(
+                name=f"c{i}",
+                layer=layers[i % 4],
+                node=draw(node_specs()),
+                total_nodes=total,
+                standby_tolerance=tolerance,
+                failover_minutes=(
+                    draw(st.floats(min_value=0.0, max_value=30.0))
+                    if tolerance > 0
+                    else 0.0
+                ),
+                ha_technology=draw(
+                    st.sampled_from(["none", "raid-1", "hypervisor-n+1"])
+                ),
+                monthly_ha_infra_cost=draw(costs),
+                monthly_ha_labor_hours=draw(
+                    st.floats(min_value=0.0, max_value=40.0)
+                ),
+            )
+        )
+    return SystemTopology("prop", tuple(clusters))
+
+
+class TestSerializationProperties:
+    @given(system=arbitrary_systems())
+    @settings(max_examples=100)
+    def test_json_roundtrip_is_identity(self, system):
+        assert system_from_json(system_to_json(system)) == system
+
+    @given(system=arbitrary_systems())
+    @settings(max_examples=50)
+    def test_json_stable_across_serializations(self, system):
+        assert system_to_json(system) == system_to_json(
+            system_from_json(system_to_json(system))
+        )
+
+
+class TestSimulationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        p=st.floats(min_value=0.001, max_value=0.2),
+        failures=st.floats(min_value=1.0, max_value=24.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_downtime_conserved(self, seed, p, failures):
+        """breakdown + failover minutes never exceed the horizon, and
+        availability stays in [0, 1]."""
+        node = NodeSpec("n", p, failures)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3, standby_tolerance=1, failover_minutes=5.0)
+            .storage("st", node, nodes=1)
+            .build()
+        )
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=200_000.0, seed=seed)
+        )
+        assert metrics.downtime_minutes <= metrics.horizon_minutes + 1e-6
+        assert 0.0 <= metrics.availability <= 1.0
+        assert metrics.breakdown_minutes >= 0.0
+        assert metrics.failover_minutes >= 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_failover_events_bounded_by_failures(self, seed):
+        """A failover requires a node failure, so counts cannot exceed
+        total failures observed."""
+        from repro.simulation.events import EventKind
+
+        node = NodeSpec("n", 0.05, 20.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3, standby_tolerance=1, failover_minutes=5.0)
+            .build()
+        )
+        events = []
+        metrics = simulate(
+            system,
+            SimulationOptions(horizon_minutes=300_000.0, seed=seed),
+            observer=events.append,
+        )
+        failures = sum(1 for e in events if e.kind is EventKind.NODE_FAILED)
+        assert metrics.failover_events <= failures

@@ -1,0 +1,129 @@
+"""Property-based tests on penalty clauses, slippage and TCO."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sla.contract import Contract
+from repro.sla.penalty import (
+    CappedPenalty,
+    LinearPenalty,
+    NoPenalty,
+    ServiceCreditPenalty,
+    TieredPenalty,
+)
+from repro.sla.sla import UptimeSLA
+from repro.sla.slippage import expected_slippage_hours_per_month
+
+uptimes = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+sla_targets = st.floats(min_value=50.0, max_value=100.0, allow_nan=False)
+slippages = st.floats(min_value=0.0, max_value=730.0, allow_nan=False)
+rates = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+
+
+@st.composite
+def penalty_clauses(draw):
+    """Any of the five clause shapes with random parameters."""
+    which = draw(st.integers(min_value=0, max_value=4))
+    if which == 0:
+        return NoPenalty()
+    if which == 1:
+        return LinearPenalty(draw(rates))
+    if which == 2:
+        widths = draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=24.0), min_size=1, max_size=4
+            )
+        )
+        tier_rates = draw(
+            st.lists(rates, min_size=len(widths), max_size=len(widths))
+        )
+        return TieredPenalty(tuple(zip(widths, tier_rates)))
+    if which == 3:
+        return CappedPenalty(LinearPenalty(draw(rates)), monthly_cap=draw(rates))
+    thresholds = sorted(
+        set(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.1, max_value=100.0),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        )
+    )
+    fractions = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=len(thresholds),
+                max_size=len(thresholds),
+            )
+        )
+    )
+    return ServiceCreditPenalty(
+        draw(st.floats(min_value=0.0, max_value=100_000.0)),
+        tuple(zip(thresholds, fractions)),
+    )
+
+
+class TestSlippageProperties:
+    @given(uptime=uptimes, target=sla_targets)
+    def test_non_negative(self, uptime, target):
+        assert expected_slippage_hours_per_month(uptime, UptimeSLA(target)) >= 0.0
+
+    @given(uptime=uptimes, target=sla_targets)
+    def test_zero_iff_sla_met(self, uptime, target):
+        hours = expected_slippage_hours_per_month(uptime, UptimeSLA(target))
+        if uptime >= target / 100.0:
+            assert hours == 0.0
+        else:
+            assert hours > 0.0
+
+    @given(target=sla_targets, a=uptimes, b=uptimes)
+    def test_antitone_in_uptime(self, target, a, b):
+        sla = UptimeSLA(target)
+        low, high = min(a, b), max(a, b)
+        assert expected_slippage_hours_per_month(
+            high, sla
+        ) <= expected_slippage_hours_per_month(low, sla)
+
+    @given(uptime=uptimes, target=sla_targets)
+    def test_bounded_by_monthly_hours(self, uptime, target):
+        hours = expected_slippage_hours_per_month(uptime, UptimeSLA(target))
+        assert hours <= 730.0 + 1e-9
+
+
+class TestPenaltyProperties:
+    @given(clause=penalty_clauses())
+    def test_zero_slippage_is_free(self, clause):
+        assert clause.monthly_penalty(0.0) == 0.0
+
+    @given(clause=penalty_clauses(), a=slippages, b=slippages)
+    @settings(max_examples=200)
+    def test_monotone_non_decreasing(self, clause, a, b):
+        low, high = min(a, b), max(a, b)
+        assert clause.monthly_penalty(high) >= clause.monthly_penalty(low) - 1e-9
+
+    @given(clause=penalty_clauses(), hours=slippages)
+    def test_non_negative(self, clause, hours):
+        assert clause.monthly_penalty(hours) >= 0.0
+
+
+class TestContractProperties:
+    @given(target=sla_targets, rate=rates, a=uptimes, b=uptimes)
+    def test_expected_penalty_antitone_in_uptime(self, target, rate, a, b):
+        contract = Contract.linear(target, rate)
+        low, high = min(a, b), max(a, b)
+        assert contract.expected_monthly_penalty(high) <= (
+            contract.expected_monthly_penalty(low) + 1e-9
+        )
+
+    @given(target=sla_targets, uptime=uptimes, r1=rates, r2=rates)
+    def test_expected_penalty_monotone_in_rate(self, target, uptime, r1, r2):
+        low, high = min(r1, r2), max(r1, r2)
+        cheap = Contract.linear(target, low).expected_monthly_penalty(uptime)
+        dear = Contract.linear(target, high).expected_monthly_penalty(uptime)
+        assert dear >= cheap - 1e-9

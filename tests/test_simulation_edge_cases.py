@@ -1,0 +1,170 @@
+"""Engine edge cases: extreme shapes, instant repairs, saturation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.model import evaluate_availability
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.monte_carlo import monte_carlo
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestExtremeClusterShapes:
+    def test_maximum_tolerance_cluster(self):
+        """K-hat = K-1: the cluster survives anything but total loss."""
+        node = NodeSpec("n", 0.2, 20.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=4, standby_tolerance=3, failover_minutes=1.0)
+            .build()
+        )
+        result = monte_carlo(system, replications=30, seed=1)
+        analytic = evaluate_availability(system).uptime_probability
+        assert result.contains(analytic)
+
+    def test_single_node_cluster(self):
+        node = NodeSpec("n", 0.1, 12.0)
+        system = TopologyBuilder("s").compute("c", node, nodes=1).build()
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=2)
+        )
+        # Availability of a lone node converges to 1 - P.
+        assert metrics.availability == pytest.approx(0.9, abs=0.05)
+
+    def test_very_flaky_nodes_still_conserve_time(self):
+        node = NodeSpec("n", 0.45, 200.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3, standby_tolerance=2, failover_minutes=2.0)
+            .storage("st", node, nodes=2, standby_tolerance=1, failover_minutes=1.0)
+            .build()
+        )
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=200_000.0, seed=3)
+        )
+        assert 0.0 <= metrics.availability <= 1.0
+        assert metrics.downtime_minutes <= metrics.horizon_minutes + 1e-6
+
+    def test_instant_repairs(self):
+        """P = 0 with f > 0: failures repaired in zero time."""
+        node = NodeSpec("n", 0.0, 50.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=2, standby_tolerance=1, failover_minutes=0.5)
+            .build()
+        )
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=4)
+        )
+        # Zero-length outages still trigger failover windows.
+        assert metrics.breakdown_minutes == pytest.approx(0.0, abs=1e-6)
+        assert metrics.failover_events > 0
+        assert metrics.failover_minutes > 0.0
+
+    def test_zero_failover_time_ha_cluster(self):
+        node = NodeSpec("n", 0.02, 10.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=2, standby_tolerance=1, failover_minutes=0.0)
+            .build()
+        )
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=5)
+        )
+        # Failovers occur but cost nothing.
+        assert metrics.failover_minutes == 0.0
+
+    def test_heterogeneous_chain(self):
+        """Mixed shapes across a longer chain stay consistent."""
+        solid = NodeSpec("solid", 0.0005, 1.0)
+        flaky = NodeSpec("flaky", 0.05, 30.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("a", solid, nodes=5, standby_tolerance=2, failover_minutes=3.0)
+            .storage("b", flaky, nodes=1)
+            .network("c", solid, nodes=2, standby_tolerance=1, failover_minutes=0.5)
+            .other("d", flaky, nodes=4, standby_tolerance=3, failover_minutes=1.0)
+            .build()
+        )
+        result = monte_carlo(system, replications=40, seed=6)
+        analytic = evaluate_availability(system).uptime_probability
+        assert abs(result.mean_availability - analytic) < 0.02
+
+
+class TestLongHorizon:
+    def test_decade_run_is_stable(self):
+        node = NodeSpec("n", 0.01, 6.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3, standby_tolerance=1, failover_minutes=5.0)
+            .build()
+        )
+        metrics = simulate(
+            system,
+            SimulationOptions(horizon_minutes=10 * MINUTES_PER_YEAR, seed=7),
+        )
+        analytic = evaluate_availability(system).uptime_probability
+        # One long run self-averages close to the analytic value.
+        assert metrics.availability == pytest.approx(analytic, abs=0.002)
+
+    def test_event_counts_scale_with_horizon(self):
+        node = NodeSpec("n", 0.01, 6.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=2, standby_tolerance=1, failover_minutes=5.0)
+            .build()
+        )
+        short = simulate(
+            system, SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=8)
+        )
+        long = simulate(
+            system,
+            SimulationOptions(horizon_minutes=10 * MINUTES_PER_YEAR, seed=8),
+        )
+        assert long.failover_events > short.failover_events
+
+
+class TestIntervalLog:
+    def test_log_matches_metrics(self):
+        node = NodeSpec("n", 0.03, 15.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=2, standby_tolerance=1, failover_minutes=4.0)
+            .storage("st", node, nodes=1)
+            .build()
+        )
+        log: list[tuple[float, float, str]] = []
+        metrics = simulate(
+            system,
+            SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=9),
+            interval_log=log,
+        )
+        logged_breakdown = sum(
+            end - start for start, end, cause in log if cause == "breakdown"
+        )
+        logged_failover = sum(
+            end - start for start, end, cause in log if cause == "failover"
+        )
+        assert logged_breakdown == pytest.approx(metrics.breakdown_minutes)
+        assert logged_failover == pytest.approx(metrics.failover_minutes)
+
+    def test_log_spans_ordered_and_disjoint(self):
+        node = NodeSpec("n", 0.03, 15.0)
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=2, standby_tolerance=1, failover_minutes=4.0)
+            .build()
+        )
+        log: list[tuple[float, float, str]] = []
+        simulate(
+            system,
+            SimulationOptions(horizon_minutes=MINUTES_PER_YEAR, seed=10),
+            interval_log=log,
+        )
+        for (s1, e1, _), (s2, e2, _) in zip(log, log[1:]):
+            assert e1 <= s2 + 1e-9
+            assert s1 < e1

@@ -1,0 +1,169 @@
+"""The discrete-event engine: determinism, accounting, state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.events import EventKind
+from repro.simulation.processes import NodeProcess
+from repro.simulation.state import ClusterState
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.units import MINUTES_PER_YEAR
+
+
+def one_cluster(p=0.02, failures=12.0, nodes=2, tolerance=1, failover=5.0):
+    node = NodeSpec("n", p, failures)
+    return (
+        TopologyBuilder("s")
+        .compute(
+            "c", node, nodes=nodes, standby_tolerance=tolerance,
+            failover_minutes=failover,
+        )
+        .build()
+    )
+
+
+class TestNodeProcess:
+    def test_steady_state_matches_spec(self):
+        node = NodeSpec("n", 0.01, 4.0)
+        process = NodeProcess.from_spec(node)
+        cycle = process.mean_up_minutes + process.mean_down_minutes
+        assert process.mean_down_minutes / cycle == pytest.approx(0.01)
+
+    def test_failure_rate_matches_spec(self):
+        node = NodeSpec("n", 0.01, 4.0)
+        process = NodeProcess.from_spec(node)
+        cycle = process.mean_up_minutes + process.mean_down_minutes
+        assert MINUTES_PER_YEAR / cycle == pytest.approx(4.0)
+
+    def test_never_failing_node(self):
+        process = NodeProcess.from_spec(NodeSpec("n", 0.0, 0.0))
+        assert process.mean_up_minutes == float("inf")
+
+    def test_sampling_is_positive(self):
+        import random
+
+        process = NodeProcess.from_spec(NodeSpec("n", 0.01, 4.0))
+        rng = random.Random(1)
+        assert all(process.sample_up_duration(rng) > 0 for _ in range(100))
+
+
+class TestClusterState:
+    @pytest.fixture
+    def spec(self):
+        return ClusterSpec(
+            "c", Layer.COMPUTE, NodeSpec("n", 0.01, 4.0), total_nodes=3,
+            standby_tolerance=1, failover_minutes=10.0,
+        )
+
+    def test_initial_state(self, spec):
+        state = ClusterState(spec)
+        assert state.down_count == 0
+        assert not state.is_broken
+        assert len(state.active) == 2
+
+    def test_active_failure_triggers_failover(self, spec):
+        state = ClusterState(spec)
+        active_node = next(iter(state.active))
+        assert state.fail_node(active_node, now=0.0) is True
+        assert state.failover_until == 10.0
+        assert len(state.active) == 2  # standby promoted
+
+    def test_standby_failure_is_silent(self, spec):
+        state = ClusterState(spec)
+        standby = next(
+            index for index in range(3) if index not in state.active
+        )
+        assert state.fail_node(standby, now=0.0) is False
+        assert not state.is_broken
+
+    def test_two_failures_break_cluster(self, spec):
+        state = ClusterState(spec)
+        state.fail_node(0, now=0.0)
+        state.fail_node(1, now=1.0)
+        assert state.is_broken
+        assert state.breakdown_count == 1
+
+    def test_repair_restores(self, spec):
+        state = ClusterState(spec)
+        state.fail_node(0, now=0.0)
+        state.fail_node(1, now=1.0)
+        state.repair_node(0)
+        assert not state.is_broken
+
+    def test_double_failure_rejected(self, spec):
+        state = ClusterState(spec)
+        state.fail_node(0, now=0.0)
+        with pytest.raises(SimulationError):
+            state.fail_node(0, now=1.0)
+
+    def test_double_repair_rejected(self, spec):
+        state = ClusterState(spec)
+        with pytest.raises(SimulationError):
+            state.repair_node(0)
+
+    def test_no_failover_when_broken(self, spec):
+        state = ClusterState(spec)
+        state.fail_node(0, now=0.0)
+        state.fail_node(1, now=1.0)
+        # Third failure happens while broken: no new failover window.
+        before = state.failover_count
+        state.fail_node(2, now=2.0)
+        assert state.failover_count == before
+
+
+class TestSimulate:
+    def test_same_seed_same_result(self):
+        system = one_cluster()
+        options = SimulationOptions(horizon_minutes=100_000.0, seed=42)
+        first = simulate(system, options)
+        second = simulate(system, options)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        system = one_cluster()
+        a = simulate(system, SimulationOptions(horizon_minutes=500_000.0, seed=1))
+        b = simulate(system, SimulationOptions(horizon_minutes=500_000.0, seed=2))
+        assert a != b
+
+    def test_downtime_bounded_by_horizon(self):
+        metrics = simulate(
+            one_cluster(p=0.3, failures=50.0),
+            SimulationOptions(horizon_minutes=100_000.0, seed=3),
+        )
+        assert 0.0 <= metrics.downtime_minutes <= metrics.horizon_minutes
+
+    def test_perfect_nodes_never_down(self):
+        node = NodeSpec("n", 0.0, 0.0)
+        system = TopologyBuilder("s").compute("c", node, nodes=2).build()
+        metrics = simulate(system, SimulationOptions(seed=4))
+        assert metrics.availability == 1.0
+        assert metrics.failover_events == 0
+
+    def test_bare_cluster_has_no_failover_downtime(self):
+        system = one_cluster(nodes=2, tolerance=0, failover=0.0)
+        metrics = simulate(
+            system, SimulationOptions(horizon_minutes=float(MINUTES_PER_YEAR), seed=5)
+        )
+        assert metrics.failover_minutes == 0.0
+        assert metrics.failover_events == 0
+
+    def test_observer_sees_events(self):
+        events = []
+        simulate(
+            one_cluster(p=0.05, failures=20.0),
+            SimulationOptions(horizon_minutes=float(MINUTES_PER_YEAR), seed=6),
+            observer=events.append,
+        )
+        kinds = {event.kind for event in events}
+        assert EventKind.NODE_FAILED in kinds
+        assert EventKind.NODE_REPAIRED in kinds
+        assert EventKind.FAILOVER_ENDED in kinds
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(horizon_minutes=0.0)

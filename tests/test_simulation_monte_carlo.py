@@ -1,0 +1,106 @@
+"""Monte Carlo aggregation and analytic-model validation (E6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.availability.model import evaluate_availability
+from repro.errors import SimulationError
+from repro.simulation.monte_carlo import monte_carlo
+from repro.simulation.validation import validate_against_model
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+from repro.units import MINUTES_PER_YEAR
+
+
+@pytest.fixture
+def system():
+    host = NodeSpec("host", 0.01, 6.0)
+    disk = NodeSpec("disk", 0.02, 5.0)
+    return (
+        TopologyBuilder("s")
+        .compute("c", host, nodes=3, standby_tolerance=1, failover_minutes=10.0)
+        .storage("st", disk, nodes=2, standby_tolerance=1, failover_minutes=1.0)
+        .build()
+    )
+
+
+class TestMonteCarlo:
+    def test_reproducible_with_seed(self, system):
+        a = monte_carlo(system, replications=10, seed=7)
+        b = monte_carlo(system, replications=10, seed=7)
+        assert a.mean_availability == b.mean_availability
+
+    def test_replication_count_respected(self, system):
+        result = monte_carlo(system, replications=7, seed=1)
+        assert result.replications == 7
+        assert len(result.runs) == 7
+
+    def test_ci_brackets_mean(self, system):
+        result = monte_carlo(system, replications=20, seed=2)
+        low, high = result.availability_ci95
+        assert low <= result.mean_availability <= high
+
+    def test_more_replications_tighter_ci(self, system):
+        small = monte_carlo(system, replications=10, seed=3)
+        large = monte_carlo(system, replications=80, seed=3)
+        small_width = small.availability_ci95[1] - small.availability_ci95[0]
+        large_width = large.availability_ci95[1] - large.availability_ci95[0]
+        assert large_width < small_width
+
+    def test_fractions_decompose_downtime(self, system):
+        result = monte_carlo(system, replications=10, seed=4)
+        assert 1.0 - result.mean_availability == pytest.approx(
+            result.mean_breakdown_fraction + result.mean_failover_fraction
+        )
+
+    def test_rejects_zero_replications(self, system):
+        with pytest.raises(SimulationError):
+            monte_carlo(system, replications=0)
+
+    def test_describe_mentions_ci(self, system):
+        assert "CI" in monte_carlo(system, replications=5, seed=5).describe()
+
+
+class TestValidation:
+    def test_analytic_inside_ci(self, system):
+        # The headline E6 claim at test scale: 60 replications of a year.
+        report = validate_against_model(system, replications=60, seed=11)
+        assert report.analytic_inside_ci, report.describe()
+
+    def test_gap_is_small(self, system):
+        report = validate_against_model(system, replications=60, seed=12)
+        assert report.absolute_error < 0.005
+
+    def test_breakdown_estimates_close(self, system):
+        report = validate_against_model(system, replications=60, seed=13)
+        analytic_bs = report.analytic.breakdown_probability
+        simulated_bs = report.simulated.mean_breakdown_fraction
+        assert simulated_bs == pytest.approx(analytic_bs, rel=0.35)
+
+    def test_failover_estimates_close(self, system):
+        report = validate_against_model(system, replications=60, seed=14)
+        analytic_fs = report.analytic.failover_probability
+        simulated_fs = report.simulated.mean_failover_fraction
+        assert simulated_fs == pytest.approx(analytic_fs, rel=0.5)
+
+    def test_validates_case_study_options(self, paper_problem):
+        from repro.optimizer.brute_force import brute_force_optimize
+
+        result = brute_force_optimize(paper_problem)
+        for option_id in (1, 3, 8):
+            option = result.option(option_id)
+            report = validate_against_model(
+                option.system, replications=40, seed=100 + option_id
+            )
+            assert report.absolute_error < 0.01, report.describe()
+
+    def test_overlap_fraction_is_tiny(self, system):
+        # Footnote 2's approximation: breakdown-during-failover time is
+        # negligible at realistic parameters.
+        report = validate_against_model(system, replications=30, seed=15)
+        assert report.simulated.mean_overlap_fraction < 1e-4
+
+    def test_describe_reports_both_estimators(self, system):
+        text = validate_against_model(system, replications=5, seed=16).describe()
+        assert "analytic" in text and "simulated" in text

@@ -1,0 +1,131 @@
+"""Trace capture, JSON round-trip, and replay into broker telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.knowledge_base import KnowledgeBase
+from repro.broker.telemetry import TelemetryStore
+from repro.errors import SimulationError, ValidationError
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.simulation.events import EventKind, SimulationEvent
+from repro.simulation.trace import (
+    TraceRecorder,
+    ingest_trace,
+    trace_to_resource_events,
+)
+from repro.units import MINUTES_PER_YEAR
+from repro.workloads.case_study import case_study_base_system
+
+HORIZON = 10 * MINUTES_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    system = case_study_base_system()
+    recorder = TraceRecorder()
+    simulate(
+        system,
+        SimulationOptions(horizon_minutes=HORIZON, seed=101),
+        observer=recorder,
+    )
+    return system, recorder
+
+
+class TestRecorder:
+    def test_captures_events(self, recorded):
+        _system, recorder = recorded
+        assert len(recorder) > 0
+
+    def test_json_roundtrip(self, recorded):
+        _system, recorder = recorded
+        restored = TraceRecorder.from_json(recorder.to_json())
+        assert restored.events == recorder.events
+
+    def test_rejects_bad_version(self, recorded):
+        _system, recorder = recorded
+        payload = recorder.to_dict()
+        payload["trace_version"] = 9
+        with pytest.raises(ValidationError, match="trace_version"):
+            TraceRecorder.from_dict(payload)
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValidationError, match="invalid trace"):
+            TraceRecorder.from_json("{oops")
+
+
+class TestConversion:
+    def test_failures_and_repairs_pair_up(self, recorded):
+        system, recorder = recorded
+        observations = trace_to_resource_events(system, recorder, "sim")
+        failures = [o for o in observations if o.kind.value == "failure"]
+        repairs = [o for o in observations if o.kind.value == "repair"]
+        # Every repair closes a failure; at most a handful of outages
+        # stay open at the horizon.
+        assert 0 <= len(failures) - len(repairs) <= 5
+
+    def test_repair_durations_positive(self, recorded):
+        system, recorder = recorded
+        observations = trace_to_resource_events(system, recorder, "sim")
+        for obs in observations:
+            if obs.kind.value == "repair":
+                assert obs.duration_minutes > 0.0
+
+    def test_component_kinds_follow_layers(self, recorded):
+        system, recorder = recorded
+        observations = trace_to_resource_events(system, recorder, "sim")
+        kinds = {o.resource_id.split("/")[0]: o.component_kind for o in observations}
+        assert kinds["compute"] == "vm"
+        assert kinds["storage"] == "volume"
+        assert kinds["network"] == "gateway"
+
+    def test_unknown_cluster_rejected(self, recorded):
+        system, _recorder = recorded
+        rogue = TraceRecorder()
+        rogue.events.append(
+            SimulationEvent(1.0, 0, EventKind.NODE_FAILED, "mars", 0)
+        )
+        with pytest.raises(SimulationError, match="unknown cluster"):
+            trace_to_resource_events(system, rogue, "sim")
+
+    def test_repair_without_failure_rejected(self, recorded):
+        system, _recorder = recorded
+        rogue = TraceRecorder()
+        rogue.events.append(
+            SimulationEvent(1.0, 0, EventKind.NODE_REPAIRED, "compute", 0)
+        )
+        with pytest.raises(SimulationError, match="without a prior failure"):
+            trace_to_resource_events(system, rogue, "sim")
+
+
+class TestIngestion:
+    def test_estimates_recover_node_specs(self, recorded):
+        """The telemetry learned from a simulation trace must agree with
+        the node specs the simulation ran on — closing the loop between
+        the engine and the broker."""
+        system, recorder = recorded
+        store = TelemetryStore()
+        ingest_trace(store, system, recorder, "sim", HORIZON)
+        kb = KnowledgeBase(store, min_failure_samples=1)
+        checks = {
+            "vm": system.cluster("compute").node,
+            "volume": system.cluster("storage").node,
+            "gateway": system.cluster("network").node,
+        }
+        for kind, node in checks.items():
+            estimate = store.down_probability("sim", kind)
+            assert estimate == pytest.approx(node.down_probability, rel=0.3)
+            rate = store.failures_per_year("sim", kind)
+            assert rate == pytest.approx(node.failures_per_year, rel=0.2)
+
+    def test_exposure_counts_all_nodes(self, recorded):
+        system, recorder = recorded
+        store = TelemetryStore()
+        ingest_trace(store, system, recorder, "sim", HORIZON)
+        # 3 compute nodes watched for 10 years = 30 component-years.
+        assert store.exposure_years("sim", "vm") == pytest.approx(30.0)
+
+    def test_rejects_nonpositive_horizon(self, recorded):
+        system, recorder = recorded
+        with pytest.raises(ValidationError):
+            ingest_trace(TelemetryStore(), system, recorder, "sim", 0.0)

@@ -1,0 +1,88 @@
+"""UptimeSLA, slippage conversion, and Contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sla.contract import Contract
+from repro.sla.penalty import LinearPenalty, NoPenalty
+from repro.sla.sla import UptimeSLA
+from repro.sla.slippage import expected_slippage_hours_per_month
+
+
+class TestUptimeSLA:
+    def test_target_fraction(self):
+        assert UptimeSLA(98.0).target_fraction == pytest.approx(0.98)
+
+    def test_allowed_downtime_hours(self):
+        # 2% of 730 hours = 14.6 h/month.
+        assert UptimeSLA(98.0).allowed_downtime_hours_per_month == pytest.approx(14.6)
+
+    def test_is_met_by_boundary(self):
+        sla = UptimeSLA(99.0)
+        assert sla.is_met_by(0.99)
+        assert sla.is_met_by(0.995)
+        assert not sla.is_met_by(0.9899)
+
+    def test_hundred_percent_sla(self):
+        sla = UptimeSLA(100.0)
+        assert sla.is_met_by(1.0)
+        assert not sla.is_met_by(0.999999)
+        assert sla.allowed_downtime_hours_per_month == 0.0
+
+    def test_rejects_zero_and_above_hundred(self):
+        with pytest.raises(ValidationError):
+            UptimeSLA(0.0)
+        with pytest.raises(ValidationError):
+            UptimeSLA(100.5)
+
+    def test_describe(self):
+        assert "98" in UptimeSLA(98.0).describe()
+
+
+class TestSlippage:
+    def test_paper_conversion(self):
+        # Shortfall of 1% -> 0.01 * 525600 / (12*60) = 7.3 hours/month.
+        hours = expected_slippage_hours_per_month(0.97, UptimeSLA(98.0))
+        assert hours == pytest.approx(7.3)
+
+    def test_meeting_sla_is_zero(self):
+        assert expected_slippage_hours_per_month(0.99, UptimeSLA(98.0)) == 0.0
+
+    def test_exactly_at_sla_is_zero(self):
+        assert expected_slippage_hours_per_month(0.98, UptimeSLA(98.0)) == 0.0
+
+    def test_rejects_bad_uptime(self):
+        with pytest.raises(ValidationError):
+            expected_slippage_hours_per_month(1.5, UptimeSLA(98.0))
+
+    def test_monotone_in_shortfall(self):
+        sla = UptimeSLA(99.0)
+        worse = expected_slippage_hours_per_month(0.95, sla)
+        bad = expected_slippage_hours_per_month(0.97, sla)
+        assert worse > bad > 0.0
+
+
+class TestContract:
+    def test_linear_constructor(self):
+        contract = Contract.linear(98.0, 100.0)
+        assert isinstance(contract.penalty, LinearPenalty)
+        assert contract.sla.target_percent == 98.0
+
+    def test_expected_penalty_matches_eq5(self):
+        contract = Contract.linear(98.0, 100.0)
+        # 1% shortfall -> 7.3 h -> $730.
+        assert contract.expected_monthly_penalty(0.97) == pytest.approx(730.0)
+
+    def test_no_penalty_when_sla_met(self):
+        contract = Contract.linear(98.0, 100.0)
+        assert contract.expected_monthly_penalty(0.985) == 0.0
+
+    def test_no_penalty_clause(self):
+        contract = Contract(UptimeSLA(99.9), NoPenalty())
+        assert contract.expected_monthly_penalty(0.5) == 0.0
+
+    def test_describe_combines_parts(self):
+        text = Contract.linear(98.0, 100.0).describe()
+        assert "98" in text and "100" in text

@@ -1,0 +1,120 @@
+"""Realized SLA compliance vs Eq. 5's expectation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sla.contract import Contract
+from repro.sla.measurement import (
+    MONTH_MINUTES,
+    ComplianceReport,
+    MonthlySettlement,
+    _bin_downtime_by_month,
+    measure_compliance,
+)
+from repro.topology.builder import TopologyBuilder
+from repro.topology.node import NodeSpec
+from repro.workloads.case_study import case_study_base_system
+
+
+class TestBinning:
+    def test_single_span_in_one_month(self):
+        minutes = _bin_downtime_by_month([(10.0, 70.0, "breakdown")], 12 * MONTH_MINUTES)
+        assert minutes[0] == pytest.approx(60.0)
+        assert sum(minutes[1:]) == 0.0
+
+    def test_span_straddling_months(self):
+        boundary = MONTH_MINUTES
+        spans = [(boundary - 30.0, boundary + 90.0, "breakdown")]
+        minutes = _bin_downtime_by_month(spans, 12 * MONTH_MINUTES)
+        assert minutes[0] == pytest.approx(30.0)
+        assert minutes[1] == pytest.approx(90.0)
+
+    def test_total_preserved(self):
+        spans = [
+            (0.0, 100.0, "breakdown"),
+            (MONTH_MINUTES * 2.5, MONTH_MINUTES * 2.5 + 400.0, "failover"),
+            (MONTH_MINUTES * 5 - 50.0, MONTH_MINUTES * 5 + 50.0, "breakdown"),
+        ]
+        minutes = _bin_downtime_by_month(spans, 12 * MONTH_MINUTES)
+        assert sum(minutes) == pytest.approx(600.0)
+
+    def test_rejects_sub_month_horizon(self):
+        with pytest.raises(ValidationError):
+            _bin_downtime_by_month([], MONTH_MINUTES / 2)
+
+
+class TestSettlement:
+    def test_monthly_settlement_flags_breach(self):
+        month = MonthlySettlement(0, 1000.0, 2.0, 200.0)
+        assert month.slipped
+        assert not MonthlySettlement(1, 10.0, 0.0, 0.0).slipped
+
+    def test_report_requires_months(self):
+        with pytest.raises(ValidationError):
+            ComplianceReport(
+                system_name="s",
+                contract=Contract.linear(98.0, 100.0),
+                months=(),
+                expected_monthly_penalty=0.0,
+            )
+
+
+class TestMeasureCompliance:
+    def test_month_count_matches_years(self):
+        report = measure_compliance(
+            case_study_base_system(), Contract.linear(98.0, 100.0),
+            years=3.0, seed=1,
+        )
+        assert len(report.months) == 36
+
+    def test_deterministic_by_seed(self):
+        args = (case_study_base_system(), Contract.linear(98.0, 100.0))
+        a = measure_compliance(*args, years=2.0, seed=7)
+        b = measure_compliance(*args, years=2.0, seed=7)
+        assert a.mean_realized_penalty == b.mean_realized_penalty
+
+    def test_perfect_system_never_pays(self):
+        node = NodeSpec("n", 0.0, 0.0)
+        system = TopologyBuilder("perfect").compute("c", node, nodes=2).build()
+        report = measure_compliance(
+            system, Contract.linear(99.999, 1000.0), years=2.0, seed=2
+        )
+        assert report.mean_realized_penalty == 0.0
+        assert report.breach_fraction == 0.0
+        assert report.expected_monthly_penalty == 0.0
+
+    def test_jensen_gap_positive_for_borderline_system(self):
+        """The case-study bare system straddles the 98% allowance, so
+        realized penalties exceed Eq. 5's expectation."""
+        report = measure_compliance(
+            case_study_base_system(), Contract.linear(98.0, 100.0),
+            years=20.0, seed=3,
+        )
+        assert report.jensen_gap > 0.0
+
+    def test_realized_at_least_expectation_lower_bound(self):
+        """E[max(0, X - a)] >= max(0, E[X] - a) up to sampling noise —
+        allow a small tolerance on the Monte Carlo side."""
+        report = measure_compliance(
+            case_study_base_system(), Contract.linear(98.0, 100.0),
+            years=30.0, seed=4,
+        )
+        assert report.mean_realized_penalty >= (
+            report.expected_monthly_penalty * 0.8
+        )
+
+    def test_rejects_nonpositive_years(self):
+        with pytest.raises(ValidationError):
+            measure_compliance(
+                case_study_base_system(), Contract.linear(98.0, 100.0),
+                years=0.0,
+            )
+
+    def test_describe_reports_gap(self):
+        report = measure_compliance(
+            case_study_base_system(), Contract.linear(98.0, 100.0),
+            years=2.0, seed=5,
+        )
+        assert "Jensen gap" in report.describe()

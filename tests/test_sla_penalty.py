@@ -1,0 +1,153 @@
+"""Penalty clauses: linear (Eq. 5) plus the extension shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sla.penalty import (
+    CappedPenalty,
+    LinearPenalty,
+    NoPenalty,
+    ServiceCreditPenalty,
+    TieredPenalty,
+)
+
+
+class TestNoPenalty:
+    def test_always_zero(self):
+        clause = NoPenalty()
+        assert clause.monthly_penalty(0.0) == 0.0
+        assert clause.monthly_penalty(100.0) == 0.0
+
+    def test_rejects_negative_slippage(self):
+        with pytest.raises(ValidationError):
+            NoPenalty().monthly_penalty(-1.0)
+
+
+class TestLinearPenalty:
+    def test_paper_shape(self):
+        clause = LinearPenalty(100.0)
+        assert clause.monthly_penalty(3.5) == pytest.approx(350.0)
+
+    def test_zero_slippage_is_free(self):
+        assert LinearPenalty(100.0).monthly_penalty(0.0) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValidationError):
+            LinearPenalty(-1.0)
+
+    def test_describe_shows_rate(self):
+        assert "100" in LinearPenalty(100.0).describe()
+
+
+class TestTieredPenalty:
+    @pytest.fixture
+    def clause(self):
+        return TieredPenalty(((2.0, 100.0), (8.0, 250.0), (float("inf"), 500.0)))
+
+    def test_within_first_tier(self, clause):
+        assert clause.monthly_penalty(1.0) == pytest.approx(100.0)
+
+    def test_spanning_two_tiers(self, clause):
+        # 2h @ 100 + 3h @ 250.
+        assert clause.monthly_penalty(5.0) == pytest.approx(200.0 + 750.0)
+
+    def test_open_ended_tail(self, clause):
+        # 2h @ 100 + 8h @ 250 + 10h @ 500.
+        assert clause.monthly_penalty(20.0) == pytest.approx(200 + 2000 + 5000)
+
+    def test_closed_final_tier_extends_last_rate(self):
+        clause = TieredPenalty(((2.0, 100.0),))
+        # Beyond the only (closed) tier the final rate keeps applying.
+        assert clause.monthly_penalty(5.0) == pytest.approx(200.0 + 300.0)
+
+    def test_monotone(self, clause):
+        values = [clause.monthly_penalty(h) for h in (0.0, 1.0, 3.0, 10.0, 50.0)]
+        assert values == sorted(values)
+
+    def test_rejects_empty_tiers(self):
+        with pytest.raises(ValidationError):
+            TieredPenalty(())
+
+    def test_rejects_infinite_middle_tier(self):
+        with pytest.raises(ValidationError):
+            TieredPenalty(((float("inf"), 100.0), (2.0, 50.0)))
+
+    def test_rejects_zero_width_tier(self):
+        with pytest.raises(ValidationError):
+            TieredPenalty(((0.0, 100.0),))
+
+
+class TestCappedPenalty:
+    def test_caps_inner_clause(self):
+        clause = CappedPenalty(LinearPenalty(100.0), monthly_cap=500.0)
+        assert clause.monthly_penalty(3.0) == pytest.approx(300.0)
+        assert clause.monthly_penalty(10.0) == pytest.approx(500.0)
+
+    def test_zero_cap_silences_everything(self):
+        clause = CappedPenalty(LinearPenalty(100.0), monthly_cap=0.0)
+        assert clause.monthly_penalty(99.0) == 0.0
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValidationError):
+            CappedPenalty(LinearPenalty(100.0), monthly_cap=-1.0)
+
+    def test_describe_mentions_cap(self):
+        clause = CappedPenalty(LinearPenalty(100.0), monthly_cap=500.0)
+        assert "500" in clause.describe()
+
+
+class TestServiceCreditPenalty:
+    @pytest.fixture
+    def clause(self):
+        return ServiceCreditPenalty(5000.0, ((2.0, 0.10), (10.0, 0.25)))
+
+    def test_below_first_threshold(self, clause):
+        assert clause.monthly_penalty(1.0) == 0.0
+
+    def test_first_credit_band(self, clause):
+        assert clause.monthly_penalty(2.0) == pytest.approx(500.0)
+
+    def test_highest_band_wins(self, clause):
+        assert clause.monthly_penalty(50.0) == pytest.approx(1250.0)
+
+    def test_step_function_not_interpolated(self, clause):
+        assert clause.monthly_penalty(9.99) == pytest.approx(500.0)
+
+    def test_rejects_decreasing_thresholds(self):
+        with pytest.raises(ValidationError):
+            ServiceCreditPenalty(1000.0, ((5.0, 0.1), (2.0, 0.2)))
+
+    def test_rejects_decreasing_fractions(self):
+        with pytest.raises(ValidationError):
+            ServiceCreditPenalty(1000.0, ((2.0, 0.3), (5.0, 0.1)))
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValidationError):
+            ServiceCreditPenalty(1000.0, ((2.0, 1.5),))
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ValidationError):
+            ServiceCreditPenalty(1000.0, ())
+
+
+class TestMonotonicityContract:
+    """Every clause must be non-decreasing (the pruning rule needs it)."""
+
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            NoPenalty(),
+            LinearPenalty(50.0),
+            TieredPenalty(((1.0, 10.0), (float("inf"), 100.0))),
+            CappedPenalty(LinearPenalty(100.0), monthly_cap=400.0),
+            ServiceCreditPenalty(2000.0, ((1.0, 0.05), (5.0, 0.2))),
+        ],
+        ids=["none", "linear", "tiered", "capped", "credits"],
+    )
+    def test_non_decreasing(self, clause):
+        hours = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0]
+        penalties = [clause.monthly_penalty(h) for h in hours]
+        assert penalties == sorted(penalties)
+        assert penalties[0] == 0.0

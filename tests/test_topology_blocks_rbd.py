@@ -1,0 +1,170 @@
+"""Reliability block diagrams: structure and availability algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.availability.breakdown import breakdown_downtime_probability
+from repro.availability.cluster_math import cluster_up_probability
+from repro.availability.rbd import (
+    block_availability,
+    block_downtime_probability,
+    cluster_effective_availability,
+    parallel_gain,
+)
+from repro.errors import TopologyError
+from repro.topology.blocks import (
+    ClusterBlock,
+    ParallelBlock,
+    SerialBlock,
+    leaf,
+    parallel,
+    serial,
+    system_to_block,
+)
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.workloads.case_study import case_study_base_system
+
+
+def make_cluster(name: str, p: float = 0.05, nodes: int = 1) -> ClusterSpec:
+    return ClusterSpec(name, Layer.COMPUTE, NodeSpec("n", p, 4.0), total_nodes=nodes)
+
+
+class TestBlockStructure:
+    def test_leaf_iterates_its_cluster(self):
+        cluster = make_cluster("a")
+        assert list(leaf(cluster).iter_clusters()) == [cluster]
+
+    def test_serial_preserves_order(self):
+        block = serial(leaf(make_cluster("a")), leaf(make_cluster("b")))
+        assert block.cluster_names() == ("a", "b")
+
+    def test_nested_iteration_depth_first(self):
+        block = serial(
+            leaf(make_cluster("a")),
+            parallel(leaf(make_cluster("b")), leaf(make_cluster("c"))),
+        )
+        assert block.cluster_names() == ("a", "b", "c")
+
+    def test_serial_needs_children(self):
+        with pytest.raises(TopologyError):
+            SerialBlock(children=())
+
+    def test_parallel_needs_two_children(self):
+        with pytest.raises(TopologyError):
+            ParallelBlock(children=(leaf(make_cluster("a")),))
+
+    def test_duplicate_names_detected(self):
+        block = serial(leaf(make_cluster("a")), leaf(make_cluster("a")))
+        with pytest.raises(TopologyError, match="reuses"):
+            block.validate_unique_names()
+
+    def test_describe_renders_tree(self):
+        block = serial(
+            leaf(make_cluster("a")),
+            parallel(leaf(make_cluster("b")), leaf(make_cluster("c"))),
+        )
+        text = block.describe()
+        assert "serial:" in text and "parallel:" in text
+
+
+class TestRbdAvailability:
+    def test_leaf_matches_cluster_math(self):
+        cluster = make_cluster("a", p=0.07, nodes=3)
+        assert block_availability(
+            leaf(cluster), include_failover=False
+        ) == pytest.approx(cluster_up_probability(cluster))
+
+    def test_serial_multiplies(self):
+        a, b = make_cluster("a", 0.1), make_cluster("b", 0.2)
+        block = serial(leaf(a), leaf(b))
+        assert block_availability(block, include_failover=False) == pytest.approx(
+            0.9 * 0.8
+        )
+
+    def test_parallel_survives_single_branch_loss(self):
+        a, b = make_cluster("a", 0.1), make_cluster("b", 0.2)
+        block = parallel(leaf(a), leaf(b))
+        assert block_availability(block, include_failover=False) == pytest.approx(
+            1 - 0.1 * 0.2
+        )
+
+    def test_chain_equals_paper_breakdown_model(self):
+        system = case_study_base_system()
+        block = system_to_block(system)
+        assert block_availability(block, include_failover=False) == pytest.approx(
+            1.0 - breakdown_downtime_probability(system), rel=1e-12
+        )
+
+    def test_downtime_is_complement(self):
+        block = serial(leaf(make_cluster("a")), leaf(make_cluster("b")))
+        assert block_availability(block) + block_downtime_probability(block) == (
+            pytest.approx(1.0)
+        )
+
+    def test_effective_availability_debits_failover(self):
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, NodeSpec("n", 0.01, 6.0), total_nodes=2,
+            standby_tolerance=1, failover_minutes=10.0,
+        )
+        with_failover = cluster_effective_availability(cluster, True)
+        without = cluster_effective_availability(cluster, False)
+        assert with_failover < without
+
+    def test_parallel_gain_zero_for_serial(self):
+        block = serial(leaf(make_cluster("a")), leaf(make_cluster("b")))
+        assert parallel_gain(block) == pytest.approx(0.0)
+
+    def test_parallel_gain_positive_for_redundant_paths(self):
+        block = parallel(leaf(make_cluster("a", 0.1)), leaf(make_cluster("b", 0.1)))
+        assert parallel_gain(block) > 0.0
+
+    def test_parallel_beats_each_branch(self):
+        a, b = make_cluster("a", 0.15), make_cluster("b", 0.25)
+        combined = block_availability(parallel(leaf(a), leaf(b)))
+        assert combined > block_availability(leaf(a))
+        assert combined > block_availability(leaf(b))
+
+    def test_serial_worse_than_weakest_link(self):
+        a, b = make_cluster("a", 0.15), make_cluster("b", 0.25)
+        combined = block_availability(serial(leaf(a), leaf(b)))
+        assert combined < block_availability(leaf(b))
+
+
+class TestRbdProperties:
+    p_values = st.floats(min_value=0.0, max_value=0.5)
+
+    @given(pa=p_values, pb=p_values, pc=p_values)
+    @settings(max_examples=100)
+    def test_availability_always_probability(self, pa, pb, pc):
+        block = serial(
+            leaf(make_cluster("a", pa)),
+            parallel(leaf(make_cluster("b", pb)), leaf(make_cluster("c", pc))),
+        )
+        value = block_availability(block)
+        assert 0.0 <= value <= 1.0
+
+    @given(pa=p_values, pb=p_values)
+    @settings(max_examples=100)
+    def test_parallel_never_worse_than_serial(self, pa, pb):
+        a, b = make_cluster("a", pa), make_cluster("b", pb)
+        assert block_availability(parallel(leaf(a), leaf(b))) >= (
+            block_availability(serial(leaf(a), leaf(b))) - 1e-12
+        )
+
+    @given(pa=p_values, pb=p_values, pc=p_values)
+    @settings(max_examples=100)
+    def test_composition_associativity(self, pa, pb, pc):
+        a, b, c = (
+            make_cluster("a", pa),
+            make_cluster("b", pb),
+            make_cluster("c", pc),
+        )
+        flat = serial(leaf(a), leaf(b), leaf(c))
+        nested = serial(serial(leaf(a), leaf(b)), leaf(c))
+        assert block_availability(flat) == pytest.approx(
+            block_availability(nested)
+        )

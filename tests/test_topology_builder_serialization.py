@@ -1,0 +1,131 @@
+"""TopologyBuilder and JSON (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.topology.builder import TopologyBuilder
+from repro.topology.cluster import Layer
+from repro.topology.node import NodeSpec
+from repro.topology.serialization import (
+    cluster_from_dict,
+    cluster_to_dict,
+    node_from_dict,
+    node_to_dict,
+    system_from_dict,
+    system_from_json,
+    system_to_dict,
+    system_to_json,
+)
+
+
+@pytest.fixture
+def node() -> NodeSpec:
+    return NodeSpec("host", 0.01, 4.0, 100.0)
+
+
+class TestBuilder:
+    def test_builds_layers_in_order(self, node):
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3)
+            .storage("st", node, nodes=1)
+            .network("n", node, nodes=1)
+            .other("x", node, nodes=2)
+            .build()
+        )
+        assert [cluster.layer for cluster in system] == [
+            Layer.COMPUTE, Layer.STORAGE, Layer.NETWORK, Layer.OTHER,
+        ]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder("")
+
+    def test_passes_ha_kwargs_through(self, node):
+        system = (
+            TopologyBuilder("s")
+            .compute(
+                "c", node, nodes=4, standby_tolerance=1,
+                failover_minutes=10.0, ha_technology="hv",
+            )
+            .build()
+        )
+        cluster = system.cluster("c")
+        assert cluster.has_ha
+        assert cluster.ha_technology == "hv"
+
+    def test_builder_is_chainable(self, node):
+        builder = TopologyBuilder("s")
+        assert builder.compute("c", node, nodes=1) is builder
+
+
+class TestNodeSerialization:
+    def test_roundtrip(self, node):
+        assert node_from_dict(node_to_dict(node)) == node
+
+    def test_rejects_unknown_keys(self, node):
+        payload = node_to_dict(node)
+        payload["bogus"] = 1
+        with pytest.raises(ValidationError, match="bogus"):
+            node_from_dict(payload)
+
+
+class TestClusterSerialization:
+    def test_roundtrip(self, node):
+        system = (
+            TopologyBuilder("s")
+            .storage(
+                "st", node, nodes=2, standby_tolerance=1,
+                failover_minutes=1.0, ha_technology="raid-1",
+                monthly_ha_infra_cost=50.0, monthly_ha_labor_hours=2.0,
+            )
+            .build()
+        )
+        cluster = system.cluster("st")
+        assert cluster_from_dict(cluster_to_dict(cluster)) == cluster
+
+    def test_rejects_unknown_layer(self, node):
+        system = TopologyBuilder("s").compute("c", node, nodes=1).build()
+        payload = cluster_to_dict(system.cluster("c"))
+        payload["layer"] = "quantum"
+        with pytest.raises(ValidationError, match="quantum"):
+            cluster_from_dict(payload)
+
+
+class TestSystemSerialization:
+    def test_dict_roundtrip(self, node):
+        system = (
+            TopologyBuilder("s")
+            .compute("c", node, nodes=3)
+            .storage("st", node, nodes=1)
+            .build()
+        )
+        assert system_from_dict(system_to_dict(system)) == system
+
+    def test_json_roundtrip(self, node):
+        system = TopologyBuilder("s").compute("c", node, nodes=3).build()
+        assert system_from_json(system_to_json(system)) == system
+
+    def test_json_is_deterministic(self, node):
+        system = TopologyBuilder("s").compute("c", node, nodes=3).build()
+        assert system_to_json(system) == system_to_json(system)
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ValidationError, match="invalid topology JSON"):
+            system_from_json("{not json")
+
+    def test_rejects_wrong_schema_version(self, node):
+        payload = system_to_dict(
+            TopologyBuilder("s").compute("c", node, nodes=1).build()
+        )
+        payload["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema_version"):
+            system_from_dict(payload)
+
+    def test_embeds_schema_version(self, node):
+        payload = system_to_dict(
+            TopologyBuilder("s").compute("c", node, nodes=1).build()
+        )
+        assert payload["schema_version"] == 1

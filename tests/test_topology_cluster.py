@@ -1,0 +1,120 @@
+"""ClusterSpec: k-redundancy shape and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+
+
+@pytest.fixture
+def node() -> NodeSpec:
+    return NodeSpec("host", 0.01, 4.0, 100.0)
+
+
+class TestConstruction:
+    def test_bare_cluster(self, node):
+        cluster = ClusterSpec("c", Layer.COMPUTE, node, total_nodes=3)
+        assert cluster.active_nodes == 3
+        assert not cluster.has_ha
+
+    def test_ha_cluster_shape(self, node):
+        cluster = ClusterSpec(
+            "c", Layer.COMPUTE, node, total_nodes=4,
+            standby_tolerance=1, failover_minutes=10.0,
+        )
+        assert cluster.active_nodes == 3
+        assert cluster.has_ha
+
+    def test_rejects_empty_name(self, node):
+        with pytest.raises(ValidationError, match="name"):
+            ClusterSpec("", Layer.COMPUTE, node, total_nodes=1)
+
+    def test_rejects_zero_nodes(self, node):
+        with pytest.raises(ValidationError, match="total_nodes"):
+            ClusterSpec("c", Layer.COMPUTE, node, total_nodes=0)
+
+    def test_rejects_tolerance_equal_to_nodes(self, node):
+        with pytest.raises(ValidationError, match="K-hat"):
+            ClusterSpec("c", Layer.COMPUTE, node, total_nodes=2, standby_tolerance=2)
+
+    def test_rejects_negative_tolerance(self, node):
+        with pytest.raises(ValidationError, match="K-hat"):
+            ClusterSpec("c", Layer.COMPUTE, node, total_nodes=2, standby_tolerance=-1)
+
+    def test_rejects_failover_without_standby(self, node):
+        # DESIGN.md semantics: no HA means no failover mechanism.
+        with pytest.raises(ValidationError, match="failover"):
+            ClusterSpec(
+                "c", Layer.COMPUTE, node, total_nodes=2, failover_minutes=5.0
+            )
+
+    def test_rejects_negative_failover(self, node):
+        with pytest.raises(ValidationError, match="failover_minutes"):
+            ClusterSpec(
+                "c", Layer.COMPUTE, node, total_nodes=2,
+                standby_tolerance=1, failover_minutes=-1.0,
+            )
+
+    def test_rejects_negative_ha_costs(self, node):
+        with pytest.raises(ValidationError, match="monthly_ha_infra_cost"):
+            ClusterSpec(
+                "c", Layer.COMPUTE, node, total_nodes=2,
+                standby_tolerance=1, monthly_ha_infra_cost=-1.0,
+            )
+
+    def test_rejects_non_layer(self, node):
+        with pytest.raises(ValidationError, match="layer"):
+            ClusterSpec("c", "compute", node, total_nodes=1)  # type: ignore[arg-type]
+
+
+class TestDerived:
+    def test_monthly_node_cost(self, node):
+        cluster = ClusterSpec("c", Layer.COMPUTE, node, total_nodes=3)
+        assert cluster.monthly_node_cost == pytest.approx(300.0)
+
+    def test_describe_shows_shape(self, node):
+        cluster = ClusterSpec(
+            "compute", Layer.COMPUTE, node, total_nodes=4,
+            standby_tolerance=1, failover_minutes=10.0,
+            ha_technology="hypervisor-n+1",
+        )
+        assert "3+1" in cluster.describe()
+        assert "hypervisor-n+1" in cluster.describe()
+
+
+class TestWithHa:
+    def test_with_ha_adds_nodes(self, node):
+        bare = ClusterSpec("c", Layer.COMPUTE, node, total_nodes=3)
+        clustered = bare.with_ha(
+            standby_tolerance=1, failover_minutes=8.0,
+            ha_technology="test-ha", extra_nodes=1,
+        )
+        assert clustered.total_nodes == 4
+        assert clustered.active_nodes == 3
+        assert clustered.ha_technology == "test-ha"
+
+    def test_without_ha_strips_to_active_nodes(self, node):
+        clustered = ClusterSpec(
+            "c", Layer.COMPUTE, node, total_nodes=4,
+            standby_tolerance=1, failover_minutes=8.0,
+            ha_technology="test-ha", monthly_ha_infra_cost=100.0,
+            monthly_ha_labor_hours=2.0,
+        )
+        bare = clustered.without_ha()
+        assert bare.total_nodes == 3
+        assert bare.standby_tolerance == 0
+        assert bare.failover_minutes == 0.0
+        assert bare.ha_technology == "none"
+        assert bare.monthly_ha_infra_cost == 0.0
+        assert bare.monthly_ha_labor_hours == 0.0
+
+    def test_ha_roundtrip_preserves_active_set(self, node):
+        bare = ClusterSpec("c", Layer.COMPUTE, node, total_nodes=3)
+        roundtripped = bare.with_ha(
+            standby_tolerance=2, failover_minutes=5.0,
+            ha_technology="x", extra_nodes=2,
+        ).without_ha()
+        assert roundtripped.total_nodes == bare.total_nodes

@@ -1,0 +1,92 @@
+"""NodeSpec: reliability inputs and MTBF/MTTR conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.topology.node import NodeSpec
+
+
+class TestConstruction:
+    def test_valid_node(self):
+        node = NodeSpec("host", 0.01, 4.0, 100.0)
+        assert node.kind == "host"
+        assert node.up_probability == pytest.approx(0.99)
+
+    def test_zero_cost_default(self):
+        assert NodeSpec("host", 0.01, 4.0).monthly_cost == 0.0
+
+    def test_rejects_empty_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            NodeSpec("", 0.01, 4.0)
+
+    def test_rejects_negative_down_probability(self):
+        with pytest.raises(ValidationError, match="down_probability"):
+            NodeSpec("host", -0.1, 4.0)
+
+    def test_rejects_down_probability_of_one(self):
+        with pytest.raises(ValidationError, match="down_probability"):
+            NodeSpec("host", 1.0, 4.0)
+
+    def test_rejects_negative_failure_rate(self):
+        with pytest.raises(ValidationError, match="failures_per_year"):
+            NodeSpec("host", 0.01, -1.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValidationError, match="monthly_cost"):
+            NodeSpec("host", 0.01, 4.0, -5.0)
+
+    def test_is_frozen(self):
+        node = NodeSpec("host", 0.01, 4.0)
+        with pytest.raises(AttributeError):
+            node.down_probability = 0.5  # type: ignore[misc]
+
+
+class TestMtbfMttr:
+    def test_from_mtbf_mttr_down_probability(self):
+        # 990 hours up, 10 hours down -> P = 10/1000 = 1%.
+        node = NodeSpec.from_mtbf_mttr("host", mtbf_hours=990.0, mttr_hours=10.0)
+        assert node.down_probability == pytest.approx(0.01)
+
+    def test_from_mtbf_mttr_failure_rate(self):
+        # One failure per 1000-hour cycle -> 8.76 failures/year.
+        node = NodeSpec.from_mtbf_mttr("host", mtbf_hours=990.0, mttr_hours=10.0)
+        assert node.failures_per_year == pytest.approx(8.76)
+
+    def test_roundtrip_through_properties(self):
+        node = NodeSpec.from_mtbf_mttr("host", mtbf_hours=500.0, mttr_hours=20.0)
+        assert node.mtbf_hours == pytest.approx(500.0)
+        assert node.mttr_hours == pytest.approx(20.0)
+
+    def test_never_failing_node(self):
+        node = NodeSpec("host", 0.0, 0.0)
+        assert node.mtbf_hours == float("inf")
+        assert node.mttr_hours == 0.0
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ValidationError, match="mtbf_hours"):
+            NodeSpec.from_mtbf_mttr("host", mtbf_hours=0.0, mttr_hours=1.0)
+
+    def test_rejects_negative_mttr(self):
+        with pytest.raises(ValidationError, match="mttr_hours"):
+            NodeSpec.from_mtbf_mttr("host", mtbf_hours=100.0, mttr_hours=-1.0)
+
+    def test_zero_mttr_means_perfect_availability(self):
+        node = NodeSpec.from_mtbf_mttr("host", mtbf_hours=100.0, mttr_hours=0.0)
+        assert node.down_probability == 0.0
+        assert node.failures_per_year > 0.0
+
+
+class TestWithCost:
+    def test_with_cost_returns_new_instance(self):
+        node = NodeSpec("host", 0.01, 4.0, 100.0)
+        priced = node.with_cost(250.0)
+        assert priced.monthly_cost == 250.0
+        assert node.monthly_cost == 100.0
+
+    def test_with_cost_preserves_reliability(self):
+        node = NodeSpec("host", 0.01, 4.0, 100.0)
+        priced = node.with_cost(250.0)
+        assert priced.down_probability == node.down_probability
+        assert priced.failures_per_year == node.failures_per_year

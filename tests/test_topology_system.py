@@ -1,0 +1,130 @@
+"""SystemTopology: the serial chain and its operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.cluster import ClusterSpec, Layer
+from repro.topology.node import NodeSpec
+from repro.topology.system import SystemTopology
+
+
+@pytest.fixture
+def node() -> NodeSpec:
+    return NodeSpec("host", 0.01, 4.0, 100.0)
+
+
+def make_cluster(name: str, node: NodeSpec, layer: Layer = Layer.COMPUTE) -> ClusterSpec:
+    return ClusterSpec(name, layer, node, total_nodes=2)
+
+
+class TestConstruction:
+    def test_valid_system(self, node):
+        system = SystemTopology("s", (make_cluster("a", node),))
+        assert len(system) == 1
+        assert system.cluster_names == ("a",)
+
+    def test_rejects_empty_name(self, node):
+        with pytest.raises(TopologyError, match="name"):
+            SystemTopology("", (make_cluster("a", node),))
+
+    def test_rejects_no_clusters(self):
+        with pytest.raises(TopologyError, match="at least one"):
+            SystemTopology("s", ())
+
+    def test_rejects_duplicate_cluster_names(self, node):
+        with pytest.raises(TopologyError, match="duplicate"):
+            SystemTopology("s", (make_cluster("a", node), make_cluster("a", node)))
+
+    def test_iterates_in_chain_order(self, node):
+        system = SystemTopology(
+            "s", (make_cluster("a", node), make_cluster("b", node))
+        )
+        assert [cluster.name for cluster in system] == ["a", "b"]
+
+
+class TestLookups:
+    def test_cluster_by_name(self, node):
+        system = SystemTopology("s", (make_cluster("a", node),))
+        assert system.cluster("a").name == "a"
+
+    def test_missing_cluster_lists_available(self, node):
+        system = SystemTopology("s", (make_cluster("a", node),))
+        with pytest.raises(TopologyError, match="available"):
+            system.cluster("zzz")
+
+    def test_clusters_in_layer(self, node):
+        system = SystemTopology(
+            "s",
+            (
+                make_cluster("c1", node, Layer.COMPUTE),
+                make_cluster("st", node, Layer.STORAGE),
+                make_cluster("c2", node, Layer.COMPUTE),
+            ),
+        )
+        compute = system.clusters_in_layer(Layer.COMPUTE)
+        assert [cluster.name for cluster in compute] == ["c1", "c2"]
+        assert system.clusters_in_layer(Layer.NETWORK) == ()
+
+
+class TestMutations:
+    def test_replace_cluster(self, node):
+        system = SystemTopology("s", (make_cluster("a", node),))
+        bigger = ClusterSpec("a", Layer.COMPUTE, node, total_nodes=5)
+        updated = system.replace_cluster("a", bigger)
+        assert updated.cluster("a").total_nodes == 5
+        assert system.cluster("a").total_nodes == 2  # original untouched
+
+    def test_replace_missing_cluster_raises(self, node):
+        system = SystemTopology("s", (make_cluster("a", node),))
+        with pytest.raises(TopologyError):
+            system.replace_cluster("zzz", make_cluster("zzz", node))
+
+    def test_with_clusters_swaps_many(self, node):
+        system = SystemTopology(
+            "s", (make_cluster("a", node), make_cluster("b", node))
+        )
+        updated = system.with_clusters(
+            {
+                "a": ClusterSpec("a", Layer.COMPUTE, node, total_nodes=4),
+                "b": ClusterSpec("b", Layer.COMPUTE, node, total_nodes=6),
+            }
+        )
+        assert updated.cluster("a").total_nodes == 4
+        assert updated.cluster("b").total_nodes == 6
+
+    def test_strip_ha_removes_all_redundancy(self, node):
+        clustered = ClusterSpec(
+            "a", Layer.COMPUTE, node, total_nodes=4,
+            standby_tolerance=1, failover_minutes=10.0,
+            ha_technology="x", monthly_ha_infra_cost=50.0,
+        )
+        system = SystemTopology("s", (clustered,))
+        bare = system.strip_ha()
+        assert bare.cluster("a").total_nodes == 3
+        assert not bare.cluster("a").has_ha
+
+
+class TestAggregates:
+    def test_monthly_base_infra_cost(self, node):
+        system = SystemTopology(
+            "s", (make_cluster("a", node), make_cluster("b", node))
+        )
+        # Two clusters x two nodes x $100.
+        assert system.monthly_base_infra_cost == pytest.approx(400.0)
+
+    def test_ha_signature(self, node):
+        clustered = ClusterSpec(
+            "b", Layer.STORAGE, node, total_nodes=2,
+            standby_tolerance=1, failover_minutes=1.0, ha_technology="raid-1",
+        )
+        system = SystemTopology("s", (make_cluster("a", node), clustered))
+        assert system.ha_signature == ("none", "raid-1")
+
+    def test_describe_lists_all_clusters(self, node):
+        system = SystemTopology(
+            "s", (make_cluster("a", node), make_cluster("b", node))
+        )
+        text = system.describe()
+        assert "a:" in text and "b:" in text

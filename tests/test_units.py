@@ -1,0 +1,76 @@
+"""Unit-conversion helpers: the constants Eq. 5 depends on."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_delta_is_the_papers_525600(self):
+        assert units.MINUTES_PER_YEAR == 525_600
+
+    def test_hours_per_month_is_delta_over_12x60(self):
+        assert units.HOURS_PER_MONTH == pytest.approx(525_600 / (12 * 60))
+
+    def test_hours_per_month_is_730(self):
+        assert units.HOURS_PER_MONTH == pytest.approx(730.0)
+
+
+class TestConversions:
+    def test_minutes_hours_roundtrip(self):
+        assert units.hours_to_minutes(units.minutes_to_hours(90.0)) == pytest.approx(90.0)
+
+    def test_yearly_monthly_roundtrip(self):
+        assert units.monthly_to_yearly(units.yearly_to_monthly(1200.0)) == pytest.approx(1200.0)
+
+    def test_probability_to_minutes_per_year(self):
+        # 1% downtime over a year is 5256 minutes.
+        assert units.probability_to_minutes_per_year(0.01) == pytest.approx(5256.0)
+
+    def test_probability_to_hours_per_month(self):
+        # Eq. 5's conversion: 1% downtime is 7.3 hours per month.
+        assert units.probability_to_hours_per_month(0.01) == pytest.approx(7.3)
+
+    def test_zero_probability_maps_to_zero_everywhere(self):
+        assert units.probability_to_minutes_per_year(0.0) == 0.0
+        assert units.probability_to_hours_per_month(0.0) == 0.0
+
+
+class TestNines:
+    def test_three_nines(self):
+        assert units.availability_to_nines(0.999) == pytest.approx(3.0)
+
+    def test_five_nines(self):
+        assert units.availability_to_nines(0.99999) == pytest.approx(5.0)
+
+    def test_perfect_availability_is_infinite_nines(self):
+        assert math.isinf(units.availability_to_nines(1.0))
+
+    def test_zero_availability_is_zero_nines(self):
+        assert units.availability_to_nines(0.0) == 0.0
+
+    def test_nines_monotone_in_availability(self):
+        values = [0.9, 0.99, 0.999, 0.9999]
+        nines = [units.availability_to_nines(value) for value in values]
+        assert nines == sorted(nines)
+
+
+class TestFormatting:
+    def test_format_money_has_thousands_separators(self):
+        assert units.format_money(1234.5) == "$1,234.50"
+
+    def test_format_money_negative(self):
+        assert units.format_money(-2.5) == "-$2.50"
+
+    def test_format_money_zero(self):
+        assert units.format_money(0.0) == "$0.00"
+
+    def test_format_percent(self):
+        assert units.format_percent(0.98) == "98.0000%"
+
+    def test_format_percent_custom_places(self):
+        assert units.format_percent(0.12345, places=1) == "12.3%"

@@ -1,0 +1,129 @@
+"""The calibrated §III case study: every paper-stated outcome must hold.
+
+These tests pin the reproduction to the claims in the paper's *text*
+(the figures' dollar values are not available; see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.pruned import pruned_optimize
+from repro.workloads import case_study
+from repro.workloads.case_study import case_study_problem
+
+
+@pytest.fixture(scope="module")
+def result():
+    return brute_force_optimize(case_study_problem())
+
+
+class TestContractTerms:
+    def test_sla_is_98_percent(self):
+        assert case_study.case_study_contract().sla.target_percent == 98.0
+
+    def test_penalty_is_100_per_hour(self):
+        contract = case_study.case_study_contract()
+        assert contract.penalty.monthly_penalty(1.0) == 100.0
+
+    def test_labor_is_30_per_hour(self):
+        assert case_study.case_study_labor_rate().dollars_per_hour == 30.0
+
+
+class TestArchitectureShape:
+    def test_three_serial_clusters(self):
+        system = case_study.case_study_base_system()
+        assert system.cluster_names == ("compute", "storage", "network")
+
+    def test_compute_is_three_active_hosts(self):
+        system = case_study.case_study_base_system()
+        assert system.cluster("compute").total_nodes == 3
+
+    def test_space_is_k2_n3(self, result):
+        assert result.space_size == 8
+
+    def test_compute_ha_is_three_plus_one(self, result):
+        option4 = result.option(4)
+        compute = option4.system.cluster("compute")
+        assert compute.total_nodes == 4
+        assert compute.standby_tolerance == 1
+        assert compute.ha_technology == "hypervisor-n+1"
+
+    def test_storage_ha_is_raid1(self, result):
+        storage = result.option(3).system.cluster("storage")
+        assert storage.ha_technology == "raid-1"
+        assert storage.total_nodes == 2
+
+    def test_network_ha_is_dual_gateway(self, result):
+        network = result.option(2).system.cluster("network")
+        assert network.ha_technology == "dual-gateway"
+        assert network.total_nodes == 2
+
+
+class TestPaperOutcomes:
+    def test_recommendation_is_option_3_storage_only(self, result):
+        assert result.best.option_id == case_study.EXPECTED_BEST_OPTION_ID
+        assert result.best.clustered_components == ("storage",)
+
+    def test_min_penalty_option_is_5(self, result):
+        assert (
+            result.min_penalty_option.option_id
+            == case_study.EXPECTED_MIN_PENALTY_OPTION_ID
+        )
+        assert result.min_penalty_option.clustered_components == (
+            "storage", "network",
+        )
+
+    def test_option_5_is_first_to_meet_sla(self, result):
+        for option in result.options:
+            if option.option_id < 5:
+                assert not option.meets_sla, option.label
+        assert result.option(5).meets_sla
+
+    def test_savings_close_to_62_percent(self, result):
+        savings = result.savings_vs(result.option(case_study.AS_IS_OPTION_ID))
+        assert savings == pytest.approx(
+            case_study.EXPECTED_SAVINGS_FRACTION,
+            abs=case_study.SAVINGS_TOLERANCE,
+        )
+
+    def test_pruned_search_clips_exactly_option_8(self):
+        pruned = pruned_optimize(case_study_problem())
+        evaluated = {option.option_id for option in pruned.options}
+        assert evaluated == {1, 2, 3, 4, 5, 6, 7}
+        assert pruned.pruned == 1
+
+    def test_option_1_has_no_ha_cost(self, result):
+        option1 = result.option(1)
+        assert option1.tco.ha_cost == 0.0
+        assert option1.tco.expected_penalty > 0.0
+
+    def test_option_8_has_no_penalty(self, result):
+        option8 = result.option(8)
+        assert option8.tco.expected_penalty == 0.0
+        assert option8.meets_sla
+
+    def test_option_ordering_matches_figures(self, result):
+        """#2=network (Fig 5), #3=storage (Fig 6), #4=compute (Fig 7),
+        #5=storage+network (Fig 8), #6=compute+network (Fig 9)."""
+        expectations = {
+            2: ("network",),
+            3: ("storage",),
+            4: ("compute",),
+            5: ("storage", "network"),
+            6: ("compute", "network"),
+            7: ("compute", "storage"),
+            8: ("compute", "storage", "network"),
+        }
+        for option_id, clustered in expectations.items():
+            assert result.option(option_id).clustered_components == clustered
+
+    def test_uptime_ordering_sanity(self, result):
+        # All-HA must be the most available option; no-HA the least.
+        uptimes = {
+            option.option_id: option.tco.uptime_probability
+            for option in result.options
+        }
+        assert max(uptimes, key=uptimes.get) == 8
+        assert min(uptimes, key=uptimes.get) == 1

@@ -1,0 +1,101 @@
+"""Random generators and named scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.optimizer.pruned import pruned_optimize
+from repro.workloads.generators import (
+    random_contract,
+    random_node_spec,
+    random_problem,
+    random_registry,
+    random_system,
+)
+from repro.workloads.scenarios import SCENARIOS, scenario
+
+
+class TestGenerators:
+    def test_node_spec_deterministic_by_seed(self):
+        assert random_node_spec(5) == random_node_spec(5)
+        assert random_node_spec(5) != random_node_spec(6)
+
+    def test_system_has_requested_clusters(self):
+        system = random_system(1, clusters=6)
+        assert len(system) == 6
+
+    def test_system_layers_cycle(self):
+        from repro.topology.cluster import Layer
+
+        system = random_system(2, clusters=6)
+        layers = [cluster.layer for cluster in system]
+        assert layers == [
+            Layer.COMPUTE, Layer.STORAGE, Layer.NETWORK,
+        ] * 2
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValidationError):
+            random_system(1, clusters=0)
+
+    def test_registry_choice_counts(self):
+        registry = random_registry(3, choices_per_layer=2)
+        from repro.topology.cluster import Layer
+
+        assert len(registry.choices_for_layer(Layer.COMPUTE)) == 3
+        assert len(registry.choices_for_layer(Layer.STORAGE)) == 3
+
+    def test_registry_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            random_registry(1, choices_per_layer=0)
+        with pytest.raises(ValidationError):
+            random_registry(1, choices_per_layer=4)
+
+    def test_contract_in_realistic_range(self):
+        contract = random_contract(7)
+        assert 95.0 <= contract.sla.target_percent <= 99.9
+
+    def test_problem_is_solvable(self):
+        result = pruned_optimize(random_problem(9))
+        assert result.best is not None
+
+    def test_problem_deterministic_by_seed(self):
+        a = pruned_optimize(random_problem(4))
+        b = pruned_optimize(random_problem(4))
+        assert a.best.tco.total == b.best.tco.total
+
+
+class TestScenarios:
+    def test_three_scenarios_registered(self):
+        assert set(SCENARIOS) == {"ecommerce", "payments", "analytics"}
+
+    def test_lookup_by_name(self):
+        assert scenario("ecommerce").name == "ecommerce"
+
+    def test_unknown_scenario_lists_names(self):
+        with pytest.raises(ValidationError, match="available"):
+            scenario("space-station")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_optimizes(self, name):
+        result = pruned_optimize(scenario(name).problem)
+        assert result.best.tco.total >= 0.0
+
+    def test_ecommerce_is_k2_n5(self):
+        problem = scenario("ecommerce").problem
+        assert problem.space().size == 2**5
+
+    def test_payments_uses_extended_catalog(self):
+        problem = scenario("payments").problem
+        assert problem.space().size > 2**4
+
+    def test_analytics_recommends_minimal_ha(self):
+        # Lenient SLA, cheap penalty: HA should be limited (at most the
+        # flaky data lake gets protected).
+        result = pruned_optimize(scenario("analytics").problem)
+        assert len(result.best.clustered_components) <= 1
+
+    def test_payments_recommends_serious_ha(self):
+        # 99.95% SLA with steep penalties: most layers need protection.
+        result = pruned_optimize(scenario("payments").problem)
+        assert len(result.best.clustered_components) >= 2
