@@ -3,20 +3,33 @@
 :func:`evaluate_availability` combines the breakdown term (Eq. 2) and
 failover term (Eq. 3) into the system downtime ``D_s`` and uptime
 ``U_s``, together with a per-cluster decomposition for reporting.
+
+Every number in Eq. 1-4 factors into *per-cluster* terms (a cluster's up
+probability, its all-active-up probability and its raw failover rate)
+combined with O(n) products and sums.  :func:`cluster_availability_terms`
+computes one cluster's factor set and :func:`availability_from_terms`
+recombines precomputed factor sets — the optimizer's
+:class:`~repro.optimizer.engine.EvaluationEngine` caches one
+:class:`ClusterTerms` per (cluster, technology) pairing and evaluates
+each of the ``k^n`` candidates from the cache instead of re-running the
+binomial sums.  The recombination performs the exact same float
+operations in the exact same order as the direct evaluation, so both
+paths are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.availability.breakdown import breakdown_downtime_probability
-from repro.availability.cluster_math import cluster_up_probability
-from repro.availability.downtime import DowntimeBudget
-from repro.availability.failover import (
-    cluster_failover_downtime,
-    failover_downtime_probability,
+from repro.availability.cluster_math import (
+    active_nodes_up_probability,
+    cluster_up_probability,
 )
+from repro.availability.downtime import DowntimeBudget
+from repro.availability.failover import cluster_yearly_failover_minutes
+from repro.topology.cluster import ClusterSpec
 from repro.topology.system import SystemTopology
+from repro.units import MINUTES_PER_YEAR
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,23 +95,82 @@ class AvailabilityReport:
         return "\n".join(lines)
 
 
-def evaluate_availability(system: SystemTopology) -> AvailabilityReport:
-    """Evaluate Eq. 1-4 for ``system`` and return the full report."""
+@dataclass(frozen=True, slots=True)
+class ClusterTerms:
+    """One cluster's factor set in the Eq. 1-4 decomposition.
+
+    Attributes
+    ----------
+    up_probability:
+        ``Pr[C_i up]`` — the binomial sum inside Eq. 2.
+    active_up_probability:
+        ``(1 - P_i)^(K_i - K̂_i)`` — the "no failover in progress" factor
+        of Eq. 3.
+    failover_rate:
+        ``f_i t_i (K_i - K̂_i) / delta`` — the cluster's raw failover
+        downtime fraction before weighting by the other clusters.
+    """
+
+    up_probability: float
+    active_up_probability: float
+    failover_rate: float
+
+
+def cluster_availability_terms(cluster: ClusterSpec) -> ClusterTerms:
+    """Compute one cluster's availability factors (cacheable per spec)."""
+    return ClusterTerms(
+        up_probability=cluster_up_probability(cluster),
+        active_up_probability=active_nodes_up_probability(cluster),
+        failover_rate=cluster_yearly_failover_minutes(cluster) / MINUTES_PER_YEAR,
+    )
+
+
+def availability_from_terms(
+    system_name: str,
+    cluster_names: tuple[str, ...],
+    terms: tuple[ClusterTerms, ...],
+) -> AvailabilityReport:
+    """Recombine per-cluster factor sets into the full Eq. 1-4 report.
+
+    Performs the same float operations in the same order as evaluating
+    the assembled topology directly, so the result is bit-identical to
+    :func:`evaluate_availability` on the corresponding system.
+    """
+    up_product = 1.0
+    for term in terms:
+        up_product *= term.up_probability
+
+    contributions = []
+    for i, term in enumerate(terms):
+        others_quiet = 1.0
+        for j, other in enumerate(terms):
+            if j != i:
+                others_quiet *= other.active_up_probability
+        contributions.append(term.failover_rate * others_quiet)
+
     per_cluster = tuple(
         ClusterAvailability(
-            name=cluster.name,
-            up_probability=cluster_up_probability(cluster),
-            breakdown_probability=1.0 - cluster_up_probability(cluster),
-            failover_contribution=cluster_failover_downtime(system, cluster.name),
+            name=name,
+            up_probability=term.up_probability,
+            breakdown_probability=1.0 - term.up_probability,
+            failover_contribution=contribution,
         )
-        for cluster in system.clusters
+        for name, term, contribution in zip(cluster_names, terms, contributions)
     )
     return AvailabilityReport(
-        system_name=system.name,
-        breakdown_probability=breakdown_downtime_probability(system),
-        failover_probability=failover_downtime_probability(system),
+        system_name=system_name,
+        breakdown_probability=1.0 - up_product,
+        failover_probability=sum(contributions),
         clusters=per_cluster,
     )
+
+
+def evaluate_availability(system: SystemTopology) -> AvailabilityReport:
+    """Evaluate Eq. 1-4 for ``system`` and return the full report."""
+    terms = tuple(
+        cluster_availability_terms(cluster) for cluster in system.clusters
+    )
+    return availability_from_terms(system.name, system.cluster_names, terms)
 
 
 def uptime_probability(system: SystemTopology) -> float:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
+from repro.optimizer.engine import ENGINE_MODES
 from repro.sla.contract import Contract
 from repro.topology.cluster import COMPONENT_KIND_BY_LAYER, Layer
 
@@ -53,6 +54,8 @@ class RecommendationRequest:
     contract: Contract
     providers: tuple[str, ...] | None = None
     strategy: str = "pruned"
+    engine: str = "incremental"
+    parallel: bool = False
     extended_catalog: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -67,6 +70,10 @@ class RecommendationRequest:
         if self.strategy not in STRATEGIES:
             raise ValidationError(
                 f"unknown strategy {self.strategy!r}; valid: {STRATEGIES}"
+            )
+        if self.engine not in ENGINE_MODES:
+            raise ValidationError(
+                f"unknown engine mode {self.engine!r}; valid: {ENGINE_MODES}"
             )
 
 

@@ -24,6 +24,7 @@ from repro.cost.rates import LaborRate
 from repro.errors import BrokerError, InsufficientTelemetryError
 from repro.optimizer.branch_bound import branch_and_bound_optimize
 from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.engine import EngineStats, EvaluationEngine
 from repro.optimizer.pruned import pruned_optimize
 from repro.optimizer.result import OptimizationResult
 from repro.optimizer.space import OptimizationProblem
@@ -43,6 +44,19 @@ _STRATEGY_FUNCTIONS = {
 _DEFAULT_FLEET = {"vm": 40, "volume": 25, "gateway": 10}
 
 
+def broker_rng(seed: int | random.Random | None) -> random.Random:
+    """The broker's single seed-normalization point.
+
+    Every stochastic entry point of the service (synthetic telemetry
+    observation, fault injection) funnels its ``seed`` argument through
+    here, so one integer seed pins the whole observation pipeline:
+    passing the same int twice replays the identical event stream, and
+    passing a shared :class:`random.Random` lets callers interleave
+    several observations on one reproducible stream.
+    """
+    return make_rng(seed)
+
+
 @dataclass(frozen=True)
 class ProviderRecommendation:
     """The optimization outcome for one candidate provider."""
@@ -50,6 +64,7 @@ class ProviderRecommendation:
     provider_name: str
     base_system: SystemTopology
     result: OptimizationResult
+    engine_stats: EngineStats | None = None
 
     @property
     def monthly_total(self) -> float:
@@ -146,7 +161,7 @@ class BrokerService:
         provider = self.provider(provider_name)
         fleet = dict(_DEFAULT_FLEET, **(fleet or {}))
         horizon = years * MINUTES_PER_YEAR
-        rng = make_rng(seed)
+        rng = broker_rng(seed)
 
         resources: list[Resource] = []
         for kind_name, count in fleet.items():
@@ -175,8 +190,14 @@ class BrokerService:
         years: float = 3.0,
         seed: int | random.Random | None = None,
     ) -> int:
-        """Observe every registered provider; returns total events."""
-        rng = make_rng(seed)
+        """Observe every registered provider; returns total events.
+
+        The seed is normalized once through :func:`broker_rng` and the
+        resulting stream is shared across providers in sorted-name
+        order, so a single int seed reproduces the whole fleet's
+        telemetry exactly.
+        """
+        rng = broker_rng(seed)
         return sum(
             self.observe_provider(name, years=years, seed=rng)
             for name in sorted(self.providers)
@@ -224,6 +245,12 @@ class BrokerService:
         Providers lacking sufficient telemetry are skipped; if none can
         serve the request, :class:`InsufficientTelemetryError` explains
         which observations are missing.
+
+        One :class:`EvaluationEngine` is constructed per provider
+        problem and reused for everything done for that provider within
+        the request — the search itself plus any follow-up evaluation —
+        so no candidate is ever evaluated twice.  The request's
+        ``engine`` / ``parallel`` knobs select the evaluation mode.
         """
         provider_names = request.providers or tuple(sorted(self.providers))
         optimize = _STRATEGY_FUNCTIONS[request.strategy]
@@ -254,11 +281,15 @@ class BrokerService:
                 contract=request.contract,
                 labor_rate=LaborRate(provider.rate_card.labor_rate_per_hour),
             )
+            engine = EvaluationEngine(
+                problem, mode=request.engine, parallel=request.parallel
+            )
             recommendations.append(
                 ProviderRecommendation(
                     provider_name=name,
                     base_system=base_system,
-                    result=optimize(problem),
+                    result=optimize(problem, engine=engine),
+                    engine_stats=engine.stats,
                 )
             )
         if not recommendations:

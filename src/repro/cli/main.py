@@ -25,7 +25,8 @@ import sys
 from pathlib import Path
 
 from repro.broker.reports import render_option_table, render_summary
-from repro.broker.request import three_tier_request
+from repro.broker.request import STRATEGIES, three_tier_request
+from repro.optimizer.engine import ENGINE_MODES
 from repro.broker.service import BrokerService
 from repro.cli.formatting import render_table
 from repro.cloud.providers import all_providers
@@ -92,6 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended",
         action="store_true",
         help="include the extended (future-work) HA catalog",
+    )
+    recommend.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="pruned",
+        help="search strategy for the k^n enumeration",
+    )
+    recommend.add_argument(
+        "--engine",
+        choices=ENGINE_MODES,
+        default="incremental",
+        help="candidate evaluation mode: cached per-cluster combination "
+        "(default) or full-topology fallback",
+    )
+    recommend.add_argument(
+        "--parallel",
+        action="store_true",
+        help="evaluate exhaustive sweeps in chunks on a thread pool "
+        "(applies to --strategy brute-force; pruned and branch-and-bound "
+        "searches are inherently sequential)",
     )
     recommend.add_argument("--seed", type=int, default=None, help="RNG seed")
 
@@ -162,12 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_case_study() -> int:
-    result = brute_force_optimize(case_study_problem())
+    from repro.optimizer.engine import EvaluationEngine
+
+    problem = case_study_problem()
+    engine = EvaluationEngine(problem)
+    result = brute_force_optimize(problem, engine=engine)
     print(render_option_table(result, title="Case study (Figures 3-9):"))
     print()
     print(render_summary(result, result.option(AS_IS_OPTION_ID)))
     print()
-    pruned = pruned_optimize(case_study_problem())
+    pruned = pruned_optimize(problem, engine=engine)
     skipped = [f"#{i}" for i in range(1, 9) if not any(
         option.option_id == i for option in pruned.options
     )]
@@ -175,6 +200,7 @@ def _cmd_case_study() -> int:
         f"Pruned search: {pruned.evaluations}/{pruned.space_size} evaluated, "
         f"clipped {', '.join(skipped) or 'none'} (§III-C)"
     )
+    print(f"Evaluation engine: {engine.stats.describe()}")
     return 0
 
 
@@ -205,9 +231,18 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         Contract.linear(args.sla, args.penalty),
         compute_nodes=args.compute_nodes,
         extended_catalog=args.extended,
+        strategy=args.strategy,
+        engine=args.engine,
+        parallel=args.parallel,
     )
     report = broker.recommend(request)
     print(report.describe())
+    for recommendation in report.recommendations:
+        if recommendation.engine_stats is not None:
+            print(
+                f"  [{recommendation.provider_name}] engine: "
+                f"{recommendation.engine_stats.describe()}"
+            )
     print()
     best = report.best
     print(render_option_table(

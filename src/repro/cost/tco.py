@@ -6,6 +6,14 @@ where ``C_HA`` is the monthly cost to implement and sustain the HA
 construct (infrastructure + labor) and the second term is the expected
 monthly slippage penalty.  :class:`TCOBreakdown` keeps the components
 itemized so reports can show *why* an option costs what it does.
+
+Like the availability model, Eq. 5 decomposes into per-cluster terms
+(HA infrastructure dollars, HA labor hours, base node dollars) summed
+over the chain.  :func:`cluster_cost_terms` extracts one cluster's
+share and :func:`tco_from_terms` recombines cached shares — the float
+operations match :func:`compute_tco` exactly, so the optimizer's
+evaluation engine can price candidates from per-(cluster, technology)
+caches with bit-identical results.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from dataclasses import dataclass
 from repro.availability.model import evaluate_availability
 from repro.cost.rates import LaborRate
 from repro.sla.contract import Contract
+from repro.topology.cluster import ClusterSpec
 from repro.topology.system import SystemTopology
 from repro.units import format_money
 
@@ -87,6 +96,50 @@ def monthly_ha_cost(system: SystemTopology, labor_rate: LaborRate) -> tuple[floa
     return infra, labor_rate.monthly_cost(labor_hours)
 
 
+@dataclass(frozen=True, slots=True)
+class ClusterCostTerms:
+    """One cluster's share of the Eq. 5 cost decomposition."""
+
+    ha_infra_cost: float
+    ha_labor_hours: float
+    base_infra_cost: float
+
+
+def cluster_cost_terms(cluster: ClusterSpec) -> ClusterCostTerms:
+    """Extract one cluster's cost factors (cacheable per spec)."""
+    return ClusterCostTerms(
+        ha_infra_cost=cluster.monthly_ha_infra_cost,
+        ha_labor_hours=cluster.monthly_ha_labor_hours,
+        base_infra_cost=cluster.monthly_node_cost,
+    )
+
+
+def tco_from_terms(
+    terms: tuple[ClusterCostTerms, ...],
+    uptime_probability: float,
+    contract: Contract,
+    labor_rate: LaborRate,
+) -> TCOBreakdown:
+    """Price Eq. 5 from cached per-cluster cost terms and a known uptime.
+
+    Sums the per-cluster shares in chain order — the same operations
+    :func:`compute_tco` performs on the assembled topology, so results
+    are bit-identical.
+    """
+    slippage_hours = contract.expected_slippage_hours(uptime_probability)
+    penalty = contract.penalty.monthly_penalty(slippage_hours)
+    infra = sum(term.ha_infra_cost for term in terms)
+    labor_hours = sum(term.ha_labor_hours for term in terms)
+    return TCOBreakdown(
+        ha_infra_cost=infra,
+        ha_labor_cost=labor_rate.monthly_cost(labor_hours),
+        expected_penalty=penalty,
+        base_infra_cost=sum(term.base_infra_cost for term in terms),
+        uptime_probability=uptime_probability,
+        slippage_hours=slippage_hours,
+    )
+
+
 def compute_tco(
     system: SystemTopology,
     contract: Contract,
@@ -99,15 +152,5 @@ def compute_tco(
     clause, and returns the itemized breakdown.
     """
     report = evaluate_availability(system)
-    uptime = report.uptime_probability
-    slippage_hours = contract.expected_slippage_hours(uptime)
-    penalty = contract.penalty.monthly_penalty(slippage_hours)
-    infra, labor = monthly_ha_cost(system, labor_rate)
-    return TCOBreakdown(
-        ha_infra_cost=infra,
-        ha_labor_cost=labor,
-        expected_penalty=penalty,
-        base_infra_cost=system.monthly_base_infra_cost,
-        uptime_probability=uptime,
-        slippage_hours=slippage_hours,
-    )
+    terms = tuple(cluster_cost_terms(cluster) for cluster in system.clusters)
+    return tco_from_terms(terms, report.uptime_probability, contract, labor_rate)

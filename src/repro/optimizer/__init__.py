@@ -4,6 +4,8 @@
   architecture, technology registry, contract, labor rate.
 - :class:`~repro.optimizer.space.CandidateSpace` — the ``k^n`` candidate
   permutations, ordered the way the paper numbers its options.
+- :mod:`~repro.optimizer.engine` — the shared, cached, incremental
+  candidate evaluation engine every strategy routes through.
 - :mod:`~repro.optimizer.brute_force` — exhaustive evaluation (Eq. 6).
 - :mod:`~repro.optimizer.pruned` — the paper's §III-C superset pruning.
 - :mod:`~repro.optimizer.branch_bound` — an admissible branch-and-bound
@@ -18,7 +20,8 @@ from repro.optimizer.constraints import (
     constrained_optimize,
     is_feasible,
 )
-from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.engine import ChoiceProfile, EngineStats, EvaluationEngine
+from repro.optimizer.brute_force import brute_force_optimize, iter_brute_force
 from repro.optimizer.pareto import pareto_frontier
 from repro.optimizer.pruned import pruned_optimize
 from repro.optimizer.result import EvaluatedOption, OptimizationResult
@@ -26,10 +29,14 @@ from repro.optimizer.space import CandidateSpace, OptimizationProblem
 
 __all__ = [
     "CandidateSpace",
+    "ChoiceProfile",
+    "EngineStats",
     "EvaluatedOption",
+    "EvaluationEngine",
     "OptimizationProblem",
     "OptimizationResult",
     "ConstrainedResult",
+    "iter_brute_force",
     "UpgradeAdvice",
     "UpgradeMove",
     "advise_upgrades",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import OptimizerError
-from repro.optimizer.brute_force import evaluate_candidate
+from repro.optimizer.engine import EvaluationEngine, engine_for
 from repro.optimizer.result import EvaluatedOption
 from repro.optimizer.space import ChoiceNames, OptimizationProblem
 
@@ -84,18 +84,23 @@ def advise_upgrades(
     current_choices: ChoiceNames,
     migration_cost: float = 0.0,
     amortization_months: int = 12,
+    *,
+    engine: EvaluationEngine | None = None,
 ) -> UpgradeAdvice:
     """Rank every single-cluster change from ``current_choices``.
 
     ``migration_cost`` is a one-off dollar figure per move (change
     windows, data resilvering, cutover labor) amortized linearly over
-    ``amortization_months``.
+    ``amortization_months``.  Pass a shared ``engine`` when sweeping
+    what-if scenarios (migration costs, amortization horizons) so the
+    underlying candidate evaluations are cached across calls.
     """
     if amortization_months < 1:
         raise OptimizerError(
             f"amortization_months must be >= 1, got {amortization_months!r}"
         )
-    space = problem.space()
+    engine = engine_for(problem, engine)
+    space = engine.space
     name_to_index = [
         {tech.name: i for i, tech in enumerate(space.choices_for(c))}
         for c in range(space.cluster_count)
@@ -113,12 +118,8 @@ def advise_upgrades(
             f"current configuration references unknown technology: {exc}"
         ) from exc
 
-    option_ids = {
-        indices: option_id
-        for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1)
-    }
-    current = evaluate_candidate(
-        problem, space, option_ids[current_indices], current_indices
+    current = engine.evaluate(
+        space.paper_order_id(current_indices), current_indices
     )
 
     amortized = migration_cost / amortization_months
@@ -131,8 +132,8 @@ def advise_upgrades(
             candidate = list(current_indices)
             candidate[cluster_pos] = alt_index
             candidate_indices = tuple(candidate)
-            option = evaluate_candidate(
-                problem, space, option_ids[candidate_indices], candidate_indices
+            option = engine.evaluate(
+                space.paper_order_id(candidate_indices), candidate_indices
             )
             moves.append(
                 UpgradeMove(

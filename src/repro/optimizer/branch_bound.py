@@ -15,70 +15,46 @@ meet the SLA:
 
 Both bounds are simultaneously valid, so ``cost_so_far + penalty_lb``
 never overestimates the best completion and the search is exact.
+
+The per-(cluster, technology) facts the bounds consume (up probability,
+``C_HA`` share) come straight from the shared
+:class:`~repro.optimizer.engine.EvaluationEngine` profile cache, and
+leaf evaluation routes through the engine too — a search restarted with
+a shared engine re-derives its bounds for free and never re-evaluates a
+candidate.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
-from repro.availability.cluster_math import cluster_up_probability
-from repro.optimizer.brute_force import evaluate_candidate
+from repro.optimizer.engine import EvaluationEngine, engine_for
 from repro.optimizer.result import EvaluatedOption, OptimizationResult
-from repro.optimizer.space import CandidateSpace, OptimizationProblem
-from repro.topology.cluster import ClusterSpec
+from repro.optimizer.space import OptimizationProblem
 
 
-@dataclass(frozen=True)
-class _Choice:
-    """Precomputed facts about one (cluster, technology) pairing."""
-
-    index: int
-    name: str
-    applied: ClusterSpec
-    up_probability: float
-    ha_cost: float
-
-
-def _precompute_choices(
-    problem: OptimizationProblem, space: CandidateSpace
-) -> list[list[_Choice]]:
-    """Apply every choice to every cluster once, caching the outcomes."""
-    table: list[list[_Choice]] = []
-    for i, cluster in enumerate(space.bare_system.clusters):
-        row = []
-        for index, technology in enumerate(space.choices_for(i)):
-            applied = technology.apply(cluster)
-            ha_cost = applied.monthly_ha_infra_cost + problem.labor_rate.monthly_cost(
-                applied.monthly_ha_labor_hours
-            )
-            row.append(
-                _Choice(
-                    index=index,
-                    name=technology.name,
-                    applied=applied,
-                    up_probability=cluster_up_probability(applied),
-                    ha_cost=ha_cost,
-                )
-            )
-        table.append(row)
-    return table
-
-
-def branch_and_bound_optimize(problem: OptimizationProblem) -> OptimizationResult:
+def branch_and_bound_optimize(
+    problem: OptimizationProblem,
+    *,
+    engine: EvaluationEngine | None = None,
+) -> OptimizationResult:
     """Exact minimum-TCO search with lower-bound pruning.
 
     Returns a result whose ``best`` matches brute force on TCO value.
     ``options`` contains only the fully evaluated candidates; ``pruned``
     counts the complete assignments clipped inside pruned subtrees.
     """
-    space = problem.space()
-    choices = _precompute_choices(problem, space)
+    engine = engine_for(problem, engine)
+    space = engine.space
+    choices = engine.profiles
     n = space.cluster_count
 
     # Suffix products of the best (largest) up-probability per cluster:
     # best_suffix[i] bounds the availability contribution of clusters i..n-1.
-    best_up = [max(choice.up_probability for choice in row) for row in choices]
+    best_up = [
+        max(choice.availability.up_probability for choice in row)
+        for row in choices
+    ]
     best_suffix = [1.0] * (n + 1)
     for i in range(n - 1, -1, -1):
         best_suffix[i] = best_up[i] * best_suffix[i + 1]
@@ -87,12 +63,6 @@ def branch_and_bound_optimize(problem: OptimizationProblem) -> OptimizationResul
     leaves_below = [1] * (n + 1)
     for i in range(n - 1, -1, -1):
         leaves_below[i] = len(choices[i]) * leaves_below[i + 1]
-
-    # Paper-order ids so reported options line up with the other searches.
-    option_ids = {
-        indices: option_id
-        for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1)
-    }
 
     options: list[EvaluatedOption] = []
     incumbent = math.inf
@@ -109,13 +79,15 @@ def branch_and_bound_optimize(problem: OptimizationProblem) -> OptimizationResul
         nonlocal incumbent, pruned_leaves
         if depth == n:
             indices = tuple(assignment)
-            option = evaluate_candidate(problem, space, option_ids[indices], indices)
+            # Paper-order ids so reported options line up with the
+            # other searches.
+            option = engine.evaluate(space.paper_order_id(indices), indices)
             options.append(option)
             incumbent = min(incumbent, option.tco.total)
             return
         for choice in choices[depth]:
             new_cost = cost_so_far + choice.ha_cost
-            new_up = up_product * choice.up_probability
+            new_up = up_product * choice.availability.up_probability
             bound = new_cost + penalty_lower_bound(new_up * best_suffix[depth + 1])
             if bound > incumbent:
                 pruned_leaves += leaves_below[depth + 1]

@@ -3,12 +3,22 @@
 Walks all ``k^n`` permutations in paper order, evaluates Eq. 1-5 for
 each, and returns the full table.  This is the reference implementation
 the pruned and branch-and-bound searches are tested against.
+
+Evaluation routes through the shared
+:class:`~repro.optimizer.engine.EvaluationEngine` (pass ``engine=`` to
+reuse one cache across searches); :func:`evaluate_candidate` remains the
+standalone full-topology reference path.
 """
 
 from __future__ import annotations
 
-from repro.cost.tco import compute_tco
-from repro.availability.model import evaluate_availability
+from typing import Iterator
+
+from repro.optimizer.engine import (
+    EvaluationEngine,
+    engine_for,
+    evaluate_candidate_direct,
+)
 from repro.optimizer.result import EvaluatedOption, OptimizationResult
 from repro.optimizer.space import CandidateSpace, OptimizationProblem
 
@@ -19,30 +29,49 @@ def evaluate_candidate(
     option_id: int,
     indices: tuple[int, ...],
 ) -> EvaluatedOption:
-    """Instantiate and fully evaluate one candidate permutation."""
-    system = space.instantiate(indices)
-    availability = evaluate_availability(system)
-    tco = compute_tco(system, problem.contract, problem.labor_rate)
-    return EvaluatedOption(
-        option_id=option_id,
-        choice_names=space.choice_names(indices),
-        system=system,
-        availability=availability,
-        tco=tco,
-        meets_sla=problem.contract.sla.is_met_by(availability.uptime_probability),
-    )
+    """Instantiate and fully evaluate one candidate permutation.
+
+    The direct (non-cached, non-incremental) path; kept as the exact
+    reference the engine's incremental evaluation is verified against.
+    """
+    return evaluate_candidate_direct(problem, space, option_id, indices)
 
 
-def brute_force_optimize(problem: OptimizationProblem) -> OptimizationResult:
-    """Evaluate every candidate and return the complete option table."""
-    space = problem.space()
-    options = []
-    for option_id, indices in enumerate(space.candidates_in_paper_order(), start=1):
-        options.append(evaluate_candidate(problem, space, option_id, indices))
-    return OptimizationResult(
-        options=tuple(options),
-        evaluations=len(options),
-        pruned=0,
-        space_size=space.size,
+def iter_brute_force(
+    problem: OptimizationProblem,
+    engine: EvaluationEngine | None = None,
+) -> Iterator[EvaluatedOption]:
+    """Stream every candidate's evaluation in paper order.
+
+    The streaming form exists so huge spaces can be consumed without
+    materializing the option table — pair it with
+    :meth:`OptimizationResult.from_stream`.
+    """
+    return engine_for(problem, engine).evaluate_all()
+
+
+def brute_force_optimize(
+    problem: OptimizationProblem,
+    *,
+    engine: EvaluationEngine | None = None,
+    keep_options: bool = True,
+) -> OptimizationResult:
+    """Evaluate every candidate and return the complete option table.
+
+    ``keep_options=False`` streams the space and keeps only the
+    distilled recommendations (for million-candidate sweeps).  In that
+    case the default engine is built with its result cache off so the
+    sweep holds O(1) options in memory; pass an explicit ``engine`` to
+    trade memory for cross-search reuse.
+    """
+    if engine is None:
+        engine = EvaluationEngine(problem, cache=keep_options)
+    else:
+        engine = engine_for(problem, engine)
+    return OptimizationResult.from_stream(
+        engine.evaluate_all(),
+        space_size=engine.space.size,
         strategy="brute-force",
+        pruned=0,
+        keep_options=keep_options,
     )

@@ -1,0 +1,394 @@
+"""Shared, cached, incremental candidate evaluation (the Eq. 6 hot path).
+
+Every optimizer strategy ultimately evaluates candidates from the same
+``k^n`` space, and the naive path rebuilds a full :class:`SystemTopology`
+and re-runs the entire availability model and TCO computation for every
+single candidate.  The :class:`EvaluationEngine` exploits the model's
+structure instead: Eq. 1-5 factor into per-cluster terms, so the engine
+
+1. precomputes one :class:`~repro.availability.model.ClusterTerms` and
+   :class:`~repro.cost.tco.ClusterCostTerms` per (cluster, technology)
+   pairing — ``n * k`` cluster-level computations per problem;
+2. evaluates each candidate by recombining the ``n`` cached factor sets
+   in O(n), bit-identical to the direct evaluation (the recombination
+   performs the same float operations in the same order);
+3. memoizes finished :class:`EvaluatedOption`s keyed by their
+   :data:`~repro.optimizer.space.ChoiceNames`, so searches restarted
+   over the same problem (pruned after brute force, branch-and-bound
+   re-runs, advisor what-if sweeps) never evaluate a candidate twice.
+
+The ``mode="direct"`` fallback routes evaluation through the legacy
+full-topology path (:func:`evaluate_candidate_direct`) — same results,
+useful for equivalence testing and as an escape hatch.  ``parallel=True``
+fans chunked evaluation out over a :class:`ThreadPoolExecutor`; results
+are yielded in submission order so parallel runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.availability.model import (
+    ClusterTerms,
+    availability_from_terms,
+    cluster_availability_terms,
+    evaluate_availability,
+)
+from repro.cost.tco import (
+    ClusterCostTerms,
+    cluster_cost_terms,
+    compute_tco,
+    tco_from_terms,
+)
+from repro.errors import OptimizerError
+from repro.optimizer.result import EvaluatedOption
+from repro.optimizer.space import (
+    CandidateSpace,
+    ChoiceNames,
+    OptimizationProblem,
+)
+from repro.topology.cluster import ClusterSpec
+from repro.topology.system import SystemTopology
+
+#: Supported evaluation modes.
+ENGINE_MODES = ("incremental", "direct")
+
+
+def evaluate_candidate_direct(
+    problem: OptimizationProblem,
+    space: CandidateSpace,
+    option_id: int,
+    indices: tuple[int, ...],
+) -> EvaluatedOption:
+    """Instantiate and fully evaluate one candidate permutation.
+
+    This is the reference (pre-engine) evaluation path: build the whole
+    topology, run the availability model end to end, run the TCO model
+    end to end.  The engine's incremental path is tested bit-identical
+    against it.
+    """
+    system = space.instantiate(indices)
+    availability = evaluate_availability(system)
+    tco = compute_tco(system, problem.contract, problem.labor_rate)
+    return EvaluatedOption(
+        option_id=option_id,
+        choice_names=space.choice_names(indices),
+        system=system,
+        availability=availability,
+        tco=tco,
+        meets_sla=problem.contract.sla.is_met_by(availability.uptime_probability),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ChoiceProfile:
+    """Cached facts about one (cluster, technology) pairing.
+
+    ``ha_cost`` is the pairing's full monthly ``C_HA`` share (infra plus
+    priced labor) — the branch-and-bound lower bounds consume it
+    directly.
+    """
+
+    index: int
+    name: str
+    applied: ClusterSpec
+    availability: ClusterTerms
+    cost: ClusterCostTerms
+    ha_cost: float
+
+
+@dataclass
+class EngineStats:
+    """Work accounting for one engine instance.
+
+    Attributes
+    ----------
+    candidate_evaluations:
+        Total evaluation requests answered (hits + misses).
+    cache_hits:
+        Requests answered from the ``ChoiceNames``-keyed result cache.
+    incremental_combines:
+        Cache misses answered by the O(n) term recombination.
+    topology_evaluations:
+        Cache misses answered by the legacy full-topology path (only in
+        ``mode="direct"``).  The whole point of the engine is keeping
+        this at zero.
+    cluster_term_computations:
+        Per-(cluster, technology) precomputations done at construction
+        (``n * k`` — the only cluster-level availability math the
+        incremental mode ever runs).
+    """
+
+    candidate_evaluations: int = 0
+    cache_hits: int = 0
+    incremental_combines: int = 0
+    topology_evaluations: int = 0
+    cluster_term_computations: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluation requests served from the cache."""
+        if self.candidate_evaluations == 0:
+            return 0.0
+        return self.cache_hits / self.candidate_evaluations
+
+    def describe(self) -> str:
+        """One-line summary for CLI/benchmark output."""
+        return (
+            f"evaluations={self.candidate_evaluations} "
+            f"(cache hits {self.cache_hits}, "
+            f"combines {self.incremental_combines}, "
+            f"full-topology {self.topology_evaluations}; "
+            f"{self.cluster_term_computations} cluster terms precomputed)"
+        )
+
+
+@dataclass
+class EvaluationEngine:
+    """Evaluates candidates of one problem from per-cluster caches.
+
+    Parameters
+    ----------
+    problem:
+        The optimization problem this engine serves.  All cached results
+        are valid only for this exact problem instance; strategies guard
+        against accidental cross-problem reuse.
+    mode:
+        ``"incremental"`` (default) recombines cached per-cluster terms
+        in O(n); ``"direct"`` falls back to full-topology evaluation.
+        Both produce bit-identical options.
+    cache:
+        Memoize finished options keyed by ``ChoiceNames`` so repeated
+        searches over the same problem never re-evaluate a candidate.
+        Cache and stats are guarded by a lock only when
+        ``parallel=True``; a sequential engine must not have
+        :meth:`evaluate` called from multiple threads.
+    parallel:
+        Evaluate :meth:`evaluate_many` streams in chunks on a thread
+        pool.  Results keep submission order, so output is
+        deterministic.  The combine is pure-Python float math, so this
+        buys little wall-clock under the GIL today — it exists as the
+        chunking/ordering harness for the planned multiprocessing
+        backend (see ROADMAP).
+    max_workers / chunk_size:
+        Thread-pool sizing knobs for ``parallel=True``.
+    """
+
+    problem: OptimizationProblem
+    mode: str = "incremental"
+    cache: bool = True
+    parallel: bool = False
+    max_workers: int | None = None
+    chunk_size: int = 1024
+    space: CandidateSpace = field(init=False)
+    stats: EngineStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ENGINE_MODES:
+            raise OptimizerError(
+                f"unknown engine mode {self.mode!r}; valid: {ENGINE_MODES}"
+            )
+        if self.chunk_size < 1:
+            raise OptimizerError(
+                f"chunk_size must be >= 1, got {self.chunk_size!r}"
+            )
+        self.space = self.problem.space()
+        self.stats = EngineStats()
+        self._results: dict[ChoiceNames, EvaluatedOption] = {}
+        # Cache/stats mutations only need a real lock when the engine's
+        # own thread pool is in play; sequential engines skip the
+        # acquire/release round-trips on the per-candidate hot path.
+        self._lock = (
+            threading.Lock() if self.parallel else contextlib.nullcontext()
+        )
+        self._profiles = self._precompute_profiles()
+        self.stats.cluster_term_computations = sum(
+            len(row) for row in self._profiles
+        )
+
+    def _precompute_profiles(self) -> tuple[tuple[ChoiceProfile, ...], ...]:
+        """Apply and factor every (cluster, technology) pairing once."""
+        labor_rate = self.problem.labor_rate
+        table = []
+        for i in range(self.space.cluster_count):
+            row = []
+            for index, technology in enumerate(self.space.choices_for(i)):
+                applied = self.space.applied_cluster(i, index)
+                row.append(
+                    ChoiceProfile(
+                        index=index,
+                        name=technology.name,
+                        applied=applied,
+                        availability=cluster_availability_terms(applied),
+                        cost=cluster_cost_terms(applied),
+                        ha_cost=applied.monthly_ha_infra_cost
+                        + labor_rate.monthly_cost(applied.monthly_ha_labor_hours),
+                    )
+                )
+            table.append(tuple(row))
+        return tuple(table)
+
+    @property
+    def profiles(self) -> tuple[tuple[ChoiceProfile, ...], ...]:
+        """Per-cluster rows of cached (cluster, technology) profiles."""
+        return self._profiles
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, option_id: int, indices: tuple[int, ...]
+    ) -> EvaluatedOption:
+        """Evaluate one candidate, consulting and feeding the cache.
+
+        A cache hit under a different paper-order id is re-labelled via
+        ``dataclasses.replace`` — everything else about the option is
+        id-independent.
+        """
+        names = self.space.choice_names(indices) if self.cache else None
+        with self._lock:
+            self.stats.candidate_evaluations += 1
+            cached = self._results.get(names) if self.cache else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+        if cached is not None:
+            if cached.option_id != option_id:
+                cached = replace(cached, option_id=option_id)
+            return cached
+
+        if self.mode == "direct":
+            option = evaluate_candidate_direct(
+                self.problem, self.space, option_id, indices
+            )
+            counter = "topology_evaluations"
+        else:
+            option = self._combine(option_id, indices, names)
+            counter = "incremental_combines"
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            if self.cache:
+                self._results.setdefault(names, option)
+        return option
+
+    def _combine(
+        self,
+        option_id: int,
+        indices: tuple[int, ...],
+        names: ChoiceNames | None = None,
+    ) -> EvaluatedOption:
+        """O(n) evaluation from the cached per-cluster factor sets."""
+        if len(indices) != self.space.cluster_count:
+            raise OptimizerError(
+                f"expected {self.space.cluster_count} choice indices, "
+                f"got {len(indices)}"
+            )
+        chosen = tuple(
+            self._profiles[i][choice] for i, choice in enumerate(indices)
+        )
+        bare = self.space.bare_system
+        availability = availability_from_terms(
+            bare.name,
+            bare.cluster_names,
+            tuple(profile.availability for profile in chosen),
+        )
+        uptime = availability.uptime_probability
+        tco = tco_from_terms(
+            tuple(profile.cost for profile in chosen),
+            uptime,
+            self.problem.contract,
+            self.problem.labor_rate,
+        )
+        return EvaluatedOption(
+            option_id=option_id,
+            choice_names=names
+            if names is not None
+            else tuple(profile.name for profile in chosen),
+            system=SystemTopology(
+                name=bare.name,
+                clusters=tuple(profile.applied for profile in chosen),
+            ),
+            availability=availability,
+            tco=tco,
+            meets_sla=self.problem.contract.sla.is_met_by(uptime),
+        )
+
+    def evaluate_many(
+        self, enumerated: Iterable[tuple[int, tuple[int, ...]]]
+    ) -> Iterator[EvaluatedOption]:
+        """Evaluate ``(option_id, indices)`` pairs, preserving order.
+
+        Sequential by default; with ``parallel=True`` the stream is cut
+        into ``chunk_size`` blocks evaluated on a thread pool with a
+        bounded in-flight window (the input is *not* drained eagerly),
+        so huge candidate streams stay O(window) in memory.  Chunks are
+        yielded in submission order either way, so downstream consumers
+        (streaming results, option tables) see identical sequences
+        regardless of parallelism.
+
+        Only the batch entry points fan out; the pruned and
+        branch-and-bound searches are inherently sequential (each
+        evaluation feeds the next pruning decision) and always evaluate
+        one candidate at a time.
+        """
+        if not self.parallel:
+            for option_id, indices in enumerated:
+                yield self.evaluate(option_id, indices)
+            return
+
+        def chunked() -> Iterator[list[tuple[int, tuple[int, ...]]]]:
+            block: list[tuple[int, tuple[int, ...]]] = []
+            for item in enumerated:
+                block.append(item)
+                if len(block) >= self.chunk_size:
+                    yield block
+                    block = []
+            if block:
+                yield block
+
+        workers = self.max_workers or min(32, (os.cpu_count() or 1) + 4)
+        max_in_flight = 2 * workers
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            pending = deque()
+            for block in chunked():
+                pending.append(pool.submit(self._evaluate_chunk, block))
+                while len(pending) >= max_in_flight:
+                    yield from pending.popleft().result()
+            while pending:
+                yield from pending.popleft().result()
+
+    def _evaluate_chunk(
+        self, chunk: list[tuple[int, tuple[int, ...]]]
+    ) -> list[EvaluatedOption]:
+        return [self.evaluate(option_id, indices) for option_id, indices in chunk]
+
+    def evaluate_all(self) -> Iterator[EvaluatedOption]:
+        """Stream every candidate of the space in paper order."""
+        return self.evaluate_many(
+            enumerate(self.space.candidates_in_paper_order(), start=1)
+        )
+
+
+def engine_for(
+    problem: OptimizationProblem,
+    engine: EvaluationEngine | None,
+) -> EvaluationEngine:
+    """Return a validated engine for ``problem``, building one if needed.
+
+    Strategies accept an optional shared engine so the broker (and the
+    advisor's what-if sweeps) can reuse one cache across searches; a
+    shared engine must have been built for the *same problem instance* —
+    cached TCO values are contract- and rate-dependent.
+    """
+    if engine is None:
+        return EvaluationEngine(problem)
+    if engine.problem is not problem:
+        raise OptimizerError(
+            "engine was built for a different problem instance; "
+            "cached evaluations would be invalid"
+        )
+    return engine

@@ -18,7 +18,7 @@ and the subset was evaluated earlier, so the optimum is preserved.
 
 from __future__ import annotations
 
-from repro.optimizer.brute_force import evaluate_candidate
+from repro.optimizer.engine import EvaluationEngine, engine_for
 from repro.optimizer.result import OptimizationResult
 from repro.optimizer.space import ChoiceNames, OptimizationProblem
 
@@ -40,13 +40,20 @@ def _is_superset_extension(candidate: ChoiceNames, met: ChoiceNames) -> bool:
     return extends
 
 
-def pruned_optimize(problem: OptimizationProblem) -> OptimizationResult:
+def pruned_optimize(
+    problem: OptimizationProblem,
+    *,
+    engine: EvaluationEngine | None = None,
+) -> OptimizationResult:
     """Run the pruned search; returns only the evaluated options.
 
     The result's ``best`` equals the brute-force optimum (see module
-    docstring); ``pruned`` counts the skipped candidates.
+    docstring); ``pruned`` counts the skipped candidates.  Pass a shared
+    ``engine`` to reuse evaluations cached by earlier searches over the
+    same problem.
     """
-    space = problem.space()
+    engine = engine_for(problem, engine)
+    space = engine.space
     options = []
     sla_meeting: list[ChoiceNames] = []
     pruned_count = 0
@@ -55,7 +62,7 @@ def pruned_optimize(problem: OptimizationProblem) -> OptimizationResult:
         if any(_is_superset_extension(names, met) for met in sla_meeting):
             pruned_count += 1
             continue
-        option = evaluate_candidate(problem, space, option_id, indices)
+        option = engine.evaluate(option_id, indices)
         options.append(option)
         if option.meets_sla:
             sla_meeting.append(names)

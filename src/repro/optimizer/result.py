@@ -12,7 +12,9 @@ report and TCO breakdown; an :class:`OptimizationResult` is the full
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.availability.model import AvailabilityReport
 from repro.cost.tco import TCOBreakdown
@@ -93,6 +95,75 @@ class OptimizationResult:
     def __post_init__(self) -> None:
         if not self.options:
             raise OptimizerError("optimization produced no evaluated options")
+
+    @classmethod
+    def from_stream(
+        cls,
+        options: Iterable[EvaluatedOption],
+        *,
+        space_size: int,
+        strategy: str,
+        pruned: int = 0,
+        keep_options: bool = True,
+    ) -> "OptimizationResult":
+        """Build a result from a lazily evaluated option stream.
+
+        With ``keep_options=True`` this materializes the full table —
+        identical to constructing the result directly.  With
+        ``keep_options=False`` the stream is consumed in a single pass
+        that tracks only the running recommendations, so million-
+        candidate spaces never hold more than two options in memory:
+        ``options`` then contains just the distilled ``best`` and
+        ``min_penalty_option`` rows while ``evaluations`` still counts
+        every candidate seen.
+        """
+        kept: list[EvaluatedOption] = []
+        count = 0
+        best: EvaluatedOption | None = None
+        lowest_penalty = math.inf
+        min_penalty: EvaluatedOption | None = None
+        for option in options:
+            count += 1
+            if keep_options:
+                kept.append(option)
+                continue
+            # Mirror the `best` / `min_penalty_option` tie-breaking so a
+            # distilled result answers both recommendations identically.
+            if best is None or (option.tco.total, option.option_id) < (
+                best.tco.total,
+                best.option_id,
+            ):
+                best = option
+            penalty = option.tco.expected_penalty
+            if penalty < lowest_penalty:
+                lowest_penalty = penalty
+                min_penalty = option
+            elif penalty == lowest_penalty and (
+                option.tco.ha_cost,
+                option.option_id,
+            ) < (min_penalty.tco.ha_cost, min_penalty.option_id):
+                min_penalty = option
+        if keep_options:
+            stored = tuple(kept)
+        elif best is None:
+            stored = ()
+        elif min_penalty is best:
+            stored = (best,)
+        else:
+            stored = tuple(
+                sorted((best, min_penalty), key=lambda option: option.option_id)
+            )
+        return cls(
+            options=stored,
+            evaluations=count,
+            pruned=pruned,
+            space_size=space_size,
+            strategy=strategy,
+        )
+
+    def iter_options(self) -> Iterator[EvaluatedOption]:
+        """Iterate the evaluated option table in paper order."""
+        return iter(self.options)
 
     @property
     def best(self) -> EvaluatedOption:

@@ -22,6 +22,7 @@ from repro.catalog.registry import TechnologyRegistry
 from repro.cost.rates import LaborRate
 from repro.errors import OptimizerError
 from repro.sla.contract import Contract
+from repro.topology.cluster import ClusterSpec
 from repro.topology.system import SystemTopology
 
 #: A candidate's identity: the chosen technology name per cluster,
@@ -68,12 +69,16 @@ class CandidateSpace:
     bare_system: SystemTopology
     registry: TechnologyRegistry
     _choices: tuple[tuple[HATechnology, ...], ...] = field(init=False)
+    _applied: dict[tuple[int, int], ClusterSpec] = field(init=False)
+    _subset_offsets: dict[tuple[int, ...], int] = field(init=False)
 
     def __post_init__(self) -> None:
         self._choices = tuple(
             self.registry.choices_for_cluster(cluster)
             for cluster in self.bare_system.clusters
         )
+        self._applied = {}
+        self._subset_offsets = {}
         for cluster, choices in zip(self.bare_system.clusters, self._choices):
             if not choices:
                 raise OptimizerError(
@@ -99,6 +104,15 @@ class CandidateSpace:
         """The choice set of the ``i``-th cluster (``none`` first)."""
         return self._choices[cluster_index]
 
+    def _subsets_in_paper_order(self, size: int) -> list[tuple[int, ...]]:
+        """Clustered-position subsets of one size, rightmost-first."""
+        # Negating the positions sorts "rightmost clusters first"
+        # within the same subset size.
+        return sorted(
+            itertools.combinations(range(self.cluster_count), size),
+            key=lambda subset: tuple(-i for i in subset),
+        )
+
     def candidates_in_paper_order(self) -> Iterator[tuple[int, ...]]:
         """Yield candidate index vectors ordered the paper's way.
 
@@ -108,17 +122,51 @@ class CandidateSpace:
         network, #3 = storage, #4 = compute numbering.  Tertiary key:
         the per-cluster choice indices, so multiple technologies on the
         same subset enumerate deterministically.
+
+        The enumeration is lazy — candidates are generated directly in
+        paper order rather than materializing and sorting all ``k^n``
+        vectors, so streaming sweeps over huge spaces stay O(n) memory.
         """
-        everything = itertools.product(*(range(k) for k in self.choice_counts))
+        counts = self.choice_counts
+        for size in range(self.cluster_count + 1):
+            for subset in self._subsets_in_paper_order(size):
+                axes = tuple(
+                    range(1, counts[i]) if i in subset else range(0, 1)
+                    for i in range(self.cluster_count)
+                )
+                yield from itertools.product(*axes)
 
-        def paper_key(indices: tuple[int, ...]) -> tuple:
-            clustered = [i for i, choice in enumerate(indices) if choice != 0]
-            # Negating the indices sorts "rightmost clusters first"
-            # within the same subset size.
-            subset_key = tuple(-i for i in sorted(clustered))
-            return (len(clustered), subset_key, indices)
+    def paper_order_id(self, indices: tuple[int, ...]) -> int:
+        """The 1-based paper-order id of one candidate, in O(n).
 
-        return iter(sorted(everything, key=paper_key))
+        Computed arithmetically from memoized per-subset offsets —
+        callers that label sparse candidate sets (the advisor, the
+        branch-and-bound leaves) never have to enumerate the space.
+        """
+        if len(indices) != self.cluster_count:
+            raise OptimizerError(
+                f"expected {self.cluster_count} choice indices, got {len(indices)}"
+            )
+        counts = self.choice_counts
+        for i, choice in enumerate(indices):
+            if not 0 <= choice < counts[i]:
+                raise OptimizerError(
+                    f"choice index {choice} out of range for cluster "
+                    f"{self.bare_system.clusters[i].name!r} (k={counts[i]})"
+                )
+        if not self._subset_offsets:
+            next_id = 1
+            for size in range(self.cluster_count + 1):
+                for subset in self._subsets_in_paper_order(size):
+                    width = math.prod(counts[i] - 1 for i in subset)
+                    if width:
+                        self._subset_offsets[subset] = next_id
+                        next_id += width
+        clustered = tuple(i for i, choice in enumerate(indices) if choice != 0)
+        rank = 0
+        for position in clustered:
+            rank = rank * (counts[position] - 1) + (indices[position] - 1)
+        return self._subset_offsets[clustered] + rank
 
     def choice_names(self, indices: tuple[int, ...]) -> ChoiceNames:
         """Map an index vector to the per-cluster technology names."""
@@ -126,22 +174,38 @@ class CandidateSpace:
             self._choices[i][choice].name for i, choice in enumerate(indices)
         )
 
+    def applied_cluster(self, cluster_index: int, choice_index: int) -> ClusterSpec:
+        """The ``i``-th cluster with one technology applied, memoized.
+
+        HA technologies are pure transformations, so each of the ``n*k``
+        (cluster, choice) pairings is applied at most once per space; the
+        evaluation engine assembles every candidate from these shared
+        specs instead of re-applying technologies ``k^n`` times.
+        """
+        key = (cluster_index, choice_index)
+        applied = self._applied.get(key)
+        if applied is None:
+            cluster = self.bare_system.clusters[cluster_index]
+            technologies = self._choices[cluster_index]
+            if not 0 <= choice_index < len(technologies):
+                raise OptimizerError(
+                    f"choice index {choice_index} out of range for cluster "
+                    f"{cluster.name!r} (k={len(technologies)})"
+                )
+            applied = technologies[choice_index].apply(cluster)
+            self._applied[key] = applied
+        return applied
+
     def instantiate(self, indices: tuple[int, ...]) -> SystemTopology:
         """Apply the chosen technologies to the bare topology."""
         if len(indices) != self.cluster_count:
             raise OptimizerError(
                 f"expected {self.cluster_count} choice indices, got {len(indices)}"
             )
-        clusters = []
-        for i, (cluster, choice) in enumerate(zip(self.bare_system.clusters, indices)):
-            technologies = self._choices[i]
-            if not 0 <= choice < len(technologies):
-                raise OptimizerError(
-                    f"choice index {choice} out of range for cluster "
-                    f"{cluster.name!r} (k={len(technologies)})"
-                )
-            clusters.append(technologies[choice].apply(cluster))
         return SystemTopology(
             name=self.bare_system.name,
-            clusters=tuple(clusters),
+            clusters=tuple(
+                self.applied_cluster(i, choice)
+                for i, choice in enumerate(indices)
+            ),
         )

@@ -189,3 +189,61 @@ class TestMarketplace:
             observed_broker, three_tier_request(contract)
         ).describe()
         assert "1." in text and "2." in text and "3." in text
+
+
+class TestSeedDeterminism:
+    """Regression: one int seed pins the whole observation pipeline."""
+
+    @staticmethod
+    def _observe(seed):
+        broker = BrokerService((metalcloud(),))
+        events = broker.observe_provider("metalcloud", years=1.0, seed=seed)
+        estimates = {
+            kind: broker.knowledge_base.estimate("metalcloud", kind)
+            for kind in ("vm", "volume", "gateway")
+        }
+        return broker, events, estimates
+
+    def test_observe_provider_reproducible_from_int_seed(self):
+        _, events_a, estimates_a = self._observe(1234)
+        _, events_b, estimates_b = self._observe(1234)
+        assert events_a == events_b
+        for kind in estimates_a:
+            assert estimates_a[kind].down_probability == (
+                estimates_b[kind].down_probability
+            )
+            assert estimates_a[kind].failures_per_year == (
+                estimates_b[kind].failures_per_year
+            )
+
+    def test_different_seeds_diverge(self):
+        _, events_a, estimates_a = self._observe(1)
+        _, events_b, estimates_b = self._observe(2)
+        assert any(
+            estimates_a[kind].down_probability
+            != estimates_b[kind].down_probability
+            for kind in estimates_a
+        ) or events_a != events_b
+
+    def test_broker_rng_normalizes_like_make_rng(self):
+        from repro.broker.service import broker_rng
+        from repro.rng import make_rng
+
+        assert broker_rng(77).random() == make_rng(77).random()
+        shared = make_rng(5)
+        assert broker_rng(shared) is shared
+
+    def test_observe_all_reproducible_end_to_end(self, contract):
+        def run():
+            broker = BrokerService(all_providers())
+            broker.observe_all(years=1.0, seed=42)
+            return broker.recommend(three_tier_request(contract)).describe()
+
+        assert run() == run()
+
+    def test_recommendation_reports_engine_stats(self, observed_broker, contract):
+        report = observed_broker.recommend(three_tier_request(contract))
+        for recommendation in report.recommendations:
+            assert recommendation.engine_stats is not None
+            assert recommendation.engine_stats.candidate_evaluations > 0
+            assert recommendation.engine_stats.topology_evaluations == 0

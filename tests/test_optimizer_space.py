@@ -94,3 +94,57 @@ class TestInstantiate:
         second = space.instantiate((1, 1, 1))
         assert first == second
         assert all(not cluster.has_ha for cluster in space.bare_system.clusters)
+
+
+class TestPaperOrderLazyEnumeration:
+    """The lazy generator and arithmetic ids must match the sorted spec."""
+
+    @staticmethod
+    def _legacy_order(space):
+        import itertools
+
+        everything = itertools.product(*(range(k) for k in space.choice_counts))
+
+        def paper_key(indices):
+            clustered = [i for i, choice in enumerate(indices) if choice != 0]
+            return (len(clustered), tuple(-i for i in sorted(clustered)), indices)
+
+        return sorted(everything, key=paper_key)
+
+    def test_matches_sorted_enumeration(self):
+        from repro.workloads.generators import random_problem
+
+        for seed, clusters, choices in ((0, 3, 2), (1, 4, 3), (2, 5, 2)):
+            space = random_problem(
+                seed, clusters=clusters, choices_per_layer=choices
+            ).space()
+            assert list(space.candidates_in_paper_order()) == (
+                self._legacy_order(space)
+            )
+
+    def test_paper_order_id_matches_enumeration(self):
+        from repro.workloads.generators import random_problem
+
+        space = random_problem(4, clusters=4, choices_per_layer=3).space()
+        for option_id, indices in enumerate(
+            space.candidates_in_paper_order(), start=1
+        ):
+            assert space.paper_order_id(indices) == option_id
+
+    def test_paper_order_id_validates_input(self):
+        import pytest
+
+        from repro.errors import OptimizerError
+        from repro.workloads.generators import random_problem
+
+        space = random_problem(4, clusters=3, choices_per_layer=2).space()
+        with pytest.raises(OptimizerError, match="choice indices"):
+            space.paper_order_id((0, 0))
+        with pytest.raises(OptimizerError, match="out of range"):
+            space.paper_order_id((0, 99, 0))
+
+    def test_enumeration_is_lazy(self):
+        from repro.workloads.case_study import case_study_problem
+
+        iterator = case_study_problem().space().candidates_in_paper_order()
+        assert next(iterator) == (0, 0, 0)
