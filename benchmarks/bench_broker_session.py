@@ -1,0 +1,129 @@
+"""E10 — BrokerSession warm-cache vs cold-cache request latency.
+
+PR 1's engine removed re-evaluation *within* a request; the v2
+:class:`~repro.broker.api.BrokerSession` removes it *across* requests:
+engines are cached by (provider, base-system signature, contract,
+rate-card fingerprint), so a repeated request skips the n*k per-cluster
+precompute and answers every candidate from the result cache.
+
+This bench measures a cold session serving a request for the first time
+against a warm session re-serving it, verifies the acceptance criterion
+(zero new per-(cluster, technology) term computations on the warm path,
+bit-identical reports), and reports batched throughput over the
+``recommend_many`` worker pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.broker.api import EngineCache
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.cloud.providers import all_providers
+from repro.sla.contract import Contract
+
+
+def observed_broker(years: float = 3.0, seed: int = 23) -> BrokerService:
+    """A broker with synthetic telemetry over all three providers."""
+    broker = BrokerService(all_providers())
+    broker.observe_all(years=years, seed=seed)
+    return broker
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_warm_cache_latency_vs_cold(benchmark, emit):
+    """Cold vs warm request latency through one session."""
+    broker = observed_broker()
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    with broker.session() as session:
+        cold_report, cold_seconds = _timed(lambda: session.recommend(request))
+        terms_after_cold = session.engine_cache.cluster_term_computations()
+        warm_report, warm_seconds = _timed(lambda: session.recommend(request))
+
+        # Acceptance: the warm path computes zero new cluster terms and
+        # reproduces the cold report bit-for-bit.
+        assert (
+            session.engine_cache.cluster_term_computations() == terms_after_cold
+        )
+        assert warm_report.describe() == cold_report.describe()
+
+        benchmark(lambda: session.recommend(request))
+    emit(
+        "[E10] session request latency (3 providers, pruned search):\n"
+        f"  cold (build engines): {cold_seconds * 1e3:8.2f} ms\n"
+        f"  warm (cached engines): {warm_seconds * 1e3:8.2f} ms\n"
+        f"  speedup: {cold_seconds / warm_seconds:5.1f}x; "
+        f"{session.engine_cache.stats.describe()}"
+    )
+
+
+def test_batched_throughput_matches_sequential(emit):
+    """recommend_many over the worker pool: identical, and amortized."""
+    broker = observed_broker()
+    requests = [
+        three_tier_request(Contract.linear(sla, penalty))
+        for sla, penalty in [
+            (98.0, 100.0), (98.0, 100.0), (99.0, 100.0), (98.0, 250.0),
+            (98.0, 100.0), (99.0, 250.0), (98.0, 500.0), (98.0, 100.0),
+        ]
+    ]
+    with broker.session(max_workers=4) as session:
+        batched, batch_seconds = _timed(
+            lambda: session.recommend_many(requests)
+        )
+        batch_stats = session.engine_cache.stats
+    with broker.session() as session:
+        sequential, seq_seconds = _timed(
+            lambda: tuple(session.recommend(request) for request in requests)
+        )
+    assert [report.describe() for report in batched] == [
+        report.describe() for report in sequential
+    ]
+    emit(
+        f"[E10] batch of {len(requests)} requests:\n"
+        f"  sequential session: {seq_seconds * 1e3:8.2f} ms\n"
+        f"  recommend_many(4 workers): {batch_seconds * 1e3:8.2f} ms\n"
+        f"  cache across batch: {batch_stats.describe()}"
+    )
+
+
+def _smoke() -> int:
+    """Fast CI guard: warm cache reuse + bit-identical batched reports."""
+    broker = observed_broker(years=1.0, seed=7)
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    with broker.session() as session:
+        cold, cold_seconds = _timed(lambda: session.recommend(request))
+        terms = session.engine_cache.cluster_term_computations()
+        warm, warm_seconds = _timed(lambda: session.recommend(request))
+        assert session.engine_cache.cluster_term_computations() == terms
+        assert warm.describe() == cold.describe()
+        batched = session.recommend_many([request] * 4)
+        assert all(
+            report.describe() == cold.describe() for report in batched
+        )
+        stats = session.engine_cache.stats
+    print(
+        f"[smoke] cold {cold_seconds * 1e3:.1f} ms -> warm "
+        f"{warm_seconds * 1e3:.1f} ms; {stats.describe()}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast correctness smoke instead of pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run via pytest for full benchmarks, or pass --smoke")
+    raise SystemExit(_smoke())

@@ -203,3 +203,34 @@ def test_parallel_chunked_evaluation_matches(emit):
         "[E9] parallel chunked evaluation: 256/256 options bit-identical "
         "to sequential order"
     )
+
+
+def _smoke() -> int:
+    """Fast CI guard: engine correctness + zero full-topology evals."""
+    problem = four_by_four_problem()
+    engine = EvaluationEngine(problem)
+    result, seconds = _timed(lambda: brute_force_optimize(problem, engine=engine))
+    pruned_optimize(problem, engine=engine)
+    assert engine.stats.topology_evaluations == 0
+    assert engine.stats.incremental_combines == 256
+    assert engine.stats.cache_hits > 0
+    assert all(not option.system_is_materialized for option in result.options)
+    print(
+        f"[smoke] 4^4 space: {result.evaluations} evaluations in "
+        f"{seconds * 1e3:.1f} ms; {engine.stats.describe()}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast correctness smoke instead of pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run via pytest for full benchmarks, or pass --smoke")
+    raise SystemExit(_smoke())

@@ -10,9 +10,19 @@ A hybrid cloud broker sits above providers and customers, so it can
 3. accept a base architecture + contract and return the
    uptime-optimized HA recommendation (:mod:`~repro.broker.service`),
    optionally comparing placements across providers
-   (:mod:`~repro.broker.marketplace`).
+   (:mod:`~repro.broker.marketplace`);
+4. serve many customers through the v2 request/response protocol —
+   request/report envelopes (:mod:`~repro.broker.envelope`) and
+   sessioned, batched, streaming recommendation with a cross-request
+   engine cache (:mod:`~repro.broker.api`).
 """
 
+from repro.broker.api import BrokerSession, EngineCache
+from repro.broker.envelope import (
+    ProgressEvent,
+    RecommendEnvelope,
+    ReportEnvelope,
+)
 from repro.broker.knowledge_base import KnowledgeBase, ReliabilityEstimate
 from repro.broker.marketplace import MarketplaceComparison, compare_providers
 from repro.broker.persistence import load_telemetry, save_telemetry
@@ -25,7 +35,12 @@ from repro.broker.telemetry import TelemetryStore
 
 __all__ = [
     "BrokerService",
+    "BrokerSession",
     "ClusterRequirement",
+    "EngineCache",
+    "ProgressEvent",
+    "RecommendEnvelope",
+    "ReportEnvelope",
     "CustomerOutcome",
     "PortfolioReport",
     "optimize_portfolio",

@@ -1,0 +1,768 @@
+"""Broker API v2: sessions, jobs, batching and the cross-request cache.
+
+The paper's broker (Figure 2) is a *service*: many customers submit
+requests against the same observed telemetry and rate cards.  PR 1 gave
+every strategy a shared per-request :class:`EvaluationEngine`; this
+module lifts that sharing across requests:
+
+- :class:`EngineCache` keys engines by (provider, base-system signature,
+  contract, rate-card fingerprint, catalog variant) with LRU eviction,
+  so repeated and similar requests reuse the per-(cluster, technology)
+  term caches instead of recomputing them;
+- :class:`BrokerSession` is the v2 facade: synchronous ``recommend``,
+  batched ``recommend_many`` over a bounded worker pool, an async
+  ``submit`` / ``poll`` / ``result`` job lifecycle, and a ``stream``
+  generator that emits :class:`~repro.broker.envelope.ProgressEvent`s
+  while distilling exhaustive sweeps without materializing option
+  tables.
+
+``BrokerService.recommend`` remains as a deprecation-shimmed wrapper
+over a one-request session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
+
+from repro.broker.envelope import (
+    ProgressEvent,
+    RecommendEnvelope,
+    ReportEnvelope,
+    contract_to_dict,
+)
+from repro.broker.ratecard import registry_for_provider
+from repro.broker.request import RecommendationRequest
+from repro.cloud.pricing import RateCard
+from repro.cost.rates import LaborRate
+from repro.errors import (
+    BrokerError,
+    InsufficientTelemetryError,
+    ValidationError,
+    unknown_name_message,
+)
+from repro.optimizer.engine import EngineStats, EvaluationEngine
+from repro.optimizer.result import OptimizationResult, ResultAccumulator
+from repro.optimizer.space import OptimizationProblem
+from repro.sla.contract import Contract
+from repro.topology.serialization import system_to_json
+from repro.topology.system import SystemTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.broker.service import (
+        BrokerService,
+        ProviderRecommendation,
+        RecommendationReport,
+    )
+
+#: Default number of engines an :class:`EngineCache` retains.
+DEFAULT_CACHE_CAPACITY = 16
+
+#: Default worker-pool width for batched/async submission.
+DEFAULT_MAX_WORKERS = 4
+
+#: Job lifecycle states.
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def system_signature(system: SystemTopology) -> str:
+    """Content hash of a topology's canonical JSON serialization.
+
+    Two materialized base systems share a signature exactly when every
+    cluster, node estimate and price agrees — so fresher telemetry (new
+    ``P̂/f̂`` estimates) changes the signature and misses the cache
+    instead of serving stale engines.
+    """
+    return _digest(system_to_json(system, indent=0))
+
+
+def contract_fingerprint(contract: Contract) -> str:
+    """Content hash of a contract's wire serialization.
+
+    Custom :class:`~repro.sla.penalty.PenaltyClause` subclasses have no
+    wire form; they fall back to the clause's ``repr`` (dataclass reprs
+    carry every field), so extending the penalty ABC keeps working —
+    such contracts just cannot travel in envelopes.
+    """
+    try:
+        return _digest(json.dumps(contract_to_dict(contract), sort_keys=True))
+    except ValidationError:
+        return _digest(repr(contract))
+
+
+def rate_card_fingerprint(card: RateCard) -> str:
+    """Content hash of everything a rate card prices.
+
+    Covers SKU catalogs (reprs carry every field), HA add-on prices,
+    labor-hour norms and the labor rate — the full set of inputs the
+    technology registry and TCO model read from the card.
+    """
+    payload = (
+        tuple(repr(sku) for sku in card.instance_types),
+        tuple(repr(sku) for sku in card.volume_types),
+        tuple(repr(sku) for sku in card.gateway_types),
+        tuple(sorted(card.ha_addons.items())),
+        tuple(sorted(card.ha_labor_hours.items())),
+        card.labor_rate_per_hour,
+    )
+    return _digest(repr(payload))
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Identity of one cached engine.
+
+    The first four fields are the ISSUE-mandated key components;
+    ``variant`` folds in the remaining inputs that change what an engine
+    computes (catalog width, failover estimates, evaluation mode).
+    """
+
+    provider: str
+    base_system: str
+    contract: str
+    rate_card: str
+    variant: tuple
+
+    @classmethod
+    def build(
+        cls,
+        provider_name: str,
+        base_system: SystemTopology,
+        contract: Contract,
+        rate_card: RateCard,
+        *,
+        failover_minutes: Mapping[str, float],
+        extended_catalog: bool,
+        engine_mode: str,
+        parallel: bool,
+    ) -> "EngineKey":
+        """Fingerprint every input that shapes an engine's caches."""
+        return cls(
+            provider=provider_name,
+            base_system=system_signature(base_system),
+            contract=contract_fingerprint(contract),
+            rate_card=rate_card_fingerprint(rate_card),
+            variant=(
+                tuple(sorted(failover_minutes.items())),
+                extended_catalog,
+                engine_mode,
+                parallel,
+            ),
+        )
+
+
+def _request_stats(
+    before: EngineStats, after: EngineStats, first_service: bool
+) -> EngineStats:
+    """Per-request engine work: the delta across one request's serving.
+
+    Cached engines accumulate counters across every request they serve;
+    reports should audit only their own work (v1 semantics, where each
+    request built a fresh engine).  The construction-time n*k cluster
+    precompute is attributed to the first request served by the engine.
+    If two requests interleave on one shared engine (only possible via
+    partially-consumed streams), the delta covers the interleaved work.
+    """
+    return EngineStats(
+        candidate_evaluations=(
+            after.candidate_evaluations - before.candidate_evaluations
+        ),
+        cache_hits=after.cache_hits - before.cache_hits,
+        incremental_combines=(
+            after.incremental_combines - before.incremental_combines
+        ),
+        topology_evaluations=(
+            after.topology_evaluations - before.topology_evaluations
+        ),
+        cluster_term_computations=(
+            after.cluster_term_computations if first_service else 0
+        ),
+    )
+
+
+@dataclass
+class EngineCacheStats:
+    """Hit/miss/eviction accounting for one :class:`EngineCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered by an existing engine."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def describe(self) -> str:
+        """One-line summary for CLI/benchmark output."""
+        return (
+            f"engine cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate * 100:.0f}% hit rate, "
+            f"{self.evictions} evictions)"
+        )
+
+
+@dataclass
+class _CacheEntry:
+    """A cached engine plus the lock serializing its (sequential) use.
+
+    ``engine`` is ``None`` only while the winning thread is still
+    inside the factory (build happens under ``lock``, not the cache's
+    global lock).  ``unserved`` is True until the first request served
+    by this engine completes — per-request stat deltas attribute the
+    construction-time cluster-term precompute to that request.
+    """
+
+    key: EngineKey
+    engine: EvaluationEngine | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    unserved: bool = True
+
+
+class EngineCache:
+    """LRU cache of :class:`EvaluationEngine` instances across requests.
+
+    One cache typically lives as long as a :class:`BrokerSession`; it
+    may also be shared between sessions (or services) to pool engines
+    across front-ends.  All operations are thread-safe.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise BrokerError(f"cache capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self.stats = EngineCacheStats()
+        self._entries: OrderedDict[EngineKey, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def entry(
+        self, key: EngineKey, factory: Callable[[], EvaluationEngine]
+    ) -> _CacheEntry:
+        """Return the entry for ``key``, building the engine on a miss.
+
+        The global lock covers only map bookkeeping; the factory (the
+        n*k per-cluster precompute) runs under the entry's own lock, so
+        distinct keys build concurrently while racing requests for the
+        *same* key still share one build.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+            else:
+                self.stats.misses += 1
+                entry = _CacheEntry(key=key)
+                self._entries[key] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        if entry.engine is None:
+            with entry.lock:
+                if entry.engine is None:
+                    try:
+                        entry.engine = factory()
+                    except BaseException:
+                        # Don't poison the cache with a never-built entry.
+                        with self._lock:
+                            if self._entries.get(key) is entry:
+                                del self._entries[key]
+                        raise
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: EngineKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> tuple[EngineKey, ...]:
+        """Cached keys in LRU order (least recently used first)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def engines(self) -> tuple[EvaluationEngine, ...]:
+        """The live (fully built) engines, LRU order — for stats."""
+        with self._lock:
+            return tuple(
+                entry.engine
+                for entry in self._entries.values()
+                if entry.engine is not None
+            )
+
+    def cluster_term_computations(self) -> int:
+        """Total per-(cluster, technology) precomputes across engines.
+
+        The acceptance metric for warm sessions: serving a repeated
+        request must leave this number unchanged.
+        """
+        return sum(
+            engine.stats.cluster_term_computations for engine in self.engines()
+        )
+
+    def clear(self) -> None:
+        """Drop every cached engine (stats are retained)."""
+        with self._lock:
+            self._entries.clear()
+
+
+@dataclass
+class BrokerJob:
+    """One submitted request's lifecycle record."""
+
+    job_id: str
+    envelope: RecommendEnvelope
+    status: str = JOB_PENDING
+    report: "RecommendationReport | None" = None
+    error: Exception | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def request(self) -> RecommendationRequest:
+        """The wrapped recommendation request."""
+        return self.envelope.request
+
+
+class BrokerSession:
+    """The v2 facade: sessioned, batched, streaming recommendations.
+
+    A session wraps a :class:`~repro.broker.service.BrokerService`
+    (which owns providers and telemetry) and adds the request/response
+    machinery: the cross-request :class:`EngineCache`, a bounded worker
+    pool for batched submission, and the job table behind
+    ``submit`` / ``poll`` / ``result``.
+
+    Sessions are context managers; ``close()`` shuts the worker pool
+    down (jobs already submitted still complete).
+    """
+
+    def __init__(
+        self,
+        service: "BrokerService",
+        *,
+        engine_cache: EngineCache | None = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        if max_workers < 1:
+            raise BrokerError(f"max_workers must be >= 1, got {max_workers!r}")
+        self.service = service
+        # Explicit None check: an empty EngineCache is falsy (__len__).
+        self.engine_cache = (
+            engine_cache if engine_cache is not None else EngineCache(cache_capacity)
+        )
+        self.max_workers = max_workers
+        self._jobs: "OrderedDict[str, BrokerJob]" = OrderedDict()
+        self._futures: dict[str, Future] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "BrokerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down; in-flight jobs run to completion."""
+        with self._lock:
+            self._closed = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- synchronous API ---------------------------------------------------
+
+    def recommend(self, request: RecommendationRequest) -> "RecommendationReport":
+        """Serve one request through the cross-request engine cache.
+
+        Same contract as the v1 ``BrokerService.recommend``: providers
+        lacking telemetry are skipped, and if none can serve the request
+        an :class:`InsufficientTelemetryError` lists the gaps.
+        """
+        from repro.broker.service import RecommendationReport
+
+        recommendations = []
+        failures: list[str] = []
+        for name in self._provider_names(request):
+            try:
+                recommendations.append(self._recommend_provider(request, name))
+            except InsufficientTelemetryError as exc:
+                failures.append(f"{name}: {exc}")
+        if not recommendations:
+            raise InsufficientTelemetryError(
+                "no provider has enough telemetry to serve this request: "
+                + "; ".join(failures)
+            )
+        return RecommendationReport(
+            request_name=request.system_name,
+            recommendations=tuple(recommendations),
+        )
+
+    def recommend_envelope(self, envelope: RecommendEnvelope) -> ReportEnvelope:
+        """Wire-in, wire-out: serve a request envelope."""
+        return ReportEnvelope.from_report(
+            self.recommend(envelope.request), request_id=envelope.request_id
+        )
+
+    def recommend_many(
+        self, requests: Iterable[RecommendationRequest]
+    ) -> tuple["RecommendationReport", ...]:
+        """Serve a batch of requests on the bounded worker pool.
+
+        Reports come back in submission order and are bit-identical to
+        sequential :meth:`recommend` calls — evaluation is deterministic
+        and cached engines are pure, so concurrency only changes
+        wall-clock, never results.
+        """
+        job_ids = [self.submit(request) for request in requests]
+        return tuple(self.result(job_id) for job_id in job_ids)
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def submit(
+        self, request: "RecommendationRequest | RecommendEnvelope"
+    ) -> str:
+        """Queue a request on the worker pool; returns its job id."""
+        envelope = (
+            request
+            if isinstance(request, RecommendEnvelope)
+            else RecommendEnvelope(request=request)
+        )
+        with self._lock:
+            if self._closed:
+                raise BrokerError("session is closed; no further submissions")
+            self._counter += 1
+            job_id = f"job-{self._counter:06d}"
+            if envelope.request_id is None:
+                envelope = RecommendEnvelope(
+                    request=envelope.request, request_id=job_id
+                )
+            job = BrokerJob(job_id=job_id, envelope=envelope)
+            self._jobs[job_id] = job
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="broker-session",
+                )
+            self._futures[job_id] = self._executor.submit(self._run_job, job)
+        return job_id
+
+    def _run_job(self, job: BrokerJob) -> None:
+        job.status = JOB_RUNNING
+        try:
+            job.report = self.recommend(job.request)
+            job.status = JOB_DONE
+        except Exception as exc:  # noqa: BLE001 - surfaced via result()
+            job.error = exc
+            job.status = JOB_FAILED
+        finally:
+            job.done.set()
+
+    def job(self, job_id: str) -> BrokerJob:
+        """Look up a job record by id."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError as exc:
+                raise BrokerError(
+                    unknown_name_message("job", job_id, self._jobs)
+                ) from exc
+
+    def poll(self, job_id: str) -> str:
+        """A job's current lifecycle state (non-blocking)."""
+        return self.job(job_id).status
+
+    def result(
+        self, job_id: str, timeout: float | None = None
+    ) -> "RecommendationReport":
+        """Block until a job finishes and return (or re-raise) its outcome."""
+        job = self.job(job_id)
+        if not job.done.wait(timeout):
+            raise BrokerError(
+                f"job {job_id!r} did not finish within {timeout!r}s "
+                f"(status: {job.status})"
+            )
+        if job.error is not None:
+            raise job.error
+        assert job.report is not None
+        return job.report
+
+    def result_envelope(
+        self, job_id: str, timeout: float | None = None
+    ) -> ReportEnvelope:
+        """Wire form of :meth:`result`."""
+        report = self.result(job_id, timeout=timeout)
+        return ReportEnvelope.from_report(
+            report, request_id=self.job(job_id).envelope.request_id
+        )
+
+    def jobs(self) -> tuple[BrokerJob, ...]:
+        """All job records, in submission order."""
+        with self._lock:
+            return tuple(self._jobs.values())
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream(
+        self,
+        request: "RecommendationRequest | RecommendEnvelope",
+        *,
+        progress_every: int = 256,
+        request_id: str | None = None,
+    ) -> Iterator[ProgressEvent]:
+        """Serve a request as a stream of progress/result events.
+
+        Exhaustive (brute-force) sweeps are distilled on the fly through
+        :class:`~repro.optimizer.result.ResultAccumulator` with
+        ``keep_options=False`` — option tables are never materialized,
+        and a ``progress`` event fires every ``progress_every``
+        evaluations.  The final ``completed`` event carries the
+        :class:`ReportEnvelope` in its detail.
+        """
+        if progress_every < 1:
+            raise BrokerError(
+                f"progress_every must be >= 1, got {progress_every!r}"
+            )
+        if isinstance(request, RecommendEnvelope):
+            request_id = request_id or request.request_id
+            request = request.request
+        yield ProgressEvent(
+            "accepted",
+            request_id=request_id,
+            detail={"system_name": request.system_name},
+        )
+        from repro.broker.service import RecommendationReport
+
+        recommendations = []
+        failures: list[str] = []
+        for name in self._provider_names(request):
+            yield ProgressEvent(
+                "provider-started", request_id=request_id, provider=name
+            )
+            try:
+                if request.strategy == "brute-force":
+                    streamed = None
+                    for event_or_rec in self._stream_provider(
+                        request, name, request_id, progress_every
+                    ):
+                        if isinstance(event_or_rec, ProgressEvent):
+                            yield event_or_rec
+                        else:
+                            streamed = event_or_rec
+                    recommendation = streamed
+                else:
+                    recommendation = self._recommend_provider(request, name)
+            except InsufficientTelemetryError as exc:
+                failures.append(f"{name}: {exc}")
+                yield ProgressEvent(
+                    "provider-skipped",
+                    request_id=request_id,
+                    provider=name,
+                    detail={"reason": str(exc)},
+                )
+                continue
+            recommendations.append(recommendation)
+            yield ProgressEvent(
+                "provider-completed",
+                request_id=request_id,
+                provider=name,
+                detail={
+                    "best": recommendation.result.best.label,
+                    "monthly_total": recommendation.monthly_total,
+                    "evaluations": recommendation.result.evaluations,
+                },
+            )
+        if not recommendations:
+            yield ProgressEvent(
+                "failed",
+                request_id=request_id,
+                detail={
+                    "reason": "no provider has enough telemetry: "
+                    + "; ".join(failures)
+                },
+            )
+            return
+        report = RecommendationReport(
+            request_name=request.system_name,
+            recommendations=tuple(recommendations),
+        )
+        yield ProgressEvent(
+            "completed",
+            request_id=request_id,
+            detail={
+                "report": ReportEnvelope.from_report(
+                    report, request_id=request_id
+                ).to_dict()
+            },
+        )
+
+    def _stream_provider(
+        self,
+        request: RecommendationRequest,
+        name: str,
+        request_id: str | None,
+        progress_every: int,
+    ) -> Iterator["ProgressEvent | ProviderRecommendation"]:
+        """Distilled streaming sweep for one provider (brute force only).
+
+        Yields ``progress`` events during the sweep and finally the
+        finished :class:`ProviderRecommendation`.  The engine's lock is
+        held only while evaluating each block, never across a yield —
+        a partially-consumed (or abandoned) stream generator must not
+        hold the shared engine hostage against other requests.
+        """
+        from repro.broker.service import ProviderRecommendation
+
+        entry = self._cache_entry(request, name)
+        engine = entry.engine
+        accumulator = ResultAccumulator(
+            space_size=engine.space.size,
+            strategy="brute-force",
+            keep_options=False,
+        )
+        candidates = enumerate(engine.space.candidates_in_paper_order(), start=1)
+        with entry.lock:
+            before = engine.stats.snapshot()
+        exhausted = False
+        while not exhausted:
+            with entry.lock:
+                for _ in range(progress_every):
+                    item = next(candidates, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    option_id, indices = item
+                    accumulator.add(engine.evaluate(option_id, indices))
+            if not exhausted:
+                yield ProgressEvent(
+                    "progress",
+                    request_id=request_id,
+                    provider=name,
+                    detail={
+                        "evaluated": accumulator.count,
+                        "space_size": engine.space.size,
+                    },
+                )
+        with entry.lock:
+            after = engine.stats.snapshot()
+            first_service = entry.unserved
+            entry.unserved = False
+        yield ProviderRecommendation(
+            provider_name=name,
+            base_system=engine.problem.base_system,
+            result=accumulator.finish(),
+            engine_stats=_request_stats(before, after, first_service),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _provider_names(self, request: RecommendationRequest) -> tuple[str, ...]:
+        return request.providers or tuple(sorted(self.service.providers))
+
+    def _cache_entry(
+        self, request: RecommendationRequest, provider_name: str
+    ) -> _CacheEntry:
+        """Resolve (or build) the cached engine serving one provider.
+
+        Raises :class:`InsufficientTelemetryError` when the knowledge
+        base cannot estimate the request's component kinds for this
+        provider.
+        """
+        provider = self.service.provider(provider_name)
+        base_system = self.service.materialize_topology(request, provider)
+        failover_estimates = {
+            requirement.component_kind: self.service.knowledge_base.estimate(
+                provider_name, requirement.component_kind
+            ).failover_minutes
+            for requirement in request.clusters
+        }
+        key = EngineKey.build(
+            provider_name,
+            base_system,
+            request.contract,
+            provider.rate_card,
+            failover_minutes=failover_estimates,
+            extended_catalog=request.extended_catalog,
+            engine_mode=request.engine,
+            parallel=request.parallel,
+        )
+
+        def build_engine() -> EvaluationEngine:
+            registry = registry_for_provider(
+                provider,
+                failover_minutes=failover_estimates,
+                extended=request.extended_catalog,
+            )
+            problem = OptimizationProblem(
+                base_system=base_system,
+                registry=registry,
+                contract=request.contract,
+                labor_rate=LaborRate(provider.rate_card.labor_rate_per_hour),
+            )
+            return EvaluationEngine(
+                problem, mode=request.engine, parallel=request.parallel
+            )
+
+        return self.engine_cache.entry(key, build_engine)
+
+    def _recommend_provider(
+        self, request: RecommendationRequest, name: str
+    ) -> "ProviderRecommendation":
+        """One provider's recommendation, via the engine cache."""
+        from repro.broker.service import (
+            _STRATEGY_FUNCTIONS,
+            ProviderRecommendation,
+        )
+
+        entry = self._cache_entry(request, name)
+        engine = entry.engine
+        optimize = _STRATEGY_FUNCTIONS[request.strategy]
+        # A cache hit may serve the search from a different worker
+        # thread later; sequential engines are not thread-safe, so each
+        # entry's lock serializes use of its engine.
+        with entry.lock:
+            before = engine.stats.snapshot()
+            result: OptimizationResult = optimize(engine.problem, engine=engine)
+            after = engine.stats.snapshot()
+            first_service = entry.unserved
+            entry.unserved = False
+        return ProviderRecommendation(
+            provider_name=name,
+            base_system=engine.problem.base_system,
+            result=result,
+            engine_stats=_request_stats(before, after, first_service),
+        )

@@ -67,7 +67,8 @@ def compare_providers(
     broker: BrokerService, request: RecommendationRequest
 ) -> MarketplaceComparison:
     """Rank all capable providers for a request by total monthly cost."""
-    report = broker.recommend(request)
+    with broker.session() as session:
+        report = session.recommend(request)
     ranked = tuple(
         sorted(report.recommendations, key=lambda rec: rec.monthly_total)
     )

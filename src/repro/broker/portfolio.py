@@ -121,16 +121,19 @@ def optimize_portfolio(
     if not requests:
         raise BrokerError("portfolio needs at least one request")
     outcomes = []
-    for request in requests:
-        report = broker.recommend(request)
-        best_placement = report.best
-        outcomes.append(
-            CustomerOutcome(
-                request_name=request.system_name,
-                provider_name=best_placement.provider_name,
-                recommended_label=best_placement.result.best.label,
-                recommended_tco=best_placement.result.best.tco.total,
-                ad_hoc_tco=_ad_hoc_tco(best_placement),
+    # One session for the whole portfolio: customers with matching
+    # contracts and base systems share cached engines.
+    with broker.session() as session:
+        for request in requests:
+            report = session.recommend(request)
+            best_placement = report.best
+            outcomes.append(
+                CustomerOutcome(
+                    request_name=request.system_name,
+                    provider_name=best_placement.provider_name,
+                    recommended_label=best_placement.result.best.label,
+                    recommended_tco=best_placement.result.best.tco.total,
+                    ad_hoc_tco=_ad_hoc_tco(best_placement),
+                )
             )
-        )
     return PortfolioReport(outcomes=tuple(outcomes))

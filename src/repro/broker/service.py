@@ -11,28 +11,34 @@ total monthly cost.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.broker.knowledge_base import KnowledgeBase
-from repro.broker.ratecard import registry_for_provider
 from repro.broker.request import ClusterRequirement, RecommendationRequest
 from repro.broker.telemetry import TelemetryStore
 from repro.cloud.deployment import default_sku
 from repro.cloud.faults import FaultInjector
 from repro.cloud.provider import CloudProvider, Resource, ResourceKind
-from repro.cost.rates import LaborRate
-from repro.errors import BrokerError, InsufficientTelemetryError
+from repro.errors import (
+    BrokerError,
+    InsufficientTelemetryError,
+    unknown_name_message,
+)
 from repro.optimizer.branch_bound import branch_and_bound_optimize
 from repro.optimizer.brute_force import brute_force_optimize
-from repro.optimizer.engine import EngineStats, EvaluationEngine
+from repro.optimizer.engine import EngineStats
 from repro.optimizer.pruned import pruned_optimize
 from repro.optimizer.result import OptimizationResult
-from repro.optimizer.space import OptimizationProblem
 from repro.rng import make_rng
 from repro.topology.builder import TopologyBuilder
 from repro.topology.cluster import Layer
 from repro.topology.system import SystemTopology
 from repro.units import MINUTES_PER_YEAR, format_money
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.broker.api import BrokerSession, EngineCache
 
 _STRATEGY_FUNCTIONS = {
     "pruned": pruned_optimize,
@@ -104,8 +110,12 @@ class RecommendationReport:
             if recommendation.provider_name == provider_name:
                 return recommendation
         raise BrokerError(
-            f"no recommendation for provider {provider_name!r}; have: "
-            f"{[rec.provider_name for rec in self.recommendations]}"
+            unknown_name_message(
+                "provider",
+                provider_name,
+                [rec.provider_name for rec in self.recommendations],
+                label="have",
+            )
         )
 
     def describe(self) -> str:
@@ -211,8 +221,9 @@ class BrokerService:
             return self.providers[name]
         except KeyError as exc:
             raise BrokerError(
-                f"unknown provider {name!r}; registered: "
-                f"{sorted(self.providers)}"
+                unknown_name_message(
+                    "provider", name, self.providers, label="registered"
+                )
             ) from exc
 
     def materialize_topology(
@@ -239,68 +250,48 @@ class BrokerService:
             )
         return builder.build()
 
+    def session(
+        self,
+        *,
+        engine_cache: "EngineCache | None" = None,
+        cache_capacity: int | None = None,
+        max_workers: int | None = None,
+    ) -> "BrokerSession":
+        """Open a v2 :class:`~repro.broker.api.BrokerSession` over this broker.
+
+        The session is the supported entry point for recommendations:
+        it owns the cross-request engine cache, the batched/async job
+        lifecycle and the streaming protocol.  Keyword arguments default
+        to the session's own defaults when ``None``.
+        """
+        from repro.broker.api import BrokerSession
+
+        kwargs: dict = {"engine_cache": engine_cache}
+        if cache_capacity is not None:
+            kwargs["cache_capacity"] = cache_capacity
+        if max_workers is not None:
+            kwargs["max_workers"] = max_workers
+        return BrokerSession(self, **kwargs)
+
     def recommend(self, request: RecommendationRequest) -> RecommendationReport:
         """Run the full brokered optimization for a request.
 
-        Providers lacking sufficient telemetry are skipped; if none can
-        serve the request, :class:`InsufficientTelemetryError` explains
-        which observations are missing.
-
-        One :class:`EvaluationEngine` is constructed per provider
-        problem and reused for everything done for that provider within
-        the request — the search itself plus any follow-up evaluation —
-        so no candidate is ever evaluated twice.  The request's
-        ``engine`` / ``parallel`` knobs select the evaluation mode.
+        .. deprecated:: v2
+            Compatibility shim over a one-request
+            :class:`~repro.broker.api.BrokerSession`; call
+            :meth:`session` and use ``session.recommend(...)`` (or the
+            batched/streaming entry points) instead.  Results are
+            identical — but each shim call builds and discards a fresh
+            engine cache, forfeiting cross-request reuse.
         """
-        provider_names = request.providers or tuple(sorted(self.providers))
-        optimize = _STRATEGY_FUNCTIONS[request.strategy]
-
-        recommendations = []
-        failures: list[str] = []
-        for name in provider_names:
-            provider = self.provider(name)
-            try:
-                base_system = self.materialize_topology(request, provider)
-                failover_estimates = {
-                    requirement.component_kind: self.knowledge_base.estimate(
-                        name, requirement.component_kind
-                    ).failover_minutes
-                    for requirement in request.clusters
-                }
-            except InsufficientTelemetryError as exc:
-                failures.append(f"{name}: {exc}")
-                continue
-            registry = registry_for_provider(
-                provider,
-                failover_minutes=failover_estimates,
-                extended=request.extended_catalog,
-            )
-            problem = OptimizationProblem(
-                base_system=base_system,
-                registry=registry,
-                contract=request.contract,
-                labor_rate=LaborRate(provider.rate_card.labor_rate_per_hour),
-            )
-            engine = EvaluationEngine(
-                problem, mode=request.engine, parallel=request.parallel
-            )
-            recommendations.append(
-                ProviderRecommendation(
-                    provider_name=name,
-                    base_system=base_system,
-                    result=optimize(problem, engine=engine),
-                    engine_stats=engine.stats,
-                )
-            )
-        if not recommendations:
-            raise InsufficientTelemetryError(
-                "no provider has enough telemetry to serve this request: "
-                + "; ".join(failures)
-            )
-        return RecommendationReport(
-            request_name=request.system_name,
-            recommendations=tuple(recommendations),
+        warnings.warn(
+            "BrokerService.recommend() is deprecated; open a BrokerSession "
+            "via BrokerService.session() to reuse engines across requests",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        with self.session() as session:
+            return session.recommend(request)
 
 
 def _observation_sku(provider: CloudProvider, kind: ResourceKind) -> str:

@@ -179,6 +179,32 @@ def build_parser() -> argparse.ArgumentParser:
         "pareto", help="cost/uptime Pareto frontier of the case study"
     )
 
+    batch = commands.add_parser(
+        "batch",
+        help="serve a JSON-lines file of request envelopes in one session",
+    )
+    batch.add_argument(
+        "file", type=Path,
+        help="JSONL path: one recommend-request envelope per line",
+    )
+    batch.add_argument(
+        "--observe-years", type=float, default=3.0,
+        help="synthetic telemetry horizon per provider",
+    )
+    batch.add_argument("--seed", type=int, default=None, help="RNG seed")
+    batch.add_argument(
+        "--max-workers", type=int, default=4,
+        help="session worker-pool width for concurrent requests",
+    )
+    batch.add_argument(
+        "--cache-capacity", type=int, default=16,
+        help="engines retained by the cross-request cache (LRU)",
+    )
+    batch.add_argument(
+        "--output", type=Path, default=None,
+        help="write report envelopes to this file instead of stdout",
+    )
+
     return parser
 
 
@@ -235,7 +261,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         engine=args.engine,
         parallel=args.parallel,
     )
-    report = broker.recommend(request)
+    with broker.session() as session:
+        report = session.recommend(request)
     print(report.describe())
     for recommendation in report.recommendations:
         if recommendation.engine_stats is not None:
@@ -332,6 +359,38 @@ def _cmd_importance(path: Path | None) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.broker.envelope import RecommendEnvelope
+    from repro.errors import ValidationError
+
+    lines = [
+        line for line in args.file.read_text().splitlines() if line.strip()
+    ]
+    if not lines:
+        raise ValidationError(f"batch file {args.file} contains no envelopes")
+    envelopes = [RecommendEnvelope.from_json(line) for line in lines]
+
+    broker = BrokerService(all_providers())
+    print(
+        f"Observing providers ({args.observe_years:g} synthetic years each)...",
+        file=sys.stderr,
+    )
+    broker.observe_all(years=args.observe_years, seed=args.seed)
+    with broker.session(
+        cache_capacity=args.cache_capacity, max_workers=args.max_workers
+    ) as session:
+        job_ids = [session.submit(envelope) for envelope in envelopes]
+        reports = [session.result_envelope(job_id) for job_id in job_ids]
+        stats = session.engine_cache.stats
+    payload = "\n".join(report.to_json() for report in reports)
+    if args.output is not None:
+        args.output.write_text(payload + "\n")
+    else:
+        print(payload)
+    print(f"[batch] {len(reports)} report(s); {stats.describe()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_pareto() -> int:
     from repro.optimizer.pareto import pareto_frontier
 
@@ -369,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_importance(args.file)
         if args.command == "pareto":
             return _cmd_pareto()
+        if args.command == "batch":
+            return _cmd_batch(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

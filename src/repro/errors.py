@@ -7,6 +7,25 @@ the subsystem that raises them.
 
 from __future__ import annotations
 
+from typing import Iterable
+
+
+def unknown_name_message(
+    kind: str,
+    name: object,
+    known: Iterable[object],
+    *,
+    label: str = "known",
+) -> str:
+    """One consistent message shape for failed name lookups.
+
+    Every "unknown X" error across the library (providers, report
+    entries, jobs, SKUs) funnels through here so callers see the same
+    ``unknown <kind> <name>; <label>: [...]`` text with the valid names
+    listed — and tests can match on one format.
+    """
+    return f"unknown {kind} {name!r}; {label}: {sorted(known, key=repr)}"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""

@@ -83,6 +83,7 @@ def evaluate_candidate_direct(
         availability=availability,
         tco=tco,
         meets_sla=problem.contract.sla.is_met_by(availability.uptime_probability),
+        cluster_names=space.bare_system.cluster_names,
     )
 
 
@@ -137,6 +138,20 @@ class EngineStats:
         if self.candidate_evaluations == 0:
             return 0.0
         return self.cache_hits / self.candidate_evaluations
+
+    def snapshot(self) -> "EngineStats":
+        """A point-in-time copy — engines mutate their live stats."""
+        return replace(self)
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe counters (wire envelopes, cache dashboards)."""
+        return {
+            "candidate_evaluations": self.candidate_evaluations,
+            "cache_hits": self.cache_hits,
+            "incremental_combines": self.incremental_combines,
+            "topology_evaluations": self.topology_evaluations,
+            "cluster_term_computations": self.cluster_term_computations,
+        }
 
     def describe(self) -> str:
         """One-line summary for CLI/benchmark output."""
@@ -247,8 +262,9 @@ class EvaluationEngine:
         """Evaluate one candidate, consulting and feeding the cache.
 
         A cache hit under a different paper-order id is re-labelled via
-        ``dataclasses.replace`` — everything else about the option is
-        id-independent.
+        :meth:`EvaluatedOption.relabel` — everything else about the
+        option is id-independent, and relabelling keeps a lazy topology
+        unbuilt.
         """
         names = self.space.choice_names(indices) if self.cache else None
         with self._lock:
@@ -257,9 +273,7 @@ class EvaluationEngine:
             if cached is not None:
                 self.stats.cache_hits += 1
         if cached is not None:
-            if cached.option_id != option_id:
-                cached = replace(cached, option_id=option_id)
-            return cached
+            return cached.relabel(option_id)
 
         if self.mode == "direct":
             option = evaluate_candidate_direct(
@@ -281,7 +295,13 @@ class EvaluationEngine:
         indices: tuple[int, ...],
         names: ChoiceNames | None = None,
     ) -> EvaluatedOption:
-        """O(n) evaluation from the cached per-cluster factor sets."""
+        """O(n) evaluation from the cached per-cluster factor sets.
+
+        The candidate's :class:`SystemTopology` is *not* built here: the
+        option carries a factory that assembles (and validates) it on
+        first access, so distilled/streamed sweeps that only read costs
+        and labels never pay per-candidate topology construction.
+        """
         if len(indices) != self.space.cluster_count:
             raise OptimizerError(
                 f"expected {self.space.cluster_count} choice indices, "
@@ -303,18 +323,23 @@ class EvaluationEngine:
             self.problem.contract,
             self.problem.labor_rate,
         )
+
+        def build_system() -> SystemTopology:
+            return SystemTopology(
+                name=bare.name,
+                clusters=tuple(profile.applied for profile in chosen),
+            )
+
         return EvaluatedOption(
             option_id=option_id,
             choice_names=names
             if names is not None
             else tuple(profile.name for profile in chosen),
-            system=SystemTopology(
-                name=bare.name,
-                clusters=tuple(profile.applied for profile in chosen),
-            ),
+            system=build_system,
             availability=availability,
             tco=tco,
             meets_sla=self.problem.contract.sla.is_met_by(uptime),
+            cluster_names=bare.cluster_names,
         )
 
     def evaluate_many(

@@ -13,7 +13,7 @@ report and TCO breakdown; an :class:`OptimizationResult` is the full
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.availability.model import AvailabilityReport
@@ -23,27 +23,89 @@ from repro.optimizer.space import ChoiceNames
 from repro.topology.system import SystemTopology
 from repro.units import format_money
 
+class _LazySystemField:
+    """Data descriptor backing :attr:`EvaluatedOption.system`.
+
+    The engine's incremental path hands options a zero-argument factory
+    instead of a built topology; the descriptor invokes it on first read
+    and caches the result in the instance dict, so distilled/streamed
+    sweeps that never look at ``option.system`` skip topology
+    construction (and its validation) entirely.
+    """
+
+    __slots__ = ()
+
+    def __get__(self, option, owner=None):
+        if option is None:
+            return self
+        value = option.__dict__["system"]
+        if not isinstance(value, SystemTopology):
+            value = value()
+            option.__dict__["system"] = value
+        return value
+
+    def __set__(self, option, value):
+        # Reached only via object.__setattr__ in the frozen dataclass
+        # __init__; user-level assignment still raises FrozenInstanceError.
+        option.__dict__["system"] = value
+
 
 @dataclass(frozen=True)
 class EvaluatedOption:
     """One HA permutation, fully evaluated.
 
     ``option_id`` is 1-based in paper order (option #1 = no HA).
+
+    ``system`` may be passed either as a built :class:`SystemTopology`
+    or as a zero-argument factory producing one; the factory runs on
+    first attribute access.  ``cluster_names`` carries the chain's
+    cluster names so labels and option tables never have to force a lazy
+    topology.
     """
 
     option_id: int
     choice_names: ChoiceNames
-    system: SystemTopology
+    system: SystemTopology = field(repr=False, compare=False)
     availability: AvailabilityReport
     tco: TCOBreakdown
     meets_sla: bool
+    cluster_names: tuple[str, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def system_is_materialized(self) -> bool:
+        """True once the topology has been built (or was passed built)."""
+        return isinstance(self.__dict__["system"], SystemTopology)
+
+    def relabel(self, option_id: int) -> "EvaluatedOption":
+        """The same option under a different paper-order id.
+
+        Unlike :func:`dataclasses.replace`, this does not read the
+        ``system`` field, so relabelling a cache hit keeps a lazy
+        topology lazy.
+        """
+        if option_id == self.option_id:
+            return self
+        return EvaluatedOption(
+            option_id=option_id,
+            choice_names=self.choice_names,
+            system=self.__dict__["system"],
+            availability=self.availability,
+            tco=self.tco,
+            meets_sla=self.meets_sla,
+            cluster_names=self.cluster_names,
+        )
 
     @property
     def clustered_components(self) -> tuple[str, ...]:
         """Names of clusters that received an HA technology."""
+        names = self.cluster_names
+        if names is None:
+            names = tuple(cluster.name for cluster in self.system.clusters)
         return tuple(
-            cluster.name
-            for cluster, choice in zip(self.system.clusters, self.choice_names)
+            name
+            for name, choice in zip(names, self.choice_names)
             if choice != "none"
         )
 
@@ -63,6 +125,91 @@ class EvaluatedOption:
             f"C_HA={format_money(self.tco.ha_cost):>12} "
             f"penalty={format_money(self.tco.expected_penalty):>12} "
             f"TCO={format_money(self.tco.total):>12} ({sla_mark})"
+        )
+
+
+# The dataclass machinery must not see the descriptor as a field default,
+# so it is attached after class creation; frozen __init__ stores through
+# its __set__ via object.__setattr__.
+EvaluatedOption.system = _LazySystemField()
+
+
+class ResultAccumulator:
+    """Incremental distillation of an option stream.
+
+    The push-style twin of :meth:`OptimizationResult.from_stream`: feed
+    options one at a time with :meth:`add` and call :meth:`finish` for
+    the result.  This is the streaming hook the broker session uses to
+    interleave progress events with a sweep — ``from_stream`` itself is
+    implemented on top of it, so both paths share one set of
+    ``best`` / ``min_penalty_option`` tie-breaking rules.
+
+    With ``keep_options=False`` only the two running recommendations are
+    retained, so million-candidate sweeps hold O(1) options in memory.
+    """
+
+    def __init__(
+        self,
+        *,
+        space_size: int,
+        strategy: str,
+        pruned: int = 0,
+        keep_options: bool = True,
+    ) -> None:
+        self.space_size = space_size
+        self.strategy = strategy
+        self.pruned = pruned
+        self.keep_options = keep_options
+        self.count = 0
+        self._kept: list[EvaluatedOption] = []
+        self._best: EvaluatedOption | None = None
+        self._lowest_penalty = math.inf
+        self._min_penalty: EvaluatedOption | None = None
+
+    def add(self, option: EvaluatedOption) -> None:
+        """Fold one evaluated option into the running distillation."""
+        self.count += 1
+        if self.keep_options:
+            self._kept.append(option)
+            return
+        # Mirror the `best` / `min_penalty_option` tie-breaking so a
+        # distilled result answers both recommendations identically.
+        if self._best is None or (option.tco.total, option.option_id) < (
+            self._best.tco.total,
+            self._best.option_id,
+        ):
+            self._best = option
+        penalty = option.tco.expected_penalty
+        if penalty < self._lowest_penalty:
+            self._lowest_penalty = penalty
+            self._min_penalty = option
+        elif penalty == self._lowest_penalty and (
+            option.tco.ha_cost,
+            option.option_id,
+        ) < (self._min_penalty.tco.ha_cost, self._min_penalty.option_id):
+            self._min_penalty = option
+
+    def finish(self) -> "OptimizationResult":
+        """Seal the accumulator into an :class:`OptimizationResult`."""
+        if self.keep_options:
+            stored = tuple(self._kept)
+        elif self._best is None:
+            stored = ()
+        elif self._min_penalty is self._best:
+            stored = (self._best,)
+        else:
+            stored = tuple(
+                sorted(
+                    (self._best, self._min_penalty),
+                    key=lambda option: option.option_id,
+                )
+            )
+        return OptimizationResult(
+            options=stored,
+            evaluations=self.count,
+            pruned=self.pruned,
+            space_size=self.space_size,
+            strategy=self.strategy,
         )
 
 
@@ -115,51 +262,19 @@ class OptimizationResult:
         candidate spaces never hold more than two options in memory:
         ``options`` then contains just the distilled ``best`` and
         ``min_penalty_option`` rows while ``evaluations`` still counts
-        every candidate seen.
+        every candidate seen.  Callers that need to interleave work with
+        the sweep (progress events, cancellation checks) can drive a
+        :class:`ResultAccumulator` directly.
         """
-        kept: list[EvaluatedOption] = []
-        count = 0
-        best: EvaluatedOption | None = None
-        lowest_penalty = math.inf
-        min_penalty: EvaluatedOption | None = None
-        for option in options:
-            count += 1
-            if keep_options:
-                kept.append(option)
-                continue
-            # Mirror the `best` / `min_penalty_option` tie-breaking so a
-            # distilled result answers both recommendations identically.
-            if best is None or (option.tco.total, option.option_id) < (
-                best.tco.total,
-                best.option_id,
-            ):
-                best = option
-            penalty = option.tco.expected_penalty
-            if penalty < lowest_penalty:
-                lowest_penalty = penalty
-                min_penalty = option
-            elif penalty == lowest_penalty and (
-                option.tco.ha_cost,
-                option.option_id,
-            ) < (min_penalty.tco.ha_cost, min_penalty.option_id):
-                min_penalty = option
-        if keep_options:
-            stored = tuple(kept)
-        elif best is None:
-            stored = ()
-        elif min_penalty is best:
-            stored = (best,)
-        else:
-            stored = tuple(
-                sorted((best, min_penalty), key=lambda option: option.option_id)
-            )
-        return cls(
-            options=stored,
-            evaluations=count,
-            pruned=pruned,
+        accumulator = ResultAccumulator(
             space_size=space_size,
             strategy=strategy,
+            pruned=pruned,
+            keep_options=keep_options,
         )
+        for option in options:
+            accumulator.add(option)
+        return accumulator.finish()
 
     def iter_options(self) -> Iterator[EvaluatedOption]:
         """Iterate the evaluated option table in paper order."""

@@ -20,6 +20,7 @@ ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 #: Expected fragments proving each example did its real work.
 EXPECTED_OUTPUT = {
     "quickstart.py": "Deploy #3 HA: storage",
+    "broker_session.py": "Wire round-trip:",
     "case_study_softlayer.py": "savings vs as-is",
     "hybrid_brokerage.py": "Placement:",
     "monte_carlo_validation.py": "worst |analytic - simulated| gap",

@@ -115,3 +115,58 @@ class TestPareto:
         result = brute_force_optimize(paper_problem)
         option = result.option(3)
         assert not dominates(option, option)
+
+
+class TestLazySystem:
+    """EvaluatedOption.system is built on first access (ROADMAP item)."""
+
+    def test_incremental_sweep_defers_topologies(self, paper_problem):
+        result = brute_force_optimize(paper_problem)
+        assert all(
+            not option.system_is_materialized for option in result.options
+        )
+
+    def test_labels_and_tables_do_not_force(self, paper_problem):
+        result = brute_force_optimize(paper_problem)
+        result.describe()  # labels, costs, SLA marks
+        assert all(
+            not option.system_is_materialized for option in result.options
+        )
+
+    def test_access_materializes_once(self, paper_problem):
+        result = brute_force_optimize(paper_problem)
+        option = result.option(3)
+        first = option.system
+        assert option.system_is_materialized
+        assert option.system is first
+
+    def test_lazy_system_matches_direct_evaluation(self, paper_problem):
+        from repro.optimizer.brute_force import evaluate_candidate
+        from repro.optimizer.engine import EvaluationEngine
+
+        engine = EvaluationEngine(paper_problem)
+        space = engine.space
+        for option_id, indices in enumerate(
+            space.candidates_in_paper_order(), start=1
+        ):
+            lazy = engine.evaluate(option_id, indices)
+            direct = evaluate_candidate(paper_problem, space, option_id, indices)
+            assert lazy.system == direct.system
+            assert lazy.tco.total == direct.tco.total
+
+    def test_relabel_keeps_system_lazy(self, paper_problem):
+        from repro.optimizer.engine import EvaluationEngine
+
+        engine = EvaluationEngine(paper_problem)
+        first = engine.evaluate(3, (0, 1, 0))
+        relabelled = engine.evaluate(99, (0, 1, 0))
+        assert relabelled.option_id == 99
+        assert not relabelled.system_is_materialized
+        assert relabelled.tco is first.tco
+
+    def test_direct_mode_options_are_materialized(self, paper_problem):
+        from repro.optimizer.engine import EvaluationEngine
+
+        engine = EvaluationEngine(paper_problem, mode="direct")
+        option = engine.evaluate(1, (0, 0, 0))
+        assert option.system_is_materialized
