@@ -1,0 +1,196 @@
+"""E11 — broker server throughput: wire requests and sharded ingestion.
+
+Two sweeps over the :mod:`repro.server` serving layer:
+
+1. **Requests/sec vs session worker count** — a fleet of client threads
+   drives warm ``POST /v2/recommend`` calls through a live asyncio
+   server; the engine cache means each request is pure serving work.
+2. **Ingest throughput vs shard count** — a simulation-generated JSONL
+   trace (wide cross-cloud keyspace, so hash partitioning balances)
+   through the sharded pipeline, thread vs process backends.  Shard
+   workers parse their own lines, so the process backend turns JSONL
+   decoding into true parallelism on multi-core hosts; the table
+   records ``os.cpu_count()`` because on a single core every sweep is
+   necessarily flat.
+
+Correctness is asserted alongside the timing: wire reports are
+bit-identical to a direct session, and sharded ingestion reproduces
+single-store estimates exactly at every shard count.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.broker.envelope import RecommendEnvelope
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.broker.telemetry import TelemetryStore
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.cloud.providers import all_providers
+from repro.server import ServerClient, start_in_thread
+from repro.server.ingest import ShardedIngestor, records_to_jsonl
+from repro.sla.contract import Contract
+
+
+def observed_broker(years: float = 1.0, seed: int = 23) -> BrokerService:
+    broker = BrokerService(all_providers())
+    broker.observe_all(years=years, seed=seed)
+    return broker
+
+
+def cross_cloud_trace(lines: int, providers: int = 16, seed: int = 1) -> str:
+    """A JSONL telemetry trace over a wide (provider, kind) keyspace."""
+    rng = random.Random(seed)
+    names = [f"cloud-{index:02d}" for index in range(providers)]
+    kinds = ("vm", "volume", "gateway", "lb")
+    cycle = (
+        ResourceEventKind.FAILURE,
+        ResourceEventKind.REPAIR,
+        ResourceEventKind.FAILOVER,
+    )
+    records = [
+        ResourceEvent(
+            float(index),
+            names[index % providers],
+            kinds[(index // providers) % len(kinds)],
+            f"r-{index % 64}",
+            cycle[index % 3],
+            rng.random() * 50.0,
+        )
+        for index in range(lines)
+    ]
+    return records_to_jsonl(records)
+
+
+def ingest_reference(text: str) -> TelemetryStore:
+    store = TelemetryStore()
+    with ShardedIngestor(store, num_shards=1) as ingestor:
+        ingestor.submit_jsonl(text)
+    return store
+
+
+def _drive_requests(client: ServerClient, envelope, total: int, fleet: int):
+    with ThreadPoolExecutor(max_workers=fleet) as pool:
+        start = time.perf_counter()
+        futures = [
+            pool.submit(client.recommend, envelope) for _ in range(total)
+        ]
+        reports = [future.result() for future in futures]
+        elapsed = time.perf_counter() - start
+    return reports, elapsed
+
+
+def test_request_throughput_vs_workers(emit):
+    """Warm requests/sec through the wire, 1 vs 4 session workers."""
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    envelope = RecommendEnvelope(request, request_id="bench")
+    total, fleet = 32, 8
+    rows = []
+    for max_workers in (1, 4):
+        broker = observed_broker()
+        with broker.session() as session:
+            expected = session.recommend_envelope(envelope)
+        with start_in_thread(broker, max_workers=max_workers) as handle:
+            client = ServerClient(handle.host, handle.port)
+            client.recommend(envelope)  # warm every provider engine
+            reports, elapsed = _drive_requests(client, envelope, total, fleet)
+        # engine_stats audit warm vs cold serving; the recommendation
+        # itself must be identical.
+        want = {k: v for k, v in expected.best.to_dict().items()
+                if k != "engine_stats"}
+        for report in reports:
+            got = {k: v for k, v in report.best.to_dict().items()
+                   if k != "engine_stats"}
+            assert got == want
+        rows.append((max_workers, total / elapsed))
+    table = "\n".join(
+        f"  {workers} session worker(s): {rate:8.1f} req/s"
+        for workers, rate in rows
+    )
+    emit(
+        f"[E11] warm /v2/recommend throughput ({fleet} client threads, "
+        f"{total} requests, {os.cpu_count()} cpu):\n{table}"
+    )
+
+
+def test_ingest_throughput_vs_shards(emit):
+    """Sharded JSONL ingestion, thread vs process backends."""
+    text = cross_cloud_trace(lines=60_000)
+    lines = text.count("\n")
+    reference = ingest_reference(text)
+    rows = []
+    for backend, shard_counts in (
+        ("thread", (1, 4)),
+        ("process", (1, 2, 4, 8)),
+    ):
+        for shards in shard_counts:
+            serving = TelemetryStore()
+            with ShardedIngestor(
+                serving, num_shards=shards, backend=backend
+            ) as ingestor:
+                start = time.perf_counter()
+                ingestor.submit_jsonl(text)
+                ingestor.flush()
+                elapsed = time.perf_counter() - start
+            assert serving.snapshot() == reference.snapshot()
+            rows.append((backend, shards, lines / elapsed))
+    table = "\n".join(
+        f"  {backend:<8} shards={shards}: {rate:9,.0f} lines/s"
+        for backend, shards, rate in rows
+    )
+    emit(
+        f"[E11] sharded ingest throughput ({lines:,}-line trace, 64 keys, "
+        f"{os.cpu_count()} cpu):\n{table}\n"
+        "  (process shards parse their own lines; scaling tracks core count)"
+    )
+
+
+def _smoke() -> int:
+    """Fast CI guard: wire fidelity + sharded-ingest exactness."""
+    # 1. Wire report identical to a direct session on a twin broker.
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    envelope = RecommendEnvelope(request, request_id="smoke")
+    with observed_broker(seed=7).session() as session:
+        expected = session.recommend_envelope(envelope).to_json()
+    with start_in_thread(observed_broker(seed=7)) as handle:
+        client = ServerClient(handle.host, handle.port)
+        got = client.recommend(envelope).to_json()
+        assert got == expected, "wire report diverged from direct session"
+        samples = client.metrics()
+        assert ("repro_engine_cache_misses_total", ()) in samples
+
+    # 2. Sharded ingestion == single store, thread and process backends.
+    text = cross_cloud_trace(lines=4_000)
+    reference = ingest_reference(text)
+    rates = []
+    for backend, shards in (("thread", 4), ("process", 2)):
+        serving = TelemetryStore()
+        with ShardedIngestor(
+            serving, num_shards=shards, backend=backend
+        ) as ingestor:
+            start = time.perf_counter()
+            ingestor.submit_jsonl(text)
+            ingestor.flush()
+            elapsed = time.perf_counter() - start
+        assert serving.snapshot() == reference.snapshot(), backend
+        rates.append(f"{backend}x{shards} {4_000 / elapsed:,.0f} lines/s")
+    print(f"[smoke] wire report bit-identical; ingest {'; '.join(rates)}")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast correctness smoke instead of pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run via pytest for full benchmarks, or pass --smoke")
+    raise SystemExit(_smoke())

@@ -43,6 +43,7 @@ from repro.cost.rates import LaborRate
 from repro.errors import (
     BrokerError,
     InsufficientTelemetryError,
+    UnknownNameError,
     ValidationError,
     unknown_name_message,
 )
@@ -65,6 +66,9 @@ DEFAULT_CACHE_CAPACITY = 16
 
 #: Default worker-pool width for batched/async submission.
 DEFAULT_MAX_WORKERS = 4
+
+#: Default cap on finished (done/failed) jobs a session's table retains.
+DEFAULT_MAX_FINISHED_JOBS = 1024
 
 #: Job lifecycle states.
 JOB_PENDING = "pending"
@@ -336,13 +340,20 @@ class EngineCache:
 
 @dataclass
 class BrokerJob:
-    """One submitted request's lifecycle record."""
+    """One submitted request's lifecycle record.
+
+    ``retrieved`` flips when :meth:`BrokerSession.result` hands the
+    outcome to a caller; only retrieved jobs are eligible for
+    retention eviction, so an unread report is never yanked out from
+    under a slow collector.
+    """
 
     job_id: str
     envelope: RecommendEnvelope
     status: str = JOB_PENDING
     report: "RecommendationReport | None" = None
     error: Exception | None = None
+    retrieved: bool = False
     done: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -362,6 +373,13 @@ class BrokerSession:
 
     Sessions are context managers; ``close()`` shuts the worker pool
     down (jobs already submitted still complete).
+
+    The job table retains at most ``max_finished_jobs`` finished jobs
+    whose result has been *retrieved*, evicting oldest-first on
+    submission, so a long-running server session does not grow without
+    bound.  Pending, running and unretrieved-finished jobs are never
+    evicted (batches of any size stay collectable); polling an evicted
+    job raises the same unknown-job error as a never-submitted id.
     """
 
     def __init__(
@@ -371,15 +389,21 @@ class BrokerSession:
         engine_cache: EngineCache | None = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
     ) -> None:
         if max_workers < 1:
             raise BrokerError(f"max_workers must be >= 1, got {max_workers!r}")
+        if max_finished_jobs < 1:
+            raise BrokerError(
+                f"max_finished_jobs must be >= 1, got {max_finished_jobs!r}"
+            )
         self.service = service
         # Explicit None check: an empty EngineCache is falsy (__len__).
         self.engine_cache = (
             engine_cache if engine_cache is not None else EngineCache(cache_capacity)
         )
         self.max_workers = max_workers
+        self.max_finished_jobs = max_finished_jobs
         self._jobs: "OrderedDict[str, BrokerJob]" = OrderedDict()
         self._futures: dict[str, Future] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -473,6 +497,7 @@ class BrokerSession:
                 )
             job = BrokerJob(job_id=job_id, envelope=envelope)
             self._jobs[job_id] = job
+            self._evict_finished_jobs()
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
@@ -492,13 +517,32 @@ class BrokerSession:
         finally:
             job.done.set()
 
+    def _evict_finished_jobs(self) -> None:
+        """Drop oldest retrieved-finished jobs beyond the cap (under ``_lock``).
+
+        Reports are large (they hold full option rankings); without a
+        bound, a server session fed a steady job stream leaks one
+        report per request forever.  Only jobs whose result was already
+        handed out are eligible — a batch of any size stays collectable
+        — so submitters that never fetch results grow the table; the
+        ``/metrics`` job gauges make that visible.
+        """
+        retrieved = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.retrieved and job.status in (JOB_DONE, JOB_FAILED)
+        ]
+        for job_id in retrieved[: max(0, len(retrieved) - self.max_finished_jobs)]:
+            del self._jobs[job_id]
+            self._futures.pop(job_id, None)
+
     def job(self, job_id: str) -> BrokerJob:
         """Look up a job record by id."""
         with self._lock:
             try:
                 return self._jobs[job_id]
             except KeyError as exc:
-                raise BrokerError(
+                raise UnknownNameError(
                     unknown_name_message("job", job_id, self._jobs)
                 ) from exc
 
@@ -510,12 +554,24 @@ class BrokerSession:
         self, job_id: str, timeout: float | None = None
     ) -> "RecommendationReport":
         """Block until a job finishes and return (or re-raise) its outcome."""
-        job = self.job(job_id)
+        return self._job_outcome(self.job(job_id), timeout)
+
+    def _job_outcome(
+        self, job: BrokerJob, timeout: float | None
+    ) -> "RecommendationReport":
+        """The wait/mark-retrieved/raise-or-return core of :meth:`result`.
+
+        Operates on a captured record, never re-resolving the id — once
+        a job is marked retrieved, a concurrent ``submit()`` may evict
+        it from the table, and a second lookup would misreport a
+        completed job as unknown.
+        """
         if not job.done.wait(timeout):
             raise BrokerError(
-                f"job {job_id!r} did not finish within {timeout!r}s "
+                f"job {job.job_id!r} did not finish within {timeout!r}s "
                 f"(status: {job.status})"
             )
+        job.retrieved = True
         if job.error is not None:
             raise job.error
         assert job.report is not None
@@ -525,15 +581,46 @@ class BrokerSession:
         self, job_id: str, timeout: float | None = None
     ) -> ReportEnvelope:
         """Wire form of :meth:`result`."""
-        report = self.result(job_id, timeout=timeout)
+        job = self.job(job_id)
+        report = self._job_outcome(job, timeout)
         return ReportEnvelope.from_report(
-            report, request_id=self.job(job_id).envelope.request_id
+            report, request_id=job.envelope.request_id
         )
 
     def jobs(self) -> tuple[BrokerJob, ...]:
         """All job records, in submission order."""
         with self._lock:
             return tuple(self._jobs.values())
+
+    # -- observability -----------------------------------------------------
+
+    def metrics(self) -> dict[str, object]:
+        """JSON-safe operational counters for this session.
+
+        The supported way to read cache behaviour without reaching into
+        session internals: engine-cache hit/miss/eviction counts (via
+        :meth:`EngineCacheStats.to_dict`), how many engines are
+        currently cached and their cumulative cluster-term precomputes,
+        and the job table broken down by lifecycle state.  The server's
+        ``/metrics`` endpoint exports exactly this dictionary.
+        """
+        statuses = {
+            JOB_PENDING: 0,
+            JOB_RUNNING: 0,
+            JOB_DONE: 0,
+            JOB_FAILED: 0,
+        }
+        for job in self.jobs():
+            statuses[job.status] += 1
+        return {
+            "engine_cache": self.engine_cache.stats.to_dict(),
+            "engines_cached": len(self.engine_cache),
+            "cluster_term_computations": (
+                self.engine_cache.cluster_term_computations()
+            ),
+            "jobs": dict(statuses),
+            "job_queue_depth": statuses[JOB_PENDING] + statuses[JOB_RUNNING],
+        }
 
     # -- streaming ---------------------------------------------------------
 

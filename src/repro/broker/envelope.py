@@ -445,12 +445,12 @@ class ReportEnvelope:
 
     def for_provider(self, provider_name: str) -> ProviderReport:
         """Look up one provider's wire report."""
-        from repro.errors import BrokerError, unknown_name_message
+        from repro.errors import UnknownNameError, unknown_name_message
 
         for entry in self.providers:
             if entry.provider_name == provider_name:
                 return entry
-        raise BrokerError(
+        raise UnknownNameError(
             unknown_name_message(
                 "provider",
                 provider_name,
@@ -533,6 +533,67 @@ class ReportEnvelope:
             f"  => place on {self.best.provider_name} as {self.best.best.label}"
         )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """The wire form of a failed request: structured, versioned, typed.
+
+    Transports must answer *every* failure with one of these (plus a
+    non-2xx status) — never a traceback, never a dropped connection.
+    ``error`` is a stable machine-readable slug (``validation-error``,
+    ``unknown-name``, ...); ``message`` is the human-readable detail.
+    """
+
+    status: int
+    error: str
+    message: str
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 400 <= self.status <= 599:
+            raise ValidationError(
+                f"error status must be in 400..599, got {self.status!r}"
+            )
+        if not self.error:
+            raise ValidationError("error slug must be non-empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": ENVELOPE_SCHEMA_VERSION,
+            "kind": "error",
+            "status": self.status,
+            "error": self.error,
+            "message": self.message,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ErrorEnvelope":
+        _check_version(payload, "error envelope")
+        _check_keys(
+            payload,
+            {"schema_version", "kind", "status", "error", "message", "request_id"},
+            "error envelope",
+        )
+        kind = payload.get("kind", "error")
+        if kind != "error":
+            raise ValidationError(f"expected kind 'error', got {kind!r}")
+        return cls(
+            status=int(payload["status"]),
+            error=payload["error"],
+            message=payload["message"],
+            request_id=payload.get("request_id"),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string (compact by default, for JSONL)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ErrorEnvelope":
+        """Deserialize from a JSON string."""
+        return cls.from_dict(_loads(text, "error envelope"))
 
 
 #: Progress event kinds a streaming recommendation may emit, in order.

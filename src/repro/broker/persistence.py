@@ -4,6 +4,12 @@ A real broker's value is its accumulated history — it must survive
 restarts.  This module snapshots a :class:`TelemetryStore` to a plain
 JSON document (versioned, like the topology wire format) and restores
 it, so examples and tests can build a knowledge base once and reload it.
+
+The snapshot format itself lives on the store
+(:meth:`TelemetryStore.snapshot` / :meth:`TelemetryStore.from_snapshot`)
+because the sharded ingestion pipeline (:mod:`repro.server.ingest`)
+ships the same documents between shard workers; this module is the
+file-level wrapper.
 """
 
 from __future__ import annotations
@@ -12,52 +18,26 @@ import json
 from pathlib import Path
 from typing import Any, Mapping
 
-from repro.broker.telemetry import TelemetryStore, _ComponentStats
+from repro.broker.telemetry import SNAPSHOT_VERSION, TelemetryStore
 from repro.errors import ValidationError
 
-#: Current snapshot format version.
-SNAPSHOT_VERSION = 1
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "load_telemetry",
+    "save_telemetry",
+    "telemetry_from_dict",
+    "telemetry_to_dict",
+]
 
 
 def telemetry_to_dict(store: TelemetryStore) -> dict[str, Any]:
     """Snapshot a telemetry store to JSON-safe types."""
-    components = []
-    for (provider, kind), stats in sorted(store._stats.items()):
-        components.append(
-            {
-                "provider": provider,
-                "component_kind": kind,
-                "exposure_minutes": stats.exposure_minutes,
-                "down_minutes": stats.down_minutes,
-                "failures": stats.failures,
-                "failover_samples": list(stats.failover_samples),
-            }
-        )
-    return {"snapshot_version": SNAPSHOT_VERSION, "components": components}
+    return store.snapshot()
 
 
 def telemetry_from_dict(payload: Mapping[str, Any]) -> TelemetryStore:
     """Restore a telemetry store from a snapshot dict."""
-    version = payload.get("snapshot_version")
-    if version != SNAPSHOT_VERSION:
-        raise ValidationError(
-            f"unsupported telemetry snapshot_version {version!r}; "
-            f"this library reads version {SNAPSHOT_VERSION}"
-        )
-    store = TelemetryStore()
-    for entry in payload.get("components", []):
-        stats = _ComponentStats(
-            exposure_minutes=float(entry["exposure_minutes"]),
-            down_minutes=float(entry["down_minutes"]),
-            failures=int(entry["failures"]),
-            failover_samples=[float(x) for x in entry["failover_samples"]],
-        )
-        if stats.exposure_minutes < 0 or stats.down_minutes < 0 or stats.failures < 0:
-            raise ValidationError(
-                f"negative statistics in snapshot entry {entry!r}"
-            )
-        store._stats[(entry["provider"], entry["component_kind"])] = stats
-    return store
+    return TelemetryStore.from_snapshot(payload)
 
 
 def save_telemetry(store: TelemetryStore, path: str | Path) -> None:

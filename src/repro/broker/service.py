@@ -24,6 +24,7 @@ from repro.cloud.provider import CloudProvider, Resource, ResourceKind
 from repro.errors import (
     BrokerError,
     InsufficientTelemetryError,
+    UnknownNameError,
     unknown_name_message,
 )
 from repro.optimizer.branch_bound import branch_and_bound_optimize
@@ -109,7 +110,7 @@ class RecommendationReport:
         for recommendation in self.recommendations:
             if recommendation.provider_name == provider_name:
                 return recommendation
-        raise BrokerError(
+        raise UnknownNameError(
             unknown_name_message(
                 "provider",
                 provider_name,
@@ -220,7 +221,7 @@ class BrokerService:
         try:
             return self.providers[name]
         except KeyError as exc:
-            raise BrokerError(
+            raise UnknownNameError(
                 unknown_name_message(
                     "provider", name, self.providers, label="registered"
                 )
@@ -256,6 +257,7 @@ class BrokerService:
         engine_cache: "EngineCache | None" = None,
         cache_capacity: int | None = None,
         max_workers: int | None = None,
+        max_finished_jobs: int | None = None,
     ) -> "BrokerSession":
         """Open a v2 :class:`~repro.broker.api.BrokerSession` over this broker.
 
@@ -271,6 +273,8 @@ class BrokerService:
             kwargs["cache_capacity"] = cache_capacity
         if max_workers is not None:
             kwargs["max_workers"] = max_workers
+        if max_finished_jobs is not None:
+            kwargs["max_finished_jobs"] = max_finished_jobs
         return BrokerSession(self, **kwargs)
 
     def recommend(self, request: RecommendationRequest) -> RecommendationReport:

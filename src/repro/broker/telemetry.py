@@ -17,8 +17,9 @@ experiment E5 measures exactly that convergence.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cloud.events import ResourceEvent, ResourceEventKind
 from repro.errors import InsufficientTelemetryError, ValidationError
@@ -26,6 +27,9 @@ from repro.units import MINUTES_PER_YEAR
 
 #: Key of one observed component class: (provider name, component kind).
 ComponentKey = tuple[str, str]
+
+#: Current snapshot format version (shared with :mod:`repro.broker.persistence`).
+SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -116,6 +120,94 @@ class TelemetryStore:
             else:  # pragma: no cover - exhaustive enum guard
                 raise ValidationError(f"unknown event kind {event.kind!r}")
         return count
+
+    # -- snapshots and merging ---------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """This store's full state as a versioned, JSON-safe document.
+
+        The snapshot is a deep copy: later recording on the store does
+        not mutate it, so a snapshot taken by one thread can be merged
+        or serialized by another without coordination.  The format is
+        the :mod:`repro.broker.persistence` on-disk format.
+        """
+        components = []
+        for (provider, kind), stats in sorted(self._stats.items()):
+            components.append(
+                {
+                    "provider": provider,
+                    "component_kind": kind,
+                    "exposure_minutes": stats.exposure_minutes,
+                    "down_minutes": stats.down_minutes,
+                    "failures": stats.failures,
+                    "failover_samples": list(stats.failover_samples),
+                }
+            )
+        return {"snapshot_version": SNAPSHOT_VERSION, "components": components}
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, Any]) -> "TelemetryStore":
+        """Rebuild a store from :meth:`snapshot` output (exact round-trip)."""
+        version = payload.get("snapshot_version")
+        if version != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"unsupported telemetry snapshot_version {version!r}; "
+                f"this library reads version {SNAPSHOT_VERSION}"
+            )
+        store = cls()
+        for entry in payload.get("components", []):
+            stats = _ComponentStats(
+                exposure_minutes=float(entry["exposure_minutes"]),
+                down_minutes=float(entry["down_minutes"]),
+                failures=int(entry["failures"]),
+                failover_samples=[float(x) for x in entry["failover_samples"]],
+            )
+            if (
+                stats.exposure_minutes < 0
+                or stats.down_minutes < 0
+                or stats.failures < 0
+            ):
+                raise ValidationError(
+                    f"negative statistics in snapshot entry {entry!r}"
+                )
+            store._stats[(entry["provider"], entry["component_kind"])] = stats
+        return store
+
+    def copy(self) -> "TelemetryStore":
+        """An independent deep copy of this store."""
+        return TelemetryStore.from_snapshot(self.snapshot())
+
+    def merge(self, other: "TelemetryStore") -> "TelemetryStore":
+        """Fold another store's observations into this one; returns self.
+
+        Per component class the counters add and the failover samples
+        concatenate, so merging N disjoint partitions of an event stream
+        reproduces single-store ingestion: a key absent from ``self``
+        adopts the other store's accumulation bit-for-bit (``0.0 + x``
+        is exact), and shared keys add their sums.  Merging stores that
+        *split* one key's events regroups float additions, so estimates
+        there agree only to rounding (see the associativity property
+        tests).
+        """
+        for key, theirs in other._stats.items():
+            mine = self._stats.setdefault(key, _ComponentStats())
+            mine.exposure_minutes += theirs.exposure_minutes
+            mine.down_minutes += theirs.down_minutes
+            mine.failures += theirs.failures
+            mine.failover_samples.extend(theirs.failover_samples)
+        return self
+
+    def adopt(self, other: "TelemetryStore") -> None:
+        """Atomically replace this store's contents with ``other``'s.
+
+        Publication is a single dict-reference assignment, so concurrent
+        readers (estimate queries from serving threads) observe either
+        the old state or the new state, never a partial merge — the
+        lock-free hand-off the sharded ingestion pipeline relies on.
+        ``other`` must not be mutated afterwards (the dict is shared,
+        not copied).
+        """
+        self._stats = other._stats
 
     # -- queries -----------------------------------------------------------
 

@@ -16,6 +16,12 @@ Subcommands
     recommendation changes.
 ``scenario NAME``
     Optimize one of the named example scenarios.
+``serve``
+    Run the asyncio broker server (v2 envelopes over HTTP) with sharded
+    telemetry ingestion and a ``/metrics`` endpoint.
+``ingest FILE``
+    Shard-ingest a JSONL telemetry trace locally, or POST it to a
+    running server with ``--url``.
 """
 
 from __future__ import annotations
@@ -26,6 +32,11 @@ from pathlib import Path
 
 from repro.broker.reports import render_option_table, render_summary
 from repro.broker.request import STRATEGIES, three_tier_request
+
+#: Mirrors ``repro.server.ingest.INGEST_BACKENDS`` — inlined so the CLI
+#: only imports the server stack for the ``serve``/``ingest`` commands
+#: (a drift test in tests/test_cli.py keeps the two in sync).
+INGEST_BACKENDS = ("thread", "process")
 from repro.optimizer.engine import ENGINE_MODES
 from repro.broker.service import BrokerService
 from repro.cli.formatting import render_table
@@ -203,6 +214,63 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--output", type=Path, default=None,
         help="write report envelopes to this file instead of stdout",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio broker server (v2 envelopes over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8348,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--observe-years", type=float, default=3.0,
+        help="synthetic telemetry horizon per provider before serving",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="RNG seed")
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="telemetry ingestion shard workers",
+    )
+    serve.add_argument(
+        "--ingest-backend", choices=INGEST_BACKENDS, default="thread",
+        help="shard worker backend (process adds parse parallelism)",
+    )
+    serve.add_argument(
+        "--merge-interval", type=float, default=0.5,
+        help="seconds between telemetry snapshot merges",
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=4,
+        help="session worker-pool width for concurrent requests",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=16,
+        help="engines retained by the cross-request cache (LRU)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="shard-ingest a JSONL telemetry trace (local or via --url)",
+    )
+    ingest.add_argument(
+        "file", type=Path,
+        help="JSONL path: one telemetry record per line "
+        "(exposure/failure/repair/failover)",
+    )
+    ingest.add_argument(
+        "--shards", type=int, default=4, help="shard workers (local mode)"
+    )
+    ingest.add_argument(
+        "--backend", choices=INGEST_BACKENDS, default="thread",
+        help="shard worker backend (local mode)",
+    )
+    ingest.add_argument(
+        "--url", default=None,
+        help="POST the trace to a running `repro serve` instead "
+        "(e.g. http://127.0.0.1:8348)",
     )
 
     return parser
@@ -391,6 +459,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.transport import BrokerServer
+
+    broker = BrokerService(all_providers())
+    print(
+        f"Observing providers ({args.observe_years:g} synthetic years each)...",
+        file=sys.stderr,
+    )
+    events = broker.observe_all(years=args.observe_years, seed=args.seed)
+    print(f"  ingested {events} telemetry events", file=sys.stderr)
+    server = BrokerServer(
+        broker,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        ingest_backend=args.ingest_backend,
+        merge_interval=args.merge_interval,
+        max_workers=args.max_workers,
+        cache_capacity=args.cache_capacity,
+    )
+
+    async def run() -> None:
+        try:
+            await server.start()
+            print(
+                f"serving v2 envelopes on http://{server.host}:{server.port} "
+                f"({args.shards} ingest shards, {args.max_workers} workers); "
+                "Ctrl-C to stop",
+                file=sys.stderr,
+            )
+            await server.serve_forever()
+        finally:
+            # Also runs when start() itself fails (e.g. port in use), so
+            # the session and ingestion workers never outlive the bind.
+            await asyncio.shield(server.stop())
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.broker.knowledge_base import KnowledgeBase
+    from repro.broker.telemetry import TelemetryStore
+    from repro.server.client import ServerClient
+    from repro.server.ingest import ShardedIngestor
+
+    text = args.file.read_text()
+    if args.url is not None:
+        client = ServerClient.from_url(args.url)
+        ack = client.ingest_jsonl(text)
+        flushed = client.flush()
+        print(
+            f"routed {ack['routed']} record(s) across {ack['shards']} "
+            f"shard(s) on {client.url}; merged {flushed['merged']}"
+        )
+        return 0
+    store = TelemetryStore()
+    with ShardedIngestor(
+        store, num_shards=args.shards, backend=args.backend
+    ) as ingestor:
+        routed = ingestor.submit_jsonl(text)
+        ingestor.flush()
+        per_shard = ", ".join(
+            f"shard {index}: {stats.ingested}"
+            for index, stats in enumerate(ingestor.shard_stats())
+        )
+        rejected = sum(stats.rejected for stats in ingestor.shard_stats())
+    print(
+        f"ingested {routed - rejected}/{routed} record(s) over "
+        f"{args.shards} {args.backend} shard(s) ({per_shard}; "
+        f"{rejected} rejected)"
+    )
+    print(KnowledgeBase(store, min_failure_samples=1).describe())
+    return 0
+
+
 def _cmd_pareto() -> int:
     from repro.optimizer.pareto import pareto_frontier
 
@@ -430,6 +583,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_pareto()
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -67,6 +67,18 @@ class BrokerError(ReproError):
     """The brokered service could not fulfil a request."""
 
 
+class UnknownNameError(BrokerError, KeyError):
+    """A lookup by name failed (provider, report entry, job, ...).
+
+    Messages come from :func:`unknown_name_message`; the dedicated type
+    lets wire layers map missing ids to a 404 without string matching.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs the message (adds quotes); keep it plain.
+        return Exception.__str__(self)
+
+
 class InsufficientTelemetryError(BrokerError):
     """The broker has no observations for a requested component class."""
 

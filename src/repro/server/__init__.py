@@ -1,0 +1,58 @@
+"""The broker as a network service: transport, ingestion, metrics.
+
+The paper's broker is a *service* (§II-C): customers submit
+requirements over a wire, and the broker continuously ingests
+cross-cloud telemetry to keep its ``P̂/f̂/t̂`` database current.  This
+package is that serving layer, stdlib-only:
+
+- :mod:`repro.server.transport` — an asyncio HTTP server speaking the
+  v2 envelope protocol (recommend / batch / jobs / ingest / metrics)
+  with per-connection backpressure and graceful shutdown;
+- :mod:`repro.server.ingest` — sharded telemetry ingestion:
+  hash-partitioned shard workers owning private stores, merged into the
+  serving store by lock-free snapshot publication;
+- :mod:`repro.server.metrics` — Prometheus text-format export of
+  engine-cache, job-table, ingest-shard and request-latency metrics;
+- :mod:`repro.server.client` — the synchronous reference client.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.ingest import (
+    ExposureRecord,
+    ShardedIngestor,
+    record_from_dict,
+    record_to_dict,
+    records_from_jsonl,
+    records_to_jsonl,
+    shard_index,
+)
+from repro.server.metrics import (
+    MetricsRegistry,
+    ServerMetrics,
+    parse_prometheus_text,
+)
+from repro.server.transport import (
+    BrokerServer,
+    ServerHandle,
+    error_envelope_for,
+    start_in_thread,
+)
+
+__all__ = [
+    "BrokerServer",
+    "ExposureRecord",
+    "MetricsRegistry",
+    "ServerClient",
+    "ServerError",
+    "ServerHandle",
+    "ServerMetrics",
+    "ShardedIngestor",
+    "error_envelope_for",
+    "parse_prometheus_text",
+    "record_from_dict",
+    "record_to_dict",
+    "records_from_jsonl",
+    "records_to_jsonl",
+    "shard_index",
+    "start_in_thread",
+]

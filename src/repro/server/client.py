@@ -1,0 +1,249 @@
+"""A synchronous client for the broker server's wire protocol.
+
+:class:`ServerClient` is the reference consumer of
+:mod:`repro.server.transport`: stdlib ``http.client`` underneath, typed
+envelopes on top.  The CLI, the examples, the throughput benchmark and
+the end-to-end tests all go through it, so the client doubles as the
+protocol's executable documentation.
+
+Server-reported failures surface as :class:`ServerError`, carrying the
+HTTP status and the decoded
+:class:`~repro.broker.envelope.ErrorEnvelope`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any, Iterable, Sequence
+from urllib.parse import urlsplit
+
+from repro.broker.envelope import (
+    ErrorEnvelope,
+    RecommendEnvelope,
+    ReportEnvelope,
+)
+from repro.broker.request import RecommendationRequest
+from repro.errors import BrokerError, ValidationError
+from repro.server.ingest import TelemetryRecord, records_to_jsonl
+from repro.server.metrics import SampleKey, parse_prometheus_text
+
+#: Job states the result poll loop treats as terminal.
+_TERMINAL = {"done", "failed"}
+
+
+class ServerError(BrokerError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope | None, body: str):
+        self.status = status
+        self.envelope = envelope
+        detail = envelope.message if envelope is not None else body[:200]
+        slug = envelope.error if envelope is not None else "unknown"
+        super().__init__(f"server returned {status} ({slug}): {detail}")
+
+
+class ServerClient:
+    """Typed access to one running broker server.
+
+    Connections are kept alive and reused per thread (matching the
+    server's keep-alive support), so polling loops and benchmark fleets
+    do not pay a TCP handshake per request.  A request that fails on a
+    *reused* connection — the stale keep-alive case — is retried once
+    on a fresh connection; a fresh connection's failure propagates.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 60.0) -> "ServerClient":
+        """Build a client from ``http://host:port``."""
+        parts = urlsplit(url if "//" in url else f"//{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValidationError(
+                f"only http:// URLs are supported, got {url!r}"
+            )
+        if not parts.hostname or not parts.port:
+            raise ValidationError(
+                f"server URL must carry host and port, got {url!r}"
+            )
+        return cls(parts.hostname, parts.port, timeout=timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the calling thread's cached connection (if any)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def _checkout(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The thread's live connection, plus whether it is a reused one."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        self._local.connection = connection
+        return connection, False
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: bytes | str | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, str]:
+        """One HTTP exchange; returns ``(status, body text)``.
+
+        Exposed for tests probing wire-level behaviour; the typed
+        methods below are the supported API.
+        """
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        while True:
+            connection, reused = self._checkout()
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": content_type} if body else {},
+                )
+                response = connection.getresponse()
+                text = response.read().decode("utf-8")
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if reused:
+                    continue  # stale keep-alive: one retry, fresh socket
+                raise
+            if response.will_close:
+                self.close()
+            return response.status, text
+
+    def _request(self, method: str, path: str, body: bytes | str | None = None):
+        status, text = self.request_raw(method, path, body)
+        if status >= 400:
+            envelope = None
+            try:
+                envelope = ErrorEnvelope.from_json(text)
+            except ValidationError:
+                pass
+            raise ServerError(status, envelope, text)
+        return status, text
+
+    # -- recommendation ----------------------------------------------------
+
+    def _as_envelope(
+        self, request: RecommendationRequest | RecommendEnvelope
+    ) -> RecommendEnvelope:
+        if isinstance(request, RecommendEnvelope):
+            return request
+        return RecommendEnvelope(request=request)
+
+    def recommend(
+        self, request: RecommendationRequest | RecommendEnvelope
+    ) -> ReportEnvelope:
+        """Synchronous recommend: envelope over the wire, report back."""
+        envelope = self._as_envelope(request)
+        _, text = self._request("POST", "/v2/recommend", envelope.to_json())
+        return ReportEnvelope.from_json(text)
+
+    def batch(
+        self, requests: Iterable[RecommendationRequest | RecommendEnvelope]
+    ) -> list[ReportEnvelope | ErrorEnvelope]:
+        """JSONL batch: one report (or error) envelope per request, in order."""
+        payload = "\n".join(
+            self._as_envelope(request).to_json() for request in requests
+        )
+        _, text = self._request("POST", "/v2/batch", payload)
+        results: list[ReportEnvelope | ErrorEnvelope] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if json.loads(line).get("kind") == "error":
+                results.append(ErrorEnvelope.from_json(line))
+            else:
+                results.append(ReportEnvelope.from_json(line))
+        return results
+
+    # -- jobs --------------------------------------------------------------
+
+    def submit(
+        self, request: RecommendationRequest | RecommendEnvelope
+    ) -> str:
+        """Queue a request server-side; returns the job id."""
+        envelope = self._as_envelope(request)
+        _, text = self._request("POST", "/v2/jobs", envelope.to_json())
+        return json.loads(text)["job_id"]
+
+    def poll(self, job_id: str) -> str:
+        """The job's lifecycle state (``pending``/``running``/...)."""
+        _, text = self._request("GET", f"/v2/jobs/{job_id}")
+        return json.loads(text)["status"]
+
+    def result(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> ReportEnvelope:
+        """Poll until the job finishes; returns (or raises) its outcome."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, text = self._request(
+                "GET", f"/v2/jobs/{job_id}/result"
+            )
+            if status == 200:
+                return ReportEnvelope.from_json(text)
+            if time.monotonic() >= deadline:
+                raise BrokerError(
+                    f"job {job_id!r} did not finish within {timeout}s "
+                    f"(last status: {json.loads(text).get('status')})"
+                )
+            time.sleep(poll_interval)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def ingest(self, records: Sequence[TelemetryRecord]) -> dict[str, Any]:
+        """Ship telemetry records into the server's sharded pipeline."""
+        _, text = self._request("POST", "/v2/ingest", records_to_jsonl(records))
+        return json.loads(text)
+
+    def ingest_jsonl(self, text: str) -> dict[str, Any]:
+        """Ship an already-serialized JSONL trace."""
+        _, body = self._request("POST", "/v2/ingest", text)
+        return json.loads(body)
+
+    def flush(self) -> dict[str, Any]:
+        """Force a snapshot merge into the serving store."""
+        _, text = self._request("POST", "/v2/ingest/flush", None)
+        return json.loads(text)
+
+    # -- observability -----------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition document."""
+        _, text = self._request("GET", "/metrics")
+        return text
+
+    def metrics(self) -> dict[SampleKey, float]:
+        """Scraped and parsed ``/metrics`` samples."""
+        return parse_prometheus_text(self.metrics_text())
+
+    def health(self) -> dict[str, Any]:
+        """The liveness document (raises :class:`ServerError` when sick)."""
+        _, text = self._request("GET", "/healthz")
+        return json.loads(text)

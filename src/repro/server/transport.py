@@ -1,0 +1,713 @@
+"""The broker's asyncio wire transport: envelopes over HTTP/1.1.
+
+PR 2 defined the v2 envelope protocol; this module puts a real socket
+in front of it.  :class:`BrokerServer` is a stdlib-only asyncio HTTP
+server speaking JSON envelopes:
+
+==========================  ==============================================
+``POST /v2/recommend``      one :class:`RecommendEnvelope` in, one
+                            :class:`ReportEnvelope` out
+``POST /v2/batch``          JSONL of request envelopes in; report
+                            envelopes stream back chunk-by-chunk in
+                            submission order as jobs finish
+``POST /v2/jobs``           submit → ``202`` + job envelope
+``GET /v2/jobs/{id}``       poll → job envelope
+``GET /v2/jobs/{id}/result``  ``200`` report / ``202`` still running
+``POST /v2/ingest``         JSONL telemetry records → sharded pipeline
+``POST /v2/ingest/flush``   force a snapshot merge (admin/testing)
+``GET /metrics``            Prometheus text exposition
+``GET /healthz``            liveness probe
+==========================  ==============================================
+
+Every failure is answered with a structured
+:class:`~repro.broker.envelope.ErrorEnvelope` and a non-2xx status —
+malformed JSON, unsupported ``schema_version``, unknown provider or job
+ids — never a traceback, never a dropped connection.
+
+Backpressure and shutdown:
+
+- request head and body sizes are bounded (413 beyond the cap);
+- a server-wide semaphore caps in-flight request handling; excess
+  requests queue at the socket, and responses are written through
+  ``writer.drain()`` so slow readers throttle their own connection;
+- ``stop()`` closes the listener, wakes idle keep-alive connections,
+  lets in-flight requests finish (bounded by ``grace``), then closes
+  the session and flushes/closes the ingestion pipeline.
+
+CPU-bound optimization work never blocks the event loop: it runs on
+the loop's default thread-pool executor, where the
+:class:`~repro.broker.api.BrokerSession`'s engine-cache locking already
+makes concurrent serving safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Mapping
+
+from repro.broker.envelope import (
+    ENVELOPE_SCHEMA_VERSION,
+    ErrorEnvelope,
+    RecommendEnvelope,
+)
+from repro.broker.service import BrokerService
+from repro.errors import (
+    BrokerError,
+    InsufficientTelemetryError,
+    ReproError,
+    UnknownNameError,
+    ValidationError,
+)
+from repro.server.ingest import ShardedIngestor
+from repro.server.metrics import ServerMetrics
+
+logger = logging.getLogger("repro.server")
+
+#: Reason phrases for the statuses this server emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def error_envelope_for(
+    exc: BaseException, request_id: str | None = None
+) -> ErrorEnvelope:
+    """Map an exception to its wire form (status + stable error slug)."""
+    if isinstance(exc, UnknownNameError):
+        return ErrorEnvelope(404, "unknown-name", str(exc), request_id)
+    if isinstance(exc, InsufficientTelemetryError):
+        return ErrorEnvelope(422, "insufficient-telemetry", str(exc), request_id)
+    if isinstance(exc, ValidationError):
+        return ErrorEnvelope(400, "validation-error", str(exc), request_id)
+    if isinstance(exc, BrokerError):
+        return ErrorEnvelope(400, "broker-error", str(exc), request_id)
+    if isinstance(exc, ReproError):
+        return ErrorEnvelope(400, "error", str(exc), request_id)
+    # Unexpected failure: log the traceback server-side, never wire it.
+    logger.exception("internal error serving request", exc_info=exc)
+    return ErrorEnvelope(
+        500, "internal-error",
+        f"internal server error ({type(exc).__name__})", request_id,
+    )
+
+
+class _HttpError(Exception):
+    """Internal: short-circuit a request with a ready error envelope."""
+
+    def __init__(self, envelope: ErrorEnvelope) -> None:
+        super().__init__(envelope.message)
+        self.envelope = envelope
+
+
+@dataclass
+class _Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class _Response:
+    """One response: either a complete body or an async chunk stream."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = _JSON
+    stream: AsyncIterator[bytes] | None = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def _json_response(status: int, payload: Mapping[str, Any] | str) -> _Response:
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _Response(status=status, body=body)
+
+
+def _error_response(envelope: ErrorEnvelope) -> _Response:
+    return _json_response(envelope.status, envelope.to_json())
+
+
+class BrokerServer:
+    """An asyncio TCP/HTTP front-end over one broker.
+
+    The server owns a :class:`~repro.broker.api.BrokerSession` (the
+    cross-request engine cache and job table), a
+    :class:`~repro.server.ingest.ShardedIngestor` over the broker's
+    serving telemetry store, and a :class:`ServerMetrics` registry.
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        broker: BrokerService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 4,
+        ingest_backend: str = "thread",
+        merge_interval: float | None = 0.5,
+        max_workers: int = 4,
+        cache_capacity: int = 16,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        max_inflight: int = 32,
+        grace: float = 5.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1, got {max_inflight!r}"
+            )
+        self.broker = broker
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.grace = grace
+        self.session = broker.session(
+            cache_capacity=cache_capacity, max_workers=max_workers
+        )
+        self.ingestor = ShardedIngestor(
+            broker.telemetry,
+            num_shards=shards,
+            backend=ingest_backend,
+            merge_interval=merge_interval,
+        )
+        self.metrics = ServerMetrics(self.session, self.ingestor)
+        self._max_inflight = max_inflight
+        self._server: asyncio.Server | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self._closing: asyncio.Event | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._inflight = asyncio.Semaphore(self._max_inflight)
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=64 * 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("broker server listening on %s:%s", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (from another task)."""
+        assert self._closing is not None, "start() first"
+        await self._closing.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown; idempotent.
+
+        Stops accepting, wakes idle keep-alive reads, waits up to
+        ``grace`` seconds for in-flight requests, cancels stragglers,
+        then tears down the session and the ingestion pipeline (final
+        telemetry merge included).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._closing is not None:
+            self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=self.grace
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.session.close)
+        await loop.run_in_executor(None, self.ingestor.close)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None and self._closing is not None
+        self._connections.add(task)
+        try:
+            while not self._closing.is_set():
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                if isinstance(request, _Response):
+                    # Unparseable/oversized head: answer and hang up.
+                    await self._write_response(writer, request, keep_alive=False)
+                    break
+                started = time.perf_counter()
+                route, response = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._closing.is_set()
+                await self._write_response(writer, response, keep_alive)
+                self.metrics.observe_request(
+                    route, response.status, time.perf_counter() - started
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response; nothing to answer
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "_Request | _Response | None":
+        """Read one request; None on clean EOF/shutdown, _Response on error.
+
+        The idle read races the shutdown event so ``stop()`` does not
+        wait out keep-alive connections that will never speak again.
+        """
+        assert self._closing is not None
+        head_task = asyncio.ensure_future(reader.readuntil(b"\r\n\r\n"))
+        closing_task = asyncio.ensure_future(self._closing.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {head_task, closing_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            closing_task.cancel()
+        if head_task not in done:
+            head_task.cancel()
+            await asyncio.gather(head_task, return_exceptions=True)
+            return None
+        try:
+            head = head_task.result()
+        except asyncio.IncompleteReadError:
+            return None  # EOF between requests: clean close
+        except asyncio.LimitOverrunError:
+            return _error_response(
+                ErrorEnvelope(413, "request-too-large", "request head too large")
+            )
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = request_line.split(" ", 2)
+        except ValueError:
+            return _error_response(
+                ErrorEnvelope(400, "malformed-request", "unparseable request line")
+            )
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            return _error_response(
+                ErrorEnvelope(
+                    400, "malformed-request",
+                    "chunked request bodies are not supported; "
+                    "send Content-Length",
+                )
+            )
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            return _error_response(
+                ErrorEnvelope(400, "malformed-request", "bad Content-Length")
+            )
+        if length > self.max_body_bytes:
+            return _error_response(
+                ErrorEnvelope(
+                    413, "request-too-large",
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit",
+                )
+            )
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method=method, path=path, headers=headers, body=body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: _Response,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(
+            f"{name}: {value}" for name, value in response.headers.items()
+        )
+        if response.stream is None:
+            headers.append(f"Content-Length: {len(response.body)}")
+            head = "\r\n".join(headers) + "\r\n\r\n"
+            writer.write(head.encode("latin-1") + response.body)
+            await writer.drain()
+            return
+        headers.append("Transfer-Encoding: chunked")
+        head = "\r\n".join(headers) + "\r\n\r\n"
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        try:
+            async for chunk in response.stream:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()  # per-connection backpressure
+        finally:
+            # Deterministic generator finalization: a disconnect mid-
+            # stream must run the generator's cleanup now, not at GC.
+            await response.stream.aclose()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: _Request) -> tuple[str, _Response]:
+        """Route one request; every exception becomes an error envelope."""
+        assert self._inflight is not None
+        route, handler = self._route(request)
+        async with self._inflight:
+            try:
+                return route, await handler(request)
+            except _HttpError as exc:
+                return route, _error_response(exc.envelope)
+            except Exception as exc:  # noqa: BLE001 - wire boundary
+                return route, _error_response(error_envelope_for(exc))
+
+    def _route(self, request: _Request):
+        method = request.method
+        # Route on the path component only; query strings are accepted
+        # (and ignored) on every endpoint, per standard request-target
+        # handling.
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        table = {
+            ("POST", "/v2/recommend"): ("recommend", self._post_recommend),
+            ("POST", "/v2/batch"): ("batch", self._post_batch),
+            ("POST", "/v2/jobs"): ("jobs", self._post_jobs),
+            ("POST", "/v2/ingest"): ("ingest", self._post_ingest),
+            ("POST", "/v2/ingest/flush"): ("ingest-flush", self._post_flush),
+            ("GET", "/metrics"): ("metrics", self._get_metrics),
+            ("GET", "/healthz"): ("healthz", self._get_health),
+        }
+        if (method, path) in table:
+            return table[(method, path)]
+        known_paths = {p for _, p in table} | {"/v2/jobs/{id}", "/v2/jobs/{id}/result"}
+        if path.startswith("/v2/jobs/"):
+            tail = path[len("/v2/jobs/"):]
+            if tail.endswith("/result"):
+                job_id = tail[: -len("/result")]
+                if "/" not in job_id:
+                    if method == "GET":
+                        return "job-result", self._job_result_handler(job_id)
+                    return "unmatched", self._method_not_allowed
+            elif "/" not in tail:
+                if method == "GET":
+                    return "job", self._job_poll_handler(tail)
+                return "unmatched", self._method_not_allowed
+            # Deeper job subpaths are unknown routes, not method errors.
+            return "unmatched", self._not_found(sorted(known_paths))
+        if any(p == path for _, p in table):
+            return "unmatched", self._method_not_allowed
+        return "unmatched", self._not_found(sorted(known_paths))
+
+    async def _method_not_allowed(self, request: _Request) -> _Response:
+        raise _HttpError(
+            ErrorEnvelope(
+                405, "method-not-allowed",
+                f"{request.method} is not supported on {request.path}",
+            )
+        )
+
+    def _not_found(self, known: list[str]):
+        async def handler(request: _Request) -> _Response:
+            raise _HttpError(
+                ErrorEnvelope(
+                    404, "unknown-route",
+                    f"no route for {request.path!r}; available: {known}",
+                )
+            )
+
+        return handler
+
+    # -- handlers ----------------------------------------------------------
+
+    def _parse_envelope(self, body: bytes) -> RecommendEnvelope:
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(f"request body is not UTF-8: {exc}") from exc
+        return RecommendEnvelope.from_json(text)
+
+    async def _post_recommend(self, request: _Request) -> _Response:
+        envelope = self._parse_envelope(request.body)
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                None, self.session.recommend_envelope, envelope
+            )
+        except ReproError as exc:
+            raise _HttpError(error_envelope_for(exc, envelope.request_id))
+        return _json_response(200, report.to_json())
+
+    async def _post_batch(self, request: _Request) -> _Response:
+        lines = [
+            line
+            for line in request.body.decode("utf-8", errors="replace").splitlines()
+            if line.strip()
+        ]
+        if not lines:
+            raise ValidationError("batch body contains no request envelopes")
+        envelopes = []
+        for number, line in enumerate(lines, start=1):
+            try:
+                envelopes.append(RecommendEnvelope.from_json(line))
+            except ValidationError as exc:
+                raise ValidationError(f"batch line {number}: {exc}") from exc
+        job_ids = [self.session.submit(envelope) for envelope in envelopes]
+        loop = asyncio.get_running_loop()
+
+        async def stream() -> AsyncIterator[bytes]:
+            # In submission order; jobs run concurrently on the pool.
+            try:
+                for job_id, envelope in zip(job_ids, envelopes):
+                    try:
+                        report = await loop.run_in_executor(
+                            None, self.session.result_envelope, job_id
+                        )
+                        line = report.to_json()
+                    except ReproError as exc:
+                        line = error_envelope_for(
+                            exc, envelope.request_id
+                        ).to_json()
+                    yield line.encode("utf-8") + b"\n"
+            finally:
+                # The batch's jobs belong to this response: if the
+                # client disconnects mid-stream, nothing else holds the
+                # ids, so un-streamed reports would be unretrievable
+                # AND retention-exempt.  Mark them all retrieved.
+                for job_id in job_ids:
+                    try:
+                        self.session.job(job_id).retrieved = True
+                    except UnknownNameError:
+                        pass  # already evicted
+
+        return _Response(status=200, stream=stream(), content_type=_JSON)
+
+    async def _post_jobs(self, request: _Request) -> _Response:
+        envelope = self._parse_envelope(request.body)
+        job_id = self.session.submit(envelope)
+        return _json_response(202, self._job_payload(job_id))
+
+    def _job_payload(self, job_id: str) -> dict[str, Any]:
+        return {
+            "schema_version": ENVELOPE_SCHEMA_VERSION,
+            "kind": "job",
+            "job_id": job_id,
+            "status": self.session.poll(job_id),
+        }
+
+    def _job_poll_handler(self, job_id: str):
+        async def handler(request: _Request) -> _Response:
+            return _json_response(200, self._job_payload(job_id))
+
+        return handler
+
+    def _job_result_handler(self, job_id: str):
+        async def handler(request: _Request) -> _Response:
+            job = self.session.job(job_id)
+            if not job.done.is_set():
+                return _json_response(202, self._job_payload(job_id))
+            if job.error is not None:
+                # The error IS the result: mark it retrieved so failed
+                # jobs participate in retention eviction too.
+                job.retrieved = True
+                raise _HttpError(
+                    error_envelope_for(job.error, job.envelope.request_id)
+                )
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                None, self.session.result_envelope, job_id
+            )
+            return _json_response(200, report.to_json())
+
+        return handler
+
+    async def _post_ingest(self, request: _Request) -> _Response:
+        text = request.body.decode("utf-8", errors="replace")
+        if not text.strip():
+            raise ValidationError("ingest body contains no telemetry records")
+        loop = asyncio.get_running_loop()
+        routed = await loop.run_in_executor(
+            None, self.ingestor.submit_jsonl, text
+        )
+        return _json_response(
+            202,
+            {
+                "schema_version": ENVELOPE_SCHEMA_VERSION,
+                "kind": "ingest-ack",
+                "routed": routed,
+                "shards": self.ingestor.num_shards,
+            },
+        )
+
+    async def _post_flush(self, request: _Request) -> _Response:
+        loop = asyncio.get_running_loop()
+        merged = await loop.run_in_executor(None, self.ingestor.flush)
+        return _json_response(
+            200,
+            {
+                "schema_version": ENVELOPE_SCHEMA_VERSION,
+                "kind": "ingest-ack",
+                "merged": merged,
+                "merges": self.ingestor.merges,
+            },
+        )
+
+    async def _get_metrics(self, request: _Request) -> _Response:
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(None, self.metrics.render)
+        return _Response(
+            status=200, body=body.encode("utf-8"), content_type=_PROMETHEUS
+        )
+
+    async def _get_health(self, request: _Request) -> _Response:
+        return _json_response(
+            200,
+            {
+                "schema_version": ENVELOPE_SCHEMA_VERSION,
+                "kind": "health",
+                "status": "ok",
+                "providers": sorted(self.broker.providers),
+            },
+        )
+
+
+# -- thread-hosted serving --------------------------------------------------
+
+class ServerHandle:
+    """A running :class:`BrokerServer` on a background event loop.
+
+    The synchronous façade tests, the CLI and
+    :class:`~repro.server.client.ServerClient` users drive: ``host`` /
+    ``port`` / ``url`` for addressing, ``close()`` (or the context
+    manager) for graceful shutdown.
+    """
+
+    def __init__(
+        self,
+        server: BrokerServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Gracefully stop the server and join its loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        future.result(timeout=self.server.grace + 30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+
+def start_in_thread(broker: BrokerService, **kwargs) -> ServerHandle:
+    """Start a :class:`BrokerServer` on a dedicated event-loop thread.
+
+    Blocks until the socket is bound (so ``handle.port`` is final) and
+    re-raises any startup failure in the caller.  Keyword arguments are
+    forwarded to :class:`BrokerServer`.
+    """
+    server = BrokerServer(broker, **kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            # The constructor already opened the session and ingestion
+            # workers; a failed bind must not strand them.
+            try:
+                loop.run_until_complete(server.stop())
+            except BaseException:  # noqa: BLE001 - best-effort cleanup
+                logger.exception("cleanup after failed start also failed")
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="broker-server", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        loop.close()
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

@@ -505,6 +505,88 @@ class TestStreaming:
         assert kinds[-1] == "failed"
 
 
+class TestSessionMetrics:
+    def test_metrics_exposes_cache_stats_without_internals(
+        self, session, contract
+    ):
+        request = three_tier_request(contract)
+        session.recommend(request)
+        session.recommend(request)
+        metrics = session.metrics()
+        assert metrics["engine_cache"] == session.engine_cache.stats.to_dict()
+        assert set(metrics["engine_cache"]) == {"hits", "misses", "evictions"}
+        assert metrics["engine_cache"]["misses"] >= 3  # one engine/provider
+        assert metrics["engine_cache"]["hits"] >= 3  # warm repeat
+        assert metrics["engines_cached"] == len(session.engine_cache)
+        assert metrics["cluster_term_computations"] > 0
+
+    def test_metrics_counts_jobs_by_status(self, observed_broker, contract):
+        with observed_broker.session() as session:
+            fresh = session.metrics()
+            assert fresh["jobs"] == {
+                "pending": 0, "running": 0, "done": 0, "failed": 0,
+            }
+            assert fresh["job_queue_depth"] == 0
+            job_id = session.submit(three_tier_request(contract))
+            session.result(job_id)
+            bad = session.submit(
+                three_tier_request(contract, providers=("nimbus-9",))
+            )
+            with pytest.raises(BrokerError):
+                session.result(bad)
+            done = session.metrics()
+        assert done["jobs"]["done"] == 1
+        assert done["jobs"]["failed"] == 1
+        assert done["job_queue_depth"] == 0
+
+    def test_metrics_is_json_safe(self, session):
+        import json
+
+        json.dumps(session.metrics())
+
+
+class TestJobRetention:
+    def test_retrieved_jobs_evicted_oldest_first(self, observed_broker, contract):
+        request = three_tier_request(contract)
+        with observed_broker.session(max_finished_jobs=2) as session:
+            ids = []
+            for _ in range(4):
+                job_id = session.submit(request)
+                session.result(job_id)  # retrieve before the next submit
+                ids.append(job_id)
+            # Submitting the 4th evicted the oldest retrieved records.
+            kept = [job.job_id for job in session.jobs()]
+            assert ids[-1] in kept
+            assert len(kept) <= 3  # cap + the just-submitted job
+            with pytest.raises(BrokerError, match="unknown job"):
+                session.poll(ids[0])
+            # The most recent finished job is still queryable.
+            assert session.poll(ids[-1]) == "done"
+
+    def test_unretrieved_results_survive_any_backlog(
+        self, observed_broker, contract
+    ):
+        # A batch larger than the cap stays collectable: jobs finished
+        # but never handed out are not eviction candidates.
+        request = three_tier_request(contract)
+        with observed_broker.session(max_finished_jobs=1) as session:
+            job_ids = [session.submit(request) for _ in range(6)]
+            reports = [session.result(job_id) for job_id in job_ids]
+        assert len(reports) == 6  # every submission completed and returned
+
+    def test_recommend_many_unaffected_by_small_cap(
+        self, observed_broker, contract
+    ):
+        request = three_tier_request(contract)
+        with observed_broker.session(max_finished_jobs=1) as session:
+            reports = session.recommend_many([request] * 5)
+        assert len(reports) == 5
+
+    def test_max_finished_jobs_validated(self, observed_broker):
+        with pytest.raises(BrokerError, match="max_finished_jobs"):
+            observed_broker.session(max_finished_jobs=0).__enter__()
+
+
 class TestCompatibilityShim:
     def test_recommend_warns_deprecation(self, observed_broker, contract):
         with pytest.warns(DeprecationWarning, match="BrokerSession"):

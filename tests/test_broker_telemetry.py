@@ -87,6 +87,88 @@ class TestTelemetryStore:
         assert store.observed_components() == (("a", "volume"), ("b", "vm"))
 
 
+class TestSnapshotAndMerge:
+    def make_store(self, provider="p", kind="vm"):
+        store = TelemetryStore()
+        store.register_exposure(provider, kind, 4, 2 * MINUTES_PER_YEAR)
+        for _ in range(3):
+            store.record_failure(provider, kind)
+        store.record_outage(provider, kind, 120.0)
+        store.record_failover(provider, kind, 7.5)
+        store.record_failover(provider, kind, 2.5)
+        return store
+
+    def test_snapshot_round_trip_is_exact(self):
+        store = self.make_store()
+        restored = TelemetryStore.from_snapshot(store.snapshot())
+        assert restored.snapshot() == store.snapshot()
+        assert restored.down_probability("p", "vm") == store.down_probability(
+            "p", "vm"
+        )
+        assert restored.failover_minutes("p", "vm") == store.failover_minutes(
+            "p", "vm"
+        )
+
+    def test_snapshot_is_a_deep_copy(self):
+        store = self.make_store()
+        snapshot = store.snapshot()
+        store.record_failure("p", "vm")
+        assert snapshot["components"][0]["failures"] == 3
+
+    def test_snapshot_version_checked(self):
+        with pytest.raises(ValidationError, match="snapshot_version"):
+            TelemetryStore.from_snapshot({"snapshot_version": 99})
+
+    def test_merge_disjoint_keys_equals_union(self):
+        left = self.make_store(provider="a")
+        right = self.make_store(provider="b")
+        merged = left.copy().merge(right)
+        assert merged.observed_components() == (("a", "vm"), ("b", "vm"))
+        assert merged.down_probability("a", "vm") == left.down_probability(
+            "a", "vm"
+        )
+        assert merged.down_probability("b", "vm") == right.down_probability(
+            "b", "vm"
+        )
+
+    def test_merge_shared_key_adds_counters(self):
+        left = TelemetryStore()
+        left.register_exposure("p", "vm", 1, 1000.0)
+        left.record_failure("p", "vm")
+        left.record_failover("p", "vm", 4.0)
+        right = TelemetryStore()
+        right.register_exposure("p", "vm", 1, 3000.0)
+        right.record_failure("p", "vm")
+        right.record_failover("p", "vm", 8.0)
+        merged = left.copy().merge(right)
+        assert merged.exposure_years("p", "vm") == pytest.approx(
+            4000.0 / MINUTES_PER_YEAR
+        )
+        assert merged.failure_count("p", "vm") == 2
+        assert merged.failover_minutes("p", "vm") == pytest.approx(6.0)
+
+    def test_merge_returns_self_and_leaves_other_intact(self):
+        left = TelemetryStore()
+        right = self.make_store()
+        assert left.merge(right) is left
+        assert right.failure_count("p", "vm") == 3
+        # The merged samples are copies, not shared lists.
+        left.record_failover("p", "vm", 100.0)
+        assert len(right._stats[("p", "vm")].failover_samples) == 2
+
+    def test_merge_into_empty_store_is_bit_identical(self):
+        source = self.make_store()
+        merged = TelemetryStore().merge(source)
+        assert merged.snapshot() == source.snapshot()
+
+    def test_adopt_publishes_other_contents(self):
+        serving = TelemetryStore()
+        serving.register_exposure("p", "vm", 1, 100.0)
+        fresh = self.make_store()
+        serving.adopt(fresh)
+        assert serving.failure_count("p", "vm") == 3
+
+
 class TestKnowledgeBase:
     def make_populated_store(self, years=10.0, fleet=20, seed=2):
         provider = metalcloud()

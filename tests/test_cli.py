@@ -129,6 +129,64 @@ class TestCommands:
         assert main(["importance", str(topology_file)]) == 0
         assert "Birnbaum" in capsys.readouterr().out
 
+    def test_ingest_trace_file_locally(self, capsys, tmp_path):
+        from repro.cloud.faults import FaultInjector
+        from repro.cloud.providers import metalcloud
+        from repro.server.ingest import ExposureRecord, records_to_jsonl
+        from repro.units import MINUTES_PER_YEAR
+
+        provider = metalcloud()
+        resources = [provider.provision_vm("bm.small") for _ in range(5)]
+        records = [ExposureRecord("metalcloud", "vm", 5, 2 * MINUTES_PER_YEAR)]
+        records += FaultInjector(provider, seed=4).inject(
+            resources, horizon_minutes=2 * MINUTES_PER_YEAR
+        )
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(records_to_jsonl(records))
+
+        assert main(["ingest", str(trace), "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert f"ingested {len(records)}/{len(records)}" in out
+        assert "metalcloud/vm" in out
+
+    def test_ingest_to_running_server(self, capsys, tmp_path):
+        from repro.broker.service import BrokerService
+        from repro.cloud.providers import all_providers
+        from repro.server import start_in_thread
+        from repro.server.ingest import ExposureRecord, records_to_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            records_to_jsonl([ExposureRecord("metalcloud", "vm", 2, 1000.0)])
+        )
+        broker = BrokerService(all_providers())
+        with start_in_thread(broker, merge_interval=None) as handle:
+            assert main(["ingest", str(trace), "--url", handle.url]) == 0
+            assert broker.telemetry.exposure_years("metalcloud", "vm") > 0
+        out = capsys.readouterr().out
+        assert "routed 1 record(s)" in out
+
+    def test_ingest_bad_trace_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["ingest", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_backend_choices_match_server(self):
+        from repro.cli.main import INGEST_BACKENDS as cli_backends
+        from repro.server.ingest import INGEST_BACKENDS as server_backends
+
+        assert cli_backends == server_backends
+
+    def test_serve_parser_accepts_server_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--shards", "2", "--ingest-backend",
+             "process", "--merge-interval", "0.2"]
+        )
+        assert args.command == "serve"
+        assert args.shards == 2
+        assert args.ingest_backend == "process"
+
     def test_pareto_lists_frontier(self, capsys):
         assert main(["pareto"]) == 0
         out = capsys.readouterr().out

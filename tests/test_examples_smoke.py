@@ -29,6 +29,7 @@ EXPECTED_OUTPUT = {
     "upgrade_advisor.py": "the paper's recommendation",
     "parallel_paths.py": "parallel gain",
     "broker_portfolio.py": "TOTAL:",
+    "server_round_trip.py": "Server round-trip:",
 }
 
 

@@ -1,0 +1,402 @@
+"""Sharded telemetry ingestion: partitioning, exactness, merging.
+
+The load-bearing guarantee: because records partition on the store's own
+accumulation key, a drained sharded pipeline must reproduce single-store
+ingestion bit-for-bit — same ``P̂``, ``f̂`` and ``t̂`` for every component
+class, at any shard count, on both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.telemetry import TelemetryStore
+from repro.cloud.events import ResourceEvent, ResourceEventKind
+from repro.cloud.faults import FaultInjector
+from repro.cloud.providers import all_providers
+from repro.errors import ValidationError
+from repro.server.ingest import (
+    ExposureRecord,
+    ShardedIngestor,
+    record_from_dict,
+    record_to_dict,
+    records_from_jsonl,
+    records_to_jsonl,
+    shard_index,
+)
+from repro.units import MINUTES_PER_YEAR
+
+HORIZON = 2 * MINUTES_PER_YEAR
+
+
+def simulation_trace(seed: int = 3) -> list:
+    """Exposure + fault-injector records across every built-in provider."""
+    records: list = []
+    for provider in all_providers():
+        resources = []
+        for kind, count in (("vm", 10), ("volume", 6), ("gateway", 3)):
+            card = provider.rate_card
+            sku = {
+                "vm": card.instance_types[0].name,
+                "volume": card.volume_types[0].name,
+                "gateway": card.gateway_types[0].name,
+            }[kind]
+            for _ in range(count):
+                if kind == "volume":
+                    resources.append(provider.provision_volume(sku, role="t"))
+                elif kind == "gateway":
+                    resources.append(provider.provision_gateway(sku, role="t"))
+                else:
+                    resources.append(provider.provision_vm(sku, role="t"))
+            records.append(ExposureRecord(provider.name, kind, count, HORIZON))
+        records.extend(
+            FaultInjector(provider, seed=seed).inject(
+                resources, horizon_minutes=HORIZON
+            )
+        )
+    return records
+
+
+def ingest_directly(records) -> TelemetryStore:
+    """Reference behaviour: one store, records applied in order."""
+    store = TelemetryStore()
+    for record in records:
+        if isinstance(record, ExposureRecord):
+            store.register_exposure(
+                record.provider,
+                record.component_kind,
+                record.node_count,
+                record.horizon_minutes,
+            )
+        else:
+            store.ingest((record,))
+    return store
+
+
+def assert_estimates_identical(store: TelemetryStore, reference: TelemetryStore):
+    components = reference.observed_components()
+    assert store.observed_components() == components
+    for provider, kind in components:
+        assert store.down_probability(provider, kind) == (
+            reference.down_probability(provider, kind)
+        ), (provider, kind)
+        assert store.failures_per_year(provider, kind) == (
+            reference.failures_per_year(provider, kind)
+        ), (provider, kind)
+        assert store.failover_minutes(provider, kind) == (
+            reference.failover_minutes(provider, kind)
+        ), (provider, kind)
+
+
+class TestRecordWireFormat:
+    def test_event_round_trip(self):
+        event = ResourceEvent(
+            12.5, "metalcloud", "vm", "vm-1", ResourceEventKind.REPAIR, 30.0
+        )
+        assert record_from_dict(record_to_dict(event)) == event
+
+    def test_exposure_round_trip(self):
+        record = ExposureRecord("metalcloud", "volume", 12, 525600.0)
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_jsonl_round_trip(self):
+        records = simulation_trace()[:50]
+        assert records_from_jsonl(records_to_jsonl(records)) == records
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown telemetry record kind"):
+            record_from_dict({"kind": "reboot", "provider": "p"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValidationError, match="unknown telemetry record keys"):
+            record_from_dict(
+                {"kind": "exposure", "provider": "p", "component_kind": "vm",
+                 "node_count": 1, "horizon_minutes": 1.0, "typo": True}
+            )
+
+    def test_jsonl_errors_carry_line_numbers(self):
+        good = records_to_jsonl(simulation_trace()[:2]).splitlines()
+        text = "\n".join([good[0], "{broken", good[1]])
+        with pytest.raises(ValidationError, match="line 2"):
+            records_from_jsonl(text)
+
+
+class TestPartitioning:
+    def test_shard_index_is_stable_and_in_range(self):
+        for shards in (1, 2, 4, 8):
+            for provider in ("a", "b", "metalcloud"):
+                for kind in ("vm", "volume"):
+                    index = shard_index(provider, kind, shards)
+                    assert 0 <= index < shards
+                    assert index == shard_index(provider, kind, shards)
+
+    def test_every_key_maps_to_one_shard(self):
+        records = simulation_trace()
+        seen: dict[tuple[str, str], int] = {}
+        for record in records:
+            payload = record_to_dict(record)
+            key = (payload["provider"], payload["component_kind"])
+            index = shard_index(*key, 4)
+            assert seen.setdefault(key, index) == index
+
+
+class TestShardedIngestion:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return simulation_trace()
+
+    @pytest.fixture(scope="class")
+    def reference(self, trace):
+        return ingest_directly(trace)
+
+    @pytest.mark.parametrize("shards", [1, 4, 7])
+    def test_sharded_equals_single_store(self, trace, reference, shards):
+        """The acceptance criterion: N>=4 shards, estimates identical."""
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=shards) as ingestor:
+            assert ingestor.submit(trace) == len(trace)
+            merged = ingestor.flush()
+        assert merged == len(trace)
+        assert_estimates_identical(serving, reference)
+
+    def test_jsonl_path_equals_single_store(self, trace, reference):
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=4) as ingestor:
+            ingestor.submit_jsonl(records_to_jsonl(trace))
+            ingestor.flush()
+        assert_estimates_identical(serving, reference)
+
+    def test_process_backend_equals_single_store(self, trace, reference):
+        serving = TelemetryStore()
+        with ShardedIngestor(
+            serving, num_shards=4, backend="process"
+        ) as ingestor:
+            ingestor.submit(trace)
+            ingestor.flush()
+        assert_estimates_identical(serving, reference)
+
+    def test_multiple_submissions_and_flushes(self, trace, reference):
+        """Incremental merges land; estimates agree to float rounding."""
+        serving = TelemetryStore()
+        third = len(trace) // 3
+        with ShardedIngestor(serving, num_shards=4) as ingestor:
+            for start in range(0, len(trace), third):
+                ingestor.submit(trace[start:start + third])
+                ingestor.flush()
+        for provider, kind in reference.observed_components():
+            assert serving.down_probability(provider, kind) == pytest.approx(
+                reference.down_probability(provider, kind), rel=1e-12
+            )
+            assert serving.failures_per_year(provider, kind) == pytest.approx(
+                reference.failures_per_year(provider, kind), rel=1e-12
+            )
+
+    def test_close_performs_final_flush(self, trace, reference):
+        serving = TelemetryStore()
+        ingestor = ShardedIngestor(serving, num_shards=4)
+        ingestor.submit(trace)
+        ingestor.close()
+        assert_estimates_identical(serving, reference)
+        with pytest.raises(ValidationError, match="closed"):
+            ingestor.submit(trace[:1])
+
+    def test_periodic_merge_publishes_without_explicit_flush(self, trace):
+        import time
+
+        serving = TelemetryStore()
+        with ShardedIngestor(
+            serving, num_shards=2, merge_interval=0.05
+        ) as ingestor:
+            ingestor.submit(trace)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if serving.observed_components():
+                    break
+                time.sleep(0.02)
+            assert serving.observed_components()
+            assert ingestor.merges >= 1
+
+    def test_idle_flush_skips_the_merge_entirely(self):
+        serving = TelemetryStore()
+        serving.register_exposure("p", "vm", 1, 100.0)
+        with ShardedIngestor(serving, num_shards=2) as ingestor:
+            assert ingestor.flush() == 0
+            assert ingestor.merges == 0  # no copy/adopt churn when idle
+        assert serving.exposure_years("p", "vm") > 0.0
+
+    def test_rejected_records_are_counted_not_fatal(self):
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=2) as ingestor:
+            ingestor.submit_jsonl(
+                '{"kind": "exposure", "provider": "p", "component_kind": "vm",'
+                ' "node_count": 1, "horizon_minutes": 100.0}\n'
+                '{"kind": "exposure", "provider": "p", "component_kind": "vm",'
+                ' "node_count": 0, "horizon_minutes": 100.0}\n'
+            )
+            ingestor.flush()
+            stats = ingestor.shard_stats()
+        assert sum(s.ingested for s in stats) == 1
+        assert sum(s.rejected for s in stats) == 1
+        assert serving.exposure_years("p", "vm") > 0.0
+
+    def test_unroutable_line_rejected_synchronously(self):
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=2) as ingestor:
+            with pytest.raises(ValidationError, match="line 1"):
+                ingestor.submit_jsonl('{"kind": "exposure"}')
+
+    def test_metrics_shape(self, trace):
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=3) as ingestor:
+            ingestor.submit(trace)
+            ingestor.flush()
+            metrics = ingestor.metrics()
+        assert metrics["num_shards"] == 3
+        assert metrics["merges"] == 1
+        assert len(metrics["shards"]) == 3
+        assert sum(entry["ingested"] for entry in metrics["shards"]) == len(trace)
+
+    def test_dead_shard_times_out_instead_of_wedging(self):
+        from repro.errors import BrokerError
+
+        serving = TelemetryStore()
+        ingestor = ShardedIngestor(serving, num_shards=2, flush_timeout=0.2)
+        ingestor.submit([ExposureRecord("p", "vm", 1, 100.0)])
+        # Simulate a crashed worker: stop shard 0 behind the router's back.
+        ingestor._shards[0].in_queue.put(("stop", None))
+        import time
+
+        time.sleep(0.05)
+        with pytest.raises(BrokerError, match="did not answer a flush"):
+            ingestor.flush()
+        # The healthy shard's delta was still published, and close()
+        # stops the survivors even though its final flush fails too.
+        with pytest.raises(BrokerError):
+            ingestor.close()
+
+    def test_late_flush_reply_is_merged_not_misattributed(self):
+        # A reply from a timed-out flush arriving late must be merged
+        # (its delta is real data) and must not satisfy the next flush's
+        # wait — the sequence tag resynchronizes the stream.
+        serving = TelemetryStore()
+        with ShardedIngestor(serving, num_shards=1) as ingestor:
+            late = TelemetryStore()
+            late.register_exposure("p", "vm", 1, 100.0)
+            ingestor._shards[0].out_queue.put((0, 1, 0, late.snapshot()))
+            ingestor.submit([ExposureRecord("p", "vm", 1, 100.0)])
+            merged = ingestor.flush()
+            assert merged == 2  # the late delta plus the current one
+            assert serving.exposure_years("p", "vm") == pytest.approx(
+                200.0 / MINUTES_PER_YEAR
+            )
+
+    def test_validation_of_constructor_inputs(self):
+        store = TelemetryStore()
+        with pytest.raises(ValidationError, match="num_shards"):
+            ShardedIngestor(store, num_shards=0)
+        with pytest.raises(ValidationError, match="backend"):
+            ShardedIngestor(store, backend="fiber")
+        with pytest.raises(ValidationError, match="merge_interval"):
+            ShardedIngestor(store, merge_interval=0.0)
+
+
+# -- merge associativity properties -----------------------------------------
+
+outage_minutes = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+failover_samples = st.lists(
+    st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+component_keys = st.sampled_from(
+    [("a", "vm"), ("a", "volume"), ("b", "vm"), ("c", "gateway")]
+)
+
+
+@st.composite
+def observation_streams(draw):
+    """A list of (key, outage, failovers) observations for many keys."""
+    entries = draw(
+        st.lists(
+            st.tuples(component_keys, outage_minutes, failover_samples),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    return entries
+
+
+def _apply_stream(store: TelemetryStore, entries) -> None:
+    for (provider, kind), outage, failovers in entries:
+        store.register_exposure(provider, kind, 1, 5000.0)
+        store.record_failure(provider, kind)
+        store.record_outage(provider, kind, outage)
+        for sample in failovers:
+            store.record_failover(provider, kind, sample)
+
+
+def _assert_close(left: TelemetryStore, right: TelemetryStore) -> None:
+    assert left.observed_components() == right.observed_components()
+    for provider, kind in left.observed_components():
+        assert left.down_probability(provider, kind) == pytest.approx(
+            right.down_probability(provider, kind), rel=1e-12, abs=1e-15
+        )
+        assert left.failures_per_year(provider, kind) == pytest.approx(
+            right.failures_per_year(provider, kind), rel=1e-12
+        )
+        assert left.failover_minutes(provider, kind) == pytest.approx(
+            right.failover_minutes(provider, kind), rel=1e-12
+        )
+
+
+class TestMergeProperties:
+    @given(entries=observation_streams(), cut=st.integers(0, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_split_stream_matches_single_store(self, entries, cut):
+        """merge(prefix, suffix) == ingest-everything, to rounding."""
+        cut = min(cut, len(entries))
+        single = TelemetryStore()
+        _apply_stream(single, entries)
+        prefix, suffix = TelemetryStore(), TelemetryStore()
+        _apply_stream(prefix, entries[:cut])
+        _apply_stream(suffix, entries[cut:])
+        _assert_close(prefix.merge(suffix), single)
+
+    @given(entries=observation_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, entries):
+        """(a + b) + c == a + (b + c), to rounding."""
+        thirds = [
+            entries[0::3],
+            entries[1::3],
+            entries[2::3],
+        ]
+        stores = []
+        for part in thirds:
+            store = TelemetryStore()
+            _apply_stream(store, part)
+            stores.append(store)
+        a1, b1, c1 = (store.copy() for store in stores)
+        a2, b2, c2 = (store.copy() for store in stores)
+        left = a1.merge(b1).merge(c1)
+        right = a2.merge(b2.merge(c2))
+        _assert_close(left, right)
+
+    @given(entries=observation_streams(), shards=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_key_partitioned_merge_is_exact(self, entries, shards):
+        """Partitioning on the accumulation key is bit-exact, any N."""
+        single = TelemetryStore()
+        _apply_stream(single, entries)
+        partitions = [TelemetryStore() for _ in range(shards)]
+        for entry in entries:
+            (provider, kind), _, _ = entry
+            index = shard_index(provider, kind, shards)
+            _apply_stream(partitions[index], [entry])
+        merged = TelemetryStore()
+        for partition in partitions:
+            merged.merge(partition)
+        assert merged.snapshot() == single.snapshot()

@@ -1,0 +1,58 @@
+"""The metrics registry: render/parse round trips and histogram math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.server.metrics import MetricsRegistry, parse_prometheus_text
+
+
+class TestRegistryRoundTrip:
+    def test_counter_and_gauge_samples_round_trip(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("rt_requests_total", "Requests.", ("route",))
+        requests.inc(labels=("recommend",))
+        requests.inc(2.0, labels=("batch",))
+        depth = registry.gauge("rt_depth", "Queue depth.")
+        depth.set(7)
+        samples = parse_prometheus_text(registry.render())
+        assert samples[("rt_requests_total", (("route", "recommend"),))] == 1
+        assert samples[("rt_requests_total", (("route", "batch"),))] == 2
+        assert samples[("rt_depth", ())] == 7
+
+    def test_awkward_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rt_paths_total", "Paths.", ("path",))
+        for value in ('C:\\new', 'say "hi"', "line\nbreak", "\\\\n"):
+            counter.inc(labels=(value,))
+        samples = parse_prometheus_text(registry.render())
+        for value in ('C:\\new', 'say "hi"', "line\nbreak", "\\\\n"):
+            assert samples[("rt_paths_total", (("path", value),))] == 1
+
+    def test_histogram_buckets_are_cumulative_and_le_inclusive(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "rt_seconds", "Latency.", buckets=(0.1, 0.5, 1.0)
+        )
+        for value in (0.05, 0.1, 0.3, 2.0):
+            histogram.observe(value)
+        samples = parse_prometheus_text(registry.render())
+        assert samples[("rt_seconds_bucket", (("le", "0.1"),))] == 2  # inclusive
+        assert samples[("rt_seconds_bucket", (("le", "0.5"),))] == 3
+        assert samples[("rt_seconds_bucket", (("le", "1"),))] == 3
+        assert samples[("rt_seconds_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("rt_seconds_count", ())] == 4
+        assert samples[("rt_seconds_sum", ())] == pytest.approx(2.45)
+
+    def test_duplicate_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("rt_once", "Once.")
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.gauge("rt_once", "Twice.")
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rt_up", "Up.")
+        with pytest.raises(ValidationError, match="only go up"):
+            counter.inc(-1.0)

@@ -1,0 +1,398 @@
+"""The asyncio wire transport: envelopes over a real socket.
+
+A live server (module-scoped, ephemeral port) backs most tests; the
+bit-identical end-to-end check builds its own twin brokers so the
+server's answer can be compared against a direct in-process session
+with identical telemetry and a cold cache.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.broker.envelope import (
+    ErrorEnvelope,
+    RecommendEnvelope,
+    ReportEnvelope,
+)
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.cloud.providers import all_providers
+from repro.errors import (
+    InsufficientTelemetryError,
+    UnknownNameError,
+    ValidationError,
+)
+from repro.server import ServerClient, ServerError, start_in_thread
+from repro.server.ingest import ExposureRecord
+from repro.server.transport import error_envelope_for
+from repro.sla.contract import Contract
+from repro.units import MINUTES_PER_YEAR
+
+OBSERVE_YEARS = 1.0
+SEED = 23
+
+
+def observed_broker() -> BrokerService:
+    broker = BrokerService(all_providers())
+    broker.observe_all(years=OBSERVE_YEARS, seed=SEED)
+    return broker
+
+
+def request(sla: float = 98.0, penalty: float = 100.0, **kwargs):
+    return three_tier_request(Contract.linear(sla, penalty), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def handle():
+    with start_in_thread(observed_broker(), shards=4) as server_handle:
+        yield server_handle
+
+
+@pytest.fixture(scope="module")
+def client(handle):
+    return ServerClient(handle.host, handle.port)
+
+
+class TestEndToEnd:
+    def test_wire_report_bit_identical_to_direct_session(self):
+        """Acceptance: socket round-trip == direct BrokerSession call."""
+        envelope = RecommendEnvelope(request(), request_id="e2e-1")
+        with observed_broker().session() as session:
+            expected = session.recommend_envelope(envelope).to_json()
+        with start_in_thread(observed_broker()) as twin:
+            wire = ServerClient(twin.host, twin.port).recommend(envelope)
+        assert wire.to_json() == expected
+
+    def test_recommend_round_trip(self, client):
+        report = client.recommend(RecommendEnvelope(request(), request_id="r-1"))
+        assert report.request_id == "r-1"
+        assert report.best.provider_name in ("metalcloud", "cumulus", "stratus")
+        assert report.best.best.meets_sla
+
+    def test_repeated_requests_hit_the_engine_cache(self, client):
+        client.recommend(request())
+        before = client.metrics()[("repro_engine_cache_hits_total", ())]
+        client.recommend(request())
+        after = client.metrics()[("repro_engine_cache_hits_total", ())]
+        assert after >= before + 3  # one hit per provider
+
+    def test_health_lists_providers(self, client):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert "metalcloud" in payload["providers"]
+
+    def test_query_strings_are_accepted_on_every_route(self, client):
+        status, _ = client.request_raw("GET", "/metrics?debug=1")
+        assert status == 200
+        status, _ = client.request_raw("GET", "/healthz?probe=live")
+        assert status == 200
+
+    def test_client_reuses_keepalive_connections(self, client):
+        client.health()
+        first = getattr(client._local, "connection", None)
+        client.health()
+        assert first is not None
+        assert getattr(client._local, "connection", None) is first
+
+
+class TestErrorPaths:
+    """Malformed input must yield structured error envelopes, never
+    a traceback or a dropped connection."""
+
+    def test_malformed_json_is_structured_400(self, client):
+        status, body = client.request_raw("POST", "/v2/recommend", "{nope")
+        assert status == 400
+        envelope = ErrorEnvelope.from_json(body)
+        assert envelope.error == "validation-error"
+        assert "JSON" in envelope.message
+
+    def test_unsupported_schema_version_is_structured_400(self, client):
+        payload = RecommendEnvelope(request()).to_dict()
+        payload["schema_version"] = 99
+        status, body = client.request_raw(
+            "POST", "/v2/recommend", json.dumps(payload)
+        )
+        assert status == 400
+        envelope = ErrorEnvelope.from_json(body)
+        assert "schema_version" in envelope.message
+
+    def test_unknown_provider_is_structured_404(self, client):
+        bad = RecommendEnvelope(
+            request(providers=("nimbus-9",)), request_id="bad-provider"
+        )
+        status, body = client.request_raw("POST", "/v2/recommend", bad.to_json())
+        assert status == 404
+        envelope = ErrorEnvelope.from_json(body)
+        assert envelope.error == "unknown-name"
+        assert "nimbus-9" in envelope.message
+        assert envelope.request_id == "bad-provider"
+
+    def test_unknown_job_id_is_structured_404(self, client):
+        status, body = client.request_raw("GET", "/v2/jobs/job-999999")
+        assert status == 404
+        assert ErrorEnvelope.from_json(body).error == "unknown-name"
+
+    def test_unknown_route_is_structured_404(self, client):
+        status, body = client.request_raw("GET", "/v1/recommend")
+        assert status == 404
+        assert ErrorEnvelope.from_json(body).error == "unknown-route"
+
+    def test_wrong_method_is_structured_405(self, client):
+        status, body = client.request_raw("GET", "/v2/recommend")
+        assert status == 405
+        assert ErrorEnvelope.from_json(body).error == "method-not-allowed"
+
+    def test_oversized_body_is_structured_413(self):
+        with start_in_thread(
+            observed_broker(), max_body_bytes=1024
+        ) as small:
+            status, body = ServerClient(small.host, small.port).request_raw(
+                "POST", "/v2/recommend", "x" * 4096
+            )
+        assert status == 413
+        assert ErrorEnvelope.from_json(body).error == "request-too-large"
+
+    def test_connection_survives_an_error_response(self, client):
+        # Same TCP-level behaviour ServerClient relies on: an error
+        # must not poison the next request on a fresh connection.
+        status, _ = client.request_raw("POST", "/v2/recommend", "{nope")
+        assert status == 400
+        report = client.recommend(request())
+        assert report.best.best.meets_sla
+
+    def test_error_responses_never_carry_tracebacks(self, client):
+        for method, path, body in [
+            ("POST", "/v2/recommend", "{nope"),
+            ("POST", "/v2/batch", "{nope"),
+            ("POST", "/v2/jobs", "null"),
+            ("GET", "/v2/jobs/job-999999/result", None),
+            ("POST", "/v2/ingest", '{"kind": "exposure"}'),
+        ]:
+            status, text = client.request_raw(method, path, body)
+            assert status >= 400, (method, path)
+            assert "Traceback" not in text, (method, path)
+            assert ErrorEnvelope.from_json(text).status == status
+
+    def test_negative_content_length_is_structured_400(self, handle):
+        with socket.create_connection(
+            (handle.host, handle.port), timeout=10.0
+        ) as raw:
+            raw.sendall(
+                b"POST /v2/recommend HTTP/1.1\r\nContent-Length: -1\r\n\r\n"
+            )
+            data = raw.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert b"Content-Length" in data
+
+    def test_garbage_head_answered_then_closed(self, handle):
+        with socket.create_connection(
+            (handle.host, handle.port), timeout=10.0
+        ) as raw:
+            raw.sendall(b"NOT-HTTP\r\n\r\n")
+            data = raw.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert b'"kind": "error"' in data or b'"kind":"error"' in data
+
+
+class TestJobs:
+    def test_submit_poll_result_lifecycle(self, client):
+        job_id = client.submit(RecommendEnvelope(request(), request_id="j-1"))
+        assert job_id.startswith("job-")
+        assert client.poll(job_id) in ("pending", "running", "done")
+        report = client.result(job_id)
+        assert report.request_id == "j-1"
+        assert client.poll(job_id) == "done"
+
+    def test_failed_job_result_is_error_envelope(self, client, handle):
+        job_id = client.submit(request(providers=("nimbus-9",)))
+        with pytest.raises(ServerError) as excinfo:
+            client.result(job_id)
+        assert excinfo.value.status == 404
+        assert excinfo.value.envelope.error == "unknown-name"
+        # Serving the failure counts as retrieval, so failed jobs
+        # participate in retention eviction instead of leaking.
+        assert handle.server.session.job(job_id).retrieved
+
+    def test_unknown_job_subpaths_are_404_not_405(self, client):
+        status, body = client.request_raw("GET", "/v2/jobs/a/b")
+        assert status == 404
+        assert ErrorEnvelope.from_json(body).error == "unknown-route"
+        status, body = client.request_raw("POST", "/v2/jobs/a")
+        assert status == 405
+        assert ErrorEnvelope.from_json(body).error == "method-not-allowed"
+
+
+class TestBatch:
+    def test_batch_streams_reports_in_order(self, client):
+        requests = [request(98.0), request(99.0), request(98.0, 250.0)]
+        results = client.batch(requests)
+        assert [type(r) for r in results] == [ReportEnvelope] * 3
+        sequential = [client.recommend(r) for r in requests]
+
+        def essence(report: ReportEnvelope) -> list[dict]:
+            # engine_stats legitimately vary with cache warmth; the
+            # recommendation payload must not.
+            payload = []
+            for provider in report.providers:
+                entry = provider.to_dict()
+                entry.pop("engine_stats")
+                payload.append(entry)
+            return payload
+
+        assert [essence(r) for r in results] == [
+            essence(r) for r in sequential
+        ]
+
+    def test_batch_mixes_errors_per_line(self, client):
+        results = client.batch(
+            [request(), request(providers=("nimbus-9",)), request()]
+        )
+        assert isinstance(results[0], ReportEnvelope)
+        assert isinstance(results[1], ErrorEnvelope)
+        assert results[1].error == "unknown-name"
+        assert isinstance(results[2], ReportEnvelope)
+
+    def test_abandoned_batch_stream_marks_jobs_retrieved(self):
+        """A disconnecting batch client must not exempt its jobs from
+        retention — nothing else holds their ids."""
+        import asyncio
+
+        from repro.server.transport import BrokerServer, _Request
+
+        server = BrokerServer(observed_broker(), merge_interval=None)
+
+        async def scenario() -> None:
+            body = "\n".join(
+                RecommendEnvelope(request(), request_id=f"b-{i}").to_json()
+                for i in range(3)
+            ).encode("utf-8")
+            # start() never ran; only the dispatch machinery is needed.
+            server._inflight = asyncio.Semaphore(4)
+            _route, response = await server._dispatch(
+                _Request("POST", "/v2/batch", {}, body)
+            )
+            stream = response.stream
+            await stream.__anext__()  # client reads one line...
+            await stream.aclose()  # ...then disconnects
+            for job in server.session.jobs():
+                assert job.retrieved, job.job_id
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_batch_with_malformed_line_rejected_up_front(self, client):
+        good = RecommendEnvelope(request()).to_json()
+        status, body = client.request_raw(
+            "POST", "/v2/batch", good + "\n{nope\n"
+        )
+        assert status == 400
+        assert "line 2" in ErrorEnvelope.from_json(body).message
+
+    def test_empty_batch_rejected(self, client):
+        status, _ = client.request_raw("POST", "/v2/batch", "  \n ")
+        assert status == 400
+
+
+class TestIngest:
+    def test_wire_ingest_updates_estimates_after_flush(self):
+        broker = BrokerService(all_providers())
+        with start_in_thread(broker, shards=4, merge_interval=None) as fresh:
+            wire = ServerClient(fresh.host, fresh.port)
+            records = [
+                ExposureRecord("metalcloud", "vm", 10, 5 * MINUTES_PER_YEAR)
+            ]
+            ack = wire.ingest(records)
+            assert ack["routed"] == 1
+            assert ack["shards"] == 4
+            flush = wire.flush()
+            assert flush["merged"] == 1
+            assert broker.telemetry.exposure_years("metalcloud", "vm") == (
+                pytest.approx(50.0)
+            )
+
+    def test_empty_ingest_rejected(self, client):
+        status, _ = client.request_raw("POST", "/v2/ingest", "\n\n")
+        assert status == 400
+
+
+class TestErrorEnvelopeMapping:
+    def test_exception_to_envelope_mapping(self):
+        cases = [
+            (UnknownNameError("unknown job 'x'"), 404, "unknown-name"),
+            (InsufficientTelemetryError("no data"), 422, "insufficient-telemetry"),
+            (ValidationError("bad"), 400, "validation-error"),
+            (RuntimeError("boom"), 500, "internal-error"),
+        ]
+        for exc, status, slug in cases:
+            envelope = error_envelope_for(exc, request_id="rid")
+            assert envelope.status == status
+            assert envelope.error == slug
+            assert envelope.request_id == "rid"
+
+    def test_internal_errors_hide_details(self):
+        envelope = error_envelope_for(RuntimeError("secret state"))
+        assert "secret state" not in envelope.message
+
+    def test_error_envelope_round_trip(self):
+        envelope = ErrorEnvelope(404, "unknown-name", "unknown job", "rid-1")
+        assert ErrorEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_error_envelope_validates_status(self):
+        with pytest.raises(ValidationError, match="400..599"):
+            ErrorEnvelope(200, "nope", "not an error")
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition_parses_and_covers_subsystems(self, client):
+        client.recommend(request())  # ensure at least one request counted
+        samples = client.metrics()
+        assert ("repro_engine_cache_hits_total", ()) in samples
+        assert ("repro_engine_cache_misses_total", ()) in samples
+        assert ("repro_engine_cache_evictions_total", ()) in samples
+        for shard in range(4):
+            key = ("repro_ingest_events_total", (("shard", str(shard)),))
+            assert key in samples
+        assert ("repro_jobs", (("status", "done"),)) in samples
+        assert ("repro_job_queue_depth", ()) in samples
+        recommend_count = samples[
+            ("repro_http_requests_total", (("route", "recommend"), ("status", "200")))
+        ]
+        assert recommend_count >= 1
+        bucket_inf = samples[
+            (
+                "repro_http_request_seconds_bucket",
+                (("le", "+Inf"), ("route", "recommend")),
+            )
+        ]
+        count = samples[
+            ("repro_http_request_seconds_count", (("route", "recommend"),))
+        ]
+        assert bucket_inf == count >= 1
+
+    def test_help_and_type_lines_present(self, client):
+        text = client.metrics_text()
+        assert "# HELP repro_engine_cache_hits_total" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+
+
+class TestGracefulShutdown:
+    def test_stop_with_idle_keepalive_connection_does_not_hang(self):
+        import time
+
+        handle = start_in_thread(observed_broker())
+        wire = ServerClient(handle.host, handle.port)
+        assert wire.health()["status"] == "ok"
+        with socket.create_connection((handle.host, handle.port)):
+            started = time.monotonic()
+            handle.close()
+            elapsed = time.monotonic() - started
+        assert elapsed < handle.server.grace + 20.0
+
+    def test_double_close_is_idempotent(self):
+        handle = start_in_thread(observed_broker())
+        handle.close()
+        handle.close()
