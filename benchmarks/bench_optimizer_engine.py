@@ -1,4 +1,4 @@
-"""E9 — the EvaluationEngine vs legacy per-candidate re-evaluation.
+"""E9/E12 — the EvaluationEngine vs legacy, and backend vs backend.
 
 The seed implementation rebuilt a full :class:`SystemTopology` and
 re-ran the entire availability + TCO model for every one of the ``k^n``
@@ -13,10 +13,19 @@ space (256 candidates) the engine performs at least 3x fewer
 full-topology evaluations than the legacy path while producing
 bit-identical results, with cache hits reported across strategy
 restarts.
+
+The ``--compare-backends`` mode (E12) races the serial, thread and
+process evaluation backends over an extended >= 100k-candidate catalog:
+distilled brute-force sweeps with the result cache off, asserting the
+three backends agree bit-identically and — on machines with >= 2 cores —
+that the process backend beats the GIL-bound thread backend wall-clock.
+Combine with ``--smoke`` for the fast CI variant (small catalog,
+equivalence checks only, no timing assertions).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.catalog.hypervisor import HypervisorHA
@@ -28,8 +37,9 @@ from repro.cost.rates import LaborRate
 from repro.optimizer.advisor import advise_upgrades
 from repro.optimizer.branch_bound import branch_and_bound_optimize
 from repro.optimizer.brute_force import brute_force_optimize, evaluate_candidate
-from repro.optimizer.engine import EvaluationEngine
+from repro.optimizer.engine import ENGINE_BACKENDS, EvaluationEngine
 from repro.optimizer.pruned import pruned_optimize
+from repro.optimizer.result import OptimizationResult
 from repro.optimizer.space import OptimizationProblem
 from repro.sla.contract import Contract
 from repro.topology.builder import TopologyBuilder
@@ -205,6 +215,89 @@ def test_parallel_chunked_evaluation_matches(emit):
     )
 
 
+def extended_catalog_problem(clusters: int = 9) -> OptimizationProblem:
+    """The E12 extended catalog: ``clusters`` layers, k=4 each.
+
+    Nine clusters at the generator's maximum of three technologies per
+    layer (plus ``none``) give ``4^9 = 262,144`` candidates — past the
+    100k bar the process-backend acceptance criterion sets, and deep
+    enough (n=9, within the paper's n<=10 bound) that the O(n^2)
+    failover recombination dominates per-candidate cost.
+    """
+    return random_problem(2024, clusters=clusters, choices_per_layer=3)
+
+
+def _compare_backends(smoke: bool, emit=print) -> int:
+    """E12 — race the evaluation backends over one catalog.
+
+    Distilled sweeps (``keep_options=False``) with per-engine result
+    caches off, so every backend performs the full ``k^n`` recombination
+    work and memory stays O(1).  Asserts all backends return the same
+    evaluations count and a bit-identical best option; outside smoke
+    mode, also asserts the process backend beats the thread backend on
+    >= 2 cores.
+    """
+    cores = os.cpu_count() or 1
+    problem = (
+        random_problem(2024, clusters=5, choices_per_layer=3)
+        if smoke
+        else extended_catalog_problem()
+    )
+    timings: dict[str, float] = {}
+    results: dict[str, OptimizationResult] = {}
+    rows = []
+    for backend in ENGINE_BACKENDS:
+        with EvaluationEngine(
+            problem, cache=False, backend=backend, chunk_size=4096
+        ) as engine:
+            result, seconds = _timed(
+                lambda e=engine: OptimizationResult.from_stream(
+                    e.evaluate_all(),
+                    space_size=e.space.size,
+                    strategy="brute-force",
+                    keep_options=False,
+                )
+            )
+        timings[backend] = seconds
+        results[backend] = result
+        rows.append(
+            f"  {backend:<8} {seconds:8.2f} s   "
+            f"{result.evaluations / seconds:>10,.0f} evals/s   "
+            f"best {result.best.label}"
+        )
+
+    reference = results["serial"]
+    for backend, result in results.items():
+        assert result.evaluations == reference.evaluations, backend
+        assert result.best.option_id == reference.best.option_id, backend
+        assert result.best.tco.total == reference.best.tco.total, backend
+        assert result.best.availability.uptime_probability == (
+            reference.best.availability.uptime_probability
+        ), backend
+
+    verdict = (
+        f"process/thread speedup "
+        f"{timings['thread'] / timings['process']:.2f}x on {cores} core(s)"
+    )
+    emit(
+        f"[E12] backend comparison, {reference.evaluations:,}-candidate "
+        f"catalog ({'smoke' if smoke else 'extended'}):\n"
+        + "\n".join(rows)
+        + f"\n  {verdict}"
+    )
+    if not smoke and cores >= 2:
+        assert timings["process"] < timings["thread"], (
+            "acceptance: ProcessBackend must beat ThreadBackend on "
+            f">= 2 cores; got {timings}"
+        )
+    return 0
+
+
+def test_backend_comparison_smoke(emit):
+    """Cross-backend agreement on the small catalog (fast; E12 smoke)."""
+    _compare_backends(smoke=True, emit=emit)
+
+
 def _smoke() -> int:
     """Fast CI guard: engine correctness + zero full-topology evals."""
     problem = four_by_four_problem()
@@ -230,7 +323,14 @@ if __name__ == "__main__":
         "--smoke", action="store_true",
         help="run the fast correctness smoke instead of pytest-benchmark",
     )
+    parser.add_argument(
+        "--compare-backends", action="store_true",
+        help="race serial/thread/process backends (E12); with --smoke, "
+        "a small-catalog equivalence check without timing assertions",
+    )
     args = parser.parse_args()
+    if args.compare_backends:
+        raise SystemExit(_compare_backends(smoke=args.smoke))
     if not args.smoke:
         parser.error("run via pytest for full benchmarks, or pass --smoke")
     raise SystemExit(_smoke())

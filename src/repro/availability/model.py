@@ -125,16 +125,18 @@ def cluster_availability_terms(cluster: ClusterSpec) -> ClusterTerms:
     )
 
 
-def availability_from_terms(
-    system_name: str,
-    cluster_names: tuple[str, ...],
+def availability_values_from_terms(
     terms: tuple[ClusterTerms, ...],
-) -> AvailabilityReport:
-    """Recombine per-cluster factor sets into the full Eq. 1-4 report.
+) -> tuple[float, float, list[float]]:
+    """The bare float math of Eq. 1-4 over per-cluster factor sets.
 
-    Performs the same float operations in the same order as evaluating
-    the assembled topology directly, so the result is bit-identical to
-    :func:`evaluate_availability` on the corresponding system.
+    Returns ``(breakdown_probability, failover_probability,
+    per_cluster_failover_contributions)`` — everything a report needs
+    that is not plain per-term data.  Split out so evaluation-backend
+    workers can run (and ship) just the math while report *objects* are
+    built lazily elsewhere; :func:`availability_from_terms` composes the
+    two, so every path performs the identical operations in the
+    identical order and stays bit-identical.
     """
     up_product = 1.0
     for term in terms:
@@ -147,6 +149,21 @@ def availability_from_terms(
             if j != i:
                 others_quiet *= other.active_up_probability
         contributions.append(term.failover_rate * others_quiet)
+    return 1.0 - up_product, sum(contributions), contributions
+
+
+def availability_from_terms(
+    system_name: str,
+    cluster_names: tuple[str, ...],
+    terms: tuple[ClusterTerms, ...],
+) -> AvailabilityReport:
+    """Recombine per-cluster factor sets into the full Eq. 1-4 report.
+
+    Performs the same float operations in the same order as evaluating
+    the assembled topology directly, so the result is bit-identical to
+    :func:`evaluate_availability` on the corresponding system.
+    """
+    breakdown, failover, contributions = availability_values_from_terms(terms)
 
     per_cluster = tuple(
         ClusterAvailability(
@@ -159,8 +176,8 @@ def availability_from_terms(
     )
     return AvailabilityReport(
         system_name=system_name,
-        breakdown_probability=1.0 - up_product,
-        failover_probability=sum(contributions),
+        breakdown_probability=breakdown,
+        failover_probability=failover,
         clusters=per_cluster,
     )
 

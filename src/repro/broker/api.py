@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -47,7 +48,11 @@ from repro.errors import (
     ValidationError,
     unknown_name_message,
 )
-from repro.optimizer.engine import EngineStats, EvaluationEngine
+from repro.optimizer.engine import (
+    EngineStats,
+    EvaluationEngine,
+    resolve_backend,
+)
 from repro.optimizer.result import OptimizationResult, ResultAccumulator
 from repro.optimizer.space import OptimizationProblem
 from repro.sla.contract import Contract
@@ -130,7 +135,13 @@ class EngineKey:
 
     The first four fields are the ISSUE-mandated key components;
     ``variant`` folds in the remaining inputs that change what an engine
-    computes (catalog width, failover estimates, evaluation mode).
+    *computes* (catalog width, failover estimates, evaluation mode).
+    The evaluation backend is deliberately **not** part of the key: it
+    only changes where the float math runs, never its results, so a
+    warm engine is rebound in place
+    (:meth:`~repro.optimizer.engine.EvaluationEngine.set_backend`)
+    instead of being rebuilt — a backend switch costs zero new
+    cluster-term computations.
     """
 
     provider: str
@@ -150,7 +161,6 @@ class EngineKey:
         failover_minutes: Mapping[str, float],
         extended_catalog: bool,
         engine_mode: str,
-        parallel: bool,
     ) -> "EngineKey":
         """Fingerprint every input that shapes an engine's caches."""
         return cls(
@@ -162,7 +172,6 @@ class EngineKey:
                 tuple(sorted(failover_minutes.items())),
                 extended_catalog,
                 engine_mode,
-                parallel,
             ),
         )
 
@@ -343,9 +352,12 @@ class BrokerJob:
     """One submitted request's lifecycle record.
 
     ``retrieved`` flips when :meth:`BrokerSession.result` hands the
-    outcome to a caller; only retrieved jobs are eligible for
-    retention eviction, so an unread report is never yanked out from
-    under a slow collector.
+    outcome to a caller; only retrieved jobs are eligible for the
+    count-based retention eviction, so an unread report is never yanked
+    out from under a slow collector.  ``finished_at`` (monotonic
+    seconds) is stamped when the job reaches a terminal state and
+    drives the session's age-based TTL eviction, which *does* reclaim
+    never-retrieved jobs — the fire-and-forget leak.
     """
 
     job_id: str
@@ -354,6 +366,7 @@ class BrokerJob:
     report: "RecommendationReport | None" = None
     error: Exception | None = None
     retrieved: bool = False
+    finished_at: float | None = None
     done: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -378,8 +391,18 @@ class BrokerSession:
     whose result has been *retrieved*, evicting oldest-first on
     submission, so a long-running server session does not grow without
     bound.  Pending, running and unretrieved-finished jobs are never
-    evicted (batches of any size stay collectable); polling an evicted
-    job raises the same unknown-job error as a never-submitted id.
+    evicted by that count-based policy (batches of any size stay
+    collectable) — but fire-and-forget submitters that never call
+    ``result()`` would still grow the table forever, so
+    ``finished_job_ttl`` adds an age-based policy: any finished job
+    (retrieved or not) older than the TTL is reclaimed on the next
+    submission.  Polling an evicted job raises the same unknown-job
+    error as a never-submitted id; both eviction paths are counted in
+    :meth:`metrics`.
+
+    ``backend`` sets the session's default evaluation backend for
+    requests that do not pin one themselves (``request.backend``
+    always wins).
     """
 
     def __init__(
@@ -390,6 +413,8 @@ class BrokerSession:
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         max_workers: int = DEFAULT_MAX_WORKERS,
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
+        finished_job_ttl: float | None = None,
+        backend: str | None = None,
     ) -> None:
         if max_workers < 1:
             raise BrokerError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -397,19 +422,34 @@ class BrokerSession:
             raise BrokerError(
                 f"max_finished_jobs must be >= 1, got {max_finished_jobs!r}"
             )
+        if finished_job_ttl is not None and finished_job_ttl <= 0.0:
+            raise BrokerError(
+                f"finished_job_ttl must be > 0, got {finished_job_ttl!r}"
+            )
+        if backend is not None:
+            # Fail fast on typos; None stays None (per-request resolution).
+            resolve_backend(backend)
         self.service = service
         # Explicit None check: an empty EngineCache is falsy (__len__).
         self.engine_cache = (
             engine_cache if engine_cache is not None else EngineCache(cache_capacity)
         )
+        self._owns_cache = engine_cache is None
         self.max_workers = max_workers
         self.max_finished_jobs = max_finished_jobs
+        self.finished_job_ttl = finished_job_ttl
+        self.backend = backend
         self._jobs: "OrderedDict[str, BrokerJob]" = OrderedDict()
         self._futures: dict[str, Future] = {}
         self._executor: ThreadPoolExecutor | None = None
         self._counter = 0
         self._lock = threading.Lock()
         self._closed = False
+        self._evicted_retrieved = 0
+        self._evicted_ttl = 0
+        # Injection point for eviction tests; monotonic so wall-clock
+        # jumps never mass-expire a healthy table.
+        self._clock = time.monotonic
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -420,13 +460,23 @@ class BrokerSession:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down; in-flight jobs run to completion."""
+        """Shut the worker pool down; in-flight jobs run to completion.
+
+        When the session built its own engine cache, the cached engines'
+        evaluation-backend pools are shut down too (after the job pool
+        drains, so no in-flight request loses its workers).  A shared
+        cache passed in by the caller is left untouched — other
+        sessions may still be serving from it.
+        """
         with self._lock:
             self._closed = True
             executor = self._executor
             self._executor = None
         if executor is not None:
             executor.shutdown(wait=True)
+        if self._owns_cache:
+            for engine in self.engine_cache.engines():
+                engine.close()
 
     # -- synchronous API ---------------------------------------------------
 
@@ -515,26 +565,52 @@ class BrokerSession:
             job.error = exc
             job.status = JOB_FAILED
         finally:
+            job.finished_at = self._clock()
             job.done.set()
 
     def _evict_finished_jobs(self) -> None:
-        """Drop oldest retrieved-finished jobs beyond the cap (under ``_lock``).
+        """Apply both finished-job retention policies (under ``_lock``).
 
         Reports are large (they hold full option rankings); without a
         bound, a server session fed a steady job stream leaks one
-        report per request forever.  Only jobs whose result was already
-        handed out are eligible — a batch of any size stays collectable
-        — so submitters that never fetch results grow the table; the
-        ``/metrics`` job gauges make that visible.
+        report per request forever.  Two policies run on every
+        submission:
+
+        - **TTL** (``finished_job_ttl``): finished jobs older than the
+          TTL are dropped whether or not their result was ever fetched —
+          this is what reclaims fire-and-forget submissions.
+        - **Count** (``max_finished_jobs``): beyond the cap, the oldest
+          *retrieved* finished jobs are dropped; unretrieved jobs are
+          exempt so a batch of any size stays collectable until it ages
+          out.
+
+        Both eviction counts surface through :meth:`metrics` (and the
+        server's ``/metrics`` job gauges).  Pending and running jobs
+        are never evicted.
         """
+        if self.finished_job_ttl is not None:
+            cutoff = self._clock() - self.finished_job_ttl
+            expired = [
+                job_id
+                for job_id, job in self._jobs.items()
+                if job.status in (JOB_DONE, JOB_FAILED)
+                and job.finished_at is not None
+                and job.finished_at <= cutoff
+            ]
+            for job_id in expired:
+                del self._jobs[job_id]
+                self._futures.pop(job_id, None)
+            self._evicted_ttl += len(expired)
         retrieved = [
             job_id
             for job_id, job in self._jobs.items()
             if job.retrieved and job.status in (JOB_DONE, JOB_FAILED)
         ]
-        for job_id in retrieved[: max(0, len(retrieved) - self.max_finished_jobs)]:
+        overflow = retrieved[: max(0, len(retrieved) - self.max_finished_jobs)]
+        for job_id in overflow:
             del self._jobs[job_id]
             self._futures.pop(job_id, None)
+        self._evicted_retrieved += len(overflow)
 
     def job(self, job_id: str) -> BrokerJob:
         """Look up a job record by id."""
@@ -612,6 +688,11 @@ class BrokerSession:
         }
         for job in self.jobs():
             statuses[job.status] += 1
+        with self._lock:
+            evicted = {
+                "retrieved": self._evicted_retrieved,
+                "ttl": self._evicted_ttl,
+            }
         return {
             "engine_cache": self.engine_cache.stats.to_dict(),
             "engines_cached": len(self.engine_cache),
@@ -619,6 +700,7 @@ class BrokerSession:
                 self.engine_cache.cluster_term_computations()
             ),
             "jobs": dict(statuses),
+            "jobs_evicted": evicted,
             "job_queue_depth": statuses[JOB_PENDING] + statuses[JOB_RUNNING],
         }
 
@@ -742,6 +824,10 @@ class BrokerSession:
             keep_options=False,
         )
         candidates = enumerate(engine.space.candidates_in_paper_order(), start=1)
+        # No backend rebind here: streaming interleaves progress events
+        # with evaluation, so candidates go through engine.evaluate()
+        # one at a time — always in-process, whatever the backend.
+        # Rebinding would only churn a warm engine's worker pool.
         with entry.lock:
             before = engine.stats.snapshot()
         exhausted = False
@@ -780,6 +866,19 @@ class BrokerSession:
     def _provider_names(self, request: RecommendationRequest) -> tuple[str, ...]:
         return request.providers or tuple(sorted(self.service.providers))
 
+    def _request_backend(self, request: RecommendationRequest) -> str:
+        """The concrete evaluation backend one request should run on.
+
+        Precedence: the request's own ``backend``, then the session
+        default, then :func:`resolve_backend`'s environment/``parallel``
+        fallback.
+        """
+        return resolve_backend(
+            request.backend or self.backend,
+            parallel=request.parallel,
+            mode=request.engine,
+        )
+
     def _cache_entry(
         self, request: RecommendationRequest, provider_name: str
     ) -> _CacheEntry:
@@ -805,8 +904,8 @@ class BrokerSession:
             failover_minutes=failover_estimates,
             extended_catalog=request.extended_catalog,
             engine_mode=request.engine,
-            parallel=request.parallel,
         )
+        backend = self._request_backend(request)
 
         def build_engine() -> EvaluationEngine:
             registry = registry_for_provider(
@@ -820,9 +919,7 @@ class BrokerSession:
                 contract=request.contract,
                 labor_rate=LaborRate(provider.rate_card.labor_rate_per_hour),
             )
-            return EvaluationEngine(
-                problem, mode=request.engine, parallel=request.parallel
-            )
+            return EvaluationEngine(problem, mode=request.engine, backend=backend)
 
         return self.engine_cache.entry(key, build_engine)
 
@@ -840,8 +937,11 @@ class BrokerSession:
         optimize = _STRATEGY_FUNCTIONS[request.strategy]
         # A cache hit may serve the search from a different worker
         # thread later; sequential engines are not thread-safe, so each
-        # entry's lock serializes use of its engine.
+        # entry's lock serializes use of its engine.  A warm engine is
+        # rebound to the request's backend in place — term and result
+        # caches survive the switch.
         with entry.lock:
+            engine.set_backend(self._request_backend(request))
             before = engine.stats.snapshot()
             result: OptimizationResult = optimize(engine.problem, engine=engine)
             after = engine.stats.snapshot()

@@ -193,6 +193,7 @@ def request_to_dict(request: RecommendationRequest) -> dict[str, Any]:
         "strategy": request.strategy,
         "engine": request.engine,
         "parallel": request.parallel,
+        "backend": request.backend,
         "extended_catalog": request.extended_catalog,
         "metadata": dict(request.metadata),
     }
@@ -208,6 +209,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> RecommendationRequest:
         "strategy",
         "engine",
         "parallel",
+        "backend",
         "extended_catalog",
         "metadata",
     }
@@ -223,6 +225,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> RecommendationRequest:
         strategy=payload.get("strategy", "pruned"),
         engine=payload.get("engine", "incremental"),
         parallel=bool(payload.get("parallel", False)),
+        backend=payload.get("backend"),
         extended_catalog=bool(payload.get("extended_catalog", False)),
         metadata=dict(payload.get("metadata", {})),
     )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
-from repro.optimizer.engine import ENGINE_MODES
+from repro.optimizer.engine import ENGINE_BACKENDS, ENGINE_MODES
 from repro.sla.contract import Contract
 from repro.topology.cluster import COMPONENT_KIND_BY_LAYER, Layer
 
@@ -56,6 +56,7 @@ class RecommendationRequest:
     strategy: str = "pruned"
     engine: str = "incremental"
     parallel: bool = False
+    backend: str | None = None
     extended_catalog: bool = False
     metadata: dict = field(default_factory=dict)
 
@@ -74,6 +75,19 @@ class RecommendationRequest:
         if self.engine not in ENGINE_MODES:
             raise ValidationError(
                 f"unknown engine mode {self.engine!r}; valid: {ENGINE_MODES}"
+            )
+        if self.backend is not None and self.backend not in ENGINE_BACKENDS:
+            raise ValidationError(
+                f"unknown evaluation backend {self.backend!r}; "
+                f"valid: {ENGINE_BACKENDS}"
+            )
+        if self.backend == "process" and self.engine == "direct":
+            # Reject at the request boundary, like every other bad-shape
+            # combination — otherwise it surfaces only as a failed job.
+            raise ValidationError(
+                "backend='process' requires engine='incremental': worker "
+                "processes evaluate from shipped term tables and cannot "
+                "run the full-topology direct path"
             )
 
 

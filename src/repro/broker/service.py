@@ -258,17 +258,26 @@ class BrokerService:
         cache_capacity: int | None = None,
         max_workers: int | None = None,
         max_finished_jobs: int | None = None,
+        finished_job_ttl: float | None = None,
+        backend: str | None = None,
     ) -> "BrokerSession":
         """Open a v2 :class:`~repro.broker.api.BrokerSession` over this broker.
 
         The session is the supported entry point for recommendations:
         it owns the cross-request engine cache, the batched/async job
         lifecycle and the streaming protocol.  Keyword arguments default
-        to the session's own defaults when ``None``.
+        to the session's own defaults when ``None``; ``backend`` sets
+        the session's default evaluation backend and ``finished_job_ttl``
+        enables age-based eviction of finished (even never-retrieved)
+        jobs.
         """
         from repro.broker.api import BrokerSession
 
-        kwargs: dict = {"engine_cache": engine_cache}
+        kwargs: dict = {
+            "engine_cache": engine_cache,
+            "finished_job_ttl": finished_job_ttl,
+            "backend": backend,
+        }
         if cache_capacity is not None:
             kwargs["cache_capacity"] = cache_capacity
         if max_workers is not None:

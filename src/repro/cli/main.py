@@ -37,7 +37,7 @@ from repro.broker.request import STRATEGIES, three_tier_request
 #: only imports the server stack for the ``serve``/``ingest`` commands
 #: (a drift test in tests/test_cli.py keeps the two in sync).
 INGEST_BACKENDS = ("thread", "process")
-from repro.optimizer.engine import ENGINE_MODES
+from repro.optimizer.engine import ENGINE_BACKENDS, ENGINE_MODES
 from repro.broker.service import BrokerService
 from repro.cli.formatting import render_table
 from repro.cloud.providers import all_providers
@@ -121,9 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument(
         "--parallel",
         action="store_true",
-        help="evaluate exhaustive sweeps in chunks on a thread pool "
-        "(applies to --strategy brute-force; pruned and branch-and-bound "
-        "searches are inherently sequential)",
+        help="legacy alias for --backend thread",
+    )
+    recommend.add_argument(
+        "--backend",
+        choices=ENGINE_BACKENDS,
+        default=None,
+        help="evaluation backend for exhaustive sweeps: serial (default), "
+        "thread (GIL-bound chunking) or process (true multi-core; applies "
+        "to --strategy brute-force — pruned and branch-and-bound searches "
+        "are inherently sequential).  Defaults honour $REPRO_BACKEND.",
     )
     recommend.add_argument("--seed", type=int, default=None, help="RNG seed")
 
@@ -212,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="engines retained by the cross-request cache (LRU)",
     )
     batch.add_argument(
+        "--backend", choices=ENGINE_BACKENDS, default=None,
+        help="default evaluation backend for envelopes that do not pin one",
+    )
+    batch.add_argument(
         "--output", type=Path, default=None,
         help="write report envelopes to this file instead of stdout",
     )
@@ -250,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=16,
         help="engines retained by the cross-request cache (LRU)",
     )
+    serve.add_argument(
+        "--backend", choices=ENGINE_BACKENDS, default=None,
+        help="default evaluation backend for requests that do not pin one",
+    )
+    serve.add_argument(
+        "--finished-job-ttl", type=float, default=3600.0,
+        help="seconds before finished (even never-retrieved) jobs are "
+        "evicted from the session job table; 0 disables age-based "
+        "eviction (the retrieved-jobs count cap still applies)",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -280,21 +301,21 @@ def _cmd_case_study() -> int:
     from repro.optimizer.engine import EvaluationEngine
 
     problem = case_study_problem()
-    engine = EvaluationEngine(problem)
-    result = brute_force_optimize(problem, engine=engine)
-    print(render_option_table(result, title="Case study (Figures 3-9):"))
-    print()
-    print(render_summary(result, result.option(AS_IS_OPTION_ID)))
-    print()
-    pruned = pruned_optimize(problem, engine=engine)
-    skipped = [f"#{i}" for i in range(1, 9) if not any(
-        option.option_id == i for option in pruned.options
-    )]
-    print(
-        f"Pruned search: {pruned.evaluations}/{pruned.space_size} evaluated, "
-        f"clipped {', '.join(skipped) or 'none'} (§III-C)"
-    )
-    print(f"Evaluation engine: {engine.stats.describe()}")
+    with EvaluationEngine(problem) as engine:
+        result = brute_force_optimize(problem, engine=engine)
+        print(render_option_table(result, title="Case study (Figures 3-9):"))
+        print()
+        print(render_summary(result, result.option(AS_IS_OPTION_ID)))
+        print()
+        pruned = pruned_optimize(problem, engine=engine)
+        skipped = [f"#{i}" for i in range(1, 9) if not any(
+            option.option_id == i for option in pruned.options
+        )]
+        print(
+            f"Pruned search: {pruned.evaluations}/{pruned.space_size} "
+            f"evaluated, clipped {', '.join(skipped) or 'none'} (§III-C)"
+        )
+        print(f"Evaluation engine: {engine.stats.describe()}")
     return 0
 
 
@@ -328,6 +349,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         engine=args.engine,
         parallel=args.parallel,
+        backend=args.backend,
     )
     with broker.session() as session:
         report = session.recommend(request)
@@ -445,7 +467,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     broker.observe_all(years=args.observe_years, seed=args.seed)
     with broker.session(
-        cache_capacity=args.cache_capacity, max_workers=args.max_workers
+        cache_capacity=args.cache_capacity,
+        max_workers=args.max_workers,
+        backend=args.backend,
     ) as session:
         job_ids = [session.submit(envelope) for envelope in envelopes]
         reports = [session.result_envelope(job_id) for job_id in job_ids]
@@ -480,6 +504,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         merge_interval=args.merge_interval,
         max_workers=args.max_workers,
         cache_capacity=args.cache_capacity,
+        eval_backend=args.backend,
+        finished_job_ttl=args.finished_job_ttl or None,
     )
 
     async def run() -> None:

@@ -114,6 +114,34 @@ def cluster_cost_terms(cluster: ClusterSpec) -> ClusterCostTerms:
     )
 
 
+def tco_values_from_terms(
+    terms: tuple[ClusterCostTerms, ...],
+    uptime_probability: float,
+    contract: Contract,
+    labor_rate: LaborRate,
+) -> tuple[float, float, float, float, float, float]:
+    """The bare Eq. 5 float math, as :class:`TCOBreakdown` field values.
+
+    Returns the breakdown's six fields in declaration order, so
+    ``TCOBreakdown(*values)`` reconstructs it exactly.  Split out so
+    evaluation-backend workers can ship plain floats across the process
+    boundary; :func:`tco_from_terms` composes the two, keeping every
+    path bit-identical.
+    """
+    slippage_hours = contract.expected_slippage_hours(uptime_probability)
+    penalty = contract.penalty.monthly_penalty(slippage_hours)
+    infra = sum(term.ha_infra_cost for term in terms)
+    labor_hours = sum(term.ha_labor_hours for term in terms)
+    return (
+        infra,
+        labor_rate.monthly_cost(labor_hours),
+        penalty,
+        sum(term.base_infra_cost for term in terms),
+        uptime_probability,
+        slippage_hours,
+    )
+
+
 def tco_from_terms(
     terms: tuple[ClusterCostTerms, ...],
     uptime_probability: float,
@@ -126,17 +154,8 @@ def tco_from_terms(
     :func:`compute_tco` performs on the assembled topology, so results
     are bit-identical.
     """
-    slippage_hours = contract.expected_slippage_hours(uptime_probability)
-    penalty = contract.penalty.monthly_penalty(slippage_hours)
-    infra = sum(term.ha_infra_cost for term in terms)
-    labor_hours = sum(term.ha_labor_hours for term in terms)
     return TCOBreakdown(
-        ha_infra_cost=infra,
-        ha_labor_cost=labor_rate.monthly_cost(labor_hours),
-        expected_penalty=penalty,
-        base_infra_cost=sum(term.base_infra_cost for term in terms),
-        uptime_probability=uptime_probability,
-        slippage_hours=slippage_hours,
+        *tco_values_from_terms(terms, uptime_probability, contract, labor_rate)
     )
 
 

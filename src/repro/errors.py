@@ -51,6 +51,16 @@ class OptimizerError(ReproError):
     """The optimizer was asked to solve an ill-posed problem."""
 
 
+class EngineBackendError(OptimizerError):
+    """An evaluation backend's worker pool failed mid-stream.
+
+    Raised by the engine's thread/process backends when a worker dies or
+    raises a non-library exception while evaluating a chunk — callers
+    (and the server's error mapper) see one structured engine error
+    instead of a hung pool or a raw concurrent.futures traceback.
+    """
+
+
 class CloudError(ReproError):
     """A simulated cloud-provider operation failed."""
 

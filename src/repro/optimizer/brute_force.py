@@ -63,15 +63,25 @@ def brute_force_optimize(
     case the default engine is built with its result cache off so the
     sweep holds O(1) options in memory; pass an explicit ``engine`` to
     trade memory for cross-search reuse.
+
+    An engine built here is closed before returning, so a thread/process
+    evaluation backend (e.g. via ``REPRO_BACKEND``) never leaks its
+    worker pool; a caller-supplied engine keeps its pool — closing it is
+    the caller's call.
     """
-    if engine is None:
+    owns_engine = engine is None
+    if owns_engine:
         engine = EvaluationEngine(problem, cache=keep_options)
     else:
         engine = engine_for(problem, engine)
-    return OptimizationResult.from_stream(
-        engine.evaluate_all(),
-        space_size=engine.space.size,
-        strategy="brute-force",
-        pruned=0,
-        keep_options=keep_options,
-    )
+    try:
+        return OptimizationResult.from_stream(
+            engine.evaluate_all(),
+            space_size=engine.space.size,
+            strategy="brute-force",
+            pruned=0,
+            keep_options=keep_options,
+        )
+    finally:
+        if owns_engine:
+            engine.close()

@@ -19,9 +19,32 @@ structure instead: Eq. 1-5 factor into per-cluster terms, so the engine
 
 The ``mode="direct"`` fallback routes evaluation through the legacy
 full-topology path (:func:`evaluate_candidate_direct`) — same results,
-useful for equivalence testing and as an escape hatch.  ``parallel=True``
-fans chunked evaluation out over a :class:`ThreadPoolExecutor`; results
-are yielded in submission order so parallel runs are deterministic.
+useful for equivalence testing and as an escape hatch.
+
+Batch evaluation (:meth:`EvaluationEngine.evaluate_many` and everything
+built on it) runs on a pluggable **evaluation backend**:
+
+- ``"serial"`` (default) evaluates inline on the calling thread;
+- ``"thread"`` cuts the stream into chunks fanned out over a
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the chunking/ordering
+  harness; GIL-bound for this pure-Python float math);
+- ``"process"`` ships chunks to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` of long-lived
+  workers.  Each worker is seeded once, via the pool initializer, with
+  the engine's pickled per-(cluster, technology) term tables, so chunks
+  carry only ``(option_id, indices)`` pairs — no per-chunk re-pickling
+  of the precomputes.  Workers recombine the same cached
+  :class:`~repro.availability.model.ClusterTerms` /
+  :class:`~repro.cost.tco.ClusterCostTerms` values with the same float
+  operations in the same order as the in-process combine, so results
+  are bit-identical across all three backends.
+
+Every backend yields results in submission order, making output
+deterministic regardless of parallelism.  The legacy ``parallel=True``
+flag is an alias for ``backend="thread"``; the ``REPRO_BACKEND``
+environment variable overrides the *default* backend (explicit
+``backend=`` arguments always win), which is how CI smokes the process
+path across the whole suite.
 """
 
 from __future__ import annotations
@@ -29,35 +52,78 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
+import warnings
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from repro.availability.model import (
+    AvailabilityReport,
+    ClusterAvailability,
     ClusterTerms,
-    availability_from_terms,
+    availability_values_from_terms,
     cluster_availability_terms,
     evaluate_availability,
 )
+from repro.cost.rates import LaborRate
 from repro.cost.tco import (
     ClusterCostTerms,
+    TCOBreakdown,
     cluster_cost_terms,
     compute_tco,
-    tco_from_terms,
+    tco_values_from_terms,
 )
-from repro.errors import OptimizerError
+from repro.errors import EngineBackendError, OptimizerError, ReproError
 from repro.optimizer.result import EvaluatedOption
 from repro.optimizer.space import (
     CandidateSpace,
     ChoiceNames,
     OptimizationProblem,
 )
+from repro.sla.contract import Contract
 from repro.topology.cluster import ClusterSpec
 from repro.topology.system import SystemTopology
 
 #: Supported evaluation modes.
 ENGINE_MODES = ("incremental", "direct")
+
+#: Supported evaluation backends for batch entry points.
+ENGINE_BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable naming the default backend (CI smoke hook).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(
+    backend: str | None, *, parallel: bool = False, mode: str = "incremental"
+) -> str:
+    """Resolve a backend request to a concrete :data:`ENGINE_BACKENDS` name.
+
+    ``None`` falls back to the :data:`BACKEND_ENV_VAR` environment
+    variable (empty string = unset), then to the legacy ``parallel``
+    flag (``True`` → ``"thread"``).  The env-var default never forces
+    the process backend onto a ``mode="direct"`` engine — direct mode
+    evaluates full topologies, which worker processes cannot do from
+    the shipped term tables — whereas an *explicit* ``"process"``
+    request with direct mode is rejected at engine construction.
+    """
+    if backend is None:
+        env = os.environ.get(BACKEND_ENV_VAR) or None
+        if env is not None and env not in ENGINE_BACKENDS:
+            raise OptimizerError(
+                f"invalid {BACKEND_ENV_VAR}={env!r}; valid: {ENGINE_BACKENDS}"
+            )
+        if env == "process" and mode == "direct":
+            env = None
+        backend = env if env is not None else (
+            "thread" if parallel else "serial"
+        )
+    if backend not in ENGINE_BACKENDS:
+        raise OptimizerError(
+            f"unknown evaluation backend {backend!r}; valid: {ENGINE_BACKENDS}"
+        )
+    return backend
 
 
 def evaluate_candidate_direct(
@@ -164,6 +230,351 @@ class EngineStats:
         )
 
 
+# -- evaluation backends ----------------------------------------------------
+
+@dataclass(frozen=True)
+class _ProcessPrecompute:
+    """The picklable slice of an engine a worker process needs.
+
+    Shipped to each worker exactly once via the pool initializer;
+    afterwards chunks carry only ``(option_id, indices)`` pairs.  The
+    tables hold the same :class:`ClusterTerms` / :class:`ClusterCostTerms`
+    instances the parent's profiles hold (floats pickle exactly), and
+    :meth:`evaluate` performs the same operations in the same order as
+    :meth:`EvaluationEngine._combine`, so worker results are
+    bit-identical to in-process evaluation.
+    """
+
+    system_name: str
+    cluster_names: tuple[str, ...]
+    availability_terms: tuple[tuple[ClusterTerms, ...], ...]
+    cost_terms: tuple[tuple[ClusterCostTerms, ...], ...]
+    contract: Contract
+    labor_rate: LaborRate
+
+    @classmethod
+    def from_engine(cls, engine: "EvaluationEngine") -> "_ProcessPrecompute":
+        bare = engine.space.bare_system
+        return cls(
+            system_name=bare.name,
+            cluster_names=bare.cluster_names,
+            availability_terms=tuple(
+                tuple(profile.availability for profile in row)
+                for row in engine.profiles
+            ),
+            cost_terms=tuple(
+                tuple(profile.cost for profile in row)
+                for row in engine.profiles
+            ),
+            contract=engine.problem.contract,
+            labor_rate=engine.problem.labor_rate,
+        )
+
+    def evaluate(self, indices: tuple[int, ...]) -> tuple:
+        """One candidate's evaluation as a flat float payload.
+
+        Runs the *shared* Eq. 1-5 value helpers
+        (:func:`availability_values_from_terms`,
+        :func:`tco_values_from_terms`) — the same functions the
+        in-process combine uses, in the same order, so every float is
+        bit-identical — and returns
+        ``(breakdown, failover, contributions, tco_values, meets_sla)``
+        as plain tuples.  Pickling nested (slotted) dataclasses costs a
+        state dict per object; flat primitive tuples keep the per-
+        candidate IPC cost an order of magnitude lower, which is what
+        lets the process backend win wall-clock.  The parent rebuilds
+        report objects lazily from the exact same values.
+        """
+        if len(indices) != len(self.availability_terms):
+            raise OptimizerError(
+                f"expected {len(self.availability_terms)} choice indices, "
+                f"got {len(indices)}"
+            )
+        breakdown, failover, contributions = availability_values_from_terms(
+            tuple(
+                self.availability_terms[i][choice]
+                for i, choice in enumerate(indices)
+            )
+        )
+        uptime = 1.0 - (breakdown + failover)
+        tco_values = tco_values_from_terms(
+            tuple(self.cost_terms[i][choice] for i, choice in enumerate(indices)),
+            uptime,
+            self.contract,
+            self.labor_rate,
+        )
+        return (
+            breakdown,
+            failover,
+            tuple(contributions),
+            tco_values,
+            self.contract.sla.is_met_by(uptime),
+        )
+
+
+#: Per-worker precompute, installed once by the pool initializer.
+_PROCESS_STATE: _ProcessPrecompute | None = None
+
+
+def _process_worker_init(precompute: _ProcessPrecompute) -> None:
+    global _PROCESS_STATE
+    _PROCESS_STATE = precompute
+
+
+def _process_worker_chunk(
+    chunk: list[tuple[int, tuple[int, ...]]]
+) -> list[tuple]:
+    """Evaluate one chunk of cache misses inside a worker process."""
+    state = _PROCESS_STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise OptimizerError("process evaluation worker was never initialized")
+    return [state.evaluate(indices) for _, indices in chunk]
+
+
+class SerialBackend:
+    """Inline evaluation on the calling thread (the default)."""
+
+    name = "serial"
+
+    def evaluate_stream(
+        self,
+        engine: "EvaluationEngine",
+        enumerated: Iterable[tuple[int, tuple[int, ...]]],
+    ) -> Iterator[EvaluatedOption]:
+        for option_id, indices in enumerated:
+            yield engine.evaluate(option_id, indices)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class _PooledBackend:
+    """The shared chunking/ordering harness behind thread/process backends.
+
+    The input stream is cut into ``engine.chunk_size`` blocks submitted
+    to an executor with a bounded in-flight window (the stream is never
+    drained eagerly, so huge candidate spaces stay O(window) in memory),
+    and chunk results are yielded strictly in submission order — the
+    output sequence is identical to serial evaluation.
+
+    The pool is created lazily on first use and kept alive across
+    streams (long-lived workers); :meth:`close` shuts it down.  A worker
+    failure surfaces as :class:`~repro.errors.EngineBackendError` (or
+    the original :class:`~repro.errors.ReproError`) and tears the pool
+    down so the next stream starts from a fresh pool instead of a
+    broken one.
+    """
+
+    name = "pooled"
+
+    def __init__(self) -> None:
+        self._pool = None
+        self._degraded = False
+        self._pool_lock = threading.Lock()
+
+    # Subclass hooks -------------------------------------------------------
+
+    def _default_workers(self) -> int:
+        raise NotImplementedError
+
+    def _create_pool(self, engine: "EvaluationEngine", workers: int):
+        raise NotImplementedError
+
+    def _submit(self, engine: "EvaluationEngine", pool, block):
+        raise NotImplementedError
+
+    def _collect(self, engine: "EvaluationEngine", token) -> list[EvaluatedOption]:
+        raise NotImplementedError
+
+    # Shared harness -------------------------------------------------------
+
+    def _ensure_pool(self, engine: "EvaluationEngine"):
+        with self._pool_lock:
+            if self._degraded:
+                return None
+            if self._pool is None:
+                workers = engine.max_workers or self._default_workers()
+                try:
+                    self._pool = self._create_pool(engine, workers)
+                except (NotImplementedError, ImportError, OSError,
+                        PermissionError, ValueError) as exc:
+                    warnings.warn(
+                        f"{self.name} evaluation backend unavailable on this "
+                        f"platform ({exc}); degrading to serial evaluation",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    self._degraded = True
+                    return None
+            return self._pool
+
+    def evaluate_stream(
+        self,
+        engine: "EvaluationEngine",
+        enumerated: Iterable[tuple[int, tuple[int, ...]]],
+    ) -> Iterator[EvaluatedOption]:
+        pool = self._ensure_pool(engine)
+        if pool is None:
+            yield from SerialBackend().evaluate_stream(engine, enumerated)
+            return
+
+        def chunked() -> Iterator[list[tuple[int, tuple[int, ...]]]]:
+            block: list[tuple[int, tuple[int, ...]]] = []
+            for item in enumerated:
+                block.append(item)
+                if len(block) >= engine.chunk_size:
+                    yield block
+                    block = []
+            if block:
+                yield block
+
+        max_in_flight = 2 * getattr(pool, "_max_workers", 1)
+        pending: deque = deque()
+        for block in chunked():
+            pending.append(self._submit(engine, pool, block))
+            while len(pending) >= max_in_flight:
+                yield from self._collect(engine, pending.popleft())
+        while pending:
+            yield from self._collect(engine, pending.popleft())
+
+    def _worker_failure(self, exc: Exception) -> EngineBackendError:
+        """Wrap a pool failure and reset the pool for the next stream."""
+        self.close()
+        return EngineBackendError(
+            f"{self.name} evaluation backend worker failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down; idempotent, pool recreated lazily."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ThreadBackend(_PooledBackend):
+    """Chunked evaluation on a thread pool (the legacy ``parallel=True``).
+
+    Workers call straight into :meth:`EvaluationEngine.evaluate`, so the
+    result cache and stats are shared under the engine's lock.  The
+    combine is pure-Python float math, so this buys little wall-clock
+    under the GIL — it exists as the chunking/ordering harness and for
+    workloads that release the GIL.
+    """
+
+    name = "thread"
+
+    def _default_workers(self) -> int:
+        return min(32, (os.cpu_count() or 1) + 4)
+
+    def _create_pool(self, engine: "EvaluationEngine", workers: int):
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="engine-eval"
+        )
+
+    def _submit(self, engine: "EvaluationEngine", pool, block):
+        return pool.submit(engine._evaluate_chunk, block)
+
+    def _collect(self, engine: "EvaluationEngine", token) -> list[EvaluatedOption]:
+        try:
+            return token.result()
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise self._worker_failure(exc) from exc
+
+
+@dataclass
+class _ProcessToken:
+    """One submitted chunk: cache hits resolved in-parent, misses in-pool.
+
+    ``plan`` holds the chunk's options in submission order with ``None``
+    placeholders where a worker result must be spliced in; ``misses``
+    carries the ``(option_id, indices, names)`` bookkeeping for those
+    placeholders, in the same order the worker evaluates them.
+    """
+
+    plan: list
+    misses: list
+    future: object | None
+
+
+class ProcessBackend(_PooledBackend):
+    """Chunked evaluation on a pool of long-lived worker processes.
+
+    The parent resolves result-cache hits (and counts stats) at
+    submission time; only cache misses travel to the workers, as bare
+    ``(option_id, indices)`` pairs.  Workers recombine the term tables
+    they were seeded with at pool startup and return
+    ``(availability, tco, meets_sla)`` payloads; the parent splices them
+    back into submission order, wraps them into lazy-topology
+    :class:`EvaluatedOption`s and feeds the shared result cache — so a
+    process-backed engine's cache/stats behaviour is identical to the
+    serial engine's, and replayed streams are pure cache hits.
+
+    On platforms without working ``fork``/``spawn`` support the backend
+    degrades to serial evaluation with a :class:`RuntimeWarning`.
+    """
+
+    name = "process"
+
+    def _default_workers(self) -> int:
+        return os.cpu_count() or 1
+
+    def _create_pool(self, engine: "EvaluationEngine", workers: int):
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(_ProcessPrecompute.from_engine(engine),),
+        )
+
+    def _submit(self, engine: "EvaluationEngine", pool, block):
+        plan: list = []
+        misses: list = []
+        for option_id, indices in block:
+            names, cached = engine._cache_probe(option_id, indices)
+            if cached is not None:
+                plan.append(cached)
+            else:
+                plan.append(None)
+                misses.append((option_id, indices, names))
+        future = None
+        if misses:
+            future = pool.submit(
+                _process_worker_chunk,
+                [(option_id, indices) for option_id, indices, _ in misses],
+            )
+        return _ProcessToken(plan=plan, misses=misses, future=future)
+
+    def _collect(self, engine: "EvaluationEngine", token) -> list[EvaluatedOption]:
+        if token.future is None:
+            return token.plan
+        try:
+            payloads = token.future.result()
+        except ReproError:
+            # Library errors pickled back from the worker keep their type.
+            raise
+        except Exception as exc:
+            raise self._worker_failure(exc) from exc
+        filled = iter(zip(token.misses, payloads))
+        options = token.plan
+        for position, slot in enumerate(options):
+            if slot is None:
+                (option_id, indices, names), payload = next(filled)
+                options[position] = engine._admit_worker_payload(
+                    option_id, indices, names, payload
+                )
+        return options
+
+
+_BACKEND_TYPES = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
 @dataclass
 class EvaluationEngine:
     """Evaluates candidates of one problem from per-cluster caches.
@@ -181,18 +592,23 @@ class EvaluationEngine:
     cache:
         Memoize finished options keyed by ``ChoiceNames`` so repeated
         searches over the same problem never re-evaluate a candidate.
-        Cache and stats are guarded by a lock only when
-        ``parallel=True``; a sequential engine must not have
-        :meth:`evaluate` called from multiple threads.
+        Cache and stats are guarded by a lock only for the thread
+        backend; otherwise all cache mutation happens on the consuming
+        thread and an engine must not have :meth:`evaluate` called from
+        multiple threads concurrently.
     parallel:
-        Evaluate :meth:`evaluate_many` streams in chunks on a thread
-        pool.  Results keep submission order, so output is
-        deterministic.  The combine is pure-Python float math, so this
-        buys little wall-clock under the GIL today — it exists as the
-        chunking/ordering harness for the planned multiprocessing
-        backend (see ROADMAP).
+        Legacy alias: ``parallel=True`` defaults ``backend`` to
+        ``"thread"``.  After construction the flag reflects whether the
+        resolved backend is non-serial.
+    backend:
+        Which of :data:`ENGINE_BACKENDS` drives :meth:`evaluate_many`
+        batches (``"serial"``, ``"thread"`` or ``"process"``).  ``None``
+        resolves through :func:`resolve_backend` (environment default,
+        then the ``parallel`` flag).  Rebind a live engine with
+        :meth:`set_backend`; per-candidate :meth:`evaluate` calls always
+        run in-process regardless of backend.
     max_workers / chunk_size:
-        Thread-pool sizing knobs for ``parallel=True``.
+        Pool sizing knobs for the thread/process backends.
     """
 
     problem: OptimizationProblem
@@ -201,6 +617,7 @@ class EvaluationEngine:
     parallel: bool = False
     max_workers: int | None = None
     chunk_size: int = 1024
+    backend: str | None = None
     space: CandidateSpace = field(init=False)
     stats: EngineStats = field(init=False)
 
@@ -213,19 +630,99 @@ class EvaluationEngine:
             raise OptimizerError(
                 f"chunk_size must be >= 1, got {self.chunk_size!r}"
             )
+        self.backend = resolve_backend(
+            self.backend, parallel=self.parallel, mode=self.mode
+        )
+        if self.backend == "process" and self.mode == "direct":
+            raise OptimizerError(
+                "the process backend requires mode='incremental': worker "
+                "processes evaluate from shipped term tables and cannot "
+                "run the full-topology direct path"
+            )
         self.space = self.problem.space()
         self.stats = EngineStats()
         self._results: dict[ChoiceNames, EvaluatedOption] = {}
-        # Cache/stats mutations only need a real lock when the engine's
-        # own thread pool is in play; sequential engines skip the
-        # acquire/release round-trips on the per-candidate hot path.
-        self._lock = (
-            threading.Lock() if self.parallel else contextlib.nullcontext()
-        )
+        self._bind_backend(self.backend)
         self._profiles = self._precompute_profiles()
         self.stats.cluster_term_computations = sum(
             len(row) for row in self._profiles
         )
+
+    # -- backend lifecycle -------------------------------------------------
+
+    def _bind_backend(self, backend: str) -> None:
+        """Install ``backend``'s implementation, lock policy and flags.
+
+        Cache/stats mutations only need a real lock when the engine's
+        own thread pool calls back into :meth:`evaluate`; the serial and
+        process backends mutate only from the consuming thread and skip
+        the acquire/release round-trips on the hot path.
+        """
+        self.backend = backend
+        self.parallel = backend != "serial"
+        self._lock = (
+            threading.Lock()
+            if backend == "thread"
+            else contextlib.nullcontext()
+        )
+        self._backend_impl = _BACKEND_TYPES[backend]()
+
+    def set_backend(
+        self,
+        backend: str | None,
+        *,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> "EvaluationEngine":
+        """Rebind this engine to a different evaluation backend in place.
+
+        The per-(cluster, technology) term tables, the ``ChoiceNames``
+        result cache and the stats all survive the switch — rebinding a
+        warm cached engine costs zero cluster-term computations.  The
+        previous backend's pool is shut down first, so no in-flight
+        chunk can observe the swap.  Not safe to call concurrently with
+        evaluation; callers sharing engines across threads (the broker's
+        engine cache) serialize through their entry locks.
+        """
+        backend = resolve_backend(backend, mode=self.mode)
+        if backend == "process" and self.mode == "direct":
+            raise OptimizerError(
+                "cannot rebind a mode='direct' engine to the process "
+                "backend; direct evaluation needs the full topology"
+            )
+        resized = False
+        if max_workers is not None and max_workers != self.max_workers:
+            self.max_workers = max_workers
+            resized = True
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise OptimizerError(
+                    f"chunk_size must be >= 1, got {chunk_size!r}"
+                )
+            self.chunk_size = chunk_size
+        if backend != self.backend:
+            self._backend_impl.close()
+            self._bind_backend(backend)
+        elif resized:
+            # Same backend, new width: drop the live pool so the next
+            # stream recreates it at the requested size (pool workers
+            # are fixed at creation).
+            self._backend_impl.close()
+        return self
+
+    def close(self) -> None:
+        """Shut down the backend's worker pool (caches stay warm).
+
+        Idempotent; a closed engine remains usable — the next batch
+        evaluation lazily recreates the pool.
+        """
+        self._backend_impl.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _precompute_profiles(self) -> tuple[tuple[ChoiceProfile, ...], ...]:
         """Apply and factor every (cluster, technology) pairing once."""
@@ -266,14 +763,9 @@ class EvaluationEngine:
         option is id-independent, and relabelling keeps a lazy topology
         unbuilt.
         """
-        names = self.space.choice_names(indices) if self.cache else None
-        with self._lock:
-            self.stats.candidate_evaluations += 1
-            cached = self._results.get(names) if self.cache else None
-            if cached is not None:
-                self.stats.cache_hits += 1
+        names, cached = self._cache_probe(option_id, indices)
         if cached is not None:
-            return cached.relabel(option_id)
+            return cached
 
         if self.mode == "direct":
             option = evaluate_candidate_direct(
@@ -289,6 +781,53 @@ class EvaluationEngine:
                 self._results.setdefault(names, option)
         return option
 
+    def _cache_probe(
+        self, option_id: int, indices: tuple[int, ...]
+    ) -> tuple[ChoiceNames | None, EvaluatedOption | None]:
+        """Count one evaluation request and answer it from the cache.
+
+        Returns ``(names, option)`` where ``option`` is the relabelled
+        cache hit or ``None`` on a miss; ``names`` is the cache key the
+        eventual result should be admitted under (``None`` when the
+        cache is off).  Shared by :meth:`evaluate` and the process
+        backend, which probes in the parent before shipping misses to
+        its workers.
+        """
+        names = self.space.choice_names(indices) if self.cache else None
+        with self._lock:
+            self.stats.candidate_evaluations += 1
+            cached = self._results.get(names) if self.cache else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+        if cached is not None:
+            return names, cached.relabel(option_id)
+        return names, None
+
+    def _admit_worker_payload(
+        self,
+        option_id: int,
+        indices: tuple[int, ...],
+        names: ChoiceNames | None,
+        payload: tuple,
+    ) -> EvaluatedOption:
+        """Wrap a worker's flat payload into an option and feed the cache.
+
+        Both the topology and the availability report stay lazy: the
+        option carries factories over the parent's profiles and the
+        worker's float values, so worker round-trips never pickle — and
+        the parent never eagerly builds — per-candidate report objects.
+        """
+        breakdown, failover, contributions, tco_values, meets_sla = payload
+        option = self._build_option(
+            option_id, indices, names,
+            breakdown, failover, contributions, tco_values, meets_sla,
+        )
+        with self._lock:
+            self.stats.incremental_combines += 1
+            if self.cache:
+                self._results.setdefault(names, option)
+        return option
+
     def _combine(
         self,
         option_id: int,
@@ -297,10 +836,11 @@ class EvaluationEngine:
     ) -> EvaluatedOption:
         """O(n) evaluation from the cached per-cluster factor sets.
 
-        The candidate's :class:`SystemTopology` is *not* built here: the
-        option carries a factory that assembles (and validates) it on
-        first access, so distilled/streamed sweeps that only read costs
-        and labels never pay per-candidate topology construction.
+        Neither the candidate's :class:`SystemTopology` nor its
+        :class:`AvailabilityReport` is built here: the option carries
+        factories that assemble them on first access, so
+        distilled/streamed sweeps that only rank by cost never pay
+        per-candidate object construction.
         """
         if len(indices) != self.space.cluster_count:
             raise OptimizerError(
@@ -310,24 +850,70 @@ class EvaluationEngine:
         chosen = tuple(
             self._profiles[i][choice] for i, choice in enumerate(indices)
         )
-        bare = self.space.bare_system
-        availability = availability_from_terms(
-            bare.name,
-            bare.cluster_names,
-            tuple(profile.availability for profile in chosen),
+        breakdown, failover, contributions = availability_values_from_terms(
+            tuple(profile.availability for profile in chosen)
         )
-        uptime = availability.uptime_probability
-        tco = tco_from_terms(
+        uptime = 1.0 - (breakdown + failover)
+        tco_values = tco_values_from_terms(
             tuple(profile.cost for profile in chosen),
             uptime,
             self.problem.contract,
             self.problem.labor_rate,
         )
+        return self._build_option(
+            option_id, indices, names,
+            breakdown, failover, tuple(contributions), tco_values,
+            self.problem.contract.sla.is_met_by(uptime),
+        )
+
+    def _build_option(
+        self,
+        option_id: int,
+        indices: tuple[int, ...],
+        names: ChoiceNames | None,
+        breakdown: float,
+        failover: float,
+        contributions: tuple[float, ...],
+        tco_values: tuple,
+        meets_sla: bool,
+    ) -> EvaluatedOption:
+        """Assemble a lazy option from the Eq. 1-5 values.
+
+        The availability factory reconstructs exactly what
+        :func:`availability_from_terms` would have built — same values,
+        same per-cluster fields — so forcing a lazy report is
+        bit-identical to eager evaluation regardless of which backend
+        computed the floats.
+        """
+        chosen = tuple(
+            self._profiles[i][choice] for i, choice in enumerate(indices)
+        )
+        bare = self.space.bare_system
 
         def build_system() -> SystemTopology:
             return SystemTopology(
                 name=bare.name,
                 clusters=tuple(profile.applied for profile in chosen),
+            )
+
+        def build_availability() -> AvailabilityReport:
+            return AvailabilityReport(
+                system_name=bare.name,
+                breakdown_probability=breakdown,
+                failover_probability=failover,
+                clusters=tuple(
+                    ClusterAvailability(
+                        name=name,
+                        up_probability=profile.availability.up_probability,
+                        breakdown_probability=(
+                            1.0 - profile.availability.up_probability
+                        ),
+                        failover_contribution=contribution,
+                    )
+                    for name, profile, contribution in zip(
+                        bare.cluster_names, chosen, contributions
+                    )
+                ),
             )
 
         return EvaluatedOption(
@@ -336,9 +922,9 @@ class EvaluationEngine:
             if names is not None
             else tuple(profile.name for profile in chosen),
             system=build_system,
-            availability=availability,
-            tco=tco,
-            meets_sla=self.problem.contract.sla.is_met_by(uptime),
+            availability=build_availability,
+            tco=TCOBreakdown(*tco_values),
+            meets_sla=meets_sla,
             cluster_names=bare.cluster_names,
         )
 
@@ -347,44 +933,21 @@ class EvaluationEngine:
     ) -> Iterator[EvaluatedOption]:
         """Evaluate ``(option_id, indices)`` pairs, preserving order.
 
-        Sequential by default; with ``parallel=True`` the stream is cut
-        into ``chunk_size`` blocks evaluated on a thread pool with a
+        Delegates to the engine's evaluation backend: serial engines
+        evaluate inline; the thread/process backends cut the stream into
+        ``chunk_size`` blocks fanned out over a worker pool with a
         bounded in-flight window (the input is *not* drained eagerly),
         so huge candidate streams stay O(window) in memory.  Chunks are
-        yielded in submission order either way, so downstream consumers
-        (streaming results, option tables) see identical sequences
-        regardless of parallelism.
+        yielded in submission order in every backend, so downstream
+        consumers (streaming results, option tables) see identical —
+        bit-identical — sequences regardless of parallelism.
 
         Only the batch entry points fan out; the pruned and
         branch-and-bound searches are inherently sequential (each
         evaluation feeds the next pruning decision) and always evaluate
         one candidate at a time.
         """
-        if not self.parallel:
-            for option_id, indices in enumerated:
-                yield self.evaluate(option_id, indices)
-            return
-
-        def chunked() -> Iterator[list[tuple[int, tuple[int, ...]]]]:
-            block: list[tuple[int, tuple[int, ...]]] = []
-            for item in enumerated:
-                block.append(item)
-                if len(block) >= self.chunk_size:
-                    yield block
-                    block = []
-            if block:
-                yield block
-
-        workers = self.max_workers or min(32, (os.cpu_count() or 1) + 4)
-        max_in_flight = 2 * workers
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            pending = deque()
-            for block in chunked():
-                pending.append(pool.submit(self._evaluate_chunk, block))
-                while len(pending) >= max_in_flight:
-                    yield from pending.popleft().result()
-            while pending:
-                yield from pending.popleft().result()
+        return self._backend_impl.evaluate_stream(self, enumerated)
 
     def _evaluate_chunk(
         self, chunk: list[tuple[int, tuple[int, ...]]]

@@ -23,31 +23,38 @@ from repro.optimizer.space import ChoiceNames
 from repro.topology.system import SystemTopology
 from repro.units import format_money
 
-class _LazySystemField:
-    """Data descriptor backing :attr:`EvaluatedOption.system`.
+class _LazyField:
+    """Data descriptor for fields that accept a build-on-first-read factory.
 
     The engine's incremental path hands options a zero-argument factory
-    instead of a built topology; the descriptor invokes it on first read
-    and caches the result in the instance dict, so distilled/streamed
-    sweeps that never look at ``option.system`` skip topology
-    construction (and its validation) entirely.
+    instead of a built value; the descriptor invokes it on first read
+    and caches the result in the instance dict.  ``system`` stays lazy
+    so distilled/streamed sweeps that never look at a topology skip its
+    construction (and validation) entirely; ``availability`` stays lazy
+    so sweeps that only rank by TCO never build the per-cluster report
+    objects — which is also what keeps the process evaluation backend's
+    parent-side cost per candidate flat.
     """
 
-    __slots__ = ()
+    __slots__ = ("field_name", "expected_type")
+
+    def __init__(self, field_name, expected_type):
+        self.field_name = field_name
+        self.expected_type = expected_type
 
     def __get__(self, option, owner=None):
         if option is None:
             return self
-        value = option.__dict__["system"]
-        if not isinstance(value, SystemTopology):
+        value = option.__dict__[self.field_name]
+        if not isinstance(value, self.expected_type):
             value = value()
-            option.__dict__["system"] = value
+            option.__dict__[self.field_name] = value
         return value
 
     def __set__(self, option, value):
         # Reached only via object.__setattr__ in the frozen dataclass
         # __init__; user-level assignment still raises FrozenInstanceError.
-        option.__dict__["system"] = value
+        option.__dict__[self.field_name] = value
 
 
 @dataclass(frozen=True)
@@ -56,11 +63,11 @@ class EvaluatedOption:
 
     ``option_id`` is 1-based in paper order (option #1 = no HA).
 
-    ``system`` may be passed either as a built :class:`SystemTopology`
-    or as a zero-argument factory producing one; the factory runs on
-    first attribute access.  ``cluster_names`` carries the chain's
-    cluster names so labels and option tables never have to force a lazy
-    topology.
+    ``system`` and ``availability`` may each be passed either as the
+    built value or as a zero-argument factory producing one; a factory
+    runs on first attribute access.  ``cluster_names`` carries the
+    chain's cluster names so labels and option tables never have to
+    force a lazy topology.
     """
 
     option_id: int
@@ -78,12 +85,17 @@ class EvaluatedOption:
         """True once the topology has been built (or was passed built)."""
         return isinstance(self.__dict__["system"], SystemTopology)
 
+    @property
+    def availability_is_materialized(self) -> bool:
+        """True once the availability report has been built."""
+        return isinstance(self.__dict__["availability"], AvailabilityReport)
+
     def relabel(self, option_id: int) -> "EvaluatedOption":
         """The same option under a different paper-order id.
 
         Unlike :func:`dataclasses.replace`, this does not read the
-        ``system`` field, so relabelling a cache hit keeps a lazy
-        topology lazy.
+        ``system`` or ``availability`` fields, so relabelling a cache
+        hit keeps lazy values lazy.
         """
         if option_id == self.option_id:
             return self
@@ -91,7 +103,7 @@ class EvaluatedOption:
             option_id=option_id,
             choice_names=self.choice_names,
             system=self.__dict__["system"],
-            availability=self.availability,
+            availability=self.__dict__["availability"],
             tco=self.tco,
             meets_sla=self.meets_sla,
             cluster_names=self.cluster_names,
@@ -128,10 +140,12 @@ class EvaluatedOption:
         )
 
 
-# The dataclass machinery must not see the descriptor as a field default,
-# so it is attached after class creation; frozen __init__ stores through
-# its __set__ via object.__setattr__.
-EvaluatedOption.system = _LazySystemField()
+# The dataclass machinery must not see the descriptors as field defaults,
+# so they are attached after class creation; frozen __init__ stores through
+# their __set__ via object.__setattr__.  Reading ``availability`` in a
+# repr/eq materializes it transparently, so semantics are unchanged.
+EvaluatedOption.system = _LazyField("system", SystemTopology)
+EvaluatedOption.availability = _LazyField("availability", AvailabilityReport)
 
 
 class ResultAccumulator:

@@ -366,6 +366,20 @@ class ServerMetrics:
         self.job_queue_depth.set_function(
             lambda: self._session_snapshot["job_queue_depth"]
         )
+        self.jobs_evicted = reg.counter(
+            "repro_jobs_evicted_total",
+            "Finished jobs evicted from the session table, by policy "
+            "(retrieved = count cap on fetched jobs, ttl = age-based "
+            "reclaim of fire-and-forget jobs).",
+            ("policy",),
+        )
+        for policy in ("retrieved", "ttl"):
+            self.jobs_evicted.set_function(
+                (lambda p: lambda: self._session_snapshot["jobs_evicted"][p])(
+                    policy
+                ),
+                policy,
+            )
 
         if ingestor is not None:
             self.ingest_events = reg.counter(

@@ -174,6 +174,8 @@ class BrokerServer:
         merge_interval: float | None = 0.5,
         max_workers: int = 4,
         cache_capacity: int = 16,
+        eval_backend: str | None = None,
+        finished_job_ttl: float | None = None,
         max_body_bytes: int = 8 * 1024 * 1024,
         max_inflight: int = 32,
         grace: float = 5.0,
@@ -188,7 +190,10 @@ class BrokerServer:
         self.max_body_bytes = max_body_bytes
         self.grace = grace
         self.session = broker.session(
-            cache_capacity=cache_capacity, max_workers=max_workers
+            cache_capacity=cache_capacity,
+            max_workers=max_workers,
+            backend=eval_backend,
+            finished_job_ttl=finished_job_ttl,
         )
         self.ingestor = ShardedIngestor(
             broker.telemetry,

@@ -33,6 +33,7 @@ from repro.cloud.providers import all_providers, metalcloud
 from repro.errors import (
     BrokerError,
     InsufficientTelemetryError,
+    ReproError,
     ValidationError,
 )
 from repro.optimizer.engine import EvaluationEngine
@@ -605,3 +606,196 @@ class TestCompatibilityShim:
         with pytest.warns(DeprecationWarning):
             with pytest.raises(InsufficientTelemetryError):
                 broker.recommend(three_tier_request(contract))
+
+
+class TestBackendSwitch:
+    """Engine-cache x evaluation-backend interaction.
+
+    The backend is where the float math runs, never what it computes, so
+    it is excluded from :class:`EngineKey` — switching a warm session to
+    a different backend must hit the cached engines (rebinding them in
+    place) and do zero new cluster-term computations.
+    """
+
+    def test_backend_travels_in_request_envelopes(self, contract):
+        request = three_tier_request(
+            contract, strategy="brute-force", backend="process"
+        )
+        assert request_from_dict(request_to_dict(request)) == request
+        envelope = RecommendEnvelope(request=request)
+        assert RecommendEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_invalid_backend_rejected_at_request(self, contract):
+        with pytest.raises(ValidationError, match="backend"):
+            three_tier_request(contract, backend="quantum")
+
+    def test_process_backend_with_direct_engine_rejected_at_request(
+        self, contract
+    ):
+        # Fails at the request boundary like every other bad shape,
+        # not deep inside a job as an engine error.
+        with pytest.raises(ValidationError, match="incremental"):
+            three_tier_request(contract, engine="direct", backend="process")
+
+    def test_warm_cache_survives_backend_switch(self, observed_broker, contract):
+        """Acceptance: serving the same request on a different backend is
+        a cache hit and computes no new cluster terms."""
+        request = three_tier_request(
+            contract, strategy="brute-force", backend="serial"
+        )
+        with observed_broker.session() as session:
+            cold = session.recommend(request)
+            stats = session.engine_cache.stats
+            misses_cold, hits_cold = stats.misses, stats.hits
+            terms_cold = session.engine_cache.cluster_term_computations()
+            for backend in ("thread", "process", "serial"):
+                switched = session.recommend(
+                    dataclasses.replace(request, backend=backend)
+                )
+                # EngineCacheStats: pure hits, zero new engines/terms.
+                assert stats.misses == misses_cold, backend
+                assert (
+                    session.engine_cache.cluster_term_computations()
+                    == terms_cold
+                ), backend
+                for engine in session.engine_cache.engines():
+                    assert engine.backend == backend
+                # Bit-identical reports either way.
+                for cold_rec, warm_rec in zip(
+                    cold.recommendations, switched.recommendations
+                ):
+                    assert [o.tco.total for o in cold_rec.result.options] == [
+                        o.tco.total for o in warm_rec.result.options
+                    ]
+            assert stats.hits == hits_cold + 3 * len(cold.recommendations)
+
+    def test_warm_switch_does_no_new_combines(self, observed_broker, contract):
+        request = three_tier_request(
+            contract, strategy="brute-force", backend="serial"
+        )
+        with observed_broker.session() as session:
+            session.recommend(request)
+            before = {
+                id(engine): engine.stats.snapshot()
+                for engine in session.engine_cache.engines()
+            }
+            warm = session.recommend(
+                dataclasses.replace(request, backend="process")
+            ).for_provider("metalcloud")
+            assert warm.engine_stats.cluster_term_computations == 0
+            assert warm.engine_stats.incremental_combines == 0
+            for engine in session.engine_cache.engines():
+                prior = before[id(engine)]
+                assert (
+                    engine.stats.incremental_combines
+                    == prior.incremental_combines
+                )
+
+    def test_session_default_backend_applies(self, observed_broker, contract):
+        with observed_broker.session(backend="thread") as session:
+            request = three_tier_request(contract, strategy="brute-force")
+            session.recommend(request)
+            assert all(
+                engine.backend == "thread"
+                for engine in session.engine_cache.engines()
+            )
+
+    def test_request_backend_beats_session_default(
+        self, observed_broker, contract
+    ):
+        with observed_broker.session(backend="thread") as session:
+            request = three_tier_request(
+                contract, strategy="brute-force", backend="serial"
+            )
+            session.recommend(request)
+            assert all(
+                engine.backend == "serial"
+                for engine in session.engine_cache.engines()
+            )
+
+    def test_session_rejects_unknown_backend(self, observed_broker):
+        with pytest.raises(ReproError, match="backend"):
+            observed_broker.session(backend="quantum")
+
+
+class TestTtlEviction:
+    """Age-based reclaim of finished-but-never-retrieved jobs.
+
+    The count-based policy only evicts *retrieved* jobs, so a
+    fire-and-forget submitter used to grow the table forever (the
+    ROADMAP leak); ``finished_job_ttl`` reclaims those too once they
+    age out, and both eviction paths are visible in ``metrics()``.
+    """
+
+    @staticmethod
+    def _fake_clock(session):
+        now = [0.0]
+        session._clock = lambda: now[0]
+        return now
+
+    def test_ttl_reclaims_fire_and_forget_jobs(self, observed_broker, contract):
+        request = three_tier_request(contract)
+        with observed_broker.session(finished_job_ttl=60.0) as session:
+            now = self._fake_clock(session)
+            abandoned = session.submit(request)
+            session.job(abandoned).done.wait(timeout=30.0)
+            # Never retrieved: within the TTL it survives submissions...
+            session.result(session.submit(request))
+            assert session.poll(abandoned) == "done"
+            # ...and past the TTL the next submission reclaims it.
+            now[0] = 61.0
+            session.result(session.submit(request))
+            with pytest.raises(BrokerError, match="unknown job"):
+                session.poll(abandoned)
+            assert session.metrics()["jobs_evicted"]["ttl"] >= 1
+
+    def test_ttl_evicts_retrieved_jobs_too(self, observed_broker, contract):
+        request = three_tier_request(contract)
+        with observed_broker.session(finished_job_ttl=10.0) as session:
+            now = self._fake_clock(session)
+            fetched = session.submit(request)
+            session.result(fetched)
+            now[0] = 11.0
+            session.submit(request)
+            with pytest.raises(BrokerError, match="unknown job"):
+                session.poll(fetched)
+
+    def test_pending_and_fresh_jobs_never_ttl_evicted(
+        self, observed_broker, contract
+    ):
+        request = three_tier_request(contract)
+        with observed_broker.session(finished_job_ttl=1e-6) as session:
+            # Jobs are evicted only on later submissions, and only once
+            # finished — a just-submitted job is always pollable.
+            job_id = session.submit(request)
+            assert session.poll(job_id) in ("pending", "running", "done")
+            report = session.result(job_id)
+            assert report.recommendations
+
+    def test_both_eviction_paths_counted_in_metrics(
+        self, observed_broker, contract
+    ):
+        request = three_tier_request(contract)
+        with observed_broker.session(
+            max_finished_jobs=1, finished_job_ttl=60.0
+        ) as session:
+            now = self._fake_clock(session)
+            evicted = session.metrics()["jobs_evicted"]
+            assert evicted == {"retrieved": 0, "ttl": 0}
+            # Count-based path: two retrieved jobs, cap of one.
+            for _ in range(2):
+                session.result(session.submit(request))
+            session.result(session.submit(request))
+            assert session.metrics()["jobs_evicted"]["retrieved"] >= 1
+            # TTL path: abandon one, age it out.
+            abandoned = session.submit(request)
+            session.job(abandoned).done.wait(timeout=30.0)
+            now[0] = 61.0
+            session.result(session.submit(request))
+            metrics = session.metrics()
+            assert metrics["jobs_evicted"]["ttl"] >= 1
+            assert set(metrics["jobs_evicted"]) == {"retrieved", "ttl"}
+
+    def test_finished_job_ttl_validated(self, observed_broker):
+        with pytest.raises(BrokerError, match="finished_job_ttl"):
+            observed_broker.session(finished_job_ttl=0.0)

@@ -1,0 +1,370 @@
+"""Cross-backend equivalence: serial, thread and process are one engine.
+
+The backend contract is byte-level: for any problem, every backend must
+yield the *identical* ``EvaluatedOption`` stream in the identical order —
+same ids, same choice names, bit-identical availability and TCO floats —
+including replayed (cache-hit) streams and ``from_stream`` distillation.
+These tests sweep the paper's named workload scenarios plus
+hypothesis-randomized catalogs/contracts, and pin down the failure
+modes: a worker that dies mid-chunk surfaces a structured engine error,
+pool shutdown is clean and reversible, and the process backend degrades
+to serial (with a warning) where worker processes cannot start.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EngineBackendError, OptimizerError
+from repro.optimizer import engine as engine_module
+from repro.optimizer.brute_force import brute_force_optimize
+from repro.optimizer.engine import (
+    BACKEND_ENV_VAR,
+    ENGINE_BACKENDS,
+    EvaluationEngine,
+    ProcessBackend,
+    resolve_backend,
+)
+from repro.optimizer.result import OptimizationResult
+from repro.workloads.case_study import case_study_problem
+from repro.workloads.generators import random_problem
+from repro.workloads.scenarios import SCENARIOS
+
+#: The backends every equivalence assertion sweeps.
+ALL_BACKENDS = ENGINE_BACKENDS
+
+#: Named workload scenarios for the acceptance criterion (>= 3).
+WORKLOAD_PROBLEMS = [
+    ("case-study", case_study_problem),
+    *(
+        (name, (lambda n: lambda: SCENARIOS[n].problem)(name))
+        for name in sorted(SCENARIOS)
+    ),
+]
+
+
+def stream_signature(options) -> bytes:
+    """A byte string that is equal iff two option streams are identical.
+
+    Each option is pickled independently (no cross-option memoization,
+    so a replayed stream of shared cache-hit objects serializes the same
+    as a stream of fresh ones); floats pickle to their exact bit
+    patterns, making this a true bit-identity check.
+    """
+    return b"".join(
+        pickle.dumps(
+            (
+                option.option_id,
+                option.choice_names,
+                option.availability,
+                option.tco,
+                option.meets_sla,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for option in options
+    )
+
+
+def backend_engine(problem, backend: str, **kwargs) -> EvaluationEngine:
+    return EvaluationEngine(problem, backend=backend, **kwargs)
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("label, factory", WORKLOAD_PROBLEMS)
+    def test_workload_scenarios_bit_identical(self, label, factory):
+        problem = factory()
+        reference = list(
+            backend_engine(problem, "serial").evaluate_all()
+        )
+        expected = stream_signature(reference)
+        for backend in ("thread", "process"):
+            with backend_engine(problem, backend, chunk_size=16) as engine:
+                assert stream_signature(engine.evaluate_all()) == expected, (
+                    label,
+                    backend,
+                )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        clusters=st.integers(min_value=2, max_value=4),
+        choices=st.integers(min_value=1, max_value=3),
+    )
+    def test_property_randomized_catalogs_and_contracts(
+        self, seed, clusters, choices
+    ):
+        problem = random_problem(
+            seed, clusters=clusters, choices_per_layer=choices
+        )
+        expected = stream_signature(
+            backend_engine(problem, "serial").evaluate_all()
+        )
+        for backend in ("thread", "process"):
+            with backend_engine(problem, backend, chunk_size=7) as engine:
+                first = stream_signature(engine.evaluate_all())
+                replay = stream_signature(engine.evaluate_all())
+            assert first == expected, backend
+            # The replay is served from the ChoiceNames result cache
+            # (relabelled hits) and must still be byte-identical.
+            assert replay == expected, backend
+            assert engine.stats.cache_hits >= engine.space.size
+
+    def test_cache_hit_replay_is_pure_hits_on_process_backend(self):
+        problem = random_problem(17, clusters=4, choices_per_layer=2)
+        with backend_engine(problem, "process", chunk_size=8) as engine:
+            list(engine.evaluate_all())
+            combines = engine.stats.incremental_combines
+            list(engine.evaluate_all())
+            assert engine.stats.incremental_combines == combines
+            assert engine.stats.cache_hits == engine.space.size
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_from_stream_distillation_matches_serial(self, backend):
+        problem = random_problem(5, clusters=4, choices_per_layer=3)
+        full = brute_force_optimize(problem)
+        with backend_engine(
+            problem, backend, cache=False, chunk_size=32
+        ) as engine:
+            distilled = OptimizationResult.from_stream(
+                engine.evaluate_all(),
+                space_size=engine.space.size,
+                strategy="brute-force",
+                keep_options=False,
+            )
+        assert distilled.evaluations == full.evaluations
+        assert distilled.best.option_id == full.best.option_id
+        assert distilled.best.tco.total == full.best.tco.total
+        assert (
+            distilled.min_penalty_option.option_id
+            == full.min_penalty_option.option_id
+        )
+
+    def test_options_stay_lazy_across_backends(self):
+        problem = case_study_problem()
+        for backend in ALL_BACKENDS:
+            with backend_engine(problem, backend) as engine:
+                options = list(engine.evaluate_all())
+            assert all(
+                not option.system_is_materialized for option in options
+            ), backend
+            # Forcing one topology still works (and matches direct).
+            assert options[0].system.cluster_names == (
+                problem.bare_system.cluster_names
+            )
+
+
+class TestBackendRebinding:
+    def test_set_backend_keeps_term_and_result_caches(self):
+        problem = random_problem(11, clusters=3, choices_per_layer=2)
+        engine = EvaluationEngine(problem)
+        expected = stream_signature(engine.evaluate_all())
+        terms = engine.stats.cluster_term_computations
+        combines = engine.stats.incremental_combines
+        for backend in ("process", "thread", "serial"):
+            engine.set_backend(backend, chunk_size=4)
+            assert engine.backend == backend
+            assert engine.parallel == (backend != "serial")
+            assert stream_signature(engine.evaluate_all()) == expected
+            # Rebinding never invalidates the caches: no new cluster
+            # terms, no new combines — replays are pure hits.
+            assert engine.stats.cluster_term_computations == terms
+            assert engine.stats.incremental_combines == combines
+        engine.close()
+
+    def test_parallel_flag_is_thread_alias(self, monkeypatch):
+        # The env default (the CI smoke hook) outranks the legacy flag;
+        # clear it so the alias itself is what resolves.
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        engine = EvaluationEngine(case_study_problem(), parallel=True)
+        assert engine.backend == "thread"
+        assert engine.parallel is True
+        engine.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(OptimizerError, match="backend"):
+            EvaluationEngine(case_study_problem(), backend="quantum")
+        engine = EvaluationEngine(case_study_problem())
+        with pytest.raises(OptimizerError, match="backend"):
+            engine.set_backend("quantum")
+
+    def test_process_backend_requires_incremental_mode(self):
+        with pytest.raises(OptimizerError, match="incremental"):
+            EvaluationEngine(
+                case_study_problem(), mode="direct", backend="process"
+            )
+        engine = EvaluationEngine(case_study_problem(), mode="direct")
+        with pytest.raises(OptimizerError, match="direct"):
+            engine.set_backend("process")
+
+    def test_set_backend_rejects_bad_chunk_size(self):
+        engine = EvaluationEngine(case_study_problem())
+        with pytest.raises(OptimizerError, match="chunk_size"):
+            engine.set_backend("thread", chunk_size=0)
+
+    def test_set_backend_resize_recreates_pool(self):
+        problem = case_study_problem()
+        with backend_engine(problem, "process", max_workers=1) as engine:
+            list(engine.evaluate_all())
+            old_pool = engine._backend_impl._pool
+            assert old_pool is not None
+            engine.set_backend("process", max_workers=2)
+            # The live pool is dropped so the next stream honours the
+            # new width; caches survive untouched.
+            assert engine._backend_impl._pool is None
+            assert engine.max_workers == 2
+            list(engine.evaluate_all())
+            assert engine.stats.cache_hits >= engine.space.size
+
+
+class TestEnvironmentDefault:
+    def test_env_var_sets_default_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        engine = EvaluationEngine(case_study_problem())
+        assert engine.backend == "process"
+        engine.close()
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        engine = EvaluationEngine(case_study_problem(), backend="serial")
+        assert engine.backend == "serial"
+
+    def test_env_process_never_forced_onto_direct_mode(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        engine = EvaluationEngine(case_study_problem(), mode="direct")
+        assert engine.backend == "serial"
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(OptimizerError, match="REPRO_BACKEND"):
+            resolve_backend(None)
+
+    def test_empty_env_var_means_unset(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend(None) == "serial"
+        assert resolve_backend(None, parallel=True) == "thread"
+
+
+class TestFailureModes:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_failure_surfaces_structured_error(self, backend):
+        # cache=False skips the parent-side ChoiceNames probe, so the
+        # out-of-range index reaches the worker and blows up mid-chunk.
+        problem = case_study_problem()
+        with backend_engine(problem, backend, cache=False) as engine:
+            with pytest.raises(OptimizerError):
+                list(engine.evaluate_many([(1, (99, 99, 99))]))
+            # The pool is not wedged: the next stream works.
+            options = list(engine.evaluate_all())
+            assert len(options) == engine.space.size
+
+    def test_process_worker_crash_wraps_into_backend_error(self):
+        # An unpicklable-result / dead-worker class of failure: kill the
+        # chunk function itself so the future carries a non-library
+        # error, which must come back as EngineBackendError.
+        problem = case_study_problem()
+        engine = backend_engine(problem, "process", cache=False)
+        try:
+            original = engine_module._process_worker_chunk
+            engine_module._process_worker_chunk = None  # unpicklable call
+            with pytest.raises((EngineBackendError, OptimizerError)):
+                list(engine.evaluate_all())
+        finally:
+            engine_module._process_worker_chunk = original
+            engine.close()
+
+    def test_engine_close_is_clean_and_idempotent(self):
+        problem = case_study_problem()
+        engine = backend_engine(problem, "process", chunk_size=2)
+        list(engine.evaluate_all())
+        backend = engine._backend_impl
+        assert backend._pool is not None
+        engine.close()
+        assert backend._pool is None
+        engine.close()  # idempotent
+        # A closed engine lazily recreates its pool on next use.
+        assert len(list(engine.evaluate_all())) == engine.space.size
+        engine.close()
+        assert backend._pool is None
+
+    def test_session_close_shuts_down_cached_engine_pools(self):
+        from repro.broker.service import BrokerService
+        from repro.cloud.providers import metalcloud
+        from repro.broker.request import three_tier_request
+        from repro.sla.contract import Contract
+
+        broker = BrokerService([metalcloud()])
+        broker.observe_all(years=3.0, seed=5)
+        session = broker.session(backend="process")
+        request = three_tier_request(
+            Contract.linear(98.0, 100.0), strategy="brute-force"
+        )
+        session.recommend(request)
+        engines = session.engine_cache.engines()
+        assert engines and all(
+            engine.backend == "process" for engine in engines
+        )
+        session.close()
+        assert all(
+            engine._backend_impl._pool is None for engine in engines
+        )
+
+    def test_process_backend_degrades_to_serial_with_warning(self, monkeypatch):
+        problem = case_study_problem()
+        reference = stream_signature(
+            EvaluationEngine(problem).evaluate_all()
+        )
+
+        def unavailable(*args, **kwargs):
+            raise NotImplementedError("no process support on this platform")
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", unavailable
+        )
+        engine = backend_engine(problem, "process")
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            options = list(engine.evaluate_all())
+        assert stream_signature(options) == reference
+        # Degradation is sticky (no warning spam, no retry storm).
+        assert stream_signature(engine.evaluate_all()) == reference
+        assert engine._backend_impl._degraded is True
+
+    def test_degraded_backend_still_counts_stats(self, monkeypatch):
+        problem = case_study_problem()
+
+        def unavailable(*args, **kwargs):
+            raise OSError("fork failed")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", unavailable)
+        engine = backend_engine(problem, "process")
+        with pytest.warns(RuntimeWarning):
+            list(engine.evaluate_all())
+        assert engine.stats.incremental_combines == engine.space.size
+        assert engine.stats.topology_evaluations == 0
+
+
+class TestStrategiesAcrossBackends:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_shared_engine_serves_all_strategies(self, backend):
+        from repro.optimizer.branch_bound import branch_and_bound_optimize
+        from repro.optimizer.pruned import pruned_optimize
+
+        problem = random_problem(3, clusters=4, choices_per_layer=2)
+        reference = brute_force_optimize(problem)
+        with backend_engine(problem, backend, chunk_size=8) as engine:
+            brute = brute_force_optimize(problem, engine=engine)
+            pruned = pruned_optimize(problem, engine=engine)
+            bnb = branch_and_bound_optimize(problem, engine=engine)
+        assert brute.best.tco.total == reference.best.tco.total
+        assert pruned.best.tco.total == reference.best.tco.total
+        assert bnb.best.tco.total == reference.best.tco.total
+        assert engine.stats.topology_evaluations == 0
+
+
+def test_backend_constants_are_consistent():
+    assert set(ENGINE_BACKENDS) == set(engine_module._BACKEND_TYPES)
+    assert ProcessBackend.name == "process"
