@@ -1,4 +1,4 @@
-"""E9/E12 — the EvaluationEngine vs legacy, and backend vs backend.
+"""E9/E12/E13 — the EvaluationEngine vs legacy, and backend vs backend.
 
 The seed implementation rebuilt a full :class:`SystemTopology` and
 re-ran the entire availability + TCO model for every one of the ``k^n``
@@ -14,13 +14,15 @@ full-topology evaluations than the legacy path while producing
 bit-identical results, with cache hits reported across strategy
 restarts.
 
-The ``--compare-backends`` mode (E12) races the serial, thread and
-process evaluation backends over an extended >= 100k-candidate catalog:
-distilled brute-force sweeps with the result cache off, asserting the
-three backends agree bit-identically and — on machines with >= 2 cores —
-that the process backend beats the GIL-bound thread backend wall-clock.
-Combine with ``--smoke`` for the fast CI variant (small catalog,
-equivalence checks only, no timing assertions).
+The ``--compare-backends`` mode (E12, extended to four backends as E13)
+races the serial, thread, process and vector evaluation backends over an
+extended >= 100k-candidate catalog: distilled brute-force sweeps with
+the result cache off, asserting all backends agree bit-identically and —
+on machines with >= 2 cores — that the process backend beats the
+GIL-bound thread backend wall-clock, plus (when numpy is installed) that
+the vector backend beats serial even on one core.  Combine with
+``--smoke`` for the fast CI variant (small catalog, equivalence checks
+only, no timing assertions).
 """
 
 from __future__ import annotations
@@ -228,16 +230,22 @@ def extended_catalog_problem(clusters: int = 9) -> OptimizationProblem:
 
 
 def _compare_backends(smoke: bool, emit=print) -> int:
-    """E12 — race the evaluation backends over one catalog.
+    """E13 (extends E12) — race all four evaluation backends.
 
     Distilled sweeps (``keep_options=False``) with per-engine result
     caches off, so every backend performs the full ``k^n`` recombination
     work and memory stays O(1).  Asserts all backends return the same
     evaluations count and a bit-identical best option; outside smoke
     mode, also asserts the process backend beats the thread backend on
-    >= 2 cores.
+    >= 2 cores and — with numpy installed — that the vector backend
+    beats serial regardless of core count (it vectorizes the combine,
+    not the pool).  Without numpy the vector engine degrades to serial
+    (RuntimeWarning) and the equivalence assertions still hold.
     """
+    from repro.optimizer.engine import _import_numpy
+
     cores = os.cpu_count() or 1
+    has_numpy = _import_numpy() is not None
     problem = (
         random_problem(2024, clusters=5, choices_per_layer=3)
         if smoke
@@ -277,10 +285,14 @@ def _compare_backends(smoke: bool, emit=print) -> int:
 
     verdict = (
         f"process/thread speedup "
-        f"{timings['thread'] / timings['process']:.2f}x on {cores} core(s)"
+        f"{timings['thread'] / timings['process']:.2f}x, "
+        f"vector/serial speedup "
+        f"{timings['serial'] / timings['vector']:.2f}x "
+        f"on {cores} core(s)"
+        + ("" if has_numpy else " (numpy absent: vector degraded to serial)")
     )
     emit(
-        f"[E12] backend comparison, {reference.evaluations:,}-candidate "
+        f"[E13] backend comparison, {reference.evaluations:,}-candidate "
         f"catalog ({'smoke' if smoke else 'extended'}):\n"
         + "\n".join(rows)
         + f"\n  {verdict}"
@@ -289,6 +301,11 @@ def _compare_backends(smoke: bool, emit=print) -> int:
         assert timings["process"] < timings["thread"], (
             "acceptance: ProcessBackend must beat ThreadBackend on "
             f">= 2 cores; got {timings}"
+        )
+    if not smoke and has_numpy:
+        assert timings["vector"] < timings["serial"], (
+            "acceptance: VectorBackend must beat SerialBackend when "
+            f"numpy is installed; got {timings}"
         )
     return 0
 
@@ -325,8 +342,9 @@ if __name__ == "__main__":
     )
     parser.add_argument(
         "--compare-backends", action="store_true",
-        help="race serial/thread/process backends (E12); with --smoke, "
-        "a small-catalog equivalence check without timing assertions",
+        help="race serial/thread/process/vector backends (E13); with "
+        "--smoke, a small-catalog equivalence check without timing "
+        "assertions",
     )
     args = parser.parse_args()
     if args.compare_backends:

@@ -1,10 +1,21 @@
 """Setup shim for environments without the ``wheel`` package.
 
-All project metadata lives in ``pyproject.toml``; this file exists so
-that ``pip install -e . --no-use-pep517`` (the legacy editable path)
-works on machines whose setuptools cannot build PEP 517 wheels offline.
+Kept deliberately minimal so that ``pip install -e . --no-use-pep517``
+(the legacy editable path) works on machines whose setuptools cannot
+build PEP 517 wheels offline.
+
+The ``vector`` extra pulls in numpy for the vectorized evaluation
+backend (``--backend vector`` / ``REPRO_BACKEND=vector``); without it
+the backend degrades to serial evaluation with a RuntimeWarning.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={
+        "vector": ["numpy"],
+    },
+)

@@ -207,11 +207,20 @@ def _request_stats(
 
 @dataclass
 class EngineCacheStats:
-    """Hit/miss/eviction accounting for one :class:`EngineCache`."""
+    """Hit/miss/eviction accounting for one :class:`EngineCache`.
+
+    ``evicted_engines_closed`` counts evicted engines whose worker-pool
+    lease was actually released (eviction alone only drops the map
+    entry); ``deferred_engine_closes`` counts evictions whose close had
+    to wait for an in-flight request still holding the entry — the
+    holder completes the close through :meth:`EngineCache.finish`.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    evicted_engines_closed: int = 0
+    deferred_engine_closes: int = 0
 
     @property
     def requests(self) -> int:
@@ -231,6 +240,8 @@ class EngineCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "evicted_engines_closed": self.evicted_engines_closed,
+            "deferred_engine_closes": self.deferred_engine_closes,
         }
 
     def describe(self) -> str:
@@ -251,12 +262,20 @@ class _CacheEntry:
     global lock).  ``unserved`` is True until the first request served
     by this engine completes — per-request stat deltas attribute the
     construction-time cluster-term precompute to that request.
+
+    ``evicted`` flips (under the cache's global lock) when LRU eviction
+    drops the entry from the map; ``closed`` records that the engine's
+    worker-pool lease was released afterwards.  An evicted-but-not-yet-
+    closed entry is one an in-flight request still holds — that holder
+    finishes the close via :meth:`EngineCache.finish`.
     """
 
     key: EngineKey
     engine: EvaluationEngine | None = None
     lock: threading.Lock = field(default_factory=threading.Lock)
     unserved: bool = True
+    evicted: bool = False
+    closed: bool = False
 
 
 class EngineCache:
@@ -284,7 +303,14 @@ class EngineCache:
         n*k per-cluster precompute) runs under the entry's own lock, so
         distinct keys build concurrently while racing requests for the
         *same* key still share one build.
+
+        LRU eviction closes the dropped engines *outside* the global
+        lock (pool shutdown can block): an engine's worker-pool lease
+        would otherwise leak until interpreter exit.  If an in-flight
+        request still holds an evicted entry, the close is deferred to
+        that holder (:meth:`finish`).
         """
+        evicted: list[_CacheEntry] = []
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -295,8 +321,12 @@ class EngineCache:
                 entry = _CacheEntry(key=key)
                 self._entries[key] = entry
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    _, dropped = self._entries.popitem(last=False)
+                    dropped.evicted = True
+                    evicted.append(dropped)
                     self.stats.evictions += 1
+        for dropped in evicted:
+            self._close_evicted(dropped, count_deferred=True)
         if entry.engine is None:
             with entry.lock:
                 if entry.engine is None:
@@ -309,6 +339,47 @@ class EngineCache:
                                 del self._entries[key]
                         raise
         return entry
+
+    def _close_evicted(
+        self, entry: _CacheEntry, *, count_deferred: bool = False
+    ) -> None:
+        """Release an evicted entry's engine without blocking.
+
+        Runs outside the global lock.  The entry's own lock is taken
+        non-blockingly: if an in-flight request holds it, the close is
+        deferred — the holder calls :meth:`finish` once done.  The
+        engine is closed even when ``entry.closed`` is already set: a
+        holder that resolved the entry before eviction may have revived
+        the closed engine (a closed engine lazily re-acquires its pool),
+        so every finish re-closes; ``EvaluationEngine.close`` is
+        idempotent and only the first close is counted.
+        """
+        if not entry.lock.acquire(blocking=False):
+            if count_deferred and not entry.closed:
+                with self._lock:
+                    self.stats.deferred_engine_closes += 1
+            return
+        try:
+            if entry.engine is not None:
+                entry.engine.close()
+            first_close, entry.closed = not entry.closed, True
+        finally:
+            entry.lock.release()
+        if first_close:
+            with self._lock:
+                self.stats.evicted_engines_closed += 1
+
+    def finish(self, entry: _CacheEntry) -> None:
+        """Complete (or repeat) an eviction close after using an entry.
+
+        Sessions call this (outside the entry's lock) whenever they are
+        done serving a request from a cached engine; it is a no-op
+        unless the entry was evicted.  Re-closing matters: an in-flight
+        holder revives a closed engine's pool lease just by evaluating
+        on it, so the *last* user out must always shut the lease down.
+        """
+        if entry.evicted:
+            self._close_evicted(entry)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -342,9 +413,19 @@ class EngineCache:
         )
 
     def clear(self) -> None:
-        """Drop every cached engine (stats are retained)."""
+        """Drop every cached engine (stats are retained).
+
+        Dropped engines are closed like LRU evictions — non-blockingly,
+        deferring to in-flight holders — so clearing a cache of
+        process-backed engines does not leak their pool leases.
+        """
         with self._lock:
+            dropped = tuple(self._entries.values())
             self._entries.clear()
+            for entry in dropped:
+                entry.evicted = True
+        for entry in dropped:
+            self._close_evicted(entry, count_deferred=True)
 
 
 @dataclass
@@ -828,32 +909,38 @@ class BrokerSession:
         # with evaluation, so candidates go through engine.evaluate()
         # one at a time — always in-process, whatever the backend.
         # Rebinding would only churn a warm engine's worker pool.
-        with entry.lock:
-            before = engine.stats.snapshot()
-        exhausted = False
-        while not exhausted:
+        try:
             with entry.lock:
-                for _ in range(progress_every):
-                    item = next(candidates, None)
-                    if item is None:
-                        exhausted = True
-                        break
-                    option_id, indices = item
-                    accumulator.add(engine.evaluate(option_id, indices))
-            if not exhausted:
-                yield ProgressEvent(
-                    "progress",
-                    request_id=request_id,
-                    provider=name,
-                    detail={
-                        "evaluated": accumulator.count,
-                        "space_size": engine.space.size,
-                    },
-                )
-        with entry.lock:
-            after = engine.stats.snapshot()
-            first_service = entry.unserved
-            entry.unserved = False
+                before = engine.stats.snapshot()
+            exhausted = False
+            while not exhausted:
+                with entry.lock:
+                    for _ in range(progress_every):
+                        item = next(candidates, None)
+                        if item is None:
+                            exhausted = True
+                            break
+                        option_id, indices = item
+                        accumulator.add(engine.evaluate(option_id, indices))
+                if not exhausted:
+                    yield ProgressEvent(
+                        "progress",
+                        request_id=request_id,
+                        provider=name,
+                        detail={
+                            "evaluated": accumulator.count,
+                            "space_size": engine.space.size,
+                        },
+                    )
+            with entry.lock:
+                after = engine.stats.snapshot()
+                first_service = entry.unserved
+                entry.unserved = False
+        finally:
+            # Runs when the sweep completes *and* when a partially
+            # consumed stream generator is abandoned — either way a
+            # deferred eviction close falls to the last holder.
+            self.engine_cache.finish(entry)
         yield ProviderRecommendation(
             provider_name=name,
             base_system=engine.problem.base_system,
@@ -940,13 +1027,20 @@ class BrokerSession:
         # entry's lock serializes use of its engine.  A warm engine is
         # rebound to the request's backend in place — term and result
         # caches survive the switch.
-        with entry.lock:
-            engine.set_backend(self._request_backend(request))
-            before = engine.stats.snapshot()
-            result: OptimizationResult = optimize(engine.problem, engine=engine)
-            after = engine.stats.snapshot()
-            first_service = entry.unserved
-            entry.unserved = False
+        try:
+            with entry.lock:
+                engine.set_backend(self._request_backend(request))
+                before = engine.stats.snapshot()
+                result: OptimizationResult = optimize(
+                    engine.problem, engine=engine
+                )
+                after = engine.stats.snapshot()
+                first_service = entry.unserved
+                entry.unserved = False
+        finally:
+            # If the entry was LRU-evicted while this request held it,
+            # its deferred close falls to us.
+            self.engine_cache.finish(entry)
         return ProviderRecommendation(
             provider_name=name,
             base_system=engine.problem.base_system,

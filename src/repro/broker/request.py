@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
-from repro.optimizer.engine import ENGINE_BACKENDS, ENGINE_MODES
+from repro.optimizer.engine import (
+    ENGINE_BACKENDS,
+    ENGINE_MODES,
+    TERM_TABLE_BACKENDS,
+)
 from repro.sla.contract import Contract
 from repro.topology.cluster import COMPONENT_KIND_BY_LAYER, Layer
 
@@ -81,13 +85,13 @@ class RecommendationRequest:
                 f"unknown evaluation backend {self.backend!r}; "
                 f"valid: {ENGINE_BACKENDS}"
             )
-        if self.backend == "process" and self.engine == "direct":
+        if self.backend in TERM_TABLE_BACKENDS and self.engine == "direct":
             # Reject at the request boundary, like every other bad-shape
             # combination — otherwise it surfaces only as a failed job.
             raise ValidationError(
-                "backend='process' requires engine='incremental': worker "
-                "processes evaluate from shipped term tables and cannot "
-                "run the full-topology direct path"
+                f"backend={self.backend!r} requires engine='incremental': "
+                "candidates are evaluated from per-cluster term tables, "
+                "which cannot drive the full-topology direct path"
             )
 
 

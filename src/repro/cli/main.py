@@ -128,9 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_BACKENDS,
         default=None,
         help="evaluation backend for exhaustive sweeps: serial (default), "
-        "thread (GIL-bound chunking) or process (true multi-core; applies "
-        "to --strategy brute-force — pruned and branch-and-bound searches "
-        "are inherently sequential).  Defaults honour $REPRO_BACKEND.",
+        "thread (GIL-bound chunking), process (true multi-core) or vector "
+        "(numpy-vectorized combine; needs the [vector] extra, degrades to "
+        "serial without it).  Applies to --strategy brute-force — pruned "
+        "and branch-and-bound searches are inherently sequential.  "
+        "Defaults honour $REPRO_BACKEND.",
     )
     recommend.add_argument("--seed", type=int, default=None, help="RNG seed")
 

@@ -106,11 +106,18 @@ class ClusterCostTerms:
 
 
 def cluster_cost_terms(cluster: ClusterSpec) -> ClusterCostTerms:
-    """Extract one cluster's cost factors (cacheable per spec)."""
+    """Extract one cluster's cost factors (cacheable per spec).
+
+    Coerced to ``float`` at this single construction point: cluster
+    specs built with int dollar amounts would otherwise flow int
+    arithmetic through the scalar paths while the vector evaluation
+    backend's float64 columns produce floats — breaking the backends'
+    bit-identity contract on the way out.
+    """
     return ClusterCostTerms(
-        ha_infra_cost=cluster.monthly_ha_infra_cost,
-        ha_labor_hours=cluster.monthly_ha_labor_hours,
-        base_infra_cost=cluster.monthly_node_cost,
+        ha_infra_cost=float(cluster.monthly_ha_infra_cost),
+        ha_labor_hours=float(cluster.monthly_ha_labor_hours),
+        base_infra_cost=float(cluster.monthly_node_cost),
     )
 
 

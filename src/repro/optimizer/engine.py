@@ -30,31 +30,49 @@ built on it) runs on a pluggable **evaluation backend**:
   harness; GIL-bound for this pure-Python float math);
 - ``"process"`` ships chunks to a
   :class:`~concurrent.futures.ProcessPoolExecutor` of long-lived
-  workers.  Each worker is seeded once, via the pool initializer, with
-  the engine's pickled per-(cluster, technology) term tables, so chunks
-  carry only ``(option_id, indices)`` pairs — no per-chunk re-pickling
-  of the precomputes.  Workers recombine the same cached
-  :class:`~repro.availability.model.ClusterTerms` /
+  workers.  Workers hold the pickled per-(cluster, technology) term
+  tables of every engine they serve, keyed by engine uid and fetched
+  once per (worker, engine) pairing through the pool registry's table
+  channel, so chunks carry only ``(option_id, indices)`` pairs — no
+  per-chunk re-pickling of the precomputes.  Workers recombine the same
+  cached :class:`~repro.availability.model.ClusterTerms` /
   :class:`~repro.cost.tco.ClusterCostTerms` values with the same float
   operations in the same order as the in-process combine, so results
-  are bit-identical across all three backends.
+  are bit-identical;
+- ``"vector"`` gathers each chunk's candidate index tuples into
+  per-cluster column arrays and runs the Eq. 1-5 math with **numpy**
+  vectorized across the candidate axis, looping over the small cluster
+  axis in exactly the order the scalar combine uses.  float64
+  elementwise operations are IEEE-correctly-rounded like Python floats
+  and every accumulation is explicit (never ``np.sum``'s pairwise
+  reassociation), so vector results are bit-identical to serial too.
+  numpy is an optional extra (``pip install .[vector]``); without it
+  the backend degrades to serial evaluation with a RuntimeWarning.
+
+Worker pools are **not** owned by individual engines: thread/process
+backends lease ref-counted executors from a shared
+:class:`~repro.optimizer.pools.PoolRegistry` (by default the
+process-global one), so N live engines — including every engine a
+broker's cross-request cache retains — share one process pool whose
+workers evaluate for all of them.  The last engine to close a leased
+pool shuts it down deterministically.
 
 Every backend yields results in submission order, making output
 deterministic regardless of parallelism.  The legacy ``parallel=True``
 flag is an alias for ``backend="thread"``; the ``REPRO_BACKEND``
 environment variable overrides the *default* backend (explicit
 ``backend=`` arguments always win), which is how CI smokes the process
-path across the whole suite.
+and vector paths across the whole suite.
 """
 
 from __future__ import annotations
 
 import contextlib
+import itertools
 import os
 import threading
 import warnings
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
@@ -75,6 +93,7 @@ from repro.cost.tco import (
     tco_values_from_terms,
 )
 from repro.errors import EngineBackendError, OptimizerError, ReproError
+from repro.optimizer.pools import PoolRegistry, default_registry, worker_payload
 from repro.optimizer.result import EvaluatedOption
 from repro.optimizer.space import (
     CandidateSpace,
@@ -89,10 +108,28 @@ from repro.topology.system import SystemTopology
 ENGINE_MODES = ("incremental", "direct")
 
 #: Supported evaluation backends for batch entry points.
-ENGINE_BACKENDS = ("serial", "thread", "process")
+ENGINE_BACKENDS = ("serial", "thread", "process", "vector")
+
+#: Backends that evaluate from shipped/gathered term tables and therefore
+#: require ``mode="incremental"`` (direct mode builds full topologies).
+TERM_TABLE_BACKENDS = ("process", "vector")
 
 #: Environment variable naming the default backend (CI smoke hook).
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Monotonic engine ids — keys for worker-held term tables in shared
+#: pools.  Never reused, so a stale worker cache entry can never alias a
+#: younger engine's tables.
+_ENGINE_UIDS = itertools.count(1)
+
+
+def _import_numpy():
+    """The optional numpy dependency, or ``None`` (patchable in tests)."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
 
 
 def resolve_backend(
@@ -102,11 +139,12 @@ def resolve_backend(
 
     ``None`` falls back to the :data:`BACKEND_ENV_VAR` environment
     variable (empty string = unset), then to the legacy ``parallel``
-    flag (``True`` → ``"thread"``).  The env-var default never forces
-    the process backend onto a ``mode="direct"`` engine — direct mode
-    evaluates full topologies, which worker processes cannot do from
-    the shipped term tables — whereas an *explicit* ``"process"``
-    request with direct mode is rejected at engine construction.
+    flag (``True`` → ``"thread"``).  The env-var default never forces a
+    term-table backend (:data:`TERM_TABLE_BACKENDS`) onto a
+    ``mode="direct"`` engine — direct mode evaluates full topologies,
+    which neither worker processes nor the vectorized combine can do
+    from term tables — whereas an *explicit* such request with direct
+    mode is rejected at engine construction.
     """
     if backend is None:
         env = os.environ.get(BACKEND_ENV_VAR) or None
@@ -114,7 +152,7 @@ def resolve_backend(
             raise OptimizerError(
                 f"invalid {BACKEND_ENV_VAR}={env!r}; valid: {ENGINE_BACKENDS}"
             )
-        if env == "process" and mode == "direct":
+        if env in TERM_TABLE_BACKENDS and mode == "direct":
             env = None
         backend = env if env is not None else (
             "thread" if parallel else "serial"
@@ -312,22 +350,16 @@ class _ProcessPrecompute:
         )
 
 
-#: Per-worker precompute, installed once by the pool initializer.
-_PROCESS_STATE: _ProcessPrecompute | None = None
-
-
-def _process_worker_init(precompute: _ProcessPrecompute) -> None:
-    global _PROCESS_STATE
-    _PROCESS_STATE = precompute
-
-
 def _process_worker_chunk(
-    chunk: list[tuple[int, tuple[int, ...]]]
+    uid: int, chunk: list[tuple[int, tuple[int, ...]]]
 ) -> list[tuple]:
-    """Evaluate one chunk of cache misses inside a worker process."""
-    state = _PROCESS_STATE
-    if state is None:  # pragma: no cover - initializer always runs first
-        raise OptimizerError("process evaluation worker was never initialized")
+    """Evaluate one chunk of cache misses inside a worker process.
+
+    Workers in a shared pool serve many engines; ``uid`` selects which
+    engine's published term tables to recombine (fetched through the
+    pool registry's table channel on first sight, locally cached after).
+    """
+    state = worker_payload(uid)
     return [state.evaluate(indices) for _, indices in chunk]
 
 
@@ -357,28 +389,42 @@ class _PooledBackend:
     and chunk results are yielded strictly in submission order — the
     output sequence is identical to serial evaluation.
 
-    The pool is created lazily on first use and kept alive across
-    streams (long-lived workers); :meth:`close` shuts it down.  A worker
-    failure surfaces as :class:`~repro.errors.EngineBackendError` (or
-    the original :class:`~repro.errors.ReproError`) and tears the pool
-    down so the next stream starts from a fresh pool instead of a
-    broken one.
+    The executor is **leased**, not owned: on first use the backend
+    acquires a ref-counted :class:`~repro.optimizer.pools.PoolHandle`
+    from the engine's :class:`~repro.optimizer.pools.PoolRegistry`, so
+    every engine asking the registry for the same (kind, width) shares
+    one pool of long-lived workers; :meth:`close` releases the lease and
+    the registry shuts the pool down when the last holder leaves.  A
+    worker failure surfaces as
+    :class:`~repro.errors.EngineBackendError` (or the original
+    :class:`~repro.errors.ReproError`) and *invalidates* the lease so
+    the next stream — from this engine or any sharing engine — starts
+    from a fresh pool instead of a broken one.
     """
 
     name = "pooled"
 
     def __init__(self) -> None:
-        self._pool = None
+        self._handle = None
         self._degraded = False
         self._pool_lock = threading.Lock()
+
+    @property
+    def _pool(self):
+        """The leased executor, or ``None`` (kept for introspection)."""
+        handle = self._handle
+        return None if handle is None else handle.pool
 
     # Subclass hooks -------------------------------------------------------
 
     def _default_workers(self) -> int:
         raise NotImplementedError
 
-    def _create_pool(self, engine: "EvaluationEngine", workers: int):
-        raise NotImplementedError
+    def _on_acquire(self, engine: "EvaluationEngine") -> None:
+        """Post-lease setup (the process backend publishes its tables)."""
+
+    def _on_release(self) -> None:
+        """Pre-release teardown (the process backend retracts tables)."""
 
     def _submit(self, engine: "EvaluationEngine", pool, block):
         raise NotImplementedError
@@ -392,10 +438,10 @@ class _PooledBackend:
         with self._pool_lock:
             if self._degraded:
                 return None
-            if self._pool is None:
+            if self._handle is None:
                 workers = engine.max_workers or self._default_workers()
                 try:
-                    self._pool = self._create_pool(engine, workers)
+                    handle = engine.pool_registry.acquire(self.name, workers)
                 except (NotImplementedError, ImportError, OSError,
                         PermissionError, ValueError) as exc:
                     warnings.warn(
@@ -406,7 +452,14 @@ class _PooledBackend:
                     )
                     self._degraded = True
                     return None
-            return self._pool
+                self._handle = handle
+                try:
+                    self._on_acquire(engine)
+                except BaseException:
+                    self._handle = None
+                    handle.release()
+                    raise
+            return self._handle.pool
 
     def evaluate_stream(
         self,
@@ -438,19 +491,29 @@ class _PooledBackend:
             yield from self._collect(engine, pending.popleft())
 
     def _worker_failure(self, exc: Exception) -> EngineBackendError:
-        """Wrap a pool failure and reset the pool for the next stream."""
-        self.close()
+        """Wrap a pool failure and invalidate the lease for every holder."""
+        self._release_pool(invalidate=True)
         return EngineBackendError(
             f"{self.name} evaluation backend worker failed: "
             f"{type(exc).__name__}: {exc}"
         )
 
-    def close(self) -> None:
-        """Shut the worker pool down; idempotent, pool recreated lazily."""
+    def _release_pool(self, *, invalidate: bool = False) -> None:
         with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            # Retract before releasing: the registry's table channel
+            # lives only while process-pool leases are outstanding.
+            self._on_release()
+            handle.release(invalidate=invalidate)
+
+    def close(self) -> None:
+        """Release the pool lease; idempotent, re-acquired lazily.
+
+        The shared executor itself shuts down only when the last engine
+        leasing it closes.
+        """
+        self._release_pool()
 
 
 class ThreadBackend(_PooledBackend):
@@ -468,11 +531,6 @@ class ThreadBackend(_PooledBackend):
     def _default_workers(self) -> int:
         return min(32, (os.cpu_count() or 1) + 4)
 
-    def _create_pool(self, engine: "EvaluationEngine", workers: int):
-        return ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="engine-eval"
-        )
-
     def _submit(self, engine: "EvaluationEngine", pool, block):
         return pool.submit(engine._evaluate_chunk, block)
 
@@ -485,14 +543,50 @@ class ThreadBackend(_PooledBackend):
             raise self._worker_failure(exc) from exc
 
 
+def _plan_block(
+    engine: "EvaluationEngine", block: list[tuple[int, tuple[int, ...]]]
+) -> tuple[list, list]:
+    """Probe the result cache for one chunk, in submission order.
+
+    Returns ``(plan, misses)``: ``plan`` holds the chunk's options with
+    ``None`` placeholders where an evaluated payload must be spliced in;
+    ``misses`` carries the ``(option_id, indices, names)`` bookkeeping
+    for those placeholders, in the same order they must be evaluated.
+    Shared by the process backend (misses travel to pool workers) and
+    the vector backend (misses are gathered into numpy columns).
+    """
+    plan: list = []
+    misses: list = []
+    for option_id, indices in block:
+        names, cached = engine._cache_probe(option_id, indices)
+        if cached is not None:
+            plan.append(cached)
+        else:
+            plan.append(None)
+            misses.append((option_id, indices, names))
+    return plan, misses
+
+
+def _splice_payloads(
+    engine: "EvaluationEngine", plan: list, misses: list, payloads: list
+) -> list:
+    """Fill a plan's placeholders with evaluated payloads, in order."""
+    filled = iter(zip(misses, payloads))
+    for position, slot in enumerate(plan):
+        if slot is None:
+            (option_id, indices, names), payload = next(filled)
+            plan[position] = engine._admit_worker_payload(
+                option_id, indices, names, payload
+            )
+    return plan
+
+
 @dataclass
 class _ProcessToken:
     """One submitted chunk: cache hits resolved in-parent, misses in-pool.
 
-    ``plan`` holds the chunk's options in submission order with ``None``
-    placeholders where a worker result must be spliced in; ``misses``
-    carries the ``(option_id, indices, names)`` bookkeeping for those
-    placeholders, in the same order the worker evaluates them.
+    ``plan``/``misses`` come from :func:`_plan_block`; ``future`` is the
+    pool-side evaluation of the misses (``None`` for all-hit chunks).
     """
 
     plan: list
@@ -505,8 +599,12 @@ class ProcessBackend(_PooledBackend):
 
     The parent resolves result-cache hits (and counts stats) at
     submission time; only cache misses travel to the workers, as bare
-    ``(option_id, indices)`` pairs.  Workers recombine the term tables
-    they were seeded with at pool startup and return
+    ``(option_id, indices)`` pairs tagged with the engine's uid.  The
+    pool is leased from the shared registry — its workers may be serving
+    several engines at once — so on acquiring the lease the backend
+    *publishes* the engine's pickled term tables through the registry's
+    table channel, and workers fetch-and-cache them keyed by uid on
+    first sight.  Workers recombine those tables and return
     ``(availability, tco, meets_sla)`` payloads; the parent splices them
     back into submission order, wraps them into lazy-topology
     :class:`EvaluatedOption`s and feeds the shared result cache — so a
@@ -519,30 +617,32 @@ class ProcessBackend(_PooledBackend):
 
     name = "process"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._published: tuple[PoolRegistry, int] | None = None
+
     def _default_workers(self) -> int:
         return os.cpu_count() or 1
 
-    def _create_pool(self, engine: "EvaluationEngine", workers: int):
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_process_worker_init,
-            initargs=(_ProcessPrecompute.from_engine(engine),),
+    def _on_acquire(self, engine: "EvaluationEngine") -> None:
+        engine.pool_registry.publish(
+            engine.uid, _ProcessPrecompute.from_engine(engine)
         )
+        self._published = (engine.pool_registry, engine.uid)
+
+    def _on_release(self) -> None:
+        published, self._published = self._published, None
+        if published is not None:
+            registry, uid = published
+            registry.retract(uid)
 
     def _submit(self, engine: "EvaluationEngine", pool, block):
-        plan: list = []
-        misses: list = []
-        for option_id, indices in block:
-            names, cached = engine._cache_probe(option_id, indices)
-            if cached is not None:
-                plan.append(cached)
-            else:
-                plan.append(None)
-                misses.append((option_id, indices, names))
+        plan, misses = _plan_block(engine, block)
         future = None
         if misses:
             future = pool.submit(
                 _process_worker_chunk,
+                engine.uid,
                 [(option_id, indices) for option_id, indices, _ in misses],
             )
         return _ProcessToken(plan=plan, misses=misses, future=future)
@@ -557,21 +657,209 @@ class ProcessBackend(_PooledBackend):
             raise
         except Exception as exc:
             raise self._worker_failure(exc) from exc
-        filled = iter(zip(token.misses, payloads))
-        options = token.plan
-        for position, slot in enumerate(options):
-            if slot is None:
-                (option_id, indices, names), payload = next(filled)
-                options[position] = engine._admit_worker_payload(
-                    option_id, indices, names, payload
+        return _splice_payloads(engine, token.plan, token.misses, payloads)
+
+
+class VectorBackend:
+    """Numpy-vectorized combine over candidate index arrays (in-process).
+
+    Each chunk's cache misses are gathered into per-cluster index
+    columns, and the Eq. 1-5 math runs vectorized **across the candidate
+    axis** while looping over the small cluster/technology axis in
+    exactly the order the scalar combine uses: explicit ``ones``/
+    ``zeros`` accumulators multiplied/added one cluster at a time —
+    never ``np.sum``/``np.prod``, whose pairwise reassociation would
+    change rounding.  float64 elementwise operations are IEEE
+    correctly-rounded exactly like Python float arithmetic, so every
+    value is bit-identical to :class:`SerialBackend`; contract math
+    (slippage, penalty, SLA check) runs per candidate through the very
+    same scalar helpers.  Results are wrapped through the engine's
+    worker-payload path, so cache and stats behaviour matches the
+    process backend (and replays are pure hits).
+
+    numpy is an optional extra (``pip install .[vector]``).  When it is
+    missing, evaluation degrades to serial with a
+    :class:`RuntimeWarning` — same contract as a pooled backend on a
+    platform without worker support.  No pool is involved; the backend
+    holds only per-engine column tables built once from the profiles.
+    """
+
+    name = "vector"
+
+    def __init__(self) -> None:
+        self._degraded = False
+        self._numpy = None
+        self._tables = None
+        self._tables_uid: int | None = None
+
+    def _ensure_numpy(self):
+        if self._degraded:
+            return None
+        if self._numpy is None:
+            numpy = _import_numpy()
+            if numpy is None:
+                warnings.warn(
+                    "vector evaluation backend unavailable (numpy is not "
+                    "installed; pip install .[vector]); degrading to "
+                    "serial evaluation",
+                    RuntimeWarning,
+                    stacklevel=4,
                 )
-        return options
+                self._degraded = True
+                return None
+            self._numpy = numpy
+        return self._numpy
+
+    def _column_tables(self, engine: "EvaluationEngine", np):
+        """Per-cluster per-choice value columns, built once per engine.
+
+        Row ``i`` holds six float64 arrays over cluster ``i``'s choices:
+        availability up/active-up/failover-rate and cost infra/labor-
+        hours/base — ``np.array`` conversion of Python floats is exact,
+        and fancy-indexed gathers preserve bits, so the tables introduce
+        no rounding of their own.
+        """
+        if self._tables is None or self._tables_uid != engine.uid:
+            self._tables = tuple(
+                (
+                    np.array([p.availability.up_probability for p in row]),
+                    np.array([p.availability.active_up_probability for p in row]),
+                    np.array([p.availability.failover_rate for p in row]),
+                    np.array([p.cost.ha_infra_cost for p in row]),
+                    np.array([p.cost.ha_labor_hours for p in row]),
+                    np.array([p.cost.base_infra_cost for p in row]),
+                )
+                for row in engine.profiles
+            )
+            self._tables_uid = engine.uid
+        return self._tables
+
+    def evaluate_stream(
+        self,
+        engine: "EvaluationEngine",
+        enumerated: Iterable[tuple[int, tuple[int, ...]]],
+    ) -> Iterator[EvaluatedOption]:
+        np = self._ensure_numpy()
+        if np is None:
+            yield from SerialBackend().evaluate_stream(engine, enumerated)
+            return
+        tables = self._column_tables(engine, np)
+        block: list[tuple[int, tuple[int, ...]]] = []
+        for item in enumerated:
+            block.append(item)
+            if len(block) >= engine.chunk_size:
+                yield from self._evaluate_block(engine, np, tables, block)
+                block = []
+        if block:
+            yield from self._evaluate_block(engine, np, tables, block)
+
+    def _evaluate_block(self, engine: "EvaluationEngine", np, tables, block):
+        """Probe the cache per candidate, vector-evaluate the misses."""
+        plan, misses = _plan_block(engine, block)
+        if misses:
+            try:
+                payloads = self._vector_payloads(
+                    engine, np, tables, [ind for _, ind, _ in misses]
+                )
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise EngineBackendError(
+                    f"vector evaluation backend failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            _splice_payloads(engine, plan, misses, payloads)
+        yield from plan
+
+    def _vector_payloads(self, engine, np, tables, index_rows):
+        """Flat worker-style payloads for a block of cache misses.
+
+        Mirrors :func:`availability_values_from_terms` and
+        :func:`tco_values_from_terms` operation for operation with the
+        candidate axis vectorized: ``1.0 * x`` and ``0.0 + x`` are exact
+        in IEEE arithmetic, so seeding the accumulators with
+        ``ones``/``zeros`` reproduces the scalar helpers' ``1.0``/``0``
+        starting values bit-for-bit.
+        """
+        n = engine.space.cluster_count
+        for indices in index_rows:
+            if len(indices) != n:
+                raise OptimizerError(
+                    f"expected {n} choice indices, got {len(indices)}"
+                )
+        idx = np.array(index_rows, dtype=np.intp)
+        count = idx.shape[0]
+        cols = [idx[:, i] for i in range(n)]
+
+        up = np.ones(count)
+        for i in range(n):
+            up = up * tables[i][0][cols[i]]
+        contributions = []
+        for i in range(n):
+            others_quiet = np.ones(count)
+            for j in range(n):
+                if j != i:
+                    others_quiet = others_quiet * tables[j][1][cols[j]]
+            contributions.append(tables[i][2][cols[i]] * others_quiet)
+        failover = np.zeros(count)
+        for contribution in contributions:
+            failover = failover + contribution
+        breakdown = 1.0 - up
+        uptime = 1.0 - (breakdown + failover)
+
+        infra = np.zeros(count)
+        labor_hours = np.zeros(count)
+        base = np.zeros(count)
+        for i in range(n):
+            infra = infra + tables[i][3][cols[i]]
+            labor_hours = labor_hours + tables[i][4][cols[i]]
+            base = base + tables[i][5][cols[i]]
+
+        # ``tolist()`` converts float64 to Python floats bit-exactly (and
+        # payload floats must pickle as plain floats); transposing the
+        # contribution columns with ``zip`` keeps the per-candidate loop
+        # free of numpy scalar indexing, which would otherwise dominate.
+        contract = engine.problem.contract
+        labor_rate = engine.problem.labor_rate
+        contribution_rows = zip(*(c.tolist() for c in contributions))
+        payloads = []
+        for breakdown_k, failover_k, up_k, infra_k, hours_k, base_k, contribs_k in zip(
+            breakdown.tolist(),
+            failover.tolist(),
+            uptime.tolist(),
+            infra.tolist(),
+            labor_hours.tolist(),
+            base.tolist(),
+            contribution_rows,
+        ):
+            # Scalar contract math through the very same helpers the
+            # serial combine calls, one candidate at a time.
+            slippage = contract.expected_slippage_hours(up_k)
+            payloads.append((
+                breakdown_k,
+                failover_k,
+                contribs_k,
+                (
+                    infra_k,
+                    labor_rate.monthly_cost(hours_k),
+                    contract.penalty.monthly_penalty(slippage),
+                    base_k,
+                    up_k,
+                    slippage,
+                ),
+                contract.sla.is_met_by(up_k),
+            ))
+        return payloads
+
+    def close(self) -> None:
+        """Nothing pooled to release; column tables die with the backend."""
 
 
 _BACKEND_TYPES = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "vector": VectorBackend,
 }
 
 
@@ -602,13 +890,22 @@ class EvaluationEngine:
         resolved backend is non-serial.
     backend:
         Which of :data:`ENGINE_BACKENDS` drives :meth:`evaluate_many`
-        batches (``"serial"``, ``"thread"`` or ``"process"``).  ``None``
-        resolves through :func:`resolve_backend` (environment default,
-        then the ``parallel`` flag).  Rebind a live engine with
+        batches (``"serial"``, ``"thread"``, ``"process"`` or
+        ``"vector"``).  ``None`` resolves through
+        :func:`resolve_backend` (environment default, then the
+        ``parallel`` flag).  Rebind a live engine with
         :meth:`set_backend`; per-candidate :meth:`evaluate` calls always
         run in-process regardless of backend.
     max_workers / chunk_size:
-        Pool sizing knobs for the thread/process backends.
+        Pool sizing knobs for the thread/process backends (the vector
+        backend uses ``chunk_size`` as its gather width).
+    pool_registry:
+        Where thread/process backends lease their executors.  ``None``
+        (default) means the process-global
+        :func:`~repro.optimizer.pools.default_registry`, so engines
+        share pools automatically; pass a private
+        :class:`~repro.optimizer.pools.PoolRegistry` to isolate a pool
+        population.
     """
 
     problem: OptimizationProblem
@@ -618,6 +915,7 @@ class EvaluationEngine:
     max_workers: int | None = None
     chunk_size: int = 1024
     backend: str | None = None
+    pool_registry: PoolRegistry | None = None
     space: CandidateSpace = field(init=False)
     stats: EngineStats = field(init=False)
 
@@ -633,12 +931,16 @@ class EvaluationEngine:
         self.backend = resolve_backend(
             self.backend, parallel=self.parallel, mode=self.mode
         )
-        if self.backend == "process" and self.mode == "direct":
+        if self.backend in TERM_TABLE_BACKENDS and self.mode == "direct":
             raise OptimizerError(
-                "the process backend requires mode='incremental': worker "
-                "processes evaluate from shipped term tables and cannot "
-                "run the full-topology direct path"
+                f"the {self.backend} backend requires mode='incremental': "
+                "it evaluates candidates from per-cluster term tables and "
+                "cannot run the full-topology direct path"
             )
+        if self.pool_registry is None:
+            self.pool_registry = default_registry()
+        #: Unique engine id — the worker-table key in shared pools.
+        self.uid = next(_ENGINE_UIDS)
         self.space = self.problem.space()
         self.stats = EngineStats()
         self._results: dict[ChoiceNames, EvaluatedOption] = {}
@@ -679,15 +981,17 @@ class EvaluationEngine:
         The per-(cluster, technology) term tables, the ``ChoiceNames``
         result cache and the stats all survive the switch — rebinding a
         warm cached engine costs zero cluster-term computations.  The
-        previous backend's pool is shut down first, so no in-flight
-        chunk can observe the swap.  Not safe to call concurrently with
-        evaluation; callers sharing engines across threads (the broker's
-        engine cache) serialize through their entry locks.
+        previous backend's pool lease is released first (the shared
+        executor itself lives on while other engines hold it), so no
+        in-flight chunk can observe the swap.  Not safe to call
+        concurrently with evaluation; callers sharing engines across
+        threads (the broker's engine cache) serialize through their
+        entry locks.
         """
         backend = resolve_backend(backend, mode=self.mode)
-        if backend == "process" and self.mode == "direct":
+        if backend in TERM_TABLE_BACKENDS and self.mode == "direct":
             raise OptimizerError(
-                "cannot rebind a mode='direct' engine to the process "
+                f"cannot rebind a mode='direct' engine to the {backend} "
                 "backend; direct evaluation needs the full topology"
             )
         resized = False
@@ -704,17 +1008,18 @@ class EvaluationEngine:
             self._backend_impl.close()
             self._bind_backend(backend)
         elif resized:
-            # Same backend, new width: drop the live pool so the next
-            # stream recreates it at the requested size (pool workers
-            # are fixed at creation).
+            # Same backend, new width: release the lease so the next
+            # stream acquires a pool of the requested size from the
+            # registry (executor widths are fixed at creation).
             self._backend_impl.close()
         return self
 
     def close(self) -> None:
-        """Shut down the backend's worker pool (caches stay warm).
+        """Release the backend's pool lease (caches stay warm).
 
         Idempotent; a closed engine remains usable — the next batch
-        evaluation lazily recreates the pool.
+        evaluation lazily re-acquires a pool.  The shared executor shuts
+        down when its last leasing engine closes.
         """
         self._backend_impl.close()
 
@@ -935,11 +1240,13 @@ class EvaluationEngine:
 
         Delegates to the engine's evaluation backend: serial engines
         evaluate inline; the thread/process backends cut the stream into
-        ``chunk_size`` blocks fanned out over a worker pool with a
-        bounded in-flight window (the input is *not* drained eagerly),
-        so huge candidate streams stay O(window) in memory.  Chunks are
-        yielded in submission order in every backend, so downstream
-        consumers (streaming results, option tables) see identical —
+        ``chunk_size`` blocks fanned out over a shared leased worker
+        pool with a bounded in-flight window (the input is *not* drained
+        eagerly), so huge candidate streams stay O(window) in memory;
+        the vector backend gathers ``chunk_size`` blocks into numpy
+        column arrays evaluated in-process.  Chunks are yielded in
+        submission order in every backend, so downstream consumers
+        (streaming results, option tables) see identical —
         bit-identical — sequences regardless of parallelism.
 
         Only the batch entry points fan out; the pruned and

@@ -1,0 +1,388 @@
+"""Shared, ref-counted worker-pool ownership across evaluation engines.
+
+Before this module, every :class:`~repro.optimizer.engine.EvaluationEngine`
+owned its evaluation pool outright: N cached engines meant N
+``ProcessPoolExecutor``s, N sets of worker processes, and N pools leaked
+whenever an engine was dropped without ``close()``.  The
+:class:`PoolRegistry` inverts that ownership:
+
+- pools are keyed by ``(kind, workers)`` and **ref-counted** — every
+  engine backend acquires a :class:`PoolHandle` lease and the executor
+  is created on the first acquire and shut down deterministically when
+  the last holder releases;
+- worker processes are seeded once (via the pool initializer) with a
+  :class:`multiprocessing.managers.SyncManager` dict proxy — the
+  registry's *table channel* — and fetch each engine's pickled term
+  tables on demand, caching them locally keyed by the engine's unique
+  id.  One pool's workers therefore serve chunks for any number of
+  engines concurrently, and a chunk carries only ``(engine uid,
+  (option_id, indices), ...)`` — never the precomputes;
+- a worker failure marks the pool *broken*: it leaves the registry map
+  immediately (so the next acquire builds a fresh pool) and is shut
+  down once its last holder releases.
+
+A process-global :func:`default_registry` makes the sharing automatic:
+engines built without an explicit registry — including every engine a
+broker's :class:`~repro.broker.api.EngineCache` builds — share one
+process pool per width instead of spawning their own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.errors import OptimizerError
+
+#: Pool kinds the registry can build.
+POOL_KINDS = ("thread", "process")
+
+#: Per-worker cap on locally cached engine term tables.  Tables are
+#: fetched from the registry's table channel on first use and kept in an
+#: LRU so a long-lived shared pool serving many short-lived engines does
+#: not accumulate every table it ever saw.
+WORKER_TABLE_LIMIT = 32
+
+
+# -- worker-side plumbing ---------------------------------------------------
+#
+# These globals live in each *worker process* (the parent's copies are
+# never used).  The initializer runs once per worker at pool startup;
+# afterwards every chunk resolves its engine's tables through
+# ``worker_payload`` — a local-cache hit in the steady state, one
+# manager round-trip per (worker, engine) pairing at worst.
+
+_WORKER_CHANNEL = None
+_WORKER_TABLES: "OrderedDict[int, object]" = OrderedDict()
+
+
+def _pool_worker_init(channel) -> None:
+    """Install the registry's table channel in a new worker process."""
+    global _WORKER_CHANNEL
+    _WORKER_CHANNEL = channel
+    _WORKER_TABLES.clear()
+
+
+def worker_payload(uid: int):
+    """Resolve one engine's published tables inside a worker process.
+
+    Local LRU first, then the manager-backed table channel.  A missing
+    uid means the engine retracted its tables (closed) while chunks were
+    still queued — surfaced as a structured error rather than a
+    ``KeyError`` traceback pickled across the pool boundary.
+    """
+    tables = _WORKER_TABLES
+    if uid in tables:
+        tables.move_to_end(uid)
+        return tables[uid]
+    channel = _WORKER_CHANNEL
+    if channel is None:
+        raise OptimizerError(
+            "pool worker was never initialized with a table channel"
+        )
+    try:
+        payload = channel[uid]
+    except KeyError:
+        raise OptimizerError(
+            f"engine {uid} has no published worker tables "
+            "(engine closed while chunks were in flight?)"
+        ) from None
+    tables[uid] = payload
+    while len(tables) > WORKER_TABLE_LIMIT:
+        tables.popitem(last=False)
+    return payload
+
+
+# -- registry ---------------------------------------------------------------
+
+@dataclass
+class PoolRegistryStats:
+    """Lifecycle accounting for one :class:`PoolRegistry`.
+
+    ``pools_created``/``pools_closed`` count real executors, not leases;
+    a healthy steady state creates one pool per (kind, width) however
+    many engines share it.
+    """
+
+    pools_created: int = 0
+    pools_closed: int = 0
+    acquires: int = 0
+    releases: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> "PoolRegistryStats":
+        """A point-in-time copy — registries mutate their live stats."""
+        return replace(self)
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe counters."""
+        return {
+            "pools_created": self.pools_created,
+            "pools_closed": self.pools_closed,
+            "acquires": self.acquires,
+            "releases": self.releases,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _SharedPool:
+    """One executor plus its lease bookkeeping."""
+
+    key: tuple[str, int]
+    pool: object
+    holders: int = 0
+    broken: bool = False
+    closed: bool = False
+
+
+class PoolHandle:
+    """One holder's lease on a shared executor.
+
+    Handles are not thread-safe per se — each backend guards its own
+    handle — but :meth:`release` is idempotent and safe to race with
+    other holders' releases.
+    """
+
+    def __init__(self, registry: "PoolRegistry", shared: _SharedPool) -> None:
+        self._registry = registry
+        self._shared = shared
+        self.released = False
+
+    @property
+    def pool(self):
+        """The shared executor this lease covers."""
+        return self._shared.pool
+
+    @property
+    def kind(self) -> str:
+        return self._shared.key[0]
+
+    @property
+    def workers(self) -> int:
+        return self._shared.key[1]
+
+    def release(self, *, invalidate: bool = False) -> None:
+        """Give the lease back; the last holder shuts the pool down.
+
+        ``invalidate=True`` additionally marks the pool broken (a worker
+        died), evicting it from the registry map at once so concurrent
+        and future acquires build a fresh pool instead of inheriting the
+        corpse.
+        """
+        self._registry._release(self, invalidate)
+
+
+class PoolRegistry:
+    """Ref-counted executors shared across evaluation engines.
+
+    Thread-safe.  One registry typically serves a whole process (see
+    :func:`default_registry`); tests and specialized deployments can
+    build private ones to isolate pool populations.  The registry also
+    owns the *table channel* for process pools — a manager-hosted dict
+    through which engines publish their per-(cluster, technology) term
+    tables to workers exactly once, keyed by engine uid.  The manager
+    process starts with the first process-pool lease and stops with the
+    last, so an idle registry holds no OS resources at all.
+    """
+
+    def __init__(self) -> None:
+        # ``_lock`` guards the maps/counters (fast, never held across
+        # blocking work); ``_build_lock`` serializes the slow cold path
+        # (manager + executor construction, manager teardown) so that a
+        # multi-second process-pool spin-up never stalls unrelated
+        # acquires and releases.
+        self._lock = threading.Lock()
+        self._build_lock = threading.Lock()
+        self._pools: dict[tuple[str, int], _SharedPool] = {}
+        self._manager = None
+        self._tables = None
+        self._process_holders = 0
+        self.stats = PoolRegistryStats()
+
+    # -- leases ------------------------------------------------------------
+
+    def acquire(self, kind: str, workers: int) -> PoolHandle:
+        """Lease the ``(kind, workers)`` executor, creating it if needed.
+
+        Raises whatever the underlying executor (or the table-channel
+        manager) raises on platforms without thread/process support —
+        callers degrade to serial evaluation on failure.
+        """
+        if kind not in POOL_KINDS:
+            raise OptimizerError(
+                f"unknown pool kind {kind!r}; valid: {POOL_KINDS}"
+            )
+        if workers < 1:
+            raise OptimizerError(f"workers must be >= 1, got {workers!r}")
+        key = (kind, workers)
+        handle = self._lease_existing(key)
+        if handle is not None:
+            return handle
+        # Cold path: build outside the map lock.  The build lock keeps
+        # concurrent builders from racing each other (and keeps manager
+        # teardown from yanking the table channel mid-build).
+        with self._build_lock:
+            handle = self._lease_existing(key)
+            if handle is not None:
+                return handle
+            with self._lock:
+                manager_needed = kind == "process" and self._manager is None
+                tables = self._tables
+            manager = None
+            if manager_needed:
+                manager = multiprocessing.Manager()
+                tables = manager.dict()
+            try:
+                pool = self._create(kind, workers, tables)
+            except BaseException:
+                if manager is not None:
+                    manager.shutdown()
+                raise
+            with self._lock:
+                if manager is not None:
+                    self._manager = manager
+                    self._tables = tables
+                shared = _SharedPool(key=key, pool=pool, holders=1)
+                self._pools[key] = shared
+                self.stats.pools_created += 1
+                if kind == "process":
+                    self._process_holders += 1
+                self.stats.acquires += 1
+                return PoolHandle(self, shared)
+
+    def _lease_existing(self, key: tuple[str, int]) -> PoolHandle | None:
+        """The fast path: bump an already-built pool's lease count."""
+        with self._lock:
+            shared = self._pools.get(key)
+            if shared is None:
+                return None
+            shared.holders += 1
+            if key[0] == "process":
+                self._process_holders += 1
+            self.stats.acquires += 1
+            return PoolHandle(self, shared)
+
+    def _create(self, kind: str, workers: int, tables):
+        if kind == "thread":
+            return ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="engine-eval"
+            )
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_worker_init,
+            initargs=(tables,),
+        )
+
+    def _release(self, handle: PoolHandle, invalidate: bool) -> None:
+        shutdown_pool = None
+        maybe_shutdown_manager = False
+        with self._lock:
+            if handle.released:
+                return
+            handle.released = True
+            self.stats.releases += 1
+            shared = handle._shared
+            shared.holders -= 1
+            if invalidate and not shared.broken:
+                shared.broken = True
+                self.stats.invalidations += 1
+            if self._pools.get(shared.key) is shared and (
+                shared.broken or shared.holders <= 0
+            ):
+                del self._pools[shared.key]
+            if shared.holders <= 0 and not shared.closed:
+                shared.closed = True
+                shutdown_pool = shared.pool
+                self.stats.pools_closed += 1
+            if shared.key[0] == "process":
+                self._process_holders -= 1
+                maybe_shutdown_manager = self._process_holders <= 0
+        # Executor/manager teardown can block; never do it under the
+        # map lock.
+        if shutdown_pool is not None:
+            shutdown_pool.shutdown(wait=True)
+        if maybe_shutdown_manager:
+            # Serialize with builders: a cold-path acquire that already
+            # read the live table channel must finish (and re-raise the
+            # process holder count) before the manager may go down.
+            with self._build_lock:
+                with self._lock:
+                    manager = None
+                    if self._process_holders <= 0 and self._manager is not None:
+                        manager, self._manager = self._manager, None
+                        self._tables = None
+                if manager is not None:
+                    manager.shutdown()
+
+    # -- table channel -----------------------------------------------------
+
+    def publish(self, uid: int, payload) -> None:
+        """Make ``payload`` fetchable by pool workers under ``uid``.
+
+        Requires a live process-pool lease (the manager's lifetime is
+        tied to process holders); backends publish immediately after
+        acquiring their handle and before submitting any chunk.
+        """
+        with self._lock:
+            tables = self._tables
+        if tables is None:
+            raise OptimizerError(
+                "cannot publish worker tables without an active process pool"
+            )
+        tables[uid] = payload
+
+    def retract(self, uid: int) -> None:
+        """Withdraw ``uid``'s published tables (idempotent)."""
+        with self._lock:
+            tables = self._tables
+        if tables is not None:
+            tables.pop(uid, None)
+
+    # -- introspection -----------------------------------------------------
+
+    def active_pools(self) -> tuple[tuple[str, int], ...]:
+        """Keys of the live (non-broken, leased or leasable) pools."""
+        with self._lock:
+            return tuple(self._pools)
+
+    def holders(self, kind: str, workers: int) -> int:
+        """Current lease count on one keyed pool (0 if absent)."""
+        with self._lock:
+            shared = self._pools.get((kind, workers))
+            return 0 if shared is None else shared.holders
+
+    def has_table_channel(self) -> bool:
+        """Whether the manager-backed table channel is currently up."""
+        with self._lock:
+            return self._tables is not None
+
+    def published_uids(self) -> tuple[int, ...]:
+        """Engine uids currently published to workers (for tests)."""
+        with self._lock:
+            tables = self._tables
+        if tables is None:
+            return ()
+        return tuple(sorted(tables.keys()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+
+# -- process-global default -------------------------------------------------
+
+_default_registry: PoolRegistry | None = None
+_default_registry_lock = threading.Lock()
+
+
+def default_registry() -> PoolRegistry:
+    """The process-wide registry engines share unless told otherwise."""
+    global _default_registry
+    with _default_registry_lock:
+        if _default_registry is None:
+            _default_registry = PoolRegistry()
+        return _default_registry

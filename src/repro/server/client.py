@@ -52,8 +52,18 @@ class ServerClient:
     server's keep-alive support), so polling loops and benchmark fleets
     do not pay a TCP handshake per request.  A request that fails on a
     *reused* connection — the stale keep-alive case — is retried once
-    on a fresh connection; a fresh connection's failure propagates.
+    on a fresh connection, but only when the retry cannot duplicate
+    work: always after a send-phase failure (the request never reached
+    the server), and after a response-phase failure only for idempotent
+    methods.  A non-idempotent request whose response was lost (the
+    server may already have run it — a retried ``POST /v2/jobs`` would
+    submit a duplicate job, a retried ``POST /v2/ingest`` would
+    double-count telemetry) raises instead; the caller decides.  A
+    fresh connection's failure always propagates.
     """
+
+    #: Methods safe to replay after a lost response (RFC 9110 §9.2.2).
+    IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "OPTIONS", "PUT", "DELETE"})
 
     def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
         self.host = host
@@ -122,12 +132,24 @@ class ServerClient:
                     body=body,
                     headers={"Content-Type": content_type} if body else {},
                 )
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Send-phase failure: the stale keep-alive socket died
+                # at write time, before the server saw the request —
+                # retrying is safe for any method.
+                self.close()
+                if reused:
+                    continue
+                raise
+            try:
                 response = connection.getresponse()
                 text = response.read().decode("utf-8")
             except (http.client.HTTPException, ConnectionError, OSError):
+                # Response-phase failure: the server may have processed
+                # the request before the connection dropped, so an
+                # automatic replay is safe only for idempotent methods.
                 self.close()
-                if reused:
-                    continue  # stale keep-alive: one retry, fresh socket
+                if reused and method in self.IDEMPOTENT_METHODS:
+                    continue
                 raise
             if response.will_close:
                 self.close()

@@ -202,9 +202,149 @@ class TestEngineCacheUnit:
         assert len(cache) == 0
         assert cache.stats.misses == 1
 
+    def test_clear_closes_dropped_engine_pools(self):
+        from repro.optimizer.pools import PoolRegistry
+
+        registry = PoolRegistry()
+        cache = EngineCache(capacity=2)
+
+        def build() -> EvaluationEngine:
+            return EvaluationEngine(
+                case_study_problem(), backend="thread",
+                max_workers=1, pool_registry=registry,
+            )
+
+        entry = cache.entry(self._key("a"), build)
+        list(entry.engine.evaluate_all())
+        assert registry.active_pools() == (("thread", 1),)
+        cache.clear()
+        assert entry.closed
+        assert registry.active_pools() == ()
+
+
+class TestEvictionLifecycle:
+    """LRU eviction must release engines' worker pools, not leak them."""
+
+    @staticmethod
+    def _key(tag: str) -> EngineKey:
+        return EngineKey(
+            provider="p", base_system=tag, contract="c", rate_card="r",
+            variant=(),
+        )
+
+    @staticmethod
+    def _build(registry, backend: str = "process"):
+        def build() -> EvaluationEngine:
+            return EvaluationEngine(
+                case_study_problem(), backend=backend,
+                max_workers=1, pool_registry=registry, chunk_size=4,
+            )
+        return build
+
+    def test_eviction_closes_the_evicted_engines_pool(self):
+        from repro.optimizer.pools import PoolRegistry
+
+        registry = PoolRegistry()
+        cache = EngineCache(capacity=1)
+        entry_a = cache.entry(self._key("a"), self._build(registry))
+        list(entry_a.engine.evaluate_all())  # spin the worker pool up
+        assert registry.holders("process", 1) == 1
+        # Inserting a second key evicts (and must close) the first.
+        cache.entry(self._key("b"), self._build(registry))
+        assert entry_a.evicted and entry_a.closed
+        assert cache.stats.evictions == 1
+        assert cache.stats.evicted_engines_closed == 1
+        assert cache.stats.deferred_engine_closes == 0
+        assert entry_a.engine._backend_impl._pool is None
+        assert registry.active_pools() == ()  # last holder released
+        cache.clear()
+
+    def test_eviction_defers_close_to_in_flight_holder(self):
+        from repro.optimizer.pools import PoolRegistry
+
+        registry = PoolRegistry()
+        cache = EngineCache(capacity=1)
+        entry_a = cache.entry(self._key("a"), self._build(registry, "thread"))
+        list(entry_a.engine.evaluate_all())
+        # Simulate an in-flight request: the entry's lock is held while
+        # another request's miss evicts this entry.
+        assert entry_a.lock.acquire(blocking=False)
+        try:
+            cache.entry(self._key("b"), self._build(registry, "thread"))
+            assert entry_a.evicted and not entry_a.closed
+            assert cache.stats.deferred_engine_closes == 1
+            assert cache.stats.evicted_engines_closed == 0
+            # The engine keeps serving the in-flight request meanwhile.
+            assert registry.holders("thread", 1) == 1
+        finally:
+            entry_a.lock.release()
+        # The holder completes the close on its way out.
+        cache.finish(entry_a)
+        assert entry_a.closed
+        assert cache.stats.evicted_engines_closed == 1
+        assert entry_a.engine._backend_impl._pool is None
+        cache.clear()
+
+    def test_finish_recloses_an_engine_revived_after_eviction(self):
+        from repro.optimizer.pools import PoolRegistry
+
+        registry = PoolRegistry()
+        cache = EngineCache(capacity=1)
+        entry_a = cache.entry(self._key("a"), self._build(registry, "thread"))
+        list(entry_a.engine.evaluate_all())
+        cache.entry(self._key("b"), self._build(registry, "thread"))
+        assert entry_a.closed  # eviction closed it while unheld
+        # A holder that resolved the entry before eviction revives the
+        # closed engine just by evaluating on it (lazy re-acquire)...
+        list(entry_a.engine.evaluate_all())
+        assert entry_a.engine._backend_impl._pool is not None
+        assert registry.holders("thread", 1) == 1
+        # ...so its finish() must re-close, or the lease leaks forever.
+        cache.finish(entry_a)
+        assert entry_a.engine._backend_impl._pool is None
+        assert registry.active_pools() == ()
+        # The first close was already counted; re-closes are not.
+        assert cache.stats.evicted_engines_closed == 1
+        cache.clear()
+
+    def test_session_eviction_closes_engines_between_requests(
+        self, observed_broker
+    ):
+        with observed_broker.session(
+            cache_capacity=1, backend="thread"
+        ) as session:
+            first = three_tier_request(
+                Contract.linear(98.0, 100.0),
+                strategy="brute-force",
+                providers=("metalcloud",),
+            )
+            second = three_tier_request(
+                Contract.linear(99.0, 100.0),
+                strategy="brute-force",
+                providers=("metalcloud",),
+            )
+            session.recommend(first)
+            survivor = session.engine_cache.engines()
+            assert len(survivor) == 1
+            session.recommend(second)
+            stats = session.engine_cache.stats
+            assert stats.evictions == 1
+            assert stats.evicted_engines_closed == 1
+            # The evicted engine's pool lease is gone; the survivor's
+            # engine still serves warm repeats.
+            assert survivor[0]._backend_impl._pool is None
+            repeat = session.recommend(second)
+            assert repeat.recommendations
+
     def test_stats_serialization(self):
         stats = EngineCache(capacity=2).stats
-        assert stats.to_dict() == {"hits": 0, "misses": 0, "evictions": 0}
+        assert stats.to_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "evicted_engines_closed": 0,
+            "deferred_engine_closes": 0,
+        }
         assert "hit rate" in stats.describe()
 
 
@@ -515,7 +655,13 @@ class TestSessionMetrics:
         session.recommend(request)
         metrics = session.metrics()
         assert metrics["engine_cache"] == session.engine_cache.stats.to_dict()
-        assert set(metrics["engine_cache"]) == {"hits", "misses", "evictions"}
+        assert set(metrics["engine_cache"]) == {
+            "hits",
+            "misses",
+            "evictions",
+            "evicted_engines_closed",
+            "deferred_engine_closes",
+        }
         assert metrics["engine_cache"]["misses"] >= 3  # one engine/provider
         assert metrics["engine_cache"]["hits"] >= 3  # warm repeat
         assert metrics["engines_cached"] == len(session.engine_cache)
@@ -629,13 +775,14 @@ class TestBackendSwitch:
         with pytest.raises(ValidationError, match="backend"):
             three_tier_request(contract, backend="quantum")
 
-    def test_process_backend_with_direct_engine_rejected_at_request(
-        self, contract
+    @pytest.mark.parametrize("backend", ["process", "vector"])
+    def test_term_table_backend_with_direct_engine_rejected_at_request(
+        self, contract, backend
     ):
         # Fails at the request boundary like every other bad shape,
         # not deep inside a job as an engine error.
         with pytest.raises(ValidationError, match="incremental"):
-            three_tier_request(contract, engine="direct", backend="process")
+            three_tier_request(contract, engine="direct", backend=backend)
 
     def test_warm_cache_survives_backend_switch(self, observed_broker, contract):
         """Acceptance: serving the same request on a different backend is
@@ -648,7 +795,7 @@ class TestBackendSwitch:
             stats = session.engine_cache.stats
             misses_cold, hits_cold = stats.misses, stats.hits
             terms_cold = session.engine_cache.cluster_term_computations()
-            for backend in ("thread", "process", "serial"):
+            for backend in ("thread", "process", "vector", "serial"):
                 switched = session.recommend(
                     dataclasses.replace(request, backend=backend)
                 )
@@ -667,7 +814,7 @@ class TestBackendSwitch:
                     assert [o.tco.total for o in cold_rec.result.options] == [
                         o.tco.total for o in warm_rec.result.options
                     ]
-            assert stats.hits == hits_cold + 3 * len(cold.recommendations)
+            assert stats.hits == hits_cold + 4 * len(cold.recommendations)
 
     def test_warm_switch_does_no_new_combines(self, observed_broker, contract):
         request = three_tier_request(

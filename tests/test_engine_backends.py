@@ -1,4 +1,5 @@
-"""Cross-backend equivalence: serial, thread and process are one engine.
+"""Cross-backend equivalence: serial, thread, process and vector are one
+engine.
 
 The backend contract is byte-level: for any problem, every backend must
 yield the *identical* ``EvaluatedOption`` stream in the identical order —
@@ -7,8 +8,14 @@ including replayed (cache-hit) streams and ``from_stream`` distillation.
 These tests sweep the paper's named workload scenarios plus
 hypothesis-randomized catalogs/contracts, and pin down the failure
 modes: a worker that dies mid-chunk surfaces a structured engine error,
-pool shutdown is clean and reversible, and the process backend degrades
-to serial (with a warning) where worker processes cannot start.
+pool shutdown is clean and reversible, the process backend degrades to
+serial (with a warning) where worker processes cannot start, and the
+vector backend degrades the same way when numpy is not installed.
+
+Pool *ownership* is tested here too: thread/process executors are leased
+from a ref-counted :class:`~repro.optimizer.pools.PoolRegistry`, so N
+engines share one pool whose workers hold term tables for all of them,
+and the pool shuts down when the last holder closes.
 """
 
 from __future__ import annotations
@@ -21,14 +28,18 @@ from hypothesis import strategies as st
 
 from repro.errors import EngineBackendError, OptimizerError
 from repro.optimizer import engine as engine_module
+from repro.optimizer import pools as pools_module
 from repro.optimizer.brute_force import brute_force_optimize
 from repro.optimizer.engine import (
     BACKEND_ENV_VAR,
     ENGINE_BACKENDS,
+    TERM_TABLE_BACKENDS,
     EvaluationEngine,
     ProcessBackend,
+    VectorBackend,
     resolve_backend,
 )
+from repro.optimizer.pools import PoolRegistry
 from repro.optimizer.result import OptimizationResult
 from repro.workloads.case_study import case_study_problem
 from repro.workloads.generators import random_problem
@@ -36,6 +47,21 @@ from repro.workloads.scenarios import SCENARIOS
 
 #: The backends every equivalence assertion sweeps.
 ALL_BACKENDS = ENGINE_BACKENDS
+
+HAS_NUMPY = engine_module._import_numpy() is not None
+
+requires_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="numpy not installed (the [vector] extra)"
+)
+
+#: Non-serial backends whose streams must match serial byte-for-byte.
+#: Without numpy the vector backend degrades (warning) — the degrade
+#: path has its own tests, so equivalence sweeps skip it there.
+NON_SERIAL = tuple(
+    backend
+    for backend in ENGINE_BACKENDS
+    if backend != "serial" and (backend != "vector" or HAS_NUMPY)
+)
 
 #: Named workload scenarios for the acceptance criterion (>= 3).
 WORKLOAD_PROBLEMS = [
@@ -82,7 +108,7 @@ class TestCrossBackendEquivalence:
             backend_engine(problem, "serial").evaluate_all()
         )
         expected = stream_signature(reference)
-        for backend in ("thread", "process"):
+        for backend in NON_SERIAL:
             with backend_engine(problem, backend, chunk_size=16) as engine:
                 assert stream_signature(engine.evaluate_all()) == expected, (
                     label,
@@ -104,7 +130,7 @@ class TestCrossBackendEquivalence:
         expected = stream_signature(
             backend_engine(problem, "serial").evaluate_all()
         )
-        for backend in ("thread", "process"):
+        for backend in NON_SERIAL:
             with backend_engine(problem, backend, chunk_size=7) as engine:
                 first = stream_signature(engine.evaluate_all())
                 replay = stream_signature(engine.evaluate_all())
@@ -123,7 +149,10 @@ class TestCrossBackendEquivalence:
             assert engine.stats.incremental_combines == combines
             assert engine.stats.cache_hits == engine.space.size
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "backend",
+        ["thread", "process", pytest.param("vector", marks=requires_numpy)],
+    )
     def test_from_stream_distillation_matches_serial(self, backend):
         problem = random_problem(5, clusters=4, choices_per_layer=3)
         full = brute_force_optimize(problem)
@@ -165,7 +194,7 @@ class TestBackendRebinding:
         expected = stream_signature(engine.evaluate_all())
         terms = engine.stats.cluster_term_computations
         combines = engine.stats.incremental_combines
-        for backend in ("process", "thread", "serial"):
+        for backend in NON_SERIAL + ("serial",):
             engine.set_backend(backend, chunk_size=4)
             assert engine.backend == backend
             assert engine.parallel == (backend != "serial")
@@ -192,14 +221,15 @@ class TestBackendRebinding:
         with pytest.raises(OptimizerError, match="backend"):
             engine.set_backend("quantum")
 
-    def test_process_backend_requires_incremental_mode(self):
+    @pytest.mark.parametrize("backend", TERM_TABLE_BACKENDS)
+    def test_term_table_backends_require_incremental_mode(self, backend):
         with pytest.raises(OptimizerError, match="incremental"):
             EvaluationEngine(
-                case_study_problem(), mode="direct", backend="process"
+                case_study_problem(), mode="direct", backend=backend
             )
         engine = EvaluationEngine(case_study_problem(), mode="direct")
         with pytest.raises(OptimizerError, match="direct"):
-            engine.set_backend("process")
+            engine.set_backend(backend)
 
     def test_set_backend_rejects_bad_chunk_size(self):
         engine = EvaluationEngine(case_study_problem())
@@ -233,8 +263,11 @@ class TestEnvironmentDefault:
         engine = EvaluationEngine(case_study_problem(), backend="serial")
         assert engine.backend == "serial"
 
-    def test_env_process_never_forced_onto_direct_mode(self, monkeypatch):
-        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+    @pytest.mark.parametrize("backend", TERM_TABLE_BACKENDS)
+    def test_env_term_table_backends_never_forced_onto_direct_mode(
+        self, monkeypatch, backend
+    ):
+        monkeypatch.setenv(BACKEND_ENV_VAR, backend)
         engine = EvaluationEngine(case_study_problem(), mode="direct")
         assert engine.backend == "serial"
 
@@ -250,7 +283,10 @@ class TestEnvironmentDefault:
 
 
 class TestFailureModes:
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "backend",
+        ["thread", "process", pytest.param("vector", marks=requires_numpy)],
+    )
     def test_worker_failure_surfaces_structured_error(self, backend):
         # cache=False skips the parent-side ChoiceNames probe, so the
         # out-of-range index reaches the worker and blows up mid-chunk.
@@ -323,7 +359,7 @@ class TestFailureModes:
             raise NotImplementedError("no process support on this platform")
 
         monkeypatch.setattr(
-            engine_module, "ProcessPoolExecutor", unavailable
+            pools_module.PoolRegistry, "acquire", unavailable
         )
         engine = backend_engine(problem, "process")
         with pytest.warns(RuntimeWarning, match="degrading to serial"):
@@ -339,7 +375,7 @@ class TestFailureModes:
         def unavailable(*args, **kwargs):
             raise OSError("fork failed")
 
-        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", unavailable)
+        monkeypatch.setattr(pools_module.PoolRegistry, "acquire", unavailable)
         engine = backend_engine(problem, "process")
         with pytest.warns(RuntimeWarning):
             list(engine.evaluate_all())
@@ -365,6 +401,227 @@ class TestStrategiesAcrossBackends:
         assert engine.stats.topology_evaluations == 0
 
 
+class TestVectorBackend:
+    """Vector-specific contracts (equivalence runs in the shared sweeps)."""
+
+    def test_degrades_to_serial_with_warning_without_numpy(self, monkeypatch):
+        problem = case_study_problem()
+        reference = stream_signature(EvaluationEngine(problem).evaluate_all())
+        monkeypatch.setattr(engine_module, "_import_numpy", lambda: None)
+        engine = backend_engine(problem, "vector")
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            options = list(engine.evaluate_all())
+        assert stream_signature(options) == reference
+        # Degradation is sticky (no warning spam, no import retry storm).
+        assert stream_signature(engine.evaluate_all()) == reference
+        assert engine._backend_impl._degraded is True
+        assert engine.stats.topology_evaluations == 0
+
+    @requires_numpy
+    def test_replay_is_pure_cache_hits(self):
+        problem = random_problem(17, clusters=4, choices_per_layer=2)
+        with backend_engine(problem, "vector", chunk_size=8) as engine:
+            list(engine.evaluate_all())
+            combines = engine.stats.incremental_combines
+            list(engine.evaluate_all())
+            assert engine.stats.incremental_combines == combines
+            assert engine.stats.cache_hits == engine.space.size
+
+    @requires_numpy
+    def test_wrong_arity_indices_rejected(self):
+        problem = case_study_problem()
+        with backend_engine(problem, "vector", cache=False) as engine:
+            with pytest.raises(OptimizerError, match="choice indices"):
+                list(engine.evaluate_many([(1, (0,))]))
+
+    @requires_numpy
+    def test_int_valued_costs_stay_bit_identical(self):
+        # Specs built with int dollar amounts are legal; the scalar
+        # paths must not flow int arithmetic while the float64 columns
+        # produce floats (cluster_cost_terms coerces at construction).
+        from repro.catalog.raid import RAID1
+        from repro.catalog.registry import TechnologyRegistry
+        from repro.cost.rates import LaborRate
+        from repro.optimizer.space import OptimizationProblem
+        from repro.sla.contract import Contract
+        from repro.topology.builder import TopologyBuilder
+        from repro.topology.node import NodeSpec
+
+        registry = TechnologyRegistry()
+        registry.register(RAID1(
+            failover_minutes=1.0, monthly_controller_cost=30,
+            monthly_labor_hours=2,
+        ))
+        volume = NodeSpec("volume", 0.015, 5.0, monthly_cost=170)
+        system = (
+            TopologyBuilder("int-costs")
+            .storage("storage", volume, nodes=2)
+            .build()
+        )
+        problem = OptimizationProblem(
+            base_system=system,
+            registry=registry,
+            contract=Contract.linear(98.0, 100),
+            labor_rate=LaborRate(30),
+        )
+        expected = stream_signature(
+            EvaluationEngine(problem, backend="serial").evaluate_all()
+        )
+        with backend_engine(problem, "vector", chunk_size=2) as engine:
+            assert stream_signature(engine.evaluate_all()) == expected
+
+    @requires_numpy
+    def test_payload_floats_are_plain_floats(self):
+        # Options must pickle identically to serial ones, so no numpy
+        # scalar may leak into availability/TCO fields.
+        problem = case_study_problem()
+        with backend_engine(problem, "vector", chunk_size=4) as engine:
+            option = next(iter(engine.evaluate_all()))
+        assert type(option.tco.total) is float
+        assert type(option.availability.breakdown_probability) is float
+        assert all(
+            type(cluster.failover_contribution) is float
+            for cluster in option.availability.clusters
+        )
+
+
+class TestPoolRegistry:
+    """Ref-counted pool sharing: N engines, one executor, clean shutdown."""
+
+    def _problems(self):
+        return (
+            random_problem(31, clusters=3, choices_per_layer=2),
+            random_problem(32, clusters=3, choices_per_layer=2),
+        )
+
+    def test_two_process_engines_share_exactly_one_pool(self):
+        registry = PoolRegistry()
+        problem_a, problem_b = self._problems()
+        with backend_engine(
+            problem_a, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        ) as engine_a, backend_engine(
+            problem_b, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        ) as engine_b:
+            expected_a = stream_signature(
+                EvaluationEngine(problem_a).evaluate_all()
+            )
+            expected_b = stream_signature(
+                EvaluationEngine(problem_b).evaluate_all()
+            )
+            # Interleaved streams: the same workers recombine both
+            # engines' term tables, keyed by engine uid.
+            assert stream_signature(engine_a.evaluate_all()) == expected_a
+            assert stream_signature(engine_b.evaluate_all()) == expected_b
+            assert registry.stats.pools_created == 1
+            assert engine_a._backend_impl._pool is engine_b._backend_impl._pool
+            assert registry.holders("process", 1) == 2
+            assert set(registry.published_uids()) == {
+                engine_a.uid, engine_b.uid,
+            }
+
+    def test_last_close_shuts_the_shared_pool_down(self):
+        registry = PoolRegistry()
+        problem_a, problem_b = self._problems()
+        engine_a = backend_engine(
+            problem_a, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        )
+        engine_b = backend_engine(
+            problem_b, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        )
+        list(engine_a.evaluate_all())
+        list(engine_b.evaluate_all())
+        engine_a.close()
+        # One holder left: the executor (and table channel) stay up.
+        assert registry.active_pools() == (("process", 1),)
+        assert registry.stats.pools_closed == 0
+        assert registry.has_table_channel()
+        assert registry.published_uids() == (engine_b.uid,)
+        engine_b.close()
+        assert registry.active_pools() == ()
+        assert registry.stats.pools_closed == 1
+        assert not registry.has_table_channel()
+
+    def test_thread_engines_share_pools_too(self):
+        registry = PoolRegistry()
+        problem_a, problem_b = self._problems()
+        with backend_engine(
+            problem_a, "thread", max_workers=2,
+            pool_registry=registry, chunk_size=8,
+        ) as engine_a, backend_engine(
+            problem_b, "thread", max_workers=2,
+            pool_registry=registry, chunk_size=8,
+        ) as engine_b:
+            list(engine_a.evaluate_all())
+            list(engine_b.evaluate_all())
+            assert registry.stats.pools_created == 1
+            assert engine_a._backend_impl._pool is engine_b._backend_impl._pool
+
+    def test_resize_moves_the_engine_to_a_new_keyed_pool(self):
+        registry = PoolRegistry()
+        problem = random_problem(33, clusters=3, choices_per_layer=2)
+        with backend_engine(
+            problem, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        ) as engine:
+            list(engine.evaluate_all())
+            assert registry.active_pools() == (("process", 1),)
+            engine.set_backend("process", max_workers=2)
+            # The old lease is released immediately; the new width is
+            # acquired lazily by the next stream.
+            assert engine._backend_impl._pool is None
+            assert registry.active_pools() == ()
+            list(engine.evaluate_all())
+            assert registry.active_pools() == (("process", 2),)
+            assert engine.stats.cache_hits >= engine.space.size
+
+    def test_worker_failure_invalidates_only_the_broken_pool(self):
+        registry = PoolRegistry()
+        problem_a, problem_b = self._problems()
+        engine_a = backend_engine(
+            problem_a, "process", max_workers=1,
+            pool_registry=registry, cache=False, chunk_size=8,
+        )
+        engine_b = backend_engine(
+            problem_b, "process", max_workers=1,
+            pool_registry=registry, chunk_size=8,
+        )
+        try:
+            list(engine_a.evaluate_all())
+            original = engine_module._process_worker_chunk
+            engine_module._process_worker_chunk = None  # unpicklable call
+            try:
+                with pytest.raises((EngineBackendError, OptimizerError)):
+                    list(engine_a.evaluate_all())
+            finally:
+                engine_module._process_worker_chunk = original
+            assert registry.stats.invalidations == 1
+            # The sharing engine simply triggers a fresh pool.
+            assert stream_signature(engine_b.evaluate_all()) == (
+                stream_signature(EvaluationEngine(problem_b).evaluate_all())
+            )
+            assert registry.stats.pools_created == 2
+        finally:
+            engine_a.close()
+            engine_b.close()
+        assert registry.active_pools() == ()
+
+    def test_engines_default_to_the_process_global_registry(self):
+        engine = EvaluationEngine(case_study_problem())
+        assert engine.pool_registry is pools_module.default_registry()
+
+    def test_unknown_pool_kind_rejected(self):
+        with pytest.raises(OptimizerError, match="pool kind"):
+            PoolRegistry().acquire("fiber", 1)
+        with pytest.raises(OptimizerError, match="workers"):
+            PoolRegistry().acquire("thread", 0)
+
+
 def test_backend_constants_are_consistent():
     assert set(ENGINE_BACKENDS) == set(engine_module._BACKEND_TYPES)
     assert ProcessBackend.name == "process"
+    assert VectorBackend.name == "vector"
+    assert set(TERM_TABLE_BACKENDS) <= set(ENGINE_BACKENDS)

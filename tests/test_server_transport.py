@@ -8,8 +8,10 @@ with identical telemetry and a cold cache.
 
 from __future__ import annotations
 
+import http.client
 import json
 import socket
+import threading
 
 import pytest
 
@@ -396,3 +398,114 @@ class TestGracefulShutdown:
         handle = start_in_thread(observed_broker())
         handle.close()
         handle.close()
+
+
+class _ProcessThenDropServer:
+    """A raw-socket server that processes every request but answers only
+    the first per connection — the second is read fully (and counted as
+    processed) before the connection is dropped without a response.
+
+    This is exactly the dangerous stale-keep-alive shape: the server has
+    already acted on the request when the client's ``getresponse()``
+    fails, so an automatic client retry would run the request twice.
+    """
+
+    def __init__(self) -> None:
+        self.processed: list[str] = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(0.2)
+        self.host, self.port = self._sock.getsockname()
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def __enter__(self) -> "_ProcessThenDropServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._closing = True
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        served = 0
+        with conn:
+            while True:
+                request = self._read_request(conn)
+                if request is None:
+                    return
+                self.processed.append(request)
+                served += 1
+                if served >= 2:
+                    return  # process, then drop: no response bytes
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 2\r\n\r\n{}"
+                )
+
+    def _read_request(self, conn: socket.socket) -> str | None:
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            try:
+                data = conn.recv(65536)
+            except OSError:
+                return None
+            if not data:
+                return None
+            buffer += data
+        head, _, body = buffer.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        method, path = lines[0].split()[:2]
+        length = 0
+        for line in lines[1:]:
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(body) < length:
+            data = conn.recv(65536)
+            if not data:
+                return None
+            body += data
+        return f"{method.decode()} {path.decode()}"
+
+
+class TestClientRetrySemantics:
+    """The stale keep-alive retry must never replay non-idempotent work."""
+
+    def test_post_is_not_retried_after_response_phase_failure(self):
+        with _ProcessThenDropServer() as server:
+            wire = ServerClient(server.host, server.port, timeout=5.0)
+            status, _ = wire.request_raw("POST", "/v2/jobs", '{"n": 1}')
+            assert status == 200
+            # Second POST reuses the keep-alive connection; the server
+            # processes it and drops the link.  The client must surface
+            # the failure instead of silently submitting a duplicate.
+            with pytest.raises((ConnectionError, http.client.HTTPException)):
+                wire.request_raw("POST", "/v2/jobs", '{"n": 2}')
+            assert server.processed == ["POST /v2/jobs", "POST /v2/jobs"]
+
+    def test_get_is_retried_on_a_fresh_connection(self):
+        with _ProcessThenDropServer() as server:
+            wire = ServerClient(server.host, server.port, timeout=5.0)
+            status, _ = wire.request_raw("GET", "/healthz")
+            assert status == 200
+            # Same drop, but GET is idempotent: one transparent replay
+            # on a fresh connection (the server answers request #1 of
+            # every connection), so the caller sees a clean 200.
+            status, _ = wire.request_raw("GET", "/healthz")
+            assert status == 200
+            assert server.processed == [
+                "GET /healthz",
+                "GET /healthz",  # processed, response lost
+                "GET /healthz",  # transparent replay
+            ]
