@@ -53,6 +53,7 @@ from repro.optimizer.engine import (
     EvaluationEngine,
     resolve_backend,
 )
+from repro.optimizer.megabatch import MegabatchConfig, MegabatchStacker
 from repro.optimizer.result import OptimizationResult, ResultAccumulator
 from repro.optimizer.space import OptimizationProblem
 from repro.sla.contract import Contract
@@ -268,6 +269,11 @@ class _CacheEntry:
     worker-pool lease was released afterwards.  An evicted-but-not-yet-
     closed entry is one an in-flight request still holds — that holder
     finishes the close via :meth:`EngineCache.finish`.
+
+    ``shared`` counts megabatching requests currently evaluating on the
+    engine *without* holding ``lock`` for the duration (they hold it
+    only to join/leave); exclusive users wait on ``cond`` (which wraps
+    ``lock``) until the count drains before rebinding the backend.
     """
 
     key: EngineKey
@@ -276,6 +282,10 @@ class _CacheEntry:
     unserved: bool = True
     evicted: bool = False
     closed: bool = False
+    shared: int = 0
+
+    def __post_init__(self) -> None:
+        self.cond = threading.Condition(self.lock)
 
 
 class EngineCache:
@@ -484,6 +494,17 @@ class BrokerSession:
     ``backend`` sets the session's default evaluation backend for
     requests that do not pin one themselves (``request.backend``
     always wins).
+
+    ``megabatch`` opts the session into cross-request megabatching:
+    concurrent requests that resolve to the *same* cached engine and
+    the ``vector`` backend evaluate their candidate chunks in one
+    stacked numpy pass (see :mod:`repro.optimizer.megabatch`).  Pass
+    ``True`` for the default window/size bounds or a
+    :class:`~repro.optimizer.megabatch.MegabatchConfig` to tune them.
+    Results are byte-identical to unbatched serving; only per-request
+    ``engine_stats`` deltas become approximate when requests genuinely
+    overlap (they already are for interleaved cache hits — see
+    ``_request_stats``).
     """
 
     def __init__(
@@ -496,6 +517,7 @@ class BrokerSession:
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
         finished_job_ttl: float | None = None,
         backend: str | None = None,
+        megabatch: "bool | MegabatchConfig" = False,
     ) -> None:
         if max_workers < 1:
             raise BrokerError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -520,6 +542,12 @@ class BrokerSession:
         self.max_finished_jobs = max_finished_jobs
         self.finished_job_ttl = finished_job_ttl
         self.backend = backend
+        if isinstance(megabatch, MegabatchConfig):
+            self.megabatch: MegabatchStacker | None = MegabatchStacker(megabatch)
+        elif megabatch:
+            self.megabatch = MegabatchStacker()
+        else:
+            self.megabatch = None
         self._jobs: "OrderedDict[str, BrokerJob]" = OrderedDict()
         self._futures: dict[str, Future] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -783,6 +811,10 @@ class BrokerSession:
             "jobs": dict(statuses),
             "jobs_evicted": evicted,
             "job_queue_depth": statuses[JOB_PENDING] + statuses[JOB_RUNNING],
+            "megabatch": (
+                None if self.megabatch is None
+                else self.megabatch.stats.snapshot().to_dict()
+            ),
         }
 
     # -- streaming ---------------------------------------------------------
@@ -1022,6 +1054,9 @@ class BrokerSession:
         entry = self._cache_entry(request, name)
         engine = entry.engine
         optimize = _STRATEGY_FUNCTIONS[request.strategy]
+        backend = self._request_backend(request)
+        if self.megabatch is not None and backend == "vector":
+            return self._megabatch_provider(request, name, entry, optimize)
         # A cache hit may serve the search from a different worker
         # thread later; sequential engines are not thread-safe, so each
         # entry's lock serializes use of its engine.  A warm engine is
@@ -1029,7 +1064,12 @@ class BrokerSession:
         # caches survive the switch.
         try:
             with entry.lock:
-                engine.set_backend(self._request_backend(request))
+                # Megabatching sharers evaluate without holding the
+                # lock; rebinding the backend under them would corrupt
+                # their pass, so exclusive use drains them first.
+                while entry.shared:
+                    entry.cond.wait()
+                engine.set_backend(backend)
                 before = engine.stats.snapshot()
                 result: OptimizationResult = optimize(
                     engine.problem, engine=engine
@@ -1040,6 +1080,52 @@ class BrokerSession:
         finally:
             # If the entry was LRU-evicted while this request held it,
             # its deferred close falls to us.
+            self.engine_cache.finish(entry)
+        return ProviderRecommendation(
+            provider_name=name,
+            base_system=engine.problem.base_system,
+            result=result,
+            engine_stats=_request_stats(before, after, first_service),
+        )
+
+    def _megabatch_provider(
+        self, request: RecommendationRequest, name: str, entry, optimize
+    ) -> "ProviderRecommendation":
+        """Serve one vector-backed request as a megabatch *sharer*.
+
+        Sharers take the entry lock only to join and leave: the first
+        sharer in rebinds the engine to the vector backend and attaches
+        the session's stacker (upgrading the engine's cache lock), the
+        last one out detaches it and wakes any waiting exclusive user.
+        The evaluation itself runs outside the entry lock so concurrent
+        sharers reach the stacker together — that is the whole point.
+        Candidate results are deterministic and spliced per request, so
+        reports stay byte-identical to unshared serving; only the
+        ``engine_stats`` deltas are approximate under true overlap.
+        """
+        from repro.broker.service import ProviderRecommendation
+
+        engine = entry.engine
+        stacker = self.megabatch
+        with entry.lock:
+            if entry.shared == 0:
+                engine.set_backend("vector")
+                engine.enable_megabatch(stacker)
+            entry.shared += 1
+            stacker.join(engine.uid)
+            before = engine.stats.snapshot()
+            first_service = entry.unserved
+            entry.unserved = False
+        try:
+            result: OptimizationResult = optimize(engine.problem, engine=engine)
+            after = engine.stats.snapshot()
+        finally:
+            with entry.lock:
+                stacker.leave(engine.uid)
+                entry.shared -= 1
+                if entry.shared == 0:
+                    engine.disable_megabatch()
+                    entry.cond.notify_all()
             self.engine_cache.finish(entry)
         return ProviderRecommendation(
             provider_name=name,

@@ -260,6 +260,7 @@ class BrokerService:
         max_finished_jobs: int | None = None,
         finished_job_ttl: float | None = None,
         backend: str | None = None,
+        megabatch=False,
     ) -> "BrokerSession":
         """Open a v2 :class:`~repro.broker.api.BrokerSession` over this broker.
 
@@ -267,9 +268,11 @@ class BrokerService:
         it owns the cross-request engine cache, the batched/async job
         lifecycle and the streaming protocol.  Keyword arguments default
         to the session's own defaults when ``None``; ``backend`` sets
-        the session's default evaluation backend and ``finished_job_ttl``
+        the session's default evaluation backend, ``finished_job_ttl``
         enables age-based eviction of finished (even never-retrieved)
-        jobs.
+        jobs, and ``megabatch`` (bool or
+        :class:`~repro.optimizer.megabatch.MegabatchConfig`) stacks
+        concurrent same-engine vector requests into one numpy pass.
         """
         from repro.broker.api import BrokerSession
 
@@ -277,6 +280,7 @@ class BrokerService:
             "engine_cache": engine_cache,
             "finished_job_ttl": finished_job_ttl,
             "backend": backend,
+            "megabatch": megabatch,
         }
         if cache_capacity is not None:
             kwargs["cache_capacity"] = cache_capacity

@@ -273,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
         "evicted from the session job table; 0 disables age-based "
         "eviction (the retrieved-jobs count cap still applies)",
     )
+    serve.add_argument(
+        "--megabatch", action="store_true",
+        help="stack concurrent same-engine vector requests into one "
+        "numpy pass (needs --backend vector or per-request vector "
+        "backends; results are bit-identical either way)",
+    )
+    serve.add_argument(
+        "--megabatch-window", type=float, default=None,
+        help="seconds a megabatch leader waits for co-scheduled "
+        "requests (default 0.005)",
+    )
+    serve.add_argument(
+        "--megabatch-max-rows", type=int, default=None,
+        help="soft cap on candidate rows stacked per megabatch vector "
+        "pass (default 65536)",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -508,6 +524,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         eval_backend=args.backend,
         finished_job_ttl=args.finished_job_ttl or None,
+        megabatch=args.megabatch,
+        megabatch_window=args.megabatch_window,
+        megabatch_max_rows=args.megabatch_max_rows,
     )
 
     async def run() -> None:

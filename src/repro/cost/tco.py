@@ -28,7 +28,7 @@ from repro.topology.system import SystemTopology
 from repro.units import format_money
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class TCOBreakdown:
     """Itemized monthly cost of one HA-enabled system option.
 
@@ -164,6 +164,31 @@ def tco_from_terms(
     return TCOBreakdown(
         *tco_values_from_terms(terms, uptime_probability, contract, labor_rate)
     )
+
+
+def assemble_breakdown(
+    values: tuple[float, float, float, float, float, float],
+) -> TCOBreakdown:
+    """Hot-path ``TCOBreakdown(*values)`` for sweep evaluation.
+
+    The frozen ``__init__`` routes each of the six fields through
+    ``object.__setattr__``; candidate sweeps build one breakdown per
+    evaluated option, so this assembles the instance dict directly —
+    same stored state, same eq/hash/repr, one C call instead of six.
+    ``values`` must be in field declaration order, exactly as
+    :func:`tco_values_from_terms` returns them.
+    """
+    tco = object.__new__(TCOBreakdown)
+    store = tco.__dict__
+    (
+        store["ha_infra_cost"],
+        store["ha_labor_cost"],
+        store["expected_penalty"],
+        store["base_infra_cost"],
+        store["uptime_probability"],
+        store["slippage_hours"],
+    ) = values
+    return tco
 
 
 def compute_tco(

@@ -75,13 +75,11 @@ def brute_force_optimize(
     else:
         engine = engine_for(problem, engine)
     try:
-        return OptimizationResult.from_stream(
-            engine.evaluate_all(),
-            space_size=engine.space.size,
-            strategy="brute-force",
-            pruned=0,
-            keep_options=keep_options,
-        )
+        # EvaluationEngine.sweep lets bulk-ranking backends distill
+        # whole blocks at once; with keep_options=True (or any other
+        # backend) it is exactly the from_stream path this function
+        # always used.
+        return engine.sweep(keep_options=keep_options)
     finally:
         if owns_engine:
             engine.close()

@@ -88,13 +88,14 @@ from repro.cost.rates import LaborRate
 from repro.cost.tco import (
     ClusterCostTerms,
     TCOBreakdown,
+    assemble_breakdown,
     cluster_cost_terms,
     compute_tco,
     tco_values_from_terms,
 )
 from repro.errors import EngineBackendError, OptimizerError, ReproError
 from repro.optimizer.pools import PoolRegistry, default_registry, worker_payload
-from repro.optimizer.result import EvaluatedOption
+from repro.optimizer.result import EvaluatedOption, assemble_option
 from repro.optimizer.space import (
     CandidateSpace,
     ChoiceNames,
@@ -555,6 +556,16 @@ def _plan_block(
     Shared by the process backend (misses travel to pool workers) and
     the vector backend (misses are gathered into numpy columns).
     """
+    if not engine.cache:
+        # Cache off: every candidate is a miss and carries no cache key.
+        # One stats bump for the whole chunk replaces per-candidate
+        # probe/lock round-trips — the difference is measurable at 100k+
+        # candidates per sweep.
+        with engine._lock:
+            engine.stats.candidate_evaluations += len(block)
+        return [None] * len(block), [
+            (option_id, indices, None) for option_id, indices in block
+        ]
     plan: list = []
     misses: list = []
     for option_id, indices in block:
@@ -570,14 +581,47 @@ def _plan_block(
 def _splice_payloads(
     engine: "EvaluationEngine", plan: list, misses: list, payloads: list
 ) -> list:
-    """Fill a plan's placeholders with evaluated payloads, in order."""
+    """Fill a plan's placeholders with evaluated payloads, in order.
+
+    Options are assembled without the engine lock (payloads are this
+    chunk's private data), then stats and cache admissions land under
+    one lock acquisition per chunk instead of one per candidate.
+    """
+    build = engine._build_option
+    if len(misses) == len(plan):
+        # All-miss chunk — the norm for cache-off sweeps and cold
+        # catalogs.  Skip the placeholder scan and build straight from
+        # the miss list; with the cache off there is nothing to admit,
+        # so the chunk costs one lock acquisition and no side lists.
+        plan[:] = [
+            build(option_id, indices, names, *payload)
+            for (option_id, indices, names), payload in zip(misses, payloads)
+        ]
+        with engine._lock:
+            engine.stats.incremental_combines += len(plan)
+            if engine.cache:
+                results = engine._results
+                for (_, _, names), option in zip(misses, plan):
+                    results.setdefault(names, option)
+        return plan
     filled = iter(zip(misses, payloads))
+    admitted: list = []
     for position, slot in enumerate(plan):
         if slot is None:
             (option_id, indices, names), payload = next(filled)
-            plan[position] = engine._admit_worker_payload(
-                option_id, indices, names, payload
+            breakdown, failover, contributions, tco_values, meets = payload
+            option = build(
+                option_id, indices, names,
+                breakdown, failover, contributions, tco_values, meets,
             )
+            plan[position] = option
+            admitted.append((names, option))
+    with engine._lock:
+        engine.stats.incremental_combines += len(admitted)
+        if engine.cache:
+            results = engine._results
+            for names, option in admitted:
+                results.setdefault(names, option)
     return plan
 
 
@@ -672,8 +716,10 @@ class VectorBackend:
     change rounding.  float64 elementwise operations are IEEE
     correctly-rounded exactly like Python float arithmetic, so every
     value is bit-identical to :class:`SerialBackend`; contract math
-    (slippage, penalty, SLA check) runs per candidate through the very
-    same scalar helpers.  Results are wrapped through the engine's
+    (slippage, penalty, labor cost, SLA check) is vectorized end-to-end
+    through the clauses' ``*_vector`` methods, which replay the scalar
+    op order exactly — no per-candidate Python call survives in the
+    combine.  Results are wrapped through the engine's
     worker-payload path, so cache and stats behaviour matches the
     process backend (and replays are pure hits).
 
@@ -744,35 +790,72 @@ class VectorBackend:
             yield from SerialBackend().evaluate_stream(engine, enumerated)
             return
         tables = self._column_tables(engine, np)
-        block: list[tuple[int, tuple[int, ...]]] = []
-        for item in enumerated:
-            block.append(item)
-            if len(block) >= engine.chunk_size:
-                yield from self._evaluate_block(engine, np, tables, block)
-                block = []
-        if block:
+        # Cut blocks with islice instead of a per-candidate append loop:
+        # the enumeration is consumed in C, which matters at 100k+
+        # candidates per sweep.
+        chunk_size = engine.chunk_size
+        pending = iter(enumerated)
+        while block := list(itertools.islice(pending, chunk_size)):
             yield from self._evaluate_block(engine, np, tables, block)
 
-    def _evaluate_block(self, engine: "EvaluationEngine", np, tables, block):
-        """Probe the cache per candidate, vector-evaluate the misses."""
+    def _evaluate_block(
+        self, engine: "EvaluationEngine", np, tables, block
+    ) -> list:
+        """Probe the cache per candidate, vector-evaluate the misses.
+
+        When the engine carries a megabatch stacker, the block's misses
+        are stacked with other concurrent requests on the same engine
+        and evaluated in one vector pass — byte-identical either way,
+        since every candidate's math is elementwise.
+        """
+        if not engine.cache:
+            # Cache off: the whole block is fresh vector lanes, so skip
+            # the placeholder plan and the per-miss bookkeeping tuples
+            # entirely — stats, evaluation and assembly run straight off
+            # the block.
+            with engine._lock:
+                engine.stats.candidate_evaluations += len(block)
+            rows = [indices for _, indices in block]
+            payloads = self._block_payloads(engine, np, tables, rows)
+            build = engine._build_option
+            plan = [
+                build(option_id, indices, None, *payload)
+                for (option_id, indices), payload in zip(block, payloads)
+            ]
+            with engine._lock:
+                engine.stats.incremental_combines += len(plan)
+            return plan
         plan, misses = _plan_block(engine, block)
         if misses:
-            try:
-                payloads = self._vector_payloads(
-                    engine, np, tables, [ind for _, ind, _ in misses]
-                )
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise EngineBackendError(
-                    f"vector evaluation backend failed: "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+            rows = [ind for _, ind, _ in misses]
+            payloads = self._block_payloads(engine, np, tables, rows)
             _splice_payloads(engine, plan, misses, payloads)
-        yield from plan
+        return plan
 
-    def _vector_payloads(self, engine, np, tables, index_rows):
-        """Flat worker-style payloads for a block of cache misses.
+    def _block_payloads(self, engine: "EvaluationEngine", np, tables, rows):
+        """Evaluate one block's index rows, stacked across requests when
+        the engine carries a megabatch stacker."""
+        stacker = engine.megabatch
+        try:
+            if stacker is not None:
+                return stacker.evaluate(
+                    engine.uid,
+                    lambda stacked: self._vector_payloads(
+                        engine, np, tables, stacked
+                    ),
+                    rows,
+                )
+            return self._vector_payloads(engine, np, tables, rows)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise EngineBackendError(
+                f"vector evaluation backend failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _vector_arrays(self, engine, np, tables, index_rows):
+        """Eq. 1-5 column arrays for a block of candidate index rows.
 
         Mirrors :func:`availability_values_from_terms` and
         :func:`tco_values_from_terms` operation for operation with the
@@ -782,12 +865,19 @@ class VectorBackend:
         starting values bit-for-bit.
         """
         n = engine.space.cluster_count
-        for indices in index_rows:
-            if len(indices) != n:
-                raise OptimizerError(
-                    f"expected {n} choice indices, got {len(indices)}"
-                )
-        idx = np.array(index_rows, dtype=np.intp)
+        # np.array rejects ragged rows outright, so a single shape check
+        # on the converted block replaces a per-candidate len() loop.
+        try:
+            idx = np.array(index_rows, dtype=np.intp)
+        except ValueError as exc:
+            raise OptimizerError(
+                f"expected {n} choice indices per candidate: {exc}"
+            ) from exc
+        if idx.ndim != 2 or idx.shape[1] != n:
+            width = idx.shape[1] if idx.ndim == 2 else "ragged"
+            raise OptimizerError(
+                f"expected {n} choice indices, got {width}"
+            )
         count = idx.shape[0]
         cols = [idx[:, i] for i in range(n)]
 
@@ -815,41 +905,149 @@ class VectorBackend:
             labor_hours = labor_hours + tables[i][4][cols[i]]
             base = base + tables[i][5][cols[i]]
 
+        # Contract math stays on the candidate axis too: slippage,
+        # penalty and labor-cost vectors come from the clauses' own
+        # ``*_vector`` methods, which perform the scalar helpers' float
+        # operations in the same order (see repro.sla.penalty).
+        contract = engine.problem.contract
+        labor_rate = engine.problem.labor_rate
+        slippage = contract.expected_slippage_hours_vector(uptime)
+        penalty = contract.penalty.monthly_penalty_vector(slippage)
+        labor_cost = labor_rate.monthly_cost_vector(labor_hours)
+        meets = contract.sla.is_met_by_vector(uptime)
+        return (
+            breakdown, failover, contributions, uptime,
+            infra, labor_cost, penalty, base, slippage, meets,
+        )
+
+    def _vector_payloads(self, engine, np, tables, index_rows):
+        """Flat worker-style payloads for a block of cache misses."""
+        if not index_rows:
+            return []
+        (
+            breakdown, failover, contributions, uptime,
+            infra, labor_cost, penalty, base, slippage, meets,
+        ) = self._vector_arrays(engine, np, tables, index_rows)
+
         # ``tolist()`` converts float64 to Python floats bit-exactly (and
         # payload floats must pickle as plain floats); transposing the
         # contribution columns with ``zip`` keeps the per-candidate loop
         # free of numpy scalar indexing, which would otherwise dominate.
-        contract = engine.problem.contract
-        labor_rate = engine.problem.labor_rate
         contribution_rows = zip(*(c.tolist() for c in contributions))
         payloads = []
-        for breakdown_k, failover_k, up_k, infra_k, hours_k, base_k, contribs_k in zip(
+        for (
+            breakdown_k,
+            failover_k,
+            up_k,
+            infra_k,
+            labor_k,
+            penalty_k,
+            base_k,
+            slippage_k,
+            meets_k,
+            contribs_k,
+        ) in zip(
             breakdown.tolist(),
             failover.tolist(),
             uptime.tolist(),
             infra.tolist(),
-            labor_hours.tolist(),
+            labor_cost.tolist(),
+            penalty.tolist(),
             base.tolist(),
+            slippage.tolist(),
+            meets.tolist(),
             contribution_rows,
         ):
-            # Scalar contract math through the very same helpers the
-            # serial combine calls, one candidate at a time.
-            slippage = contract.expected_slippage_hours(up_k)
             payloads.append((
                 breakdown_k,
                 failover_k,
                 contribs_k,
-                (
-                    infra_k,
-                    labor_rate.monthly_cost(hours_k),
-                    contract.penalty.monthly_penalty(slippage),
-                    base_k,
-                    up_k,
-                    slippage,
-                ),
-                contract.sla.is_met_by(up_k),
+                (infra_k, labor_k, penalty_k, base_k, up_k, slippage_k),
+                meets_k,
             ))
         return payloads
+
+    def sweep_distilled(self, engine: "EvaluationEngine", enumerated, accumulator) -> None:
+        """Distilled exhaustive sweep: rank whole blocks in bulk.
+
+        The per-candidate streaming path assembles an
+        :class:`EvaluatedOption` for every candidate even when the
+        consumer only wants the two distilled recommendations.  Here
+        each block is ranked with numpy — argmin over the Eq. 5 totals
+        and the (penalty, ha-cost) lexicographic minimum, in exactly
+        the scalar fold's tie-break order — and only the block winners
+        are assembled and folded, so no per-candidate Python call
+        survives the combine.  Results are bit-identical to the scalar
+        fold (same floats compared under the same rules; argmin's
+        first-occurrence tie-break equals the fold's lowest-id rule
+        because paper-order enumeration ascends by option id).
+
+        Falls back to the generic per-candidate fold when numpy is
+        missing, when the result cache is on (admissions need every
+        option), or when a megabatch stacker is attached (stacking
+        trades block-local ranking for cross-request amortization).
+        """
+        np = self._ensure_numpy()
+        if np is None or engine.cache or engine.megabatch is not None:
+            add = accumulator.add
+            for option in self.evaluate_stream(engine, enumerated):
+                add(option)
+            return
+        tables = self._column_tables(engine, np)
+        chunk_size = engine.chunk_size
+        pending = iter(enumerated)
+        while block := list(itertools.islice(pending, chunk_size)):
+            self._distill_block(engine, np, tables, block, accumulator)
+
+    def _distill_block(self, engine, np, tables, block, accumulator) -> None:
+        """Rank one block's candidates and fold its winners."""
+        with engine._lock:
+            engine.stats.candidate_evaluations += len(block)
+        rows = [indices for _, indices in block]
+        try:
+            (
+                breakdown, failover, contributions, uptime,
+                infra, labor_cost, penalty, base, slippage, meets,
+            ) = self._vector_arrays(engine, np, tables, rows)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise EngineBackendError(
+                f"vector evaluation backend failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        # Same float ops, same order, as the accumulator's scalar fold:
+        # ha_cost = infra + labor, total = ha_cost + penalty.
+        ha_cost = infra + labor_cost
+        totals = ha_cost + penalty
+        best_i = int(np.argmin(totals))
+        min_penalty_rows = np.flatnonzero(penalty == penalty.min())
+        if min_penalty_rows.shape[0] == 1:
+            penalty_i = int(min_penalty_rows[0])
+        else:
+            penalty_i = int(
+                min_penalty_rows[np.argmin(ha_cost[min_penalty_rows])]
+            )
+        winners = []
+        build = engine._build_option
+        # Ascending order keeps the fold's lowest-id tie-breaks exact.
+        for i in sorted({best_i, penalty_i}):
+            option_id, indices = block[i]
+            winners.append(build(
+                option_id, indices, None,
+                float(breakdown[i]),
+                float(failover[i]),
+                tuple(float(c[i]) for c in contributions),
+                (
+                    float(infra[i]), float(labor_cost[i]),
+                    float(penalty[i]), float(base[i]),
+                    float(uptime[i]), float(slippage[i]),
+                ),
+                bool(meets[i]),
+            ))
+        with engine._lock:
+            engine.stats.incremental_combines += len(winners)
+        accumulator.fold_winners(winners, evaluated=len(block))
 
     def close(self) -> None:
         """Nothing pooled to release; column tables die with the backend."""
@@ -941,6 +1139,10 @@ class EvaluationEngine:
             self.pool_registry = default_registry()
         #: Unique engine id — the worker-table key in shared pools.
         self.uid = next(_ENGINE_UIDS)
+        #: Cross-request stacker (see :mod:`repro.optimizer.megabatch`);
+        #: installed by :meth:`enable_megabatch`, consumed by the vector
+        #: backend's block evaluation.
+        self.megabatch = None
         self.space = self.problem.space()
         self.stats = EngineStats()
         self._results: dict[ChoiceNames, EvaluatedOption] = {}
@@ -949,6 +1151,15 @@ class EvaluationEngine:
         self.stats.cluster_term_computations = sum(
             len(row) for row in self._profiles
         )
+        # Hoisted once for _build_option, which runs per evaluated
+        # candidate on every backend: the bare system's name/cluster
+        # names and each cluster's per-choice profile names.
+        bare = self.space.bare_system
+        self._bare_name = bare.name
+        self._cluster_names = bare.cluster_names
+        self._choice_name_rows = tuple(
+            tuple(profile.name for profile in row) for row in self._profiles
+        )
 
     # -- backend lifecycle -------------------------------------------------
 
@@ -956,15 +1167,17 @@ class EvaluationEngine:
         """Install ``backend``'s implementation, lock policy and flags.
 
         Cache/stats mutations only need a real lock when the engine's
-        own thread pool calls back into :meth:`evaluate`; the serial and
-        process backends mutate only from the consuming thread and skip
-        the acquire/release round-trips on the hot path.
+        own thread pool calls back into :meth:`evaluate`, or when
+        megabatching lets concurrent broker requests share the engine;
+        the serial and process backends otherwise mutate only from the
+        consuming thread and skip the acquire/release round-trips on the
+        hot path.
         """
         self.backend = backend
         self.parallel = backend != "serial"
         self._lock = (
             threading.Lock()
-            if backend == "thread"
+            if backend == "thread" or getattr(self, "megabatch", None) is not None
             else contextlib.nullcontext()
         )
         self._backend_impl = _BACKEND_TYPES[backend]()
@@ -1013,6 +1226,27 @@ class EvaluationEngine:
             # registry (executor widths are fixed at creation).
             self._backend_impl.close()
         return self
+
+    def enable_megabatch(self, stacker) -> None:
+        """Route vector block evaluation through ``stacker``.
+
+        Also upgrades the cache/stats lock to a real
+        :class:`threading.Lock`: megabatching exists precisely so that
+        *concurrent* requests can evaluate on one shared engine, so the
+        single-consumer locking exemption no longer applies.  Callers
+        must not enable/disable while an evaluation is in flight (the
+        broker serializes through its cache-entry discipline).
+        """
+        self.megabatch = stacker
+        if not isinstance(self._lock, contextlib.nullcontext):
+            return
+        self._lock = threading.Lock()
+
+    def disable_megabatch(self) -> None:
+        """Detach the stacker and restore the backend's lock policy."""
+        self.megabatch = None
+        if self.backend != "thread":
+            self._lock = contextlib.nullcontext()
 
     def close(self) -> None:
         """Release the backend's pool lease (caches stay warm).
@@ -1189,21 +1423,32 @@ class EvaluationEngine:
         same per-cluster fields — so forcing a lazy report is
         bit-identical to eager evaluation regardless of which backend
         computed the floats.
+
+        This runs once per evaluated candidate on every backend, so the
+        hot path stays minimal: the chosen-profile gather is deferred
+        into the lazy factories (distilled sweeps that only rank by cost
+        never pay it) and the per-engine constants (system name, cluster
+        names, per-choice name rows) are hoisted to ``__post_init__``.
         """
-        chosen = tuple(
-            self._profiles[i][choice] for i, choice in enumerate(indices)
-        )
-        bare = self.space.bare_system
+        profiles = self._profiles
+        bare_name = self._bare_name
+        cluster_names = self._cluster_names
 
         def build_system() -> SystemTopology:
             return SystemTopology(
-                name=bare.name,
-                clusters=tuple(profile.applied for profile in chosen),
+                name=bare_name,
+                clusters=tuple(
+                    profiles[i][choice].applied
+                    for i, choice in enumerate(indices)
+                ),
             )
 
         def build_availability() -> AvailabilityReport:
+            chosen = tuple(
+                profiles[i][choice] for i, choice in enumerate(indices)
+            )
             return AvailabilityReport(
-                system_name=bare.name,
+                system_name=bare_name,
                 breakdown_probability=breakdown,
                 failover_probability=failover,
                 clusters=tuple(
@@ -1216,21 +1461,28 @@ class EvaluationEngine:
                         failover_contribution=contribution,
                     )
                     for name, profile, contribution in zip(
-                        bare.cluster_names, chosen, contributions
+                        cluster_names, chosen, contributions
                     )
                 ),
             )
 
-        return EvaluatedOption(
-            option_id=option_id,
-            choice_names=names
-            if names is not None
-            else tuple(profile.name for profile in chosen),
-            system=build_system,
-            availability=build_availability,
-            tco=TCOBreakdown(*tco_values),
-            meets_sla=meets_sla,
-            cluster_names=bare.cluster_names,
+        if names is None:
+            # Cache-off misses carry no probe key, so the name gather is
+            # deferred too: a distilled sweep only ever forces it for
+            # the winning rows.
+            name_rows = self._choice_name_rows
+
+            def names() -> ChoiceNames:
+                return tuple(map(tuple.__getitem__, name_rows, indices))
+
+        return assemble_option(
+            option_id,
+            names,
+            build_system,
+            build_availability,
+            assemble_breakdown(tco_values),
+            meets_sla,
+            cluster_names,
         )
 
     def evaluate_many(
@@ -1265,6 +1517,41 @@ class EvaluationEngine:
         """Stream every candidate of the space in paper order."""
         return self.evaluate_many(
             enumerate(self.space.candidates_in_paper_order(), start=1)
+        )
+
+    def sweep(self, *, keep_options: bool = True) -> "OptimizationResult":
+        """Exhaustively evaluate the space into an optimization result.
+
+        The engine-level entry point behind the brute-force strategy.
+        With ``keep_options=True`` this is ``from_stream`` over
+        :meth:`evaluate_all` — the full option table.  With
+        ``keep_options=False`` the sweep is distilled to the two
+        recommendations, and a backend that can rank candidates in bulk
+        (the vector backend) folds whole blocks with numpy and only
+        assembles the block winners — bit-identical to the scalar fold,
+        several times cheaper at 100k+ candidates.
+        """
+        from repro.optimizer.result import OptimizationResult, ResultAccumulator
+
+        if not keep_options:
+            distill = getattr(self._backend_impl, "sweep_distilled", None)
+            if distill is not None:
+                accumulator = ResultAccumulator(
+                    space_size=self.space.size,
+                    strategy="brute-force",
+                    keep_options=False,
+                )
+                distill(
+                    self,
+                    enumerate(self.space.candidates_in_paper_order(), start=1),
+                    accumulator,
+                )
+                return accumulator.finish()
+        return OptimizationResult.from_stream(
+            self.evaluate_all(),
+            space_size=self.space.size,
+            strategy="brute-force",
+            keep_options=keep_options,
         )
 
 

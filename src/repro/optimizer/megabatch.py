@@ -1,0 +1,235 @@
+"""Cross-request megabatching for the vectorized evaluation hot path.
+
+Concurrent broker requests that resolve to the *same* cached engine all
+pay numpy dispatch separately: each request's
+:class:`~repro.optimizer.engine.VectorBackend` evaluates its own
+``chunk_size`` block even though the per-candidate math is identical.
+The :class:`MegabatchStacker` stacks those blocks: the first caller to
+arrive for an engine becomes the batch *leader*, waits a bounded window
+for the engine's other registered participants, evaluates everyone's
+candidate rows in **one** vector pass, and splices each caller's slice
+back in submission order.
+
+Because every vectorized operation in the combine is elementwise along
+the candidate axis (see ``VectorBackend._vector_payloads``), evaluating
+rows stacked from several requests produces byte-identical payloads to
+evaluating each request alone — megabatching changes wall-clock cost,
+never results.
+
+Flush triggers (whichever comes first):
+
+- every registered participant for the engine has contributed a span
+  (a solo request therefore flushes immediately — no added latency
+  without concurrency);
+- the stacked row count reaches ``max_rows`` (a soft bound: spans
+  already accepted are never split, so a flush may overshoot by at most
+  one block per concurrent caller);
+- the batching window expires.
+
+Callers must pair :meth:`MegabatchStacker.join` / ``leave`` around the
+request's engine use so the participant count reflects only requests
+that will actually contribute spans; the broker does this while holding
+its cache-entry shared lease.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class MegabatchConfig:
+    """Tunables for one :class:`MegabatchStacker`.
+
+    ``window_seconds`` bounds how long a leader waits for co-scheduled
+    requests; ``max_rows`` bounds (softly) how many candidate rows one
+    vector pass may stack.
+    """
+
+    window_seconds: float = 0.005
+    max_rows: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.window_seconds < 0.0:
+            raise OptimizerError(
+                f"window_seconds must be >= 0, got {self.window_seconds!r}"
+            )
+        if self.max_rows < 1:
+            raise OptimizerError(
+                f"max_rows must be >= 1, got {self.max_rows!r}"
+            )
+
+
+@dataclass
+class MegabatchStats:
+    """Flush accounting for one :class:`MegabatchStacker`."""
+
+    batches: int = 0
+    spans: int = 0
+    rows: int = 0
+    max_spans_in_batch: int = 0
+
+    def snapshot(self) -> "MegabatchStats":
+        """A point-in-time copy — stackers mutate their live stats."""
+        return replace(self)
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe counters."""
+        return {
+            "batches": self.batches,
+            "spans": self.spans,
+            "rows": self.rows,
+            "max_spans_in_batch": self.max_spans_in_batch,
+        }
+
+
+class _Batch:
+    """One in-flight stacked evaluation for one engine uid."""
+
+    __slots__ = ("cond", "rows", "spans", "flushing", "done", "results", "error")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.rows: list = []
+        self.spans = 0
+        self.flushing = False
+        self.done = False
+        self.results = None
+        self.error: BaseException | None = None
+
+
+class MegabatchStacker:
+    """Stack concurrent same-engine vector blocks into one pass.
+
+    Thread-safe.  ``observer`` (optional, assignable) is called with the
+    span count of every flushed batch — the server wires its
+    ``repro_megabatch_size`` histogram through it.
+    """
+
+    def __init__(
+        self,
+        config: MegabatchConfig | None = None,
+        observer=None,
+    ) -> None:
+        self.config = config or MegabatchConfig()
+        self.observer = observer
+        self.stats = MegabatchStats()
+        self._lock = threading.Lock()
+        self._participants: dict[int, int] = {}
+        self._batches: dict[int, _Batch] = {}
+
+    # -- participant registration -------------------------------------------
+
+    def join(self, uid: int) -> None:
+        """Register one concurrent request against engine ``uid``."""
+        with self._lock:
+            self._participants[uid] = self._participants.get(uid, 0) + 1
+
+    def leave(self, uid: int) -> None:
+        """Deregister one request (pairs with :meth:`join`)."""
+        with self._lock:
+            count = self._participants.get(uid, 0) - 1
+            if count <= 0:
+                self._participants.pop(uid, None)
+            else:
+                self._participants[uid] = count
+
+    def participants(self, uid: int) -> int:
+        """Currently registered requests for ``uid``."""
+        with self._lock:
+            return self._participants.get(uid, 0)
+
+    # -- stacked evaluation ---------------------------------------------------
+
+    def evaluate(self, uid: int, evaluator, index_rows):
+        """Evaluate ``index_rows`` through a (possibly shared) batch.
+
+        ``evaluator`` maps a list of candidate index rows to a list of
+        payloads, one per row, order-preserving.  Returns exactly the
+        payloads for this caller's rows, in this caller's order,
+        byte-identical to ``evaluator(index_rows)`` run alone.
+        """
+        if not index_rows:
+            return []
+        count = len(index_rows)
+        while True:
+            with self._lock:
+                batch = self._batches.get(uid)
+                if batch is None:
+                    batch = _Batch()
+                    self._batches[uid] = batch
+                    leader = True
+                else:
+                    leader = False
+            with batch.cond:
+                if batch.flushing or batch.done:
+                    # Raced with the batch's flush: start over on a
+                    # fresh batch (the leader has already detached this
+                    # one from the map, or is about to).
+                    continue
+                start = len(batch.rows)
+                batch.rows.extend(index_rows)
+                batch.spans += 1
+                if not leader:
+                    batch.cond.notify_all()  # wake the leader to re-check
+                    while not batch.done:
+                        batch.cond.wait()
+                    if batch.error is not None:
+                        raise batch.error
+                    return batch.results[start : start + count]
+                # Leader: wait out the window (or an early-flush trigger),
+                # then take ownership of the stacked rows.
+                deadline = time.monotonic() + self.config.window_seconds
+                while True:
+                    # Lockless snapshot of the participant count: dict
+                    # reads are atomic under the GIL, and taking
+                    # ``self._lock`` here while holding ``batch.cond``
+                    # would invert ``leave``'s lock order.
+                    expected = self._participants.get(uid, 0)
+                    if batch.spans >= max(expected, 1):
+                        break
+                    if len(batch.rows) >= self.config.max_rows:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    batch.cond.wait(remaining)
+                batch.flushing = True
+                rows = batch.rows
+                spans = batch.spans
+            # Condition released: detach the batch so new arrivals start
+            # a fresh one, then evaluate outside every lock.
+            with self._lock:
+                if self._batches.get(uid) is batch:
+                    del self._batches[uid]
+            try:
+                results = evaluator(rows)
+                if len(results) != len(rows):
+                    raise OptimizerError(
+                        f"megabatch evaluator returned {len(results)} "
+                        f"payloads for {len(rows)} rows"
+                    )
+            except BaseException as exc:
+                with batch.cond:
+                    batch.error = exc
+                    batch.done = True
+                    batch.cond.notify_all()
+                raise
+            with self._lock:
+                self.stats.batches += 1
+                self.stats.spans += spans
+                self.stats.rows += len(rows)
+                if spans > self.stats.max_spans_in_batch:
+                    self.stats.max_spans_in_batch = spans
+            observer = self.observer
+            if observer is not None:
+                observer(spans)
+            with batch.cond:
+                batch.results = results
+                batch.done = True
+                batch.cond.notify_all()
+            return results[start : start + count]

@@ -10,16 +10,31 @@ whenever an engine was dropped without ``close()``.  The
   engine backend acquires a :class:`PoolHandle` lease and the executor
   is created on the first acquire and shut down deterministically when
   the last holder releases;
-- worker processes are seeded once (via the pool initializer) with a
-  :class:`multiprocessing.managers.SyncManager` dict proxy — the
-  registry's *table channel* — and fetch each engine's pickled term
+- worker processes are seeded once (via the pool initializer) with the
+  registry's *table channel* and fetch each engine's pickled term
   tables on demand, caching them locally keyed by the engine's unique
-  id.  One pool's workers therefore serve chunks for any number of
-  engines concurrently, and a chunk carries only ``(engine uid,
-  (option_id, indices), ...)`` — never the precomputes;
+  id.  The channel has two implementations: the default ``"shm"``
+  backend publishes each engine's tables once into a named
+  ``multiprocessing.shared_memory`` segment that workers attach
+  read-only (no per-fetch IPC round trip, no serialization proxy
+  process), and the ``"manager"`` backend keeps the original
+  :class:`multiprocessing.managers.SyncManager` dict proxy for
+  platforms without ``shared_memory`` support.  One pool's workers
+  serve chunks for any number of engines concurrently, and a chunk
+  carries only ``(engine uid, (option_id, indices), ...)`` — never the
+  precomputes;
 - a worker failure marks the pool *broken*: it leaves the registry map
   immediately (so the next acquire builds a fresh pool) and is shut
   down once its last holder releases.
+
+Shared-memory segments are ref-counted per engine uid: ``publish``
+creates (or re-leases) the segment, ``retract`` unlinks it when the last
+publisher lets go, and the registry unlinks any leftovers when the last
+process-pool lease is released — so an idle registry holds no OS
+resources at all.  On POSIX the workers' attach-time resource-tracker
+registrations are deduplicated with the parent's create-time one (fork
+start method shares the tracker process), so parent-side ``unlink`` is
+the single point of cleanup; workers never unlink or unregister.
 
 A process-global :func:`default_registry` makes the sharing automatic:
 engines built without an explicit registry — including every engine a
@@ -30,6 +45,9 @@ process pool per width instead of spawning their own.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import secrets
 import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -37,8 +55,19 @@ from dataclasses import dataclass, replace
 
 from repro.errors import OptimizerError
 
+try:  # pragma: no cover - import guard exercised only where absent
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
 #: Pool kinds the registry can build.
 POOL_KINDS = ("thread", "process")
+
+#: Table-channel implementations, in preference order.
+TERM_TABLE_CHANNELS = ("shm", "manager")
+
+#: Environment override for the table-channel backend.
+TABLE_CHANNEL_ENV_VAR = "REPRO_TERM_TABLES"
 
 #: Per-worker cap on locally cached engine term tables.  Tables are
 #: fetched from the registry's table channel on first use and kept in an
@@ -47,49 +76,115 @@ POOL_KINDS = ("thread", "process")
 WORKER_TABLE_LIMIT = 32
 
 
+def resolve_table_backend(requested: str | None = None) -> str:
+    """Pick the table-channel backend: explicit > env > auto.
+
+    ``"shm"`` degrades cleanly to ``"manager"`` when
+    ``multiprocessing.shared_memory`` is unavailable on the platform;
+    unknown names raise :class:`~repro.errors.OptimizerError`.
+    """
+    choice = requested
+    if choice is None:
+        choice = os.environ.get(TABLE_CHANNEL_ENV_VAR) or None
+    if choice is None:
+        return "shm" if _shared_memory is not None else "manager"
+    if choice not in TERM_TABLE_CHANNELS:
+        raise OptimizerError(
+            f"unknown table-channel backend {choice!r}; "
+            f"valid: {TERM_TABLE_CHANNELS}"
+        )
+    if choice == "shm" and _shared_memory is None:
+        return "manager"
+    return choice
+
+
+def _segment_name(token: str, uid: int) -> str:
+    """Deterministic shared-memory name for one engine's tables.
+
+    ``token`` is unique per registry (pid + random hex), so concurrent
+    registries — and concurrent test processes — never collide.
+    Workers rebuild the same name from the token they were seeded with.
+    """
+    return f"repro_{token}_{uid}"
+
+
 # -- worker-side plumbing ---------------------------------------------------
 #
 # These globals live in each *worker process* (the parent's copies are
 # never used).  The initializer runs once per worker at pool startup;
 # afterwards every chunk resolves its engine's tables through
 # ``worker_payload`` — a local-cache hit in the steady state, one
-# manager round-trip per (worker, engine) pairing at worst.
+# channel fetch per (worker, engine) pairing at worst.
 
 _WORKER_CHANNEL = None
 _WORKER_TABLES: "OrderedDict[int, object]" = OrderedDict()
 
 
-def _pool_worker_init(channel) -> None:
-    """Install the registry's table channel in a new worker process."""
+def _pool_worker_init(kind: str, channel) -> None:
+    """Install the registry's table channel in a new worker process.
+
+    ``kind`` is one of :data:`TERM_TABLE_CHANNELS`; ``channel`` is the
+    manager dict proxy (``"manager"``) or the registry's segment-name
+    token (``"shm"``).
+    """
     global _WORKER_CHANNEL
-    _WORKER_CHANNEL = channel
+    _WORKER_CHANNEL = (kind, channel)
     _WORKER_TABLES.clear()
+
+
+def _missing_tables(uid: int) -> OptimizerError:
+    return OptimizerError(
+        f"engine {uid} has no published worker tables "
+        "(engine closed while chunks were in flight?)"
+    )
+
+
+def _fetch_shm_payload(token: str, uid: int):
+    """Attach one engine's segment, deserialize, detach.
+
+    The deserialized payload is a full copy, so the mapping is released
+    immediately.  Workers never ``unlink`` (the parent owns the segment
+    lifetime) — on POSIX the attach registers with the shared resource
+    tracker, which deduplicates against the parent's registration and is
+    cleared by the parent's ``unlink``.
+    """
+    try:
+        segment = _shared_memory.SharedMemory(name=_segment_name(token, uid))
+    except FileNotFoundError:
+        raise _missing_tables(uid) from None
+    try:
+        # pickled data stops at its STOP opcode, so the page-granular
+        # zero-fill past the payload is ignored.
+        return pickle.loads(segment.buf)
+    finally:
+        segment.close()
 
 
 def worker_payload(uid: int):
     """Resolve one engine's published tables inside a worker process.
 
-    Local LRU first, then the manager-backed table channel.  A missing
-    uid means the engine retracted its tables (closed) while chunks were
-    still queued — surfaced as a structured error rather than a
-    ``KeyError`` traceback pickled across the pool boundary.
+    Local LRU first, then the registry's table channel (shared-memory
+    attach or manager round trip).  A missing uid means the engine
+    retracted its tables (closed) while chunks were still queued —
+    surfaced as a structured error rather than a ``KeyError`` /
+    ``FileNotFoundError`` traceback pickled across the pool boundary.
     """
     tables = _WORKER_TABLES
     if uid in tables:
         tables.move_to_end(uid)
         return tables[uid]
-    channel = _WORKER_CHANNEL
-    if channel is None:
+    if _WORKER_CHANNEL is None:
         raise OptimizerError(
             "pool worker was never initialized with a table channel"
         )
-    try:
-        payload = channel[uid]
-    except KeyError:
-        raise OptimizerError(
-            f"engine {uid} has no published worker tables "
-            "(engine closed while chunks were in flight?)"
-        ) from None
+    kind, channel = _WORKER_CHANNEL
+    if kind == "shm":
+        payload = _fetch_shm_payload(channel, uid)
+    else:
+        try:
+            payload = channel[uid]
+        except KeyError:
+            raise _missing_tables(uid) from None
     tables[uid] = payload
     while len(tables) > WORKER_TABLE_LIMIT:
         tables.popitem(last=False)
@@ -104,7 +199,8 @@ class PoolRegistryStats:
 
     ``pools_created``/``pools_closed`` count real executors, not leases;
     a healthy steady state creates one pool per (kind, width) however
-    many engines share it.
+    many engines share it.  ``tables_published``/``tables_retracted``
+    count table-channel publications (one per engine process lease).
     """
 
     pools_created: int = 0
@@ -112,6 +208,8 @@ class PoolRegistryStats:
     acquires: int = 0
     releases: int = 0
     invalidations: int = 0
+    tables_published: int = 0
+    tables_retracted: int = 0
 
     def snapshot(self) -> "PoolRegistryStats":
         """A point-in-time copy — registries mutate their live stats."""
@@ -125,6 +223,8 @@ class PoolRegistryStats:
             "acquires": self.acquires,
             "releases": self.releases,
             "invalidations": self.invalidations,
+            "tables_published": self.tables_published,
+            "tables_retracted": self.tables_retracted,
         }
 
 
@@ -137,6 +237,15 @@ class _SharedPool:
     holders: int = 0
     broken: bool = False
     closed: bool = False
+
+
+@dataclass
+class _ShmSegment:
+    """One published engine's shared-memory segment (parent side)."""
+
+    segment: object
+    size: int
+    refs: int = 1
 
 
 class PoolHandle:
@@ -182,24 +291,35 @@ class PoolRegistry:
     Thread-safe.  One registry typically serves a whole process (see
     :func:`default_registry`); tests and specialized deployments can
     build private ones to isolate pool populations.  The registry also
-    owns the *table channel* for process pools — a manager-hosted dict
-    through which engines publish their per-(cluster, technology) term
-    tables to workers exactly once, keyed by engine uid.  The manager
-    process starts with the first process-pool lease and stops with the
-    last, so an idle registry holds no OS resources at all.
+    owns the *table channel* for process pools, through which engines
+    publish their per-(cluster, technology) term tables to workers
+    exactly once, keyed by engine uid.  With the default ``"shm"``
+    backend each publication is one named shared-memory segment the
+    workers attach read-only; with ``"manager"`` it is an entry in a
+    manager-hosted dict.  Either way the channel comes up with the
+    first process-pool lease and goes down with the last, so an idle
+    registry holds no OS resources at all.
+
+    ``table_backend`` picks the channel explicitly (``"shm"`` or
+    ``"manager"``); ``None`` consults the ``REPRO_TERM_TABLES``
+    environment variable and falls back to ``"shm"`` where available.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, table_backend: str | None = None) -> None:
         # ``_lock`` guards the maps/counters (fast, never held across
         # blocking work); ``_build_lock`` serializes the slow cold path
-        # (manager + executor construction, manager teardown) so that a
+        # (manager + executor construction, channel teardown) so that a
         # multi-second process-pool spin-up never stalls unrelated
         # acquires and releases.
         self._lock = threading.Lock()
         self._build_lock = threading.Lock()
         self._pools: dict[tuple[str, int], _SharedPool] = {}
+        self._table_backend = resolve_table_backend(table_backend)
+        self._token = f"{os.getpid():x}{secrets.token_hex(4)}"
         self._manager = None
         self._tables = None
+        self._segments: dict[int, _ShmSegment] = {}
+        self._shm_channel_up = False
         self._process_holders = 0
         self.stats = PoolRegistryStats()
 
@@ -223,21 +343,29 @@ class PoolRegistry:
         if handle is not None:
             return handle
         # Cold path: build outside the map lock.  The build lock keeps
-        # concurrent builders from racing each other (and keeps manager
+        # concurrent builders from racing each other (and keeps channel
         # teardown from yanking the table channel mid-build).
         with self._build_lock:
             handle = self._lease_existing(key)
             if handle is not None:
                 return handle
             with self._lock:
-                manager_needed = kind == "process" and self._manager is None
+                manager_needed = (
+                    kind == "process"
+                    and self._table_backend == "manager"
+                    and self._manager is None
+                )
                 tables = self._tables
             manager = None
             if manager_needed:
                 manager = multiprocessing.Manager()
                 tables = manager.dict()
+            if self._table_backend == "shm":
+                channel: tuple[str, object] = ("shm", self._token)
+            else:
+                channel = ("manager", tables)
             try:
-                pool = self._create(kind, workers, tables)
+                pool = self._create(kind, workers, channel)
             except BaseException:
                 if manager is not None:
                     manager.shutdown()
@@ -251,6 +379,8 @@ class PoolRegistry:
                 self.stats.pools_created += 1
                 if kind == "process":
                     self._process_holders += 1
+                    if self._table_backend == "shm":
+                        self._shm_channel_up = True
                 self.stats.acquires += 1
                 return PoolHandle(self, shared)
 
@@ -266,7 +396,7 @@ class PoolRegistry:
             self.stats.acquires += 1
             return PoolHandle(self, shared)
 
-    def _create(self, kind: str, workers: int, tables):
+    def _create(self, kind: str, workers: int, channel):
         if kind == "thread":
             return ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="engine-eval"
@@ -274,12 +404,12 @@ class PoolRegistry:
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_worker_init,
-            initargs=(tables,),
+            initargs=channel,
         )
 
     def _release(self, handle: PoolHandle, invalidate: bool) -> None:
         shutdown_pool = None
-        maybe_shutdown_manager = False
+        maybe_close_channel = False
         with self._lock:
             if handle.released:
                 return
@@ -300,47 +430,124 @@ class PoolRegistry:
                 self.stats.pools_closed += 1
             if shared.key[0] == "process":
                 self._process_holders -= 1
-                maybe_shutdown_manager = self._process_holders <= 0
-        # Executor/manager teardown can block; never do it under the
-        # map lock.
+                maybe_close_channel = self._process_holders <= 0
+        # Executor/manager/segment teardown can block; never do it under
+        # the map lock.
         if shutdown_pool is not None:
             shutdown_pool.shutdown(wait=True)
-        if maybe_shutdown_manager:
+        if maybe_close_channel:
             # Serialize with builders: a cold-path acquire that already
             # read the live table channel must finish (and re-raise the
-            # process holder count) before the manager may go down.
+            # process holder count) before the channel may go down.
             with self._build_lock:
+                manager = None
+                leftovers: tuple[_ShmSegment, ...] = ()
                 with self._lock:
-                    manager = None
-                    if self._process_holders <= 0 and self._manager is not None:
-                        manager, self._manager = self._manager, None
-                        self._tables = None
+                    if self._process_holders <= 0:
+                        if self._manager is not None:
+                            manager, self._manager = self._manager, None
+                            self._tables = None
+                        if self._shm_channel_up:
+                            leftovers = tuple(self._segments.values())
+                            self._segments.clear()
+                            self._shm_channel_up = False
                 if manager is not None:
                     manager.shutdown()
+                for entry in leftovers:
+                    self._unlink_segment(entry)
+
+    @staticmethod
+    def _unlink_segment(entry: _ShmSegment) -> None:
+        """Release and unlink one segment, tolerating races with exit."""
+        try:
+            entry.segment.close()
+            entry.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
     # -- table channel -----------------------------------------------------
 
     def publish(self, uid: int, payload) -> None:
         """Make ``payload`` fetchable by pool workers under ``uid``.
 
-        Requires a live process-pool lease (the manager's lifetime is
+        Requires a live process-pool lease (the channel's lifetime is
         tied to process holders); backends publish immediately after
         acquiring their handle and before submitting any chunk.
+        Re-publishing an already-published uid bumps its segment's
+        ref count instead of re-serializing.
         """
+        if self._table_backend == "manager":
+            with self._lock:
+                tables = self._tables
+            if tables is None:
+                raise OptimizerError(
+                    "cannot publish worker tables without an active "
+                    "process pool"
+                )
+            tables[uid] = payload
+            with self._lock:
+                self.stats.tables_published += 1
+            return
         with self._lock:
-            tables = self._tables
-        if tables is None:
+            if not self._shm_channel_up:
+                raise OptimizerError(
+                    "cannot publish worker tables without an active "
+                    "process pool"
+                )
+            entry = self._segments.get(uid)
+            if entry is not None:
+                entry.refs += 1
+                self.stats.tables_published += 1
+                return
+        # Serialize outside the lock (the payload can be large); the
+        # segment is named after this registry's token so a concurrent
+        # teardown/republish race cannot collide with another registry.
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = _shared_memory.SharedMemory(
+            name=_segment_name(self._token, uid), create=True, size=len(data)
+        )
+        segment.buf[: len(data)] = data
+        new_entry = _ShmSegment(segment=segment, size=len(data))
+        with self._lock:
+            if self._shm_channel_up and uid not in self._segments:
+                self._segments[uid] = new_entry
+                self.stats.tables_published += 1
+                return
+            racing = self._segments.get(uid)
+            if racing is not None:
+                racing.refs += 1
+                self.stats.tables_published += 1
+        # Lost a race (duplicate publish) or the channel went down while
+        # we serialized: this segment is not the published one.
+        self._unlink_segment(new_entry)
+        with self._lock:
+            channel_up = self._shm_channel_up
+        if not channel_up:
             raise OptimizerError(
                 "cannot publish worker tables without an active process pool"
             )
-        tables[uid] = payload
 
     def retract(self, uid: int) -> None:
         """Withdraw ``uid``'s published tables (idempotent)."""
+        if self._table_backend == "manager":
+            with self._lock:
+                tables = self._tables
+            if tables is not None and tables.pop(uid, None) is not None:
+                with self._lock:
+                    self.stats.tables_retracted += 1
+            return
+        unlink = None
         with self._lock:
-            tables = self._tables
-        if tables is not None:
-            tables.pop(uid, None)
+            entry = self._segments.get(uid)
+            if entry is None:
+                return
+            entry.refs -= 1
+            self.stats.tables_retracted += 1
+            if entry.refs <= 0:
+                del self._segments[uid]
+                unlink = entry
+        if unlink is not None:
+            self._unlink_segment(unlink)
 
     # -- introspection -----------------------------------------------------
 
@@ -355,15 +562,38 @@ class PoolRegistry:
             shared = self._pools.get((kind, workers))
             return 0 if shared is None else shared.holders
 
-    def has_table_channel(self) -> bool:
-        """Whether the manager-backed table channel is currently up."""
+    def live_leases(self) -> int:
+        """Outstanding pool leases across every (kind, width)."""
         with self._lock:
-            return self._tables is not None
+            return sum(shared.holders for shared in self._pools.values())
+
+    def table_channel_backend(self) -> str:
+        """The resolved channel backend (``"shm"`` or ``"manager"``)."""
+        return self._table_backend
+
+    def has_table_channel(self) -> bool:
+        """Whether the table channel is currently up."""
+        with self._lock:
+            if self._table_backend == "manager":
+                return self._tables is not None
+            return self._shm_channel_up
+
+    def term_table_bytes(self) -> int:
+        """Bytes currently pinned in shared-memory term tables.
+
+        The manager backend reports 0: its payloads live inside the
+        manager process, not in segments this registry can measure.
+        """
+        with self._lock:
+            return sum(entry.size for entry in self._segments.values())
 
     def published_uids(self) -> tuple[int, ...]:
         """Engine uids currently published to workers (for tests)."""
         with self._lock:
-            tables = self._tables
+            if self._table_backend == "manager":
+                tables = self._tables
+            else:
+                return tuple(sorted(self._segments))
         if tables is None:
             return ()
         return tuple(sorted(tables.keys()))

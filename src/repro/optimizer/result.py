@@ -144,8 +144,44 @@ class EvaluatedOption:
 # so they are attached after class creation; frozen __init__ stores through
 # their __set__ via object.__setattr__.  Reading ``availability`` in a
 # repr/eq materializes it transparently, so semantics are unchanged.
+# ``choice_names`` is lazy for the same reason ``availability`` is: a
+# distilled sweep ranks by TCO alone, so the per-candidate name-row
+# gather is deferred and only ever paid by the two winning options.
 EvaluatedOption.system = _LazyField("system", SystemTopology)
 EvaluatedOption.availability = _LazyField("availability", AvailabilityReport)
+EvaluatedOption.choice_names = _LazyField("choice_names", tuple)
+
+
+def assemble_option(
+    option_id: int,
+    choice_names: ChoiceNames,
+    system,
+    availability,
+    tco: TCOBreakdown,
+    meets_sla: bool,
+    cluster_names: tuple[str, ...] | None,
+) -> EvaluatedOption:
+    """Hot-path :class:`EvaluatedOption` constructor.
+
+    The frozen ``__init__`` routes every field through
+    ``object.__setattr__`` — seven C round-trips per candidate, two of
+    which dispatch into the Python-level ``_LazyField.__set__``.  Sweep
+    paths build 100k+ options per request, so this assembles the
+    instance dict directly instead; the stored state is identical
+    (plain fields and lazy factories both live in ``__dict__``, exactly
+    where ``__init__`` would have put them), so eq/hash/repr/pickle and
+    lazy materialization behave the same.
+    """
+    option = object.__new__(EvaluatedOption)
+    store = option.__dict__
+    store["option_id"] = option_id
+    store["choice_names"] = choice_names
+    store["system"] = system
+    store["availability"] = availability
+    store["tco"] = tco
+    store["meets_sla"] = meets_sla
+    store["cluster_names"] = cluster_names
+    return option
 
 
 class ResultAccumulator:
@@ -177,8 +213,12 @@ class ResultAccumulator:
         self.count = 0
         self._kept: list[EvaluatedOption] = []
         self._best: EvaluatedOption | None = None
+        self._best_total = math.inf
+        self._best_id = 0
         self._lowest_penalty = math.inf
         self._min_penalty: EvaluatedOption | None = None
+        self._min_penalty_ha_cost = math.inf
+        self._min_penalty_id = 0
 
     def add(self, option: EvaluatedOption) -> None:
         """Fold one evaluated option into the running distillation."""
@@ -188,20 +228,58 @@ class ResultAccumulator:
             return
         # Mirror the `best` / `min_penalty_option` tie-breaking so a
         # distilled result answers both recommendations identically.
-        if self._best is None or (option.tco.total, option.option_id) < (
-            self._best.tco.total,
-            self._best.option_id,
+        # The running leaders' keys are cached as scalars and the
+        # lexicographic compare is spelled out: this runs once per
+        # candidate over 100k+ candidate sweeps, where tuple building
+        # and the `tco.total` property chain dominate the fold.
+        tco = option.tco
+        option_id = option.option_id
+        total = (tco.ha_infra_cost + tco.ha_labor_cost) + tco.expected_penalty
+        if (
+            self._best is None
+            or total < self._best_total
+            or (total == self._best_total and option_id < self._best_id)
         ):
             self._best = option
-        penalty = option.tco.expected_penalty
-        if penalty < self._lowest_penalty:
+            self._best_total = total
+            self._best_id = option_id
+        penalty = tco.expected_penalty
+        if self._min_penalty is None or penalty < self._lowest_penalty:
             self._lowest_penalty = penalty
             self._min_penalty = option
-        elif penalty == self._lowest_penalty and (
-            option.tco.ha_cost,
-            option.option_id,
-        ) < (self._min_penalty.tco.ha_cost, self._min_penalty.option_id):
-            self._min_penalty = option
+            self._min_penalty_ha_cost = tco.ha_infra_cost + tco.ha_labor_cost
+            self._min_penalty_id = option_id
+        elif penalty == self._lowest_penalty:
+            ha_cost = tco.ha_infra_cost + tco.ha_labor_cost
+            if ha_cost < self._min_penalty_ha_cost or (
+                ha_cost == self._min_penalty_ha_cost
+                and option_id < self._min_penalty_id
+            ):
+                self._min_penalty = option
+                self._min_penalty_ha_cost = ha_cost
+                self._min_penalty_id = option_id
+
+    def fold_winners(
+        self, winners: Iterable[EvaluatedOption], *, evaluated: int
+    ) -> None:
+        """Fold a block pre-ranked by a bulk-evaluating backend.
+
+        ``winners`` are the block's minimum-total and minimum-(penalty,
+        ha-cost) candidates, selected under exactly the tie-break rules
+        :meth:`add` applies — so folding just the winners leaves the
+        running recommendations identical to folding every candidate,
+        while ``evaluated`` keeps the count honest.  Only meaningful in
+        distilled mode, where losing candidates carry no information.
+        """
+        if self.keep_options:
+            raise OptimizerError(
+                "fold_winners requires a distilled accumulator "
+                "(keep_options=False)"
+            )
+        self.count += evaluated
+        for option in winners:
+            self.count -= 1
+            self.add(option)
 
     def finish(self) -> "OptimizationResult":
         """Seal the accumulator into an :class:`OptimizationResult`."""
@@ -286,8 +364,9 @@ class OptimizationResult:
             pruned=pruned,
             keep_options=keep_options,
         )
+        add = accumulator.add
         for option in options:
-            accumulator.add(option)
+            add(option)
         return accumulator.finish()
 
     def iter_options(self) -> Iterator[EvaluatedOption]:

@@ -26,6 +26,10 @@ DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
+#: Size buckets for the megabatch span-count histogram (requests per
+#: stacked vector pass — small powers of two, not latencies).
+MEGABATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
 #: A rendered sample: (metric name, sorted label pairs) -> value.
 SampleKey = tuple[str, tuple[tuple[str, str], ...]]
 
@@ -321,11 +325,22 @@ class ServerMetrics:
     one :meth:`ShardedIngestor.metrics` call — :meth:`render` snapshots
     both up front and the per-sample callbacks read from the snapshot,
     so scrape cost stays flat however many samples a subsystem exports.
+
+    Worker-pool and term-table samples read the engines' shared
+    :class:`~repro.optimizer.pools.PoolRegistry` (``pool_registry``,
+    defaulting to the process-wide one) at scrape time.  When the
+    session megabatches, ``repro_megabatch_size`` observes every flushed
+    batch's span count through the stacker's observer hook.
     """
 
-    def __init__(self, session, ingestor=None) -> None:
+    def __init__(self, session, ingestor=None, pool_registry=None) -> None:
+        from repro.optimizer.pools import default_registry
+
         self._session = session
         self._ingestor = ingestor
+        self._pool_registry = (
+            pool_registry if pool_registry is not None else default_registry()
+        )
         self._session_snapshot: dict = {}
         self._ingest_snapshot: dict = {}
         self.registry = MetricsRegistry()
@@ -420,6 +435,27 @@ class ServerMetrics:
                 lambda: self._ingest_snapshot["merges"]
             )
 
+        self.pool_leases = reg.gauge(
+            "repro_pool_leases",
+            "Outstanding worker-pool leases across evaluation engines.",
+        )
+        self.pool_leases.set_function(self._pool_registry.live_leases)
+        self.term_table_bytes = reg.gauge(
+            "repro_term_table_bytes",
+            "Bytes pinned in shared-memory term-table segments "
+            "(0 under the manager-dict channel).",
+        )
+        self.term_table_bytes.set_function(self._pool_registry.term_table_bytes)
+
+        self.megabatch_size = reg.histogram(
+            "repro_megabatch_size",
+            "Requests stacked per megabatch vector pass.",
+            buckets=MEGABATCH_SIZE_BUCKETS,
+        )
+        stacker = getattr(session, "megabatch", None)
+        if stacker is not None:
+            stacker.observer = self._observe_megabatch
+
         self.http_requests = reg.counter(
             "repro_http_requests_total",
             "HTTP requests served, by route and status code.",
@@ -430,6 +466,10 @@ class ServerMetrics:
             "Wall-clock request latency, by route.",
             ("route",),
         )
+
+    def _observe_megabatch(self, spans: int) -> None:
+        """Stacker observer hook: one sample per flushed batch."""
+        self.megabatch_size.observe(float(spans))
 
     def observe_request(self, route: str, status: int, seconds: float) -> None:
         """Record one served HTTP request."""

@@ -176,6 +176,9 @@ class BrokerServer:
         cache_capacity: int = 16,
         eval_backend: str | None = None,
         finished_job_ttl: float | None = None,
+        megabatch: bool = False,
+        megabatch_window: float | None = None,
+        megabatch_max_rows: int | None = None,
         max_body_bytes: int = 8 * 1024 * 1024,
         max_inflight: int = 32,
         grace: float = 5.0,
@@ -189,11 +192,30 @@ class BrokerServer:
         self.port = port
         self.max_body_bytes = max_body_bytes
         self.grace = grace
+        if megabatch:
+            from repro.optimizer.megabatch import MegabatchConfig
+
+            defaults = MegabatchConfig()
+            megabatch_arg: object = MegabatchConfig(
+                window_seconds=(
+                    defaults.window_seconds
+                    if megabatch_window is None
+                    else megabatch_window
+                ),
+                max_rows=(
+                    defaults.max_rows
+                    if megabatch_max_rows is None
+                    else megabatch_max_rows
+                ),
+            )
+        else:
+            megabatch_arg = False
         self.session = broker.session(
             cache_capacity=cache_capacity,
             max_workers=max_workers,
             backend=eval_backend,
             finished_job_ttl=finished_job_ttl,
+            megabatch=megabatch_arg,
         )
         self.ingestor = ShardedIngestor(
             broker.telemetry,

@@ -10,7 +10,10 @@ from dataclasses import dataclass
 
 from repro.sla.penalty import LinearPenalty, PenaltyClause
 from repro.sla.sla import UptimeSLA
-from repro.sla.slippage import expected_slippage_hours_per_month
+from repro.sla.slippage import (
+    expected_slippage_hours_per_month,
+    expected_slippage_hours_per_month_vector,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +42,21 @@ class Contract:
         """
         hours = self.expected_slippage_hours(uptime_probability)
         return self.penalty.monthly_penalty(hours)
+
+    def expected_slippage_hours_vector(self, uptime_probabilities):
+        """Vectorized :meth:`expected_slippage_hours` (float64 ndarray).
+
+        Each element is byte-identical to the scalar method of the same
+        uptime; the vector evaluation backend relies on that.
+        """
+        return expected_slippage_hours_per_month_vector(
+            uptime_probabilities, self.sla
+        )
+
+    def expected_monthly_penalty_vector(self, uptime_probabilities):
+        """Vectorized :meth:`expected_monthly_penalty` (float64 ndarray)."""
+        hours = self.expected_slippage_hours_vector(uptime_probabilities)
+        return self.penalty.monthly_penalty_vector(hours)
 
     def describe(self) -> str:
         """E.g. ``98% uptime (<= 14.60 h/month down); $100.00/hour...``."""

@@ -20,6 +20,7 @@ and the pool shuts down when the last holder closes.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 
 import pytest
@@ -41,6 +42,14 @@ from repro.optimizer.engine import (
 )
 from repro.optimizer.pools import PoolRegistry
 from repro.optimizer.result import OptimizationResult
+from repro.sla.contract import Contract
+from repro.sla.penalty import (
+    CappedPenalty,
+    LinearPenalty,
+    NoPenalty,
+    ServiceCreditPenalty,
+    TieredPenalty,
+)
 from repro.workloads.case_study import case_study_problem
 from repro.workloads.generators import random_problem
 from repro.workloads.scenarios import SCENARIOS
@@ -185,6 +194,35 @@ class TestCrossBackendEquivalence:
             assert options[0].system.cluster_names == (
                 problem.bare_system.cluster_names
             )
+
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            NoPenalty(),
+            TieredPenalty(((2.0, 100.0), (8.0, 250.0), (float("inf"), 500.0))),
+            TieredPenalty(((2.0, 100.0),)),  # closed tail extends last rate
+            CappedPenalty(LinearPenalty(100.0), monthly_cap=400.0),
+            ServiceCreditPenalty(5000.0, ((2.0, 0.10), (10.0, 0.25))),
+        ],
+        ids=["none", "tiered-open", "tiered-closed", "capped", "credits"],
+    )
+    def test_non_linear_clauses_bit_identical(self, clause):
+        # The workload generators only emit linear contracts, so the
+        # vectorized clause kernels (tiered masks, caps, credit steps)
+        # need their own end-to-end sweep through every backend.
+        base = random_problem(31, clusters=3, choices_per_layer=3)
+        problem = dataclasses.replace(
+            base,
+            contract=Contract(sla=base.contract.sla, penalty=clause),
+        )
+        expected = stream_signature(
+            backend_engine(problem, "serial").evaluate_all()
+        )
+        for backend in NON_SERIAL:
+            with backend_engine(problem, backend, chunk_size=16) as engine:
+                assert stream_signature(engine.evaluate_all()) == expected, (
+                    backend
+                )
 
 
 class TestBackendRebinding:
@@ -399,6 +437,139 @@ class TestStrategiesAcrossBackends:
         assert pruned.best.tco.total == reference.best.tco.total
         assert bnb.best.tco.total == reference.best.tco.total
         assert engine.stats.topology_evaluations == 0
+
+
+class TestDistilledSweep:
+    """EvaluationEngine.sweep: block-distilled ranking == scalar fold."""
+
+    CLAUSES = [
+        NoPenalty(),
+        LinearPenalty(950.0),
+        TieredPenalty(((4.0, 500.0), (12.0, 900.0), (float("inf"), 1500.0))),
+        CappedPenalty(LinearPenalty(1200.0), monthly_cap=20000.0),
+        ServiceCreditPenalty(
+            250000.0, ((2.0, 0.05), (8.0, 0.15), (24.0, 0.4))
+        ),
+    ]
+
+    @staticmethod
+    def _with_clause(problem, clause):
+        return dataclasses.replace(
+            problem,
+            contract=Contract(sla=problem.contract.sla, penalty=clause),
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_sweep_matches_serial_distillation(self, backend):
+        problem = random_problem(47, clusters=4, choices_per_layer=3)
+        with backend_engine(problem, "serial", cache=False) as engine:
+            reference = engine.sweep(keep_options=False)
+        with backend_engine(
+            problem, backend, cache=False, chunk_size=16
+        ) as engine:
+            result = engine.sweep(keep_options=False)
+        assert result.evaluations == reference.evaluations
+        assert result.space_size == reference.space_size
+        assert stream_signature(result.options) == stream_signature(
+            reference.options
+        )
+
+    @requires_numpy
+    @pytest.mark.parametrize(
+        "clause",
+        CLAUSES,
+        ids=["none", "linear", "tiered", "capped", "credits"],
+    )
+    def test_distill_bit_identical_across_penalty_shapes(self, clause):
+        problem = self._with_clause(
+            random_problem(48, clusters=3, choices_per_layer=3), clause
+        )
+        with backend_engine(problem, "serial", cache=False) as engine:
+            reference = engine.sweep(keep_options=False)
+        with backend_engine(
+            problem, "vector", cache=False, chunk_size=8
+        ) as engine:
+            distilled = engine.sweep(keep_options=False)
+        assert stream_signature(distilled.options) == stream_signature(
+            reference.options
+        )
+
+    @requires_numpy
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_distill_matches_scalar_fold_on_random_catalogs(self, seed):
+        problem = random_problem(seed, clusters=3, choices_per_layer=3)
+        with backend_engine(problem, "serial", cache=False) as engine:
+            reference = engine.sweep(keep_options=False)
+        with backend_engine(
+            problem, "vector", cache=False, chunk_size=16
+        ) as engine:
+            distilled = engine.sweep(keep_options=False)
+        assert distilled.evaluations == reference.evaluations
+        assert stream_signature(distilled.options) == stream_signature(
+            reference.options
+        )
+
+    @requires_numpy
+    def test_sweep_with_tables_matches_from_stream(self):
+        problem = random_problem(49, clusters=3, choices_per_layer=3)
+        reference = brute_force_optimize(problem)
+        with backend_engine(problem, "vector", chunk_size=16) as engine:
+            table = engine.sweep(keep_options=True)
+        assert stream_signature(table.options) == stream_signature(
+            reference.options
+        )
+
+    @requires_numpy
+    def test_distill_with_cache_on_falls_back_and_admits(self):
+        problem = random_problem(50, clusters=3, choices_per_layer=2)
+        with backend_engine(
+            problem, "vector", cache=True, chunk_size=16
+        ) as engine:
+            first = engine.sweep(keep_options=False)
+            hits_before = engine.stats.cache_hits
+            replay = engine.sweep(keep_options=False)
+        assert stream_signature(first.options) == stream_signature(
+            replay.options
+        )
+        # The fallback fold streams per candidate, so the replayed sweep
+        # is answered from the result cache it populated.
+        assert engine.stats.cache_hits - hits_before == engine.space.size
+
+    @requires_numpy
+    def test_distill_counts_full_space_in_stats(self):
+        problem = random_problem(51, clusters=3, choices_per_layer=3)
+        with backend_engine(
+            problem, "vector", cache=False, chunk_size=16
+        ) as engine:
+            result = engine.sweep(keep_options=False)
+            evaluated = engine.stats.candidate_evaluations
+            combined = engine.stats.incremental_combines
+        assert result.evaluations == engine.space.size
+        assert evaluated == engine.space.size
+        # Winners-only assembly: far fewer options built than evaluated.
+        assert combined < evaluated
+
+    @requires_numpy
+    def test_brute_force_optimize_routes_distilled(self):
+        problem = random_problem(52, clusters=3, choices_per_layer=3)
+        serial_result = brute_force_optimize(problem, keep_options=False)
+        with backend_engine(problem, "vector", cache=False) as engine:
+            vector_result = brute_force_optimize(
+                problem, engine=engine, keep_options=False
+            )
+        assert stream_signature(vector_result.options) == stream_signature(
+            serial_result.options
+        )
+
+    def test_fold_winners_requires_distilled_accumulator(self):
+        from repro.optimizer.result import ResultAccumulator
+
+        accumulator = ResultAccumulator(
+            space_size=4, strategy="brute-force", keep_options=True
+        )
+        with pytest.raises(OptimizerError, match="keep_options"):
+            accumulator.fold_winners([], evaluated=4)
 
 
 class TestVectorBackend:
@@ -618,6 +789,80 @@ class TestPoolRegistry:
             PoolRegistry().acquire("fiber", 1)
         with pytest.raises(OptimizerError, match="workers"):
             PoolRegistry().acquire("thread", 0)
+
+
+class TestTermTableChannels:
+    """The worker-table channel: shm segments vs. the manager dict."""
+
+    HAS_SHM = pools_module._shared_memory is not None
+
+    def channels(self):
+        return ("shm", "manager") if self.HAS_SHM else ("manager",)
+
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(pools_module.TABLE_CHANNEL_ENV_VAR, "manager")
+        assert pools_module.resolve_table_backend("manager") == "manager"
+        monkeypatch.delenv(pools_module.TABLE_CHANNEL_ENV_VAR)
+        assert pools_module.resolve_table_backend("manager") == "manager"
+
+    def test_resolve_unknown_rejected(self):
+        with pytest.raises(OptimizerError, match="table-channel"):
+            pools_module.resolve_table_backend("carrier-pigeon")
+
+    def test_shm_degrades_to_manager_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(pools_module, "_shared_memory", None)
+        assert pools_module.resolve_table_backend("shm") == "manager"
+        registry = PoolRegistry(table_backend="shm")
+        assert registry.table_channel_backend() == "manager"
+
+    def test_process_streams_bit_identical_on_both_channels(self):
+        problem = random_problem(34, clusters=3, choices_per_layer=2)
+        expected = stream_signature(
+            EvaluationEngine(problem).evaluate_all()
+        )
+        for channel in self.channels():
+            registry = PoolRegistry(table_backend=channel)
+            with backend_engine(
+                problem, "process", max_workers=1,
+                pool_registry=registry, chunk_size=8,
+            ) as engine:
+                assert stream_signature(engine.evaluate_all()) == expected, (
+                    channel
+                )
+
+    @pytest.mark.skipif(not HAS_SHM, reason="shared_memory unavailable")
+    def test_shm_segments_are_refcounted_and_unlinked(self):
+        registry = PoolRegistry(table_backend="shm")
+        handle = registry.acquire("process", 1)
+        try:
+            registry.publish(9101, {"table": list(range(32))})
+            registry.publish(9101, {"table": list(range(32))})  # refcount 2
+            assert registry.published_uids() == (9101,)
+            assert registry.term_table_bytes() > 0
+            assert registry.stats.tables_published == 2
+            registry.retract(9101)
+            # Still referenced by the second publisher: segment survives.
+            assert registry.published_uids() == (9101,)
+            registry.retract(9101)
+            assert registry.published_uids() == ()
+            assert registry.term_table_bytes() == 0
+            assert registry.stats.tables_retracted == 2
+        finally:
+            handle.release()
+        assert not registry.has_table_channel()
+
+    @pytest.mark.skipif(not HAS_SHM, reason="shared_memory unavailable")
+    def test_channel_teardown_reclaims_leftover_segments(self):
+        registry = PoolRegistry(table_backend="shm")
+        handle = registry.acquire("process", 1)
+        registry.publish(9102, {"table": [1.0, 2.0, 3.0]})
+        assert registry.term_table_bytes() > 0
+        # Releasing the last pool lease tears the channel down even
+        # though the publisher never retracted (engine closed while
+        # its tables were still up).
+        handle.release()
+        assert registry.term_table_bytes() == 0
+        assert not registry.has_table_channel()
 
 
 def test_backend_constants_are_consistent():

@@ -1,0 +1,279 @@
+"""Cross-request megabatching: stacker semantics and broker integration."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.broker.request import three_tier_request
+from repro.broker.service import BrokerService
+from repro.cloud.providers import all_providers
+from repro.errors import OptimizerError
+from repro.optimizer.engine import _import_numpy
+from repro.optimizer.megabatch import (
+    MegabatchConfig,
+    MegabatchStacker,
+    MegabatchStats,
+)
+from repro.sla.contract import Contract
+
+requires_numpy = pytest.mark.skipif(
+    _import_numpy() is None, reason="numpy not installed (the [vector] extra)"
+)
+
+
+def doubler(rows):
+    return [row * 2 for row in rows]
+
+
+class TestMegabatchConfig:
+    def test_defaults(self):
+        config = MegabatchConfig()
+        assert config.window_seconds == 0.005
+        assert config.max_rows == 65536
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(OptimizerError, match="window_seconds"):
+            MegabatchConfig(window_seconds=-0.1)
+
+    def test_rejects_non_positive_max_rows(self):
+        with pytest.raises(OptimizerError, match="max_rows"):
+            MegabatchConfig(max_rows=0)
+
+
+class TestMegabatchStats:
+    def test_snapshot_is_detached_copy(self):
+        stats = MegabatchStats(batches=1, spans=2, rows=30, max_spans_in_batch=2)
+        copy = stats.snapshot()
+        stats.batches = 9
+        assert copy.batches == 1
+        assert copy.to_dict() == {
+            "batches": 1,
+            "spans": 2,
+            "rows": 30,
+            "max_spans_in_batch": 2,
+        }
+
+
+class TestMegabatchStacker:
+    def test_join_leave_refcount(self):
+        stacker = MegabatchStacker()
+        assert stacker.participants(7) == 0
+        stacker.join(7)
+        stacker.join(7)
+        assert stacker.participants(7) == 2
+        stacker.leave(7)
+        assert stacker.participants(7) == 1
+        stacker.leave(7)
+        assert stacker.participants(7) == 0
+
+    def test_empty_rows_short_circuit(self):
+        stacker = MegabatchStacker()
+        assert stacker.evaluate(1, doubler, []) == []
+        assert stacker.stats.batches == 0
+
+    def test_solo_caller_flushes_immediately(self):
+        # No registered participants -> expected max(0, 1) == 1, so a
+        # lone span satisfies the flush trigger without waiting out even
+        # a very long window.
+        stacker = MegabatchStacker(MegabatchConfig(window_seconds=60.0))
+        assert stacker.evaluate(1, doubler, [3, 4]) == [6, 8]
+        assert stacker.stats.to_dict() == {
+            "batches": 1,
+            "spans": 1,
+            "rows": 2,
+            "max_spans_in_batch": 1,
+        }
+
+    def test_two_threads_share_one_batch(self):
+        stacker = MegabatchStacker(MegabatchConfig(window_seconds=30.0))
+        uid = 42
+        stacker.join(uid)
+        stacker.join(uid)
+        calls = []
+
+        def spy(rows):
+            calls.append(list(rows))
+            return doubler(rows)
+
+        results = {}
+
+        def run(name, rows):
+            results[name] = stacker.evaluate(uid, spy, rows)
+
+        a = threading.Thread(target=run, args=("a", [1, 2, 3]))
+        b = threading.Thread(target=run, args=("b", [10, 20]))
+        a.start()
+        b.start()
+        a.join(timeout=20.0)
+        b.join(timeout=20.0)
+        assert not a.is_alive() and not b.is_alive()
+
+        # One stacked evaluation containing both spans, results spliced
+        # back per caller in submission order.
+        assert len(calls) == 1
+        assert sorted(calls[0]) == [1, 2, 3, 10, 20]
+        assert results["a"] == [2, 4, 6]
+        assert results["b"] == [20, 40]
+        assert stacker.stats.to_dict() == {
+            "batches": 1,
+            "spans": 2,
+            "rows": 5,
+            "max_spans_in_batch": 2,
+        }
+
+    def test_window_expiry_flushes_without_stragglers(self):
+        # Two registered participants but only one ever contributes: the
+        # leader must flush at the window deadline, not hang.
+        stacker = MegabatchStacker(MegabatchConfig(window_seconds=0.01))
+        stacker.join(5)
+        stacker.join(5)
+        assert stacker.evaluate(5, doubler, [1]) == [2]
+        assert stacker.stats.batches == 1
+
+    def test_max_rows_triggers_flush(self):
+        # Soft row bound: once the stacked rows reach max_rows the leader
+        # flushes even though the second participant never shows up.
+        stacker = MegabatchStacker(
+            MegabatchConfig(window_seconds=30.0, max_rows=3)
+        )
+        stacker.join(5)
+        stacker.join(5)
+        assert stacker.evaluate(5, doubler, [1, 2, 3, 4]) == [2, 4, 6, 8]
+        assert stacker.stats.rows == 4
+
+    def test_evaluator_error_propagates_to_all_callers(self):
+        stacker = MegabatchStacker(MegabatchConfig(window_seconds=30.0))
+        uid = 9
+        stacker.join(uid)
+        stacker.join(uid)
+        boom = ValueError("bad batch")
+
+        def failing(rows):
+            raise boom
+
+        raised = {}
+
+        def run(name):
+            try:
+                stacker.evaluate(uid, failing, [name])
+            except ValueError as exc:
+                raised[name] = exc
+
+        a = threading.Thread(target=run, args=("a",))
+        b = threading.Thread(target=run, args=("b",))
+        a.start()
+        b.start()
+        a.join(timeout=20.0)
+        b.join(timeout=20.0)
+        assert not a.is_alive() and not b.is_alive()
+        # Leader and follower both observe the same exception instance.
+        assert raised["a"] is boom
+        assert raised["b"] is boom
+        assert stacker.stats.batches == 0
+
+    def test_wrong_length_evaluator_rejected(self):
+        stacker = MegabatchStacker()
+        with pytest.raises(OptimizerError, match="payloads for"):
+            stacker.evaluate(1, lambda rows: rows[:-1], [1, 2])
+
+    def test_observer_sees_span_counts(self):
+        observed = []
+        stacker = MegabatchStacker(observer=observed.append)
+        stacker.evaluate(1, doubler, [1])
+        stacker.evaluate(1, doubler, [2, 3])
+        assert observed == [1, 1]
+
+    def test_batches_are_per_uid(self):
+        stacker = MegabatchStacker(MegabatchConfig(window_seconds=30.0))
+        # Engine 1 has a registered straggler; engine 2 does not.  A solo
+        # call against engine 2 must not be blocked by engine 1's state.
+        stacker.join(1)
+        stacker.join(1)
+        assert stacker.evaluate(2, doubler, [5]) == [10]
+        assert stacker.stats.batches == 1
+
+
+@requires_numpy
+class TestBrokerMegabatchIntegration:
+    """Concurrent megabatched sessions return byte-identical reports."""
+
+    @pytest.fixture(scope="class")
+    def broker(self) -> BrokerService:
+        broker = BrokerService(all_providers())
+        broker.observe_all(years=1.0, seed=23)
+        return broker
+
+    def _requests(self):
+        # brute-force streams candidates through the backend in blocks —
+        # the path the stacker hooks; pruned/branch-and-bound evaluate
+        # one candidate at a time and never reach the vector kernel.
+        contracts = (
+            Contract.linear(98.0, 100.0),
+            Contract.linear(99.0, 250.0),
+            Contract.linear(98.0, 100.0),  # same engine as the first
+        )
+        return [
+            three_tier_request(contract, backend="vector",
+                               strategy="brute-force")
+            for contract in contracts
+        ]
+
+    def test_concurrent_reports_match_plain_session(self, broker):
+        requests = self._requests()
+        with broker.session() as plain:
+            baseline = [plain.recommend(request) for request in requests]
+
+        with broker.session(
+            megabatch=MegabatchConfig(window_seconds=0.05)
+        ) as stacked:
+            reports = [None] * len(requests)
+
+            def run(i):
+                reports[i] = stacked.recommend(requests[i])
+
+            threads = [
+                threading.Thread(target=run, args=(i,))
+                for i in range(len(requests))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert all(not thread.is_alive() for thread in threads)
+            metrics = stacked.metrics()
+
+        for expected, actual in zip(baseline, reports):
+            assert actual is not None
+            for lhs, rhs in zip(expected.recommendations, actual.recommendations):
+                assert lhs.provider_name == rhs.provider_name
+                assert lhs.result.best.label == rhs.result.best.label
+                assert (
+                    lhs.result.best.tco.total_with_base
+                    == rhs.result.best.tco.total_with_base
+                )
+                assert lhs.result.options == rhs.result.options
+
+        stats = metrics["megabatch"]
+        assert stats is not None
+        assert stats["spans"] >= 1
+        assert stats["rows"] >= 1
+
+    def test_plain_session_reports_no_megabatch_metrics(self, broker):
+        with broker.session() as plain:
+            assert plain.metrics()["megabatch"] is None
+
+    def test_megabatch_requires_vector_backend_to_engage(self, broker):
+        # A serial-backend request through a megabatch session must take
+        # the exclusive path and still produce the serial result.
+        request = three_tier_request(Contract.linear(98.0, 100.0))
+        with broker.session(megabatch=True) as stacked:
+            report = stacked.recommend(request)
+        with broker.session() as plain:
+            baseline = plain.recommend(request)
+        assert (
+            report.best.result.best.tco.total_with_base
+            == baseline.best.result.best.tco.total_with_base
+        )
+        assert report.best.result.options == baseline.best.result.options
