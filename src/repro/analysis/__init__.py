@@ -1,0 +1,39 @@
+"""Static analysis for the repo's unwritten invariants.
+
+``repro.analysis`` is an AST-based rule-engine linter: the driver in
+:mod:`repro.analysis.core` parses each file once and runs every
+applicable :class:`Rule` over a single walk; the rule pack in
+:mod:`repro.analysis.rules` encodes the determinism, lock-discipline,
+async-hygiene, resource-lifecycle, wire-round-trip and registry-parity
+invariants PRs 1–6 established by hand.  ``repro lint`` is the CLI
+front end and the CI gate.
+"""
+
+from repro.analysis.core import (
+    INTEGRITY_RULE_ID,
+    REPORT_SCHEMA_VERSION,
+    Finding,
+    LintConfig,
+    LintContext,
+    LintReport,
+    Rule,
+    Suppressions,
+    iter_python_files,
+    run_lint,
+)
+from repro.analysis.rules import DEFAULT_RULES, RULE_DESCRIPTIONS
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "INTEGRITY_RULE_ID",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "REPORT_SCHEMA_VERSION",
+    "RULE_DESCRIPTIONS",
+    "Rule",
+    "Suppressions",
+    "iter_python_files",
+    "run_lint",
+]

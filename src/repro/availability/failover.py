@@ -51,8 +51,12 @@ def cluster_failover_downtime(system: SystemTopology, cluster_name: str) -> floa
 
 
 def failover_downtime_probability(system: SystemTopology) -> float:
-    """``F_s``: total downtime probability from failover latencies."""
-    return sum(
-        cluster_failover_downtime(system, cluster.name)
-        for cluster in system.clusters
-    )
+    """``F_s``: total downtime probability from failover latencies.
+
+    Accumulated in cluster declaration order with an explicit loop so
+    the float addition order is pinned (REP001).
+    """
+    total = 0.0
+    for cluster in system.clusters:
+        total += cluster_failover_downtime(system, cluster.name)
+    return total

@@ -94,9 +94,11 @@ def importance_analysis(system: SystemTopology) -> ImportanceReport:
         cluster.name: cluster_up_probability(cluster)
         for cluster in system.clusters
     }
+    # Multiply in cluster declaration order (not dict iteration order),
+    # keeping the float op order an explicit topology property (REP001).
     total = 1.0
-    for value in availabilities.values():
-        total *= value
+    for cluster in system.clusters:
+        total *= availabilities[cluster.name]
     downtime = 1.0 - total
 
     entries = []

@@ -106,7 +106,9 @@ class MarkovClusterModel:
             birth = (self.total_nodes - j) * self.failure_rate_per_hour
             death = min(j + 1, self.repair_crew) * self.repair_rate_per_hour
             weights.append(weights[-1] * birth / death)
-        total = sum(weights)
+        total = 0.0
+        for weight in weights:  # explicit order: j = 0..K (REP001)
+            total += weight
         return tuple(weight / total for weight in weights)
 
     def up_probability(self, standby_tolerance: int) -> float:
@@ -116,12 +118,18 @@ class MarkovClusterModel:
                 f"standby_tolerance must be in [0, K), got {standby_tolerance!r}"
             )
         pi = self.steady_state()
-        return sum(pi[: standby_tolerance + 1])
+        up = 0.0
+        for probability in pi[: standby_tolerance + 1]:  # j ascending (REP001)
+            up += probability
+        return up
 
     def expected_down_nodes(self) -> float:
         """Mean number of simultaneously failed nodes."""
         pi = self.steady_state()
-        return sum(j * p for j, p in enumerate(pi))
+        mean = 0.0
+        for j, p in enumerate(pi):  # j ascending (REP001)
+            mean += j * p
+        return mean
 
 
 def markov_cluster_up_probability(

@@ -149,7 +149,10 @@ def availability_values_from_terms(
             if j != i:
                 others_quiet *= other.active_up_probability
         contributions.append(term.failover_rate * others_quiet)
-    return 1.0 - up_product, sum(contributions), contributions
+    failover_total = 0.0
+    for contribution in contributions:  # cluster order, pinned (REP001)
+        failover_total += contribution
+    return 1.0 - up_product, failover_total, contributions
 
 
 def availability_from_terms(

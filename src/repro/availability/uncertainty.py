@@ -111,9 +111,14 @@ def propagate_uptime_uncertainty(
             + (entry.wrt_failover_minutes * inputs.sigma_failover_minutes) ** 2
         )
         variance_by_cluster[entry.name] = variance
+    # Sum variances in the sensitivity report's cluster order, not dict
+    # iteration order, so the float addition order is pinned (REP001).
+    total_variance = 0.0
+    for entry in report.clusters:
+        total_variance += variance_by_cluster[entry.name]
     return UptimeUncertainty(
         uptime_mean=report.baseline_uptime,
-        uptime_stderr=math.sqrt(sum(variance_by_cluster.values())),
+        uptime_stderr=math.sqrt(total_variance),
         variance_by_cluster=variance_by_cluster,
     )
 

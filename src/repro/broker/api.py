@@ -1112,6 +1112,7 @@ class BrokerSession:
                 engine.set_backend("vector")
                 engine.enable_megabatch(stacker)
             entry.shared += 1
+            # repro: lint-ok[REP002] MegabatchStacker.join registers a sharer; it never blocks
             stacker.join(engine.uid)
             before = engine.stats.snapshot()
             first_service = entry.unserved

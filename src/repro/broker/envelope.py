@@ -634,6 +634,36 @@ class ProgressEvent:
             "detail": dict(self.detail),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ProgressEvent":
+        _check_keys(
+            payload,
+            {"kind", "request_id", "provider", "detail"},
+            "progress event",
+        )
+        if "kind" not in payload:
+            raise ValidationError("progress event is missing 'kind'")
+        detail = payload.get("detail") or {}
+        if not isinstance(detail, Mapping):
+            raise ValidationError(
+                f"progress event detail must be a mapping, got {type(detail).__name__}"
+            )
+        return cls(
+            kind=payload["kind"],
+            request_id=payload.get("request_id"),
+            provider=payload.get("provider"),
+            detail=dict(detail),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string (compact by default, for SSE/JSONL)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProgressEvent":
+        """Deserialize from a JSON string."""
+        return cls.from_dict(_loads(text, "progress event"))
+
 
 def _loads(text: str, what: str) -> Any:
     try:

@@ -22,6 +22,10 @@ Subcommands
 ``ingest FILE``
     Shard-ingest a JSONL telemetry trace locally, or POST it to a
     running server with ``--url``.
+``lint [PATHS]``
+    Run the ``repro.analysis`` invariant linter (determinism, lock
+    discipline, async hygiene, resource lifecycle, wire round-trip,
+    registry parity) over source trees; nonzero exit on findings.
 """
 
 from __future__ import annotations
@@ -310,6 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default=None,
         help="POST the trace to a running `repro serve` instead "
         "(e.g. http://127.0.0.1:8348)",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="check source trees against the repo's invariant rules "
+        "(REP001-REP007); exits 1 on findings",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--format", dest="output_format", choices=("text", "json"),
+        default="text", help="report format",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and their scopes, then exit",
     )
 
     return parser
@@ -604,6 +630,27 @@ def _cmd_pareto() -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULE_DESCRIPTIONS, LintConfig, run_lint
+
+    if args.list_rules:
+        for rule_id, (title, paths) in sorted(RULE_DESCRIPTIONS.items()):
+            scope = ", ".join(paths) if paths else "all files"
+            print(f"{rule_id}  {title}  [{scope}]")
+        return 0
+    select = None
+    if args.rules:
+        select = tuple(
+            part.strip() for part in args.rules.split(",") if part.strip()
+        )
+    report = run_lint(args.paths, config=LintConfig(select=select))
+    if args.output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -634,6 +681,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

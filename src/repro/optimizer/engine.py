@@ -1148,6 +1148,7 @@ class EvaluationEngine:
         self._results: dict[ChoiceNames, EvaluatedOption] = {}
         self._bind_backend(self.backend)
         self._profiles = self._precompute_profiles()
+        # repro: lint-ok[REP001] integer row lengths, order-free
         self.stats.cluster_term_computations = sum(
             len(row) for row in self._profiles
         )

@@ -359,12 +359,17 @@ class PoolRegistry:
             manager = None
             if manager_needed:
                 manager = multiprocessing.Manager()
-                tables = manager.dict()
-            if self._table_backend == "shm":
-                channel: tuple[str, object] = ("shm", self._token)
-            else:
-                channel = ("manager", tables)
             try:
+                # Everything between starting the manager process and
+                # handing it to self._manager runs under this guard:
+                # manager.dict() is an RPC into the fresh process and
+                # can fail, which previously leaked the process.
+                if manager is not None:
+                    tables = manager.dict()
+                if self._table_backend == "shm":
+                    channel: tuple[str, object] = ("shm", self._token)
+                else:
+                    channel = ("manager", tables)
                 pool = self._create(kind, workers, channel)
             except BaseException:
                 if manager is not None:
@@ -506,17 +511,24 @@ class PoolRegistry:
         segment = _shared_memory.SharedMemory(
             name=_segment_name(self._token, uid), create=True, size=len(data)
         )
-        segment.buf[: len(data)] = data
-        new_entry = _ShmSegment(segment=segment, size=len(data))
-        with self._lock:
-            if self._shm_channel_up and uid not in self._segments:
-                self._segments[uid] = new_entry
-                self.stats.tables_published += 1
-                return
-            racing = self._segments.get(uid)
-            if racing is not None:
-                racing.refs += 1
-                self.stats.tables_published += 1
+        try:
+            segment.buf[: len(data)] = data
+            new_entry = _ShmSegment(segment=segment, size=len(data))
+            with self._lock:
+                if self._shm_channel_up and uid not in self._segments:
+                    self.stats.tables_published += 1
+                    self._segments[uid] = new_entry
+                    return
+                racing = self._segments.get(uid)
+                if racing is not None:
+                    racing.refs += 1
+                    self.stats.tables_published += 1
+        except BaseException:
+            # Anything raised between creating the OS segment and
+            # registering it would otherwise leak a named shm file that
+            # outlives the process (REP004's motivating window).
+            self._unlink_segment(_ShmSegment(segment=segment, size=len(data)))
+            raise
         # Lost a race (duplicate publish) or the channel went down while
         # we serialized: this segment is not the published one.
         self._unlink_segment(new_entry)
@@ -565,6 +577,7 @@ class PoolRegistry:
     def live_leases(self) -> int:
         """Outstanding pool leases across every (kind, width)."""
         with self._lock:
+            # repro: lint-ok[REP001] integer lease counters, order-free
             return sum(shared.holders for shared in self._pools.values())
 
     def table_channel_backend(self) -> str:
@@ -585,6 +598,7 @@ class PoolRegistry:
         manager process, not in segments this registry can measure.
         """
         with self._lock:
+            # repro: lint-ok[REP001] integer byte sizes, order-free
             return sum(entry.size for entry in self._segments.values())
 
     def published_uids(self) -> tuple[int, ...]:

@@ -60,7 +60,10 @@ class ComplianceReport:
     @property
     def mean_realized_penalty(self) -> float:
         """Average dollars actually paid per month."""
-        return sum(month.penalty for month in self.months) / len(self.months)
+        total = 0.0
+        for month in self.months:  # chronological order, pinned (REP001)
+            total += month.penalty
+        return total / len(self.months)
 
     @property
     def worst_month_penalty(self) -> float:
@@ -70,7 +73,9 @@ class ComplianceReport:
     @property
     def breach_fraction(self) -> float:
         """Fraction of months that breached the SLA."""
-        breaches = sum(1 for month in self.months if month.slipped)
+        breaches = sum(  # repro: lint-ok[REP001] integer breach count, order-free
+            1 for month in self.months if month.slipped
+        )
         return breaches / len(self.months)
 
     @property

@@ -1,0 +1,107 @@
+"""Regression tests for the defects ``repro lint`` surfaced.
+
+Each test here pins a bug the static rules found in previously-shipped
+code (see DESIGN.md § Invariants & static analysis):
+
+* REP004 on ``PoolRegistry.publish``: an exception between creating the
+  named SharedMemory segment and registering it leaked an OS-level shm
+  file that outlived the process.
+* REP004 on ``PoolRegistry.acquire``: ``manager.dict()`` — an RPC into
+  the freshly-spawned manager process — ran outside the guard that
+  shuts the manager down on failure, leaking the manager process.
+* REP005 on ``ProgressEvent``: the streaming event serialized
+  (``to_dict``) but could not be parsed back (no ``from_dict``), so
+  clients could not round-trip the one wire type the SSE path emits
+  (covered in tests/test_broker_api.py with the other envelopes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.optimizer.pools import (
+    PoolRegistry,
+    _segment_name,
+    _shared_memory,
+)
+
+pytestmark = pytest.mark.skipif(
+    _shared_memory is None, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+class _ExplodingStats:
+    """Stands in for ``registry.stats``: any attribute access raises."""
+
+    def __getattr__(self, name):
+        raise RuntimeError("stats backend down")
+
+
+class _FakeManager:
+    """A Manager whose first RPC (``dict()``) fails."""
+
+    instances: list["_FakeManager"] = []
+
+    def __init__(self):
+        self.shutdown_called = False
+        _FakeManager.instances.append(self)
+
+    def dict(self):
+        raise RuntimeError("manager RPC failed")
+
+    def shutdown(self):
+        self.shutdown_called = True
+
+
+class TestPublishLeak:
+    def test_publish_failure_unlinks_fresh_segment(self):
+        """REP004 regression: no shm leak when registration raises."""
+        registry = PoolRegistry(table_backend="shm")
+        # White-box: bring the channel up without paying for a real
+        # process pool, then make the registration step blow up.
+        registry._shm_channel_up = True
+        registry.stats = _ExplodingStats()
+        uid = 421
+        with pytest.raises(RuntimeError, match="stats backend down"):
+            registry.publish(uid, {"terms": (1.0, 2.0)})
+        # The failed publish must leave neither a registry entry nor an
+        # OS-level segment behind.
+        assert uid not in registry._segments
+        with pytest.raises(FileNotFoundError):
+            _shared_memory.SharedMemory(
+                name=_segment_name(registry._token, uid)
+            )
+
+    def test_publish_retract_still_round_trips(self):
+        """The happy path is untouched by the error-path fix."""
+        registry = PoolRegistry(table_backend="shm")
+        registry._shm_channel_up = True
+        uid = 7
+        registry.publish(uid, {"terms": (1.0,)})
+        assert uid in registry._segments
+        assert registry.stats.tables_published == 1
+        registry.retract(uid)
+        assert uid not in registry._segments
+        with pytest.raises(FileNotFoundError):
+            _shared_memory.SharedMemory(
+                name=_segment_name(registry._token, uid)
+            )
+
+
+class TestAcquireManagerLeak:
+    def test_failed_manager_rpc_shuts_manager_down(self, monkeypatch):
+        """REP004 regression: the manager process never outlives a
+        failed acquire, even when the failure is the table-dict RPC
+        rather than pool construction."""
+        _FakeManager.instances.clear()
+        monkeypatch.setattr(multiprocessing, "Manager", _FakeManager)
+        registry = PoolRegistry(table_backend="manager")
+        with pytest.raises(RuntimeError, match="manager RPC failed"):
+            registry.acquire("process", 1)
+        assert len(_FakeManager.instances) == 1
+        assert _FakeManager.instances[0].shutdown_called
+        # Nothing half-built may linger: no pools, no table channel.
+        assert registry.active_pools() == ()
+        assert not registry.has_table_channel()

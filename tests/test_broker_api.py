@@ -16,7 +16,11 @@ from repro.broker.api import (
     system_signature,
 )
 from repro.broker.envelope import (
+    EVENT_KINDS,
+    ErrorEnvelope,
+    OptionSummary,
     ProgressEvent,
+    ProviderReport,
     RecommendEnvelope,
     ReportEnvelope,
     contract_from_dict,
@@ -946,3 +950,106 @@ class TestTtlEviction:
     def test_finished_job_ttl_validated(self, observed_broker):
         with pytest.raises(BrokerError, match="finished_job_ttl"):
             observed_broker.session(finished_job_ttl=0.0)
+
+
+class TestEnvelopeFieldRoundTrip:
+    """REP005's runtime twin: every wire type survives the round trip.
+
+    The static rule checks the *key sets* of to_dict/from_dict agree
+    with the dataclass fields; these tests check the *values* survive,
+    field by field, for a representative instance of every envelope
+    type the broker can put on the wire.
+    """
+
+    def _option(self, option_id=3):
+        return OptionSummary(
+            option_id=option_id,
+            choice_names=("hypervisor-n+1", "raid-1", "dual-gateway"),
+            clustered_components=("compute",),
+            uptime_probability=0.9987,
+            ha_cost=1234.56,
+            expected_penalty=78.9,
+            tco_total=1313.46,
+            total_with_base=9313.46,
+            meets_sla=True,
+        )
+
+    def _provider_report(self, engine_stats=None):
+        return ProviderReport(
+            provider_name="metalcloud",
+            strategy="pruned",
+            evaluations=14,
+            pruned=2,
+            space_size=16,
+            best=self._option(3),
+            min_penalty=self._option(5),
+            engine_stats=engine_stats,
+        )
+
+    def _samples(self, contract):
+        yield RecommendEnvelope(
+            request=three_tier_request(contract), request_id="req-7"
+        )
+        yield self._option()
+        yield self._provider_report(engine_stats={"combines": 12, "hits": 3})
+        yield self._provider_report(engine_stats=None)
+        yield ReportEnvelope(
+            request_name="three-tier",
+            providers=(self._provider_report(),),
+            request_id="req-7",
+        )
+        yield ErrorEnvelope(
+            status=422,
+            error="validation-error",
+            message="sla percent out of range",
+            request_id="req-7",
+        )
+        for kind in EVENT_KINDS:
+            yield ProgressEvent(
+                kind=kind,
+                request_id="req-7",
+                provider="metalcloud",
+                detail={"completed": 2, "total": 4},
+            )
+        yield ProgressEvent(kind="accepted")  # optional fields at defaults
+
+    def test_every_envelope_round_trips_field_by_field(self, contract):
+        for envelope in self._samples(contract):
+            restored = type(envelope).from_dict(envelope.to_dict())
+            for field_info in dataclasses.fields(envelope):
+                assert getattr(restored, field_info.name) == getattr(
+                    envelope, field_info.name
+                ), f"{type(envelope).__name__}.{field_info.name}"
+            assert restored == envelope
+
+    def test_every_dataclass_field_is_a_wire_key(self, contract):
+        for envelope in self._samples(contract):
+            keys = set(envelope.to_dict())
+            for field_info in dataclasses.fields(envelope):
+                assert field_info.name in keys, (
+                    f"{type(envelope).__name__}.{field_info.name} "
+                    "missing from to_dict"
+                )
+
+    def test_progress_event_json_round_trip(self):
+        event = ProgressEvent(
+            kind="provider-completed",
+            request_id="req-1",
+            provider="steelcore",
+            detail={"rank": 1},
+        )
+        assert ProgressEvent.from_json(event.to_json()) == event
+
+    def test_progress_event_rejects_unknown_keys(self):
+        payload = ProgressEvent(kind="accepted").to_dict()
+        payload["surprise"] = True
+        with pytest.raises(ValidationError, match="surprise"):
+            ProgressEvent.from_dict(payload)
+
+    def test_progress_event_requires_kind(self):
+        with pytest.raises(ValidationError, match="kind"):
+            ProgressEvent.from_dict({"request_id": "req-1"})
+
+    def test_progress_event_rejects_non_mapping_detail(self):
+        with pytest.raises(ValidationError, match="detail"):
+            ProgressEvent.from_dict({"kind": "accepted", "detail": [1, 2]})

@@ -46,6 +46,7 @@ class TestParser:
             ["recommend"],
             ["sweep"],
             ["scenario", "ecommerce"],
+            ["lint"],
         ):
             assert parser.parse_args(args).command == args[0]
 
