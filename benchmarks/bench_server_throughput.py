@@ -17,9 +17,15 @@ Three sweeps over the :mod:`repro.server` serving layer:
    session and through a megabatch-enabled one, asserting the reports
    stay identical and recording both requests/sec figures plus the
    stacker's batch statistics.
+4. **Tracing overhead** (``--trace``; E15) — warm request throughput
+   through an untraced server (twice, bounding run-to-run jitter) and
+   through a ``trace=True`` server with a traceparent-stamping client,
+   asserting the traced server actually recorded span trees and that
+   reports stay identical either way.
 
 ``--json PATH`` writes whichever legs ran as a machine-readable
-artifact (e.g. ``BENCH_E13.json``) for CI trend tracking.
+artifact (e.g. ``BENCH_E13.json``, ``BENCH_E15.json``) for CI trend
+tracking.
 
 Correctness is asserted alongside the timing: wire reports are
 bit-identical to a direct session, and sharded ingestion reproduces
@@ -291,6 +297,105 @@ def test_megabatch_vs_per_request_smoke(emit):
     _megabatch_comparison(emit=emit, fleet=2, rounds=1)
 
 
+def _trace_overhead(
+    emit=print, json_path: str | None = None, fleet: int = 8, total: int = 48
+) -> int:
+    """E15 tracing overhead leg — untraced x2 vs traced serving.
+
+    Three identical warm ``POST /v2/recommend`` sweeps: two through an
+    untraced server (their spread bounds run-to-run jitter — tracing
+    left disabled must hide inside it, since the trace-capable code is
+    in the hot path either way) and one through a ``trace=True`` server
+    driven by a traceparent-stamping client.  The traced leg's relative
+    slowdown is the *enabled* overhead the table and JSON artifact
+    report.  Alongside the timing we assert the observability claims:
+    the traced server recorded one span tree per request (request /
+    parse / serialize phases present, retrievable via ``/v2/traces``)
+    and the recommendation payload is identical in every leg.
+    """
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    envelope = RecommendEnvelope(request, request_id="bench-e15")
+
+    def serve(trace: bool):
+        with start_in_thread(observed_broker(), trace=trace) as handle:
+            client = ServerClient(handle.host, handle.port, trace=trace)
+            client.recommend(envelope)  # warm every provider engine
+            reports, elapsed = _drive_requests(client, envelope, total, fleet)
+            tracing = None
+            if trace:
+                listing = client.traces(limit=total + 8)
+                assert listing["traces"], "traced server recorded no traces"
+                spans = client.trace_spans(client.last_trace_id)
+                names = {span.name for span in spans}
+                assert {"request", "parse", "serialize"} <= names, names
+                tracing = {
+                    "traces_recorded": len(listing["traces"]),
+                    "dropped": listing["dropped"],
+                    "spans_in_last_trace": len(spans),
+                }
+            return reports, elapsed, tracing
+
+    legs = []
+    want = None
+    for mode, trace in (
+        ("untraced-a", False), ("untraced-b", False), ("traced", True)
+    ):
+        reports, elapsed, tracing = serve(trace)
+        stripped = [
+            {k: v for k, v in report.best.to_dict().items()
+             if k != "engine_stats"}
+            for report in reports
+        ]
+        if want is None:
+            want = stripped[0]
+        assert all(got == want for got in stripped), f"{mode} diverged"
+        leg = {
+            "mode": mode,
+            "requests": total,
+            "seconds": elapsed,
+            "requests_per_s": total / elapsed,
+        }
+        if tracing is not None:
+            leg["tracing"] = tracing
+        legs.append(leg)
+
+    rate_a, rate_b, rate_traced = (leg["requests_per_s"] for leg in legs)
+    jitter = abs(rate_a - rate_b) / max(rate_a, rate_b)
+    baseline = (rate_a + rate_b) / 2.0
+    enabled_overhead = max(0.0, 1.0 - rate_traced / baseline)
+    emit(
+        f"[E15] tracing overhead ({fleet} client threads, {total} requests "
+        f"per leg, {os.cpu_count()} cpu):\n"
+        + "\n".join(
+            f"  {leg['mode']:<12} {leg['seconds']:6.2f} s   "
+            f"{leg['requests_per_s']:8.1f} req/s"
+            for leg in legs
+        )
+        + f"\n  untraced jitter {jitter:.1%}; enabled overhead "
+        f"{enabled_overhead:.1%} vs untraced mean "
+        f"({legs[2]['tracing']['traces_recorded']} traces recorded, "
+        "reports identical)"
+    )
+    if json_path:
+        _write_json(json_path, {
+            "experiment": "E15",
+            "generated": datetime.now(timezone.utc).isoformat(),
+            "cores": os.cpu_count(),
+            "client_threads": fleet,
+            "requests_per_leg": total,
+            "legs": legs,
+            "untraced_jitter": jitter,
+            "enabled_overhead_vs_untraced_mean": enabled_overhead,
+        })
+        emit(f"  wrote {json_path}")
+    return 0
+
+
+def test_trace_overhead_smoke(emit):
+    """Traced serving records span trees, reports identical (fast)."""
+    _trace_overhead(emit=emit, fleet=2, total=6)
+
+
 def _smoke() -> int:
     """Fast CI guard: wire fidelity + sharded-ingest exactness."""
     # 1. Wire report identical to a direct session on a twin broker.
@@ -337,15 +442,23 @@ if __name__ == "__main__":
         help="race megabatch vs per-request vector serving (E13)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="measure tracing overhead: untraced x2 vs traced (E15)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --megabatch, also write the timings as a JSON "
-        "artifact (e.g. BENCH_E13.json)",
+        help="with --megabatch or --trace, also write the timings as a "
+        "JSON artifact (e.g. BENCH_E13.json, BENCH_E15.json)",
     )
     args = parser.parse_args()
+    if args.megabatch and args.trace:
+        parser.error("--megabatch and --trace are separate legs")
     if args.megabatch:
         raise SystemExit(_megabatch_comparison(json_path=args.json))
+    if args.trace:
+        raise SystemExit(_trace_overhead(json_path=args.json))
     if args.json:
-        parser.error("--json requires --megabatch")
+        parser.error("--json requires --megabatch or --trace")
     if not args.smoke:
         parser.error("run via pytest for full benchmarks, or pass --smoke")
     raise SystemExit(_smoke())

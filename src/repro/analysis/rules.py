@@ -27,10 +27,12 @@ the test suite can only sample:
             every concrete ``PenaltyClause`` either overrides
             ``monthly_penalty_vector`` or is marked
             ``# repro: scalar-fallback``.
-``REP007``  No wall-clock (``time.time``/``datetime.now``) or global-RNG
-            (``random.random`` etc.) reads anywhere outside ``rng.py``
-            — monotonic clocks and seeded ``random.Random`` instances
-            only.
+``REP007``  No ad-hoc clock (``time.time``/``time.monotonic``/
+            ``time.perf_counter``/``datetime.now``) or global-RNG
+            (``random.random`` etc.) reads anywhere outside the
+            sanctioned sources — randomness comes from ``rng.py``,
+            time comes from ``repro.obs.clock`` (the one module
+            allowed to touch the ``time`` module directly).
 ==========  ==============================================================
 
 ``REP000`` (suppression hygiene / unparseable files) is built into the
@@ -685,10 +687,16 @@ class RegistryParityRule(Rule):
 # -- REP007 ----------------------------------------------------------------
 
 class WallClockRule(Rule):
-    """No wall-clock or global-RNG reads outside ``rng.py``."""
+    """No ad-hoc clock or global-RNG reads outside the sanctioned sources.
+
+    Randomness routes through ``rng.py``; time routes through
+    ``repro.obs.clock`` — the single module blessed to call the ``time``
+    module directly, so a reviewer can audit every clock read in one
+    place and tests can fake time by patching one module.
+    """
 
     rule_id = "REP007"
-    title = "no wall-clock / global RNG"
+    title = "no ad-hoc clocks / global RNG"
     paths = ()
 
     _CLOCKS = {
@@ -699,6 +707,14 @@ class WallClockRule(Rule):
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "date.today",
+    }
+    _MONOTONIC = {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
     }
     _GLOBAL_RANDOM = {
         "random",
@@ -723,7 +739,9 @@ class WallClockRule(Rule):
     }
 
     def applies_to(self, scope_path: str, config) -> bool:
-        if scope_path.endswith("rng.py"):
+        # rng.py owns randomness; obs/clock.py owns time.  Both get to
+        # call the underlying stdlib primitives raw.
+        if scope_path.endswith(("rng.py", "obs/clock.py")):
             return False
         return super().applies_to(scope_path, config)
 
@@ -740,9 +758,23 @@ class WallClockRule(Rule):
                 f"wall-clock read {dotted}() — results must not depend "
                 "on when they run",
                 hint=(
-                    "use time.monotonic()/time.perf_counter() for "
-                    "durations, or plumb an injectable clock like "
+                    "route through repro.obs.clock (wall_clock() for "
+                    "display anchors only, monotonic()/perf_counter() "
+                    "for durations), or plumb an injectable clock like "
                     "BrokerSession._clock"
+                ),
+            )
+            return
+        if dotted in self._MONOTONIC:
+            ctx.report(
+                self,
+                node,
+                f"ad-hoc monotonic clock read {dotted}() — all time "
+                "reads route through the sanctioned source",
+                hint=(
+                    "call repro.obs.clock.monotonic() (deadlines/TTLs) "
+                    "or repro.obs.clock.perf_counter() (span timings, "
+                    "benchmarks) instead"
                 ),
             )
             return

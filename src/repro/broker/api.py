@@ -25,7 +25,6 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
-import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -53,6 +52,8 @@ from repro.optimizer.engine import (
     EvaluationEngine,
     resolve_backend,
 )
+from repro.obs import clock
+from repro.obs.trace import SpanContext, Tracer, maybe_span, parse_traceparent
 from repro.optimizer.megabatch import MegabatchConfig, MegabatchStacker
 from repro.optimizer.result import OptimizationResult, ResultAccumulator
 from repro.optimizer.space import OptimizationProblem
@@ -85,6 +86,21 @@ JOB_FAILED = "failed"
 
 def _digest(payload: str) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _trace_context(envelope: RecommendEnvelope) -> SpanContext | None:
+    """The envelope's traceparent as a context; invalid values discarded.
+
+    Per the W3C trace-context spec a malformed incoming header is
+    dropped (the server starts its own trace) rather than rejected —
+    observability metadata must never fail a request.
+    """
+    if envelope.trace is None:
+        return None
+    try:
+        return parse_traceparent(envelope.trace)
+    except ValidationError:
+        return None
 
 
 def system_signature(system: SystemTopology) -> str:
@@ -449,6 +465,11 @@ class BrokerJob:
     seconds) is stamped when the job reaches a terminal state and
     drives the session's age-based TTL eviction, which *does* reclaim
     never-retrieved jobs — the fire-and-forget leak.
+
+    ``trace``/``submitted_at`` carry the submitter's span context into
+    the worker thread (contextvars do not cross executor threads) so
+    ``_run_job`` can re-activate it and attribute the submit→run gap to
+    a ``queue_wait`` span.  Both stay ``None`` when tracing is off.
     """
 
     job_id: str
@@ -458,6 +479,8 @@ class BrokerJob:
     error: Exception | None = None
     retrieved: bool = False
     finished_at: float | None = None
+    trace: SpanContext | None = None
+    submitted_at: float | None = None
     done: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -505,6 +528,12 @@ class BrokerSession:
     ``engine_stats`` deltas become approximate when requests genuinely
     overlap (they already are for interleaved cache hits — see
     ``_request_stats``).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, usually owned by the
+    server transport) enables per-phase span recording: requests get
+    ``cache_lookup``/``terms``/``evaluate``/``distill`` spans, async
+    jobs get ``job``/``queue_wait`` spans re-parented to the submitter's
+    context.  ``None`` (the default) disables tracing at zero cost.
     """
 
     def __init__(
@@ -518,6 +547,7 @@ class BrokerSession:
         finished_job_ttl: float | None = None,
         backend: str | None = None,
         megabatch: "bool | MegabatchConfig" = False,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_workers < 1:
             raise BrokerError(f"max_workers must be >= 1, got {max_workers!r}")
@@ -548,6 +578,12 @@ class BrokerSession:
             self.megabatch = MegabatchStacker()
         else:
             self.megabatch = None
+        # Tracing: None means disabled — every instrumentation point in
+        # the session guards on a single `is not None` check, so the
+        # untraced hot path is unchanged (see repro.obs).
+        self.tracer = tracer
+        if self.megabatch is not None and tracer is not None:
+            self.megabatch.tracer = tracer
         self._jobs: "OrderedDict[str, BrokerJob]" = OrderedDict()
         self._futures: dict[str, Future] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -558,7 +594,7 @@ class BrokerSession:
         self._evicted_ttl = 0
         # Injection point for eviction tests; monotonic so wall-clock
         # jumps never mass-expire a healthy table.
-        self._clock = time.monotonic
+        self._clock = clock.monotonic
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -616,7 +652,29 @@ class BrokerSession:
         )
 
     def recommend_envelope(self, envelope: RecommendEnvelope) -> ReportEnvelope:
-        """Wire-in, wire-out: serve a request envelope."""
+        """Wire-in, wire-out: serve a request envelope.
+
+        When the session traces and no span is active yet (direct
+        session use, or a transport that did not open a root span), an
+        envelope carrying a traceparent gets a ``request`` root span of
+        its own, so trace continuity survives every entry point.
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.current() is None:
+            parent = _trace_context(envelope)
+            if parent is not None:
+                with tracer.span(
+                    "request",
+                    parent=parent,
+                    attrs={
+                        "route": "recommend",
+                        "request_id": envelope.request_id or "",
+                    },
+                ):
+                    return ReportEnvelope.from_report(
+                        self.recommend(envelope.request),
+                        request_id=envelope.request_id,
+                    )
         return ReportEnvelope.from_report(
             self.recommend(envelope.request), request_id=envelope.request_id
         )
@@ -652,9 +710,19 @@ class BrokerSession:
             job_id = f"job-{self._counter:06d}"
             if envelope.request_id is None:
                 envelope = RecommendEnvelope(
-                    request=envelope.request, request_id=job_id
+                    request=envelope.request,
+                    request_id=job_id,
+                    trace=envelope.trace,
                 )
             job = BrokerJob(job_id=job_id, envelope=envelope)
+            tracer = self.tracer
+            if tracer is not None:
+                ctx = tracer.current()
+                if ctx is None:
+                    ctx = _trace_context(envelope)
+                if ctx is not None:
+                    job.trace = ctx
+                    job.submitted_at = clock.perf_counter()
             self._jobs[job_id] = job
             self._evict_finished_jobs()
             if self._executor is None:
@@ -666,6 +734,35 @@ class BrokerSession:
         return job_id
 
     def _run_job(self, job: BrokerJob) -> None:
+        tracer = self.tracer
+        if tracer is None or job.trace is None:
+            self._execute_job(job)
+            return
+        # Worker threads are reused across jobs: activate this job's
+        # context for the duration only, and always restore on the way
+        # out or a later job inherits a stale trace.
+        token = tracer.activate(job.trace)
+        try:
+            # Back-dating the job span to submit time makes queue_wait
+            # a properly nested child covering the submit→run gap.
+            with tracer.span(
+                "job",
+                start=job.submitted_at,
+                attrs={"job_id": job.job_id},
+            ) as span:
+                if job.submitted_at is not None:
+                    tracer.record(
+                        "queue_wait",
+                        parent=span.context,
+                        start=job.submitted_at,
+                        end=clock.perf_counter(),
+                    )
+                self._execute_job(job)
+                span.attrs["status"] = job.status
+        finally:
+            tracer.restore(token)
+
+    def _execute_job(self, job: BrokerJob) -> None:
         job.status = JOB_RUNNING
         try:
             job.report = self.recommend(job.request)
@@ -931,6 +1028,9 @@ class BrokerSession:
 
         entry = self._cache_entry(request, name)
         engine = entry.engine
+        tracer = self.tracer
+        trace_ctx = tracer.current() if tracer is not None else None
+        distill_started = clock.perf_counter() if trace_ctx is not None else 0.0
         accumulator = ResultAccumulator(
             space_size=engine.space.size,
             strategy="brute-force",
@@ -968,6 +1068,19 @@ class BrokerSession:
                 after = engine.stats.snapshot()
                 first_service = entry.unserved
                 entry.unserved = False
+            if trace_ctx is not None:
+                # Pre-timed: a span context manager must not straddle
+                # yields — an abandoned generator would never close it.
+                tracer.record(
+                    "distill",
+                    parent=trace_ctx,
+                    start=distill_started,
+                    end=clock.perf_counter(),
+                    attrs={
+                        "provider": name,
+                        "evaluated": str(accumulator.count),
+                    },
+                )
         finally:
             # Runs when the sweep completes *and* when a partially
             # consumed stream generator is abandoned — either way a
@@ -1025,6 +1138,7 @@ class BrokerSession:
             engine_mode=request.engine,
         )
         backend = self._request_backend(request)
+        tracer = self.tracer
 
         def build_engine() -> EvaluationEngine:
             registry = registry_for_provider(
@@ -1038,9 +1152,24 @@ class BrokerSession:
                 contract=request.contract,
                 labor_rate=LaborRate(provider.rate_card.labor_rate_per_hour),
             )
-            return EvaluationEngine(problem, mode=request.engine, backend=backend)
+            # The factory runs on the requesting thread under the entry
+            # lock, so this span nests inside cache_lookup — the n*k
+            # cluster-term precompute is exactly a cache miss's cost.
+            with maybe_span(tracer, "terms", attrs={"provider": provider_name}):
+                return EvaluationEngine(
+                    problem, mode=request.engine, backend=backend
+                )
 
-        return self.engine_cache.entry(key, build_engine)
+        with maybe_span(
+            tracer, "cache_lookup", attrs={"provider": provider_name}
+        ):
+            entry = self.engine_cache.entry(key, build_engine)
+        if tracer is not None:
+            # One tracer serves the whole session; per-request identity
+            # lives in contextvars, so a shared cached engine can simply
+            # keep pointing at it.
+            entry.engine.tracer = tracer
+        return entry
 
     def _recommend_provider(
         self, request: RecommendationRequest, name: str
@@ -1071,9 +1200,18 @@ class BrokerSession:
                     entry.cond.wait()
                 engine.set_backend(backend)
                 before = engine.stats.snapshot()
-                result: OptimizationResult = optimize(
-                    engine.problem, engine=engine
-                )
+                with maybe_span(
+                    self.tracer,
+                    "evaluate",
+                    attrs={
+                        "provider": name,
+                        "strategy": request.strategy,
+                        "backend": backend,
+                    },
+                ):
+                    result: OptimizationResult = optimize(
+                        engine.problem, engine=engine
+                    )
                 after = engine.stats.snapshot()
                 first_service = entry.unserved
                 entry.unserved = False
@@ -1118,7 +1256,19 @@ class BrokerSession:
             first_service = entry.unserved
             entry.unserved = False
         try:
-            result: OptimizationResult = optimize(engine.problem, engine=engine)
+            with maybe_span(
+                self.tracer,
+                "evaluate",
+                attrs={
+                    "provider": name,
+                    "strategy": request.strategy,
+                    "backend": "vector",
+                    "megabatch": "true",
+                },
+            ):
+                result: OptimizationResult = optimize(
+                    engine.problem, engine=engine
+                )
             after = engine.stats.snapshot()
         finally:
             with entry.lock:

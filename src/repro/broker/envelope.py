@@ -235,10 +235,26 @@ def request_from_dict(payload: Mapping[str, Any]) -> RecommendationRequest:
 
 @dataclass(frozen=True)
 class RecommendEnvelope:
-    """A versioned, addressable recommendation request document."""
+    """A versioned, addressable recommendation request document.
+
+    ``trace`` is an optional W3C-traceparent-style string
+    (``00-<32 hex>-<16 hex>-01``, see :mod:`repro.obs.trace`): a client
+    that stamps it gets the server-side span tree recorded under its
+    own trace id.  It is pure observability metadata — it never
+    influences the recommendation and is ignored unless the server was
+    started with tracing enabled.
+    """
 
     request: RecommendationRequest
     request_id: str | None = None
+    trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace is not None and not isinstance(self.trace, str):
+            raise ValidationError(
+                f"trace must be a traceparent string or None, "
+                f"got {type(self.trace).__name__}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize, embedding the schema version and document kind."""
@@ -247,6 +263,7 @@ class RecommendEnvelope:
             "kind": "recommend-request",
             "request_id": self.request_id,
             "request": request_to_dict(self.request),
+            "trace": self.trace,
         }
 
     @classmethod
@@ -255,7 +272,7 @@ class RecommendEnvelope:
         _check_version(payload, "recommend envelope")
         _check_keys(
             payload,
-            {"schema_version", "kind", "request_id", "request"},
+            {"schema_version", "kind", "request_id", "request", "trace"},
             "recommend envelope",
         )
         kind = payload.get("kind", "recommend-request")
@@ -266,6 +283,7 @@ class RecommendEnvelope:
         return cls(
             request=request_from_dict(payload["request"]),
             request_id=payload.get("request_id"),
+            trace=payload.get("trace"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

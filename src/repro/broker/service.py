@@ -261,6 +261,7 @@ class BrokerService:
         finished_job_ttl: float | None = None,
         backend: str | None = None,
         megabatch=False,
+        tracer=None,
     ) -> "BrokerSession":
         """Open a v2 :class:`~repro.broker.api.BrokerSession` over this broker.
 
@@ -273,6 +274,8 @@ class BrokerService:
         jobs, and ``megabatch`` (bool or
         :class:`~repro.optimizer.megabatch.MegabatchConfig`) stacks
         concurrent same-engine vector requests into one numpy pass.
+        ``tracer`` (a :class:`repro.obs.Tracer`) enables per-phase span
+        recording; ``None`` leaves tracing disabled at zero cost.
         """
         from repro.broker.api import BrokerSession
 
@@ -281,6 +284,7 @@ class BrokerService:
             "finished_job_ttl": finished_job_ttl,
             "backend": backend,
             "megabatch": megabatch,
+            "tracer": tracer,
         }
         if cache_capacity is not None:
             kwargs["cache_capacity"] = cache_capacity

@@ -22,6 +22,10 @@ Subcommands
 ``ingest FILE``
     Shard-ingest a JSONL telemetry trace locally, or POST it to a
     running server with ``--url``.
+``trace [TRACE_ID]``
+    List recent request traces (or render one trace's span tree) from a
+    live ``serve --trace`` server via ``--url``, or from an exported
+    span JSONL file via ``--file``.
 ``lint [PATHS]``
     Run the ``repro.analysis`` invariant linter (determinism, lock
     discipline, async hygiene, resource lifecycle, wire round-trip,
@@ -31,6 +35,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -55,6 +60,13 @@ from repro.topology.serialization import system_from_json
 from repro.units import MINUTES_PER_YEAR
 from repro.workloads.case_study import AS_IS_OPTION_ID, case_study_problem
 from repro.workloads.scenarios import SCENARIOS, scenario
+
+
+def _env_flag(name: str) -> bool:
+    """Boolean environment default: unset/empty/0/false/no mean off."""
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,6 +305,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="soft cap on candidate rows stacked per megabatch vector "
         "pass (default 65536)",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        default=_env_flag("REPRO_TRACE"),
+        help="record per-request span traces (GET /v2/traces, "
+        "X-Repro-Trace-Id response headers, span-duration histograms "
+        "in /metrics); defaults on when $REPRO_TRACE is set",
+    )
+    serve.add_argument(
+        "--trace-capacity", type=int, default=256,
+        help="recent traces retained by the in-memory store (ring "
+        "buffer; oldest evicted beyond this)",
+    )
+    serve.add_argument(
+        "--slow-request-threshold", type=float, default=None,
+        help="log a structured warning for requests slower than this "
+        "many seconds (implies --trace)",
+    )
+    serve.add_argument(
+        "--profile-requests", action="store_true",
+        help="run cProfile around each traced recommend and log the "
+        "hottest functions (implies --trace; heavy — debugging only)",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -314,6 +348,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default=None,
         help="POST the trace to a running `repro serve` instead "
         "(e.g. http://127.0.0.1:8348)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect request traces from a serve --trace server or an "
+        "exported span JSONL file",
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="render this trace's span tree (omit to list traces)",
+    )
+    trace.add_argument(
+        "--url", default=None,
+        help="a running `repro serve --trace` server "
+        "(e.g. http://127.0.0.1:8348)",
+    )
+    trace.add_argument(
+        "--file", type=Path, default=None,
+        help="read spans from an exported JSONL file instead of a server",
+    )
+    trace.add_argument(
+        "--min-duration", type=float, default=0.0,
+        help="only list traces whose root span took at least this many "
+        "seconds",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=50,
+        help="maximum traces to list",
     )
 
     lint = commands.add_parser(
@@ -532,6 +594,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server.transport import BrokerServer
 
+    # --slow-request-threshold and --profile-requests are tracing
+    # features; asking for either turns tracing on.
+    trace = bool(
+        args.trace
+        or args.slow_request_threshold is not None
+        or args.profile_requests
+    )
+    if trace:
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging("repro.server")
     broker = BrokerService(all_providers())
     print(
         f"Observing providers ({args.observe_years:g} synthetic years each)...",
@@ -553,6 +626,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         megabatch=args.megabatch,
         megabatch_window=args.megabatch_window,
         megabatch_max_rows=args.megabatch_max_rows,
+        trace=trace,
+        trace_capacity=args.trace_capacity,
+        slow_request_threshold=args.slow_request_threshold,
+        profile_requests=args.profile_requests,
     )
 
     async def run() -> None:
@@ -560,8 +637,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await server.start()
             print(
                 f"serving v2 envelopes on http://{server.host}:{server.port} "
-                f"({args.shards} ingest shards, {args.max_workers} workers); "
-                "Ctrl-C to stop",
+                f"({args.shards} ingest shards, {args.max_workers} workers"
+                f"{', tracing on' if trace else ''}); Ctrl-C to stop",
                 file=sys.stderr,
             )
             await server.serve_forever()
@@ -614,6 +691,58 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"{rejected} rejected)"
     )
     print(KnowledgeBase(store, min_failure_samples=1).describe())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.obs.trace import render_trace, spans_from_jsonl, summarize_traces
+
+    if (args.url is None) == (args.file is None):
+        raise ValidationError(
+            "repro trace needs exactly one source: --url for a live "
+            "serve --trace server, or --file for an exported span JSONL"
+        )
+
+    if args.file is not None:
+        spans = spans_from_jsonl(args.file.read_text())
+        if args.trace_id is not None:
+            selected = [s for s in spans if s.trace_id == args.trace_id]
+            if not selected:
+                raise ValidationError(
+                    f"no spans for trace {args.trace_id!r} in {args.file}"
+                )
+            print(render_trace(selected))
+            return 0
+        summaries = [
+            summary
+            for summary in summarize_traces(spans)
+            if summary["duration_seconds"] >= args.min_duration
+        ][: args.limit]
+    else:
+        from repro.server.client import ServerClient
+
+        client = ServerClient.from_url(args.url)
+        if args.trace_id is not None:
+            print(render_trace(client.trace_spans(args.trace_id)))
+            return 0
+        summaries = client.traces(
+            min_duration=args.min_duration, limit=args.limit
+        )["traces"]
+
+    if not summaries:
+        print("(no traces)")
+        return 0
+    rows = [
+        (
+            summary["trace_id"],
+            summary["name"],
+            f"{summary['duration_seconds'] * 1000.0:.2f}ms",
+            str(summary["spans"]),
+        )
+        for summary in summaries
+    ]
+    print(render_table(("trace id", "root", "duration", "spans"), rows))
     return 0
 
 
@@ -681,6 +810,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "lint":
             return _cmd_lint(args)
         raise AssertionError(f"unhandled command {args.command!r}")

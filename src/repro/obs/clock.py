@@ -1,0 +1,51 @@
+"""The single sanctioned time source for the repro package.
+
+Every duration measurement and deadline computation in the package
+routes through these wrappers; REP007 (``repro.analysis``) bans direct
+``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()`` calls
+everywhere else.  Centralising the reads buys three things:
+
+- Auditability: ``repro lint`` can statically prove no module invents
+  its own clock, the same way ``rng.py`` centralises randomness.
+- Injectability: tests that need to fake time patch one module.
+- Documentation: each wrapper states which clock family it belongs to,
+  so a reviewer can tell a duration (monotonic) from a timestamp
+  (wall) at the call site.
+
+This module is the one file exempt from REP007, so the raw ``time``
+calls below are intentional.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "perf_counter", "wall_clock"]
+
+
+def monotonic() -> float:
+    """Coarse monotonic seconds — deadlines, TTLs, retry windows.
+
+    Never jumps backwards on wall-clock adjustment, so a TTL computed
+    from it cannot mass-expire healthy state when NTP steps the clock.
+    """
+    return time.monotonic()
+
+
+def perf_counter() -> float:
+    """High-resolution monotonic seconds — span timings, benchmarks.
+
+    The zero point is arbitrary and, on some platforms, per-process:
+    only *differences* taken within one process are meaningful.  Spans
+    that cross a process boundary must ship durations, not timestamps.
+    """
+    return time.perf_counter()
+
+
+def wall_clock() -> float:
+    """Wall-clock seconds since the epoch — display anchors only.
+
+    Use exclusively to *label* exported records (trace start times,
+    log lines); never subtract two wall readings to get a duration.
+    """
+    return time.time()

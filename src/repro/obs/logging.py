@@ -1,0 +1,93 @@
+"""Structured JSON logging with trace-id correlation.
+
+One log line = one JSON object, so server logs can be grepped with
+``jq`` and joined against trace exports on ``trace_id``.  The formatter
+reads the timestamp the logging framework already stamped
+(``record.created``) rather than taking its own clock reading.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any
+
+__all__ = ["JsonLogFormatter", "configure_json_logging", "log_slow_request"]
+
+#: LogRecord attributes that are plumbing, not payload.  Anything a
+#: caller passes via ``extra=`` lands outside this set and is emitted.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        name="", level=0, pathname="", lineno=0,
+        msg="", args=(), exc_info=None,
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one sorted-key JSON line.
+
+    ``extra={"trace_id": ...}`` (or any other extra) surfaces as a
+    top-level key, which is how server log lines correlate with spans
+    in the trace store.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["exc_type"] = type(record.exc_info[1]).__name__
+            payload["exc_message"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_json_logging(
+    name: str = "repro.server", *, level: int = logging.INFO, stream=None
+) -> logging.Logger:
+    """Attach a JSON-line handler to ``name`` (idempotent per logger).
+
+    The logger does not propagate, so enabling structured server logs
+    never double-prints through the root logger's handlers.
+    """
+    logger = logging.getLogger(name)
+    logger.setLevel(level)
+    logger.propagate = False
+    if not any(
+        isinstance(handler.formatter, JsonLogFormatter)
+        for handler in logger.handlers
+    ):
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLogFormatter())
+        logger.addHandler(handler)
+    return logger
+
+
+def log_slow_request(
+    logger: logging.Logger,
+    *,
+    route: str,
+    status: int,
+    seconds: float,
+    threshold: float,
+    trace_id: str | None = None,
+) -> None:
+    """Emit the slow-request line (WARNING, structured fields)."""
+    logger.warning(
+        "slow request",
+        extra={
+            "event": "slow_request",
+            "route": route,
+            "status": status,
+            "seconds": round(seconds, 6),
+            "threshold": threshold,
+            "trace_id": trace_id,
+        },
+    )

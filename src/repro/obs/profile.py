@@ -1,0 +1,40 @@
+"""Opt-in per-request cProfile hook.
+
+Profiling is strictly opt-in (``serve --profile-requests``) because a
+cProfile run costs far more than tracing — it exists for the "this one
+route is slow and the spans don't say why" escalation, not for steady
+state.  The summary is a plain text table so it can ride in a
+structured log field.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["maybe_profile", "profile_summary"]
+
+
+@contextmanager
+def maybe_profile(enabled: bool) -> Iterator[cProfile.Profile | None]:
+    """Profile the block when ``enabled``; yield None (no-op) otherwise."""
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+
+
+def profile_summary(profiler: cProfile.Profile, *, limit: int = 12) -> str:
+    """Top ``limit`` functions by cumulative time, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return buffer.getvalue().strip()

@@ -94,6 +94,7 @@ from repro.cost.tco import (
     tco_values_from_terms,
 )
 from repro.errors import EngineBackendError, OptimizerError, ReproError
+from repro.obs import clock
 from repro.optimizer.pools import PoolRegistry, default_registry, worker_payload
 from repro.optimizer.result import EvaluatedOption, assemble_option
 from repro.optimizer.space import (
@@ -122,6 +123,11 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 #: pools.  Never reused, so a stale worker cache entry can never alias a
 #: younger engine's tables.
 _ENGINE_UIDS = itertools.count(1)
+
+#: Shared no-op context manager for untraced backend chunks.
+#: nullcontext is reusable and reentrant, so one instance serves every
+#: block without a per-block allocation.
+_NULL_SPAN = contextlib.nullcontext()
 
 
 def _import_numpy():
@@ -352,16 +358,27 @@ class _ProcessPrecompute:
 
 
 def _process_worker_chunk(
-    uid: int, chunk: list[tuple[int, tuple[int, ...]]]
-) -> list[tuple]:
+    uid: int, chunk: list[tuple[int, tuple[int, ...]]], traced: bool = False
+):
     """Evaluate one chunk of cache misses inside a worker process.
 
     Workers in a shared pool serve many engines; ``uid`` selects which
     engine's published term tables to recombine (fetched through the
     pool registry's table channel on first sight, locally cached after).
+
+    With ``traced`` the return value becomes ``(payloads, seconds,
+    pid)`` — the worker ships its compute *duration*, never timestamps,
+    because ``perf_counter`` zero points are not comparable across
+    processes; the parent re-anchors it when splicing the chunk span.
+    The untraced call shape (and its pickled bytes) is unchanged, so
+    tracing-off behaviour is byte-identical to before.
     """
     state = worker_payload(uid)
-    return [state.evaluate(indices) for _, indices in chunk]
+    if not traced:
+        return [state.evaluate(indices) for _, indices in chunk]
+    started = clock.perf_counter()
+    payloads = [state.evaluate(indices) for _, indices in chunk]
+    return payloads, clock.perf_counter() - started, os.getpid()
 
 
 class SerialBackend:
@@ -631,11 +648,16 @@ class _ProcessToken:
 
     ``plan``/``misses`` come from :func:`_plan_block`; ``future`` is the
     pool-side evaluation of the misses (``None`` for all-hit chunks).
+    ``traced`` is ``(tracer, parent context, submit perf_counter)``
+    when the chunk was submitted inside an active span — contextvars do
+    not cross the pool, so the parent context rides the token and the
+    chunk span is recorded at collect time.
     """
 
     plan: list
     misses: list
     future: object | None
+    traced: tuple | None = None
 
 
 class ProcessBackend(_PooledBackend):
@@ -683,13 +705,21 @@ class ProcessBackend(_PooledBackend):
     def _submit(self, engine: "EvaluationEngine", pool, block):
         plan, misses = _plan_block(engine, block)
         future = None
+        traced = None
         if misses:
-            future = pool.submit(
-                _process_worker_chunk,
-                engine.uid,
-                [(option_id, indices) for option_id, indices, _ in misses],
-            )
-        return _ProcessToken(plan=plan, misses=misses, future=future)
+            rows = [(option_id, indices) for option_id, indices, _ in misses]
+            tracer = engine.tracer
+            ctx = tracer.current() if tracer is not None else None
+            if ctx is None:
+                future = pool.submit(_process_worker_chunk, engine.uid, rows)
+            else:
+                future = pool.submit(
+                    _process_worker_chunk, engine.uid, rows, True
+                )
+                traced = (tracer, ctx, clock.perf_counter())
+        return _ProcessToken(
+            plan=plan, misses=misses, future=future, traced=traced
+        )
 
     def _collect(self, engine: "EvaluationEngine", token) -> list[EvaluatedOption]:
         if token.future is None:
@@ -701,7 +731,38 @@ class ProcessBackend(_PooledBackend):
             raise
         except Exception as exc:
             raise self._worker_failure(exc) from exc
+        if token.traced is not None:
+            payloads = self._record_chunk_spans(token, payloads)
         return _splice_payloads(engine, token.plan, token.misses, payloads)
+
+    @staticmethod
+    def _record_chunk_spans(token: _ProcessToken, result) -> list:
+        """Re-parent a traced chunk's worker timing onto the span tree.
+
+        The chunk span covers submit→collect in the parent's clock; the
+        worker's compute duration is anchored backwards from the collect
+        time (clamped into the chunk window — worker and parent
+        ``perf_counter`` readings are not directly comparable), so the
+        nested worker span stays monotonic inside its parent.
+        """
+        payloads, worker_seconds, worker_pid = result
+        tracer, ctx, submitted = token.traced
+        collected = clock.perf_counter()
+        chunk = tracer.record(
+            "backend_chunk",
+            parent=ctx,
+            start=submitted,
+            end=collected,
+            attrs={"backend": "process", "rows": str(len(token.misses))},
+        )
+        tracer.record(
+            "worker_evaluate",
+            parent=chunk.context,
+            start=max(submitted, collected - worker_seconds),
+            end=collected,
+            attrs={"worker_pid": str(worker_pid)},
+        )
+        return payloads
 
 
 class VectorBackend:
@@ -836,16 +897,31 @@ class VectorBackend:
         """Evaluate one block's index rows, stacked across requests when
         the engine carries a megabatch stacker."""
         stacker = engine.megabatch
+        tracer = engine.tracer
+        if tracer is None:
+            # Untraced hot path: one attribute load and this check per
+            # 1024-candidate block — no span/attrs construction at all.
+            span = _NULL_SPAN
+        else:
+            span = tracer.child_span(
+                "backend_chunk",
+                attrs={
+                    "backend": "vector",
+                    "rows": str(len(rows)),
+                    "megabatch": "true" if stacker is not None else "false",
+                },
+            )
         try:
-            if stacker is not None:
-                return stacker.evaluate(
-                    engine.uid,
-                    lambda stacked: self._vector_payloads(
-                        engine, np, tables, stacked
-                    ),
-                    rows,
-                )
-            return self._vector_payloads(engine, np, tables, rows)
+            with span:
+                if stacker is not None:
+                    return stacker.evaluate(
+                        engine.uid,
+                        lambda stacked: self._vector_payloads(
+                            engine, np, tables, stacked
+                        ),
+                        rows,
+                    )
+                return self._vector_payloads(engine, np, tables, rows)
         except ReproError:
             raise
         except Exception as exc:
@@ -1143,6 +1219,10 @@ class EvaluationEngine:
         #: installed by :meth:`enable_megabatch`, consumed by the vector
         #: backend's block evaluation.
         self.megabatch = None
+        #: Span recorder (see :mod:`repro.obs`); attached by the broker
+        #: session when tracing is on.  ``None`` disables chunk spans —
+        #: backends guard on a single `is not None` check per block.
+        self.tracer = None
         self.space = self.problem.space()
         self.stats = EngineStats()
         self._results: dict[ChoiceNames, EvaluatedOption] = {}

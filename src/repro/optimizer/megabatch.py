@@ -35,10 +35,11 @@ its cache-entry shared lease.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, replace
 
 from repro.errors import OptimizerError
+from repro.obs import clock
+from repro.obs.trace import new_span_id
 
 
 @dataclass(frozen=True)
@@ -88,11 +89,21 @@ class MegabatchStats:
 
 
 class _Batch:
-    """One in-flight stacked evaluation for one engine uid."""
+    """One in-flight stacked evaluation for one engine uid.
 
-    __slots__ = ("cond", "rows", "spans", "flushing", "done", "results", "error")
+    ``block_id`` (set at creation when the stacker traces) is the span
+    id the leader's ``megabatch_block`` span will be recorded under;
+    followers cite it in their ``megabatch_follow`` spans, so a reader
+    can join follower traces to the leader block that actually ran
+    their rows.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "cond", "rows", "spans", "flushing", "done", "results", "error",
+        "block_id",
+    )
+
+    def __init__(self, block_id: str | None = None) -> None:
         self.cond = threading.Condition()
         self.rows: list = []
         self.spans = 0
@@ -100,6 +111,7 @@ class _Batch:
         self.done = False
         self.results = None
         self.error: BaseException | None = None
+        self.block_id = block_id
 
 
 class MegabatchStacker:
@@ -107,7 +119,11 @@ class MegabatchStacker:
 
     Thread-safe.  ``observer`` (optional, assignable) is called with the
     span count of every flushed batch — the server wires its
-    ``repro_megabatch_size`` histogram through it.
+    ``repro_megabatch_size`` histogram through it.  ``tracer``
+    (optional, assignable — the broker session attaches its own) makes
+    leaders record a ``megabatch_block`` span around the stacked vector
+    pass and followers a ``megabatch_follow`` span citing the leader's
+    block id, so cross-request attribution survives the stacking.
     """
 
     def __init__(
@@ -117,6 +133,7 @@ class MegabatchStacker:
     ) -> None:
         self.config = config or MegabatchConfig()
         self.observer = observer
+        self.tracer = None
         self.stats = MegabatchStats()
         self._lock = threading.Lock()
         self._participants: dict[int, int] = {}
@@ -156,11 +173,15 @@ class MegabatchStacker:
         if not index_rows:
             return []
         count = len(index_rows)
+        tracer = self.tracer
+        trace_ctx = tracer.current() if tracer is not None else None
         while True:
             with self._lock:
                 batch = self._batches.get(uid)
                 if batch is None:
-                    batch = _Batch()
+                    batch = _Batch(
+                        block_id=new_span_id() if tracer is not None else None
+                    )
                     self._batches[uid] = batch
                     leader = True
                 else:
@@ -175,15 +196,33 @@ class MegabatchStacker:
                 batch.rows.extend(index_rows)
                 batch.spans += 1
                 if not leader:
+                    wait_started = (
+                        clock.perf_counter() if trace_ctx is not None else 0.0
+                    )
                     batch.cond.notify_all()  # wake the leader to re-check
                     while not batch.done:
                         batch.cond.wait()
                     if batch.error is not None:
                         raise batch.error
-                    return batch.results[start : start + count]
+                    results = batch.results[start : start + count]
+                    if trace_ctx is not None:
+                        # Followers ride the leader's pass: their span
+                        # covers the wait and cites the leader's block
+                        # (a span in the *leader's* trace).
+                        tracer.record(
+                            "megabatch_follow",
+                            parent=trace_ctx,
+                            start=wait_started,
+                            end=clock.perf_counter(),
+                            attrs={
+                                "leader_block": batch.block_id or "",
+                                "rows": str(count),
+                            },
+                        )
+                    return results
                 # Leader: wait out the window (or an early-flush trigger),
                 # then take ownership of the stacked rows.
-                deadline = time.monotonic() + self.config.window_seconds
+                deadline = clock.monotonic() + self.config.window_seconds
                 while True:
                     # Lockless snapshot of the participant count: dict
                     # reads are atomic under the GIL, and taking
@@ -194,7 +233,7 @@ class MegabatchStacker:
                         break
                     if len(batch.rows) >= self.config.max_rows:
                         break
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - clock.monotonic()
                     if remaining <= 0.0:
                         break
                     batch.cond.wait(remaining)
@@ -206,6 +245,7 @@ class MegabatchStacker:
             with self._lock:
                 if self._batches.get(uid) is batch:
                     del self._batches[uid]
+            eval_started = clock.perf_counter() if trace_ctx is not None else 0.0
             try:
                 results = evaluator(rows)
                 if len(results) != len(rows):
@@ -219,6 +259,18 @@ class MegabatchStacker:
                     batch.done = True
                     batch.cond.notify_all()
                 raise
+            if trace_ctx is not None:
+                # The leader's block span carries the batch's minted
+                # span id, so followers' ``leader_block`` attrs join to
+                # it across traces.
+                tracer.record(
+                    "megabatch_block",
+                    parent=trace_ctx,
+                    start=eval_started,
+                    end=clock.perf_counter(),
+                    span_id=batch.block_id,
+                    attrs={"spans": str(spans), "rows": str(len(rows))},
+                )
             with self._lock:
                 self.stats.batches += 1
                 self.stats.spans += spans

@@ -17,6 +17,7 @@ import http.client
 import json
 import threading
 import time
+from dataclasses import replace
 from typing import Any, Iterable, Sequence
 from urllib.parse import urlsplit
 
@@ -27,8 +28,19 @@ from repro.broker.envelope import (
 )
 from repro.broker.request import RecommendationRequest
 from repro.errors import BrokerError, ValidationError
+from repro.obs import clock
+from repro.obs.trace import (
+    SpanContext,
+    SpanRecord,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+)
 from repro.server.ingest import TelemetryRecord, records_to_jsonl
 from repro.server.metrics import SampleKey, parse_prometheus_text
+
+#: Response header the server stamps with the request's trace id.
+_TRACE_HEADER = "X-Repro-Trace-Id"
 
 #: Job states the result poll loop treats as terminal.
 _TERMINAL = {"done", "failed"}
@@ -65,14 +77,29 @@ class ServerClient:
     #: Methods safe to replay after a lost response (RFC 9110 §9.2.2).
     IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "OPTIONS", "PUT", "DELETE"})
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        trace: bool = False,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Stamp outgoing recommend/submit envelopes with a fresh
+        #: traceparent (client-originated trace ids).  Works against
+        #: untraced servers too — the field is ignored there.
+        self.trace = trace
+        #: Trace id of the most recent traced response (the server's
+        #: X-Repro-Trace-Id header), or None before the first one.
+        self.last_trace_id: str | None = None
         self._local = threading.local()
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 60.0) -> "ServerClient":
+    def from_url(
+        cls, url: str, timeout: float = 60.0, trace: bool = False
+    ) -> "ServerClient":
         """Build a client from ``http://host:port``."""
         parts = urlsplit(url if "//" in url else f"//{url}")
         if parts.scheme not in ("", "http"):
@@ -83,7 +110,7 @@ class ServerClient:
             raise ValidationError(
                 f"server URL must carry host and port, got {url!r}"
             )
-        return cls(parts.hostname, parts.port, timeout=timeout)
+        return cls(parts.hostname, parts.port, timeout=timeout, trace=trace)
 
     @property
     def url(self) -> str:
@@ -151,6 +178,9 @@ class ServerClient:
                 if reused and method in self.IDEMPOTENT_METHODS:
                     continue
                 raise
+            trace_id = response.getheader(_TRACE_HEADER)
+            if trace_id is not None:
+                self.last_trace_id = trace_id
             if response.will_close:
                 self.close()
             return response.status, text
@@ -172,8 +202,22 @@ class ServerClient:
         self, request: RecommendationRequest | RecommendEnvelope
     ) -> RecommendEnvelope:
         if isinstance(request, RecommendEnvelope):
-            return request
-        return RecommendEnvelope(request=request)
+            envelope = request
+        else:
+            envelope = RecommendEnvelope(request=request)
+        if self.trace and envelope.trace is None:
+            # Client-originated trace: the server parents its request
+            # span to this context, so the id below IS the trace id
+            # `/v2/traces/{id}` answers to.
+            envelope = replace(
+                envelope,
+                trace=format_traceparent(
+                    SpanContext(
+                        trace_id=new_trace_id(), span_id=new_span_id()
+                    )
+                ),
+            )
+        return envelope
 
     def recommend(
         self, request: RecommendationRequest | RecommendEnvelope
@@ -223,14 +267,14 @@ class ServerClient:
         poll_interval: float = 0.05,
     ) -> ReportEnvelope:
         """Poll until the job finishes; returns (or raises) its outcome."""
-        deadline = time.monotonic() + timeout
+        deadline = clock.monotonic() + timeout
         while True:
             status, text = self._request(
                 "GET", f"/v2/jobs/{job_id}/result"
             )
             if status == 200:
                 return ReportEnvelope.from_json(text)
-            if time.monotonic() >= deadline:
+            if clock.monotonic() >= deadline:
                 raise BrokerError(
                     f"job {job_id!r} did not finish within {timeout}s "
                     f"(last status: {json.loads(text).get('status')})"
@@ -264,6 +308,29 @@ class ServerClient:
     def metrics(self) -> dict[SampleKey, float]:
         """Scraped and parsed ``/metrics`` samples."""
         return parse_prometheus_text(self.metrics_text())
+
+    def traces(
+        self,
+        min_duration: float | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """Recent trace summaries (raises 404 ServerError when off)."""
+        params = []
+        if min_duration is not None:
+            params.append(f"min_duration={min_duration}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        query = "?" + "&".join(params) if params else ""
+        _, text = self._request("GET", f"/v2/traces{query}")
+        return json.loads(text)
+
+    def trace_spans(self, trace_id: str) -> list[SpanRecord]:
+        """One trace's spans, decoded into :class:`SpanRecord` rows."""
+        _, text = self._request("GET", f"/v2/traces/{trace_id}")
+        return [
+            SpanRecord.from_dict(payload)
+            for payload in json.loads(text)["spans"]
+        ]
 
     def health(self) -> dict[str, Any]:
         """The liveness document (raises :class:`ServerError` when sick)."""

@@ -15,6 +15,8 @@ and the round-trip example to assert on exported samples.
 
 from __future__ import annotations
 
+import math
+import re
 import threading
 from bisect import bisect_left
 from typing import Callable, Iterator, Mapping, Sequence
@@ -25,6 +27,16 @@ from repro.errors import ValidationError
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
+
+#: Finer low-end buckets for per-phase span durations (spans like
+#: ``parse`` and ``cache_lookup`` sit well under a millisecond).
+SPAN_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 
 #: Size buckets for the megabatch span-count histogram (requests per
 #: stacked vector pass — small powers of two, not latencies).
@@ -43,6 +55,10 @@ def _escape(value: str) -> str:
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
@@ -63,6 +79,13 @@ class _Metric:
     type_name = "untyped"
 
     def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        if not _METRIC_NAME.match(name):
+            raise ValidationError(f"invalid metric name: {name!r}")
+        for labelname in labelnames:
+            if not _LABEL_NAME.match(labelname):
+                raise ValidationError(
+                    f"metric {name!r} has an invalid label name: {labelname!r}"
+                )
         self.name = name
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
@@ -143,6 +166,10 @@ class Histogram(_Metric):
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ):
         super().__init__(name, help_text, labelnames)
+        if "le" in self.labelnames:
+            raise ValidationError(
+                f"histogram {name!r} may not use the reserved label 'le'"
+            )
         if list(buckets) != sorted(buckets) or not buckets:
             raise ValidationError(
                 f"histogram buckets must be sorted and non-empty: {buckets!r}"
@@ -253,7 +280,14 @@ def parse_prometheus_text(text: str) -> dict[SampleKey, float]:
                 labels[label_name] = _unescape(label_value)
         else:
             name = name_part
-        value = float("inf") if value_part == "+Inf" else float(value_part)
+        if value_part == "+Inf":
+            value = float("inf")
+        elif value_part == "-Inf":
+            value = float("-inf")
+        elif value_part == "NaN":
+            value = float("nan")
+        else:
+            value = float(value_part)
         samples[(name, tuple(sorted(labels.items())))] = value
     return samples
 
@@ -330,10 +364,15 @@ class ServerMetrics:
     :class:`~repro.optimizer.pools.PoolRegistry` (``pool_registry``,
     defaulting to the process-wide one) at scrape time.  When the
     session megabatches, ``repro_megabatch_size`` observes every flushed
-    batch's span count through the stacker's observer hook.
+    batch's span count through the stacker's observer hook.  When the
+    server traces (``tracer`` given), ``repro_span_duration_seconds``
+    observes every recorded span's duration, labelled by phase, through
+    the tracer's observer hook.
     """
 
-    def __init__(self, session, ingestor=None, pool_registry=None) -> None:
+    def __init__(
+        self, session, ingestor=None, pool_registry=None, tracer=None
+    ) -> None:
         from repro.optimizer.pools import default_registry
 
         self._session = session
@@ -456,6 +495,15 @@ class ServerMetrics:
         if stacker is not None:
             stacker.observer = self._observe_megabatch
 
+        self.span_duration = reg.histogram(
+            "repro_span_duration_seconds",
+            "Traced span durations, by phase (empty until tracing is on).",
+            ("phase",),
+            buckets=SPAN_BUCKETS,
+        )
+        if tracer is not None:
+            tracer.observer = self._observe_span
+
         self.http_requests = reg.counter(
             "repro_http_requests_total",
             "HTTP requests served, by route and status code.",
@@ -470,6 +518,12 @@ class ServerMetrics:
     def _observe_megabatch(self, spans: int) -> None:
         """Stacker observer hook: one sample per flushed batch."""
         self.megabatch_size.observe(float(spans))
+
+    def _observe_span(self, record) -> None:
+        """Tracer observer hook: one sample per recorded span."""
+        self.span_duration.observe(
+            record.end - record.start, labels=(record.name,)
+        )
 
     def observe_request(self, route: str, status: int, seconds: float) -> None:
         """Record one served HTTP request."""

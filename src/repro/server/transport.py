@@ -15,9 +15,20 @@ server speaking JSON envelopes:
 ``GET /v2/jobs/{id}/result``  ``200`` report / ``202`` still running
 ``POST /v2/ingest``         JSONL telemetry records → sharded pipeline
 ``POST /v2/ingest/flush``   force a snapshot merge (admin/testing)
+``GET /v2/traces``          recent trace summaries (``?min_duration=``,
+                            ``?limit=``); 404 when tracing is off
+``GET /v2/traces/{id}``     one trace's full span list
 ``GET /metrics``            Prometheus text exposition
 ``GET /healthz``            liveness probe
 ==========================  ==============================================
+
+Tracing (``trace=True`` / ``repro serve --trace``) threads a
+:class:`~repro.obs.trace.Tracer` through the session, the engines and
+the metrics registry.  Traced ``/v2/recommend`` and ``/v2/jobs``
+requests open the root ``request`` span here (back-dated to parse
+start), honour a client-stamped ``trace`` field on the envelope, and
+return the trace id in the ``X-Repro-Trace-Id`` response header.
+Disabled tracing costs the hot path one ``is not None`` check.
 
 Every failure is answered with a structured
 :class:`~repro.broker.envelope.ErrorEnvelope` and a non-2xx status —
@@ -46,9 +57,9 @@ import asyncio
 import json
 import logging
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Mapping
+from urllib.parse import parse_qs
 
 from repro.broker.envelope import (
     ENVELOPE_SCHEMA_VERSION,
@@ -63,6 +74,10 @@ from repro.errors import (
     UnknownNameError,
     ValidationError,
 )
+from repro.obs import clock
+from repro.obs.logging import log_slow_request
+from repro.obs.profile import maybe_profile, profile_summary
+from repro.obs.trace import SpanContext, Tracer, TraceStore, parse_traceparent
 from repro.server.ingest import ShardedIngestor
 from repro.server.metrics import ServerMetrics
 
@@ -83,6 +98,9 @@ _REASONS = {
 
 _JSON = "application/json"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Response header carrying the request's trace id when tracing is on.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 def error_envelope_for(
@@ -182,16 +200,42 @@ class BrokerServer:
         max_body_bytes: int = 8 * 1024 * 1024,
         max_inflight: int = 32,
         grace: float = 5.0,
+        trace: bool = False,
+        trace_capacity: int = 256,
+        slow_request_threshold: float | None = None,
+        profile_requests: bool = False,
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
                 f"max_inflight must be >= 1, got {max_inflight!r}"
+            )
+        if not trace:
+            if slow_request_threshold is not None:
+                raise ValidationError(
+                    "slow_request_threshold requires trace=True"
+                )
+            if profile_requests:
+                raise ValidationError("profile_requests requires trace=True")
+        if slow_request_threshold is not None and slow_request_threshold < 0.0:
+            raise ValidationError(
+                "slow_request_threshold must be >= 0, got "
+                f"{slow_request_threshold!r}"
             )
         self.broker = broker
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
         self.grace = grace
+        self.slow_request_threshold = slow_request_threshold
+        self.profile_requests = profile_requests
+        if trace:
+            self.trace_store: TraceStore | None = TraceStore(
+                capacity=trace_capacity
+            )
+            self.tracer: Tracer | None = Tracer(self.trace_store)
+        else:
+            self.trace_store = None
+            self.tracer = None
         if megabatch:
             from repro.optimizer.megabatch import MegabatchConfig
 
@@ -216,6 +260,7 @@ class BrokerServer:
             backend=eval_backend,
             finished_job_ttl=finished_job_ttl,
             megabatch=megabatch_arg,
+            tracer=self.tracer,
         )
         self.ingestor = ShardedIngestor(
             broker.telemetry,
@@ -223,7 +268,9 @@ class BrokerServer:
             backend=ingest_backend,
             merge_interval=merge_interval,
         )
-        self.metrics = ServerMetrics(self.session, self.ingestor)
+        self.metrics = ServerMetrics(
+            self.session, self.ingestor, tracer=self.tracer
+        )
         self._max_inflight = max_inflight
         self._server: asyncio.Server | None = None
         self._inflight: asyncio.Semaphore | None = None
@@ -296,13 +343,22 @@ class BrokerServer:
                     # Unparseable/oversized head: answer and hang up.
                     await self._write_response(writer, request, keep_alive=False)
                     break
-                started = time.perf_counter()
+                started = clock.perf_counter()
                 route, response = await self._dispatch(request)
                 keep_alive = request.keep_alive and not self._closing.is_set()
                 await self._write_response(writer, response, keep_alive)
-                self.metrics.observe_request(
-                    route, response.status, time.perf_counter() - started
-                )
+                elapsed = clock.perf_counter() - started
+                self.metrics.observe_request(route, response.status, elapsed)
+                threshold = self.slow_request_threshold
+                if threshold is not None and elapsed >= threshold:
+                    log_slow_request(
+                        logger,
+                        route=route,
+                        status=response.status,
+                        seconds=elapsed,
+                        threshold=threshold,
+                        trace_id=response.headers.get(TRACE_HEADER),
+                    )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -452,12 +508,22 @@ class BrokerServer:
             ("POST", "/v2/jobs"): ("jobs", self._post_jobs),
             ("POST", "/v2/ingest"): ("ingest", self._post_ingest),
             ("POST", "/v2/ingest/flush"): ("ingest-flush", self._post_flush),
+            ("GET", "/v2/traces"): ("traces", self._get_traces),
             ("GET", "/metrics"): ("metrics", self._get_metrics),
             ("GET", "/healthz"): ("healthz", self._get_health),
         }
         if (method, path) in table:
             return table[(method, path)]
-        known_paths = {p for _, p in table} | {"/v2/jobs/{id}", "/v2/jobs/{id}/result"}
+        known_paths = {p for _, p in table} | {
+            "/v2/jobs/{id}", "/v2/jobs/{id}/result", "/v2/traces/{id}",
+        }
+        if path.startswith("/v2/traces/"):
+            trace_id = path[len("/v2/traces/"):]
+            if "/" not in trace_id:
+                if method == "GET":
+                    return "trace", self._trace_handler(trace_id)
+                return "unmatched", self._method_not_allowed
+            return "unmatched", self._not_found(sorted(known_paths))
         if path.startswith("/v2/jobs/"):
             tail = path[len("/v2/jobs/"):]
             if tail.endswith("/result"):
@@ -505,8 +571,15 @@ class BrokerServer:
         return RecommendEnvelope.from_json(text)
 
     async def _post_recommend(self, request: _Request) -> _Response:
-        envelope = self._parse_envelope(request.body)
         loop = asyncio.get_running_loop()
+        if self.tracer is not None:
+            payload, trace_id = await loop.run_in_executor(
+                None, self._traced_recommend, request.body
+            )
+            response = _json_response(200, payload)
+            response.headers[TRACE_HEADER] = trace_id
+            return response
+        envelope = self._parse_envelope(request.body)
         try:
             report = await loop.run_in_executor(
                 None, self.session.recommend_envelope, envelope
@@ -514,6 +587,66 @@ class BrokerServer:
         except ReproError as exc:
             raise _HttpError(error_envelope_for(exc, envelope.request_id))
         return _json_response(200, report.to_json())
+
+    @staticmethod
+    def _envelope_trace_parent(envelope: RecommendEnvelope) -> SpanContext | None:
+        """The client's traceparent, if present and well-formed."""
+        if envelope.trace is None:
+            return None
+        try:
+            return parse_traceparent(envelope.trace)
+        except ValidationError:
+            return None  # garbage traceparent: start a fresh trace
+
+    def _traced_recommend(self, body: bytes) -> tuple[str, str]:
+        """Synchronous traced recommend path; runs on the executor.
+
+        Opens the request's root span here (back-dated to when parsing
+        started) so the whole pipeline — parse, session, backend chunks,
+        serialization — nests under one trace.  The session sees an
+        active context and therefore does not open its own root.
+        Returns ``(report JSON, trace id)``.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        parse_started = clock.perf_counter()
+        envelope = self._parse_envelope(body)
+        parse_ended = clock.perf_counter()
+        with tracer.span(
+            "request",
+            parent=self._envelope_trace_parent(envelope),
+            start=parse_started,
+            attrs={
+                "route": "recommend",
+                "request_id": envelope.request_id or "",
+            },
+        ) as span:
+            tracer.record(
+                "parse",
+                parent=span.context,
+                start=parse_started,
+                end=parse_ended,
+            )
+            try:
+                with maybe_profile(self.profile_requests) as profiler:
+                    report = self.session.recommend_envelope(envelope)
+            except ReproError as exc:
+                span.attrs["status"] = "error"
+                raise _HttpError(
+                    error_envelope_for(exc, envelope.request_id)
+                ) from exc
+            if profiler is not None:
+                logger.info(
+                    "request profile",
+                    extra={
+                        "trace_id": span.context.trace_id,
+                        "profile": profile_summary(profiler),
+                    },
+                )
+            with tracer.span("serialize"):
+                payload = report.to_json()
+            span.attrs["status"] = "done"
+            return payload, span.context.trace_id
 
     async def _post_batch(self, request: _Request) -> _Response:
         lines = [
@@ -560,9 +693,45 @@ class BrokerServer:
         return _Response(status=200, stream=stream(), content_type=_JSON)
 
     async def _post_jobs(self, request: _Request) -> _Response:
+        if self.tracer is not None:
+            job_id, trace_id = self._traced_submit(request.body)
+            response = _json_response(202, self._job_payload(job_id))
+            response.headers[TRACE_HEADER] = trace_id
+            return response
         envelope = self._parse_envelope(request.body)
         job_id = self.session.submit(envelope)
         return _json_response(202, self._job_payload(job_id))
+
+    def _traced_submit(self, body: bytes) -> tuple[str, str]:
+        """Traced job submission: the job's span tree parents here.
+
+        The request span closes when the 202 goes out; the job span it
+        parents starts at submission and outlives it (children may end
+        after their parent — readers sort by start time, not nesting).
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        parse_started = clock.perf_counter()
+        envelope = self._parse_envelope(body)
+        parse_ended = clock.perf_counter()
+        with tracer.span(
+            "request",
+            parent=self._envelope_trace_parent(envelope),
+            start=parse_started,
+            attrs={
+                "route": "jobs",
+                "request_id": envelope.request_id or "",
+            },
+        ) as span:
+            tracer.record(
+                "parse",
+                parent=span.context,
+                start=parse_started,
+                end=parse_ended,
+            )
+            job_id = self.session.submit(envelope)
+            span.attrs["job_id"] = job_id
+            return job_id, span.context.trace_id
 
     def _job_payload(self, job_id: str) -> dict[str, Any]:
         return {
@@ -628,6 +797,62 @@ class BrokerServer:
                 "merges": self.ingestor.merges,
             },
         )
+
+    def _require_trace_store(self) -> "TraceStore":
+        store = self.trace_store
+        if store is None:
+            raise _HttpError(
+                ErrorEnvelope(
+                    404, "tracing-disabled",
+                    "tracing is disabled on this server; restart it with "
+                    "trace=True (repro serve --trace)",
+                )
+            )
+        return store
+
+    async def _get_traces(self, request: _Request) -> _Response:
+        store = self._require_trace_store()
+        query = parse_qs(request.path.partition("?")[2])
+        try:
+            min_duration = float(query.get("min_duration", ["0"])[0])
+            limit = int(query.get("limit", ["50"])[0])
+        except ValueError as exc:
+            raise ValidationError(f"bad traces query parameter: {exc}") from exc
+        return _json_response(
+            200,
+            {
+                "schema_version": ENVELOPE_SCHEMA_VERSION,
+                "kind": "traces",
+                "traces": store.summaries(
+                    min_duration=min_duration, limit=limit
+                ),
+                "dropped": store.dropped,
+            },
+        )
+
+    def _trace_handler(self, trace_id: str):
+        async def handler(request: _Request) -> _Response:
+            store = self._require_trace_store()
+            spans = store.get(trace_id)
+            if spans is None:
+                raise _HttpError(
+                    ErrorEnvelope(
+                        404, "unknown-name",
+                        f"no trace {trace_id!r} in the store (it may have "
+                        "been evicted; raise trace_capacity)",
+                    )
+                )
+            return _json_response(
+                200,
+                {
+                    "schema_version": ENVELOPE_SCHEMA_VERSION,
+                    "kind": "trace",
+                    "trace_id": trace_id,
+                    "spans": [span.to_dict() for span in spans],
+                },
+            )
+
+        return handler
 
     async def _get_metrics(self, request: _Request) -> _Response:
         loop = asyncio.get_running_loop()

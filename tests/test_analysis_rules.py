@@ -565,6 +565,9 @@ class TestREP007WallClock:
             "import random\nx = random.random()\n",
             "import random\nx = random.randint(1, 6)\n",
             "import random\nrandom.seed(7)\n",
+            "import time\nt = time.monotonic()\n",
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic_ns()\n",
         ],
     )
     def test_wall_clock_and_global_rng_flagged(self, tmp_path, snippet):
@@ -574,14 +577,32 @@ class TestREP007WallClock:
     @pytest.mark.parametrize(
         "snippet",
         [
-            "import time\nt = time.monotonic()\n",
-            "import time\nt = time.perf_counter()\n",
+            "from repro.obs import clock\nt = clock.monotonic()\n",
+            "from repro.obs import clock\nt = clock.perf_counter()\n",
             "import random\nrng = random.Random(7)\nx = rng.random()\n",
         ],
     )
-    def test_monotonic_and_seeded_rng_clean(self, tmp_path, snippet):
+    def test_sanctioned_clock_and_seeded_rng_clean(self, tmp_path, snippet):
         report = lint_snippet(tmp_path, snippet, WallClockRule)
         assert report.findings == ()
+
+    def test_obs_clock_module_itself_exempt(self, tmp_path):
+        # Lint the tree, not the bare file: the exemption keys on the
+        # package-relative "obs/clock.py" scope path.
+        obs = tmp_path / "obs"
+        obs.mkdir()
+        (obs / "clock.py").write_text(
+            "import time\nt = time.monotonic()\nw = time.time()\n"
+        )
+        report = run_lint([tmp_path], rules=[WallClockRule])
+        assert report.findings == ()
+
+    def test_other_clock_named_modules_not_exempt(self, tmp_path):
+        (tmp_path / "clock.py").write_text(
+            "import time\nt = time.monotonic()\n"
+        )
+        report = run_lint([tmp_path], rules=[WallClockRule])
+        assert rule_ids(report) == ["REP007"]
 
     def test_rng_module_itself_exempt(self, tmp_path):
         (tmp_path / "rng.py").write_text("import time\nt = time.time()\n")

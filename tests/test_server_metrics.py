@@ -81,6 +81,95 @@ class TestRegistryRoundTrip:
             counter.inc(-1.0)
 
 
+class TestExpositionConformance:
+    """Regressions for Prometheus text-format edge cases."""
+
+    def test_negative_infinity_and_nan_render_and_parse(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rt_edge", "Edge values.", ("kind",))
+        gauge.set(float("-inf"), labels=("lo",))
+        gauge.set(float("inf"), labels=("hi",))
+        gauge.set(float("nan"), labels=("nan",))
+        text = registry.render()
+        assert 'rt_edge{kind="lo"} -Inf' in text
+        assert 'rt_edge{kind="hi"} +Inf' in text
+        assert 'rt_edge{kind="nan"} NaN' in text
+        samples = parse_prometheus_text(text)
+        assert samples[("rt_edge", (("kind", "lo"),))] == float("-inf")
+        assert samples[("rt_edge", (("kind", "hi"),))] == float("inf")
+        nan = samples[("rt_edge", (("kind", "nan"),))]
+        assert nan != nan  # NaN round-trips as NaN
+
+    def test_metric_name_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError, match="invalid metric name"):
+            registry.counter("0bad", "Leading digit.")
+        with pytest.raises(ValidationError, match="invalid metric name"):
+            registry.counter("has-dash", "Dash.")
+        registry.counter("ok:colon_name", "Colons are legal in metrics.")
+
+    def test_label_name_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError, match="invalid label name"):
+            registry.counter("rt_labels", "Bad label.", ("has-dash",))
+        with pytest.raises(ValidationError, match="invalid label name"):
+            registry.counter("rt_labels2", "Colon label.", ("no:colon",))
+
+    def test_histogram_rejects_reserved_le_label(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError, match="reserved label 'le'"):
+            registry.histogram("rt_hist", "Reserved.", ("le",))
+
+    def test_histogram_bucket_counts_stay_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "rt_mono", "Monotone.", buckets=(0.001, 0.01, 0.1, 1.0)
+        )
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5, 5.0, 5.0):
+            histogram.observe(value)
+        samples = parse_prometheus_text(registry.render())
+        counts = [
+            samples[("rt_mono_bucket", (("le", le),))]
+            for le in ("0.001", "0.01", "0.1", "1", "+Inf")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == samples[("rt_mono_count", ())] == 7
+
+
+class TestServerMetricsSpanHistogram:
+    def test_tracer_observer_feeds_phase_histogram(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        metrics = ServerMetrics(FakeSession(), tracer=tracer)
+        assert tracer.observer == metrics._observe_span
+
+        with tracer.span("request"):
+            with tracer.span("evaluate"):
+                pass
+        samples = parse_prometheus_text(metrics.render())
+        assert samples[
+            ("repro_span_duration_seconds_count", (("phase", "request"),))
+        ] == 1
+        assert samples[
+            ("repro_span_duration_seconds_count", (("phase", "evaluate"),))
+        ] == 1
+        # Cumulative histogram invariants hold per phase label.
+        assert samples[
+            ("repro_span_duration_seconds_bucket",
+             (("le", "+Inf"), ("phase", "request")))
+        ] == 1
+
+    def test_without_tracer_histogram_stays_declared_but_empty(self):
+        metrics = ServerMetrics(FakeSession())
+        text = metrics.render()
+        assert "# TYPE repro_span_duration_seconds histogram" in text
+        samples = parse_prometheus_text(text)
+        assert not any(
+            name.startswith("repro_span_duration_seconds") for name, _ in samples
+        )
+
+
 class TestServerMetricsPoolSamples:
     def test_pool_leases_track_registry(self):
         registry = PoolRegistry()
