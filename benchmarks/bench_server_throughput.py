@@ -22,6 +22,11 @@ Three sweeps over the :mod:`repro.server` serving layer:
    through a ``trace=True`` server with a traceparent-stamping client,
    asserting the traced server actually recorded span trees and that
    reports stay identical either way.
+5. **Hardening overhead** (``--hardened``; E16) — the same warm request
+   sweep through an open server (twice) and through the full guard
+   stack — bearer auth, a non-binding rate limit and idempotency-key
+   replay — asserting the replay table really filled and that reports
+   stay identical either way.
 
 ``--json PATH`` writes whichever legs ran as a machine-readable
 artifact (e.g. ``BENCH_E13.json``, ``BENCH_E15.json``) for CI trend
@@ -396,6 +401,107 @@ def test_trace_overhead_smoke(emit):
     _trace_overhead(emit=emit, fleet=2, total=6)
 
 
+def _hardening_overhead(
+    emit=print, json_path: str | None = None, fleet: int = 8, total: int = 48
+) -> int:
+    """E16 hardening overhead leg — open serving vs the full guard stack.
+
+    Three identical warm ``POST /v2/recommend`` sweeps: two through an
+    open server with an unkeyed client (their spread bounds run-to-run
+    jitter) and one through a hardened server — bearer auth, a
+    non-binding rate limit, and a key-stamping client, so every request
+    pays the auth check, a token-bucket debit and a replay-table claim/
+    commit.  Alongside the timing we assert the hardening actually
+    engaged (the replay table holds one entry per keyed request) and
+    that the recommendation payload is identical in every leg.
+    """
+    request = three_tier_request(Contract.linear(98.0, 100.0))
+    envelope = RecommendEnvelope(request, request_id="bench-e16")
+    token = "bench-e16-token"
+
+    def serve(hardened: bool):
+        kwargs = {}
+        if hardened:
+            kwargs = {
+                "auth_token": token,
+                "rate_limit": 1e6,  # every request pays the bucket, none 429
+                "idempotency_capacity": total * 2,
+            }
+        with start_in_thread(observed_broker(), **kwargs) as handle:
+            client = ServerClient(
+                handle.host,
+                handle.port,
+                auth_token=token if hardened else None,
+                idempotency=hardened,
+            )
+            client.recommend(envelope)  # warm every provider engine
+            reports, elapsed = _drive_requests(client, envelope, total, fleet)
+            stored = len(handle.server.idempotency)
+            if hardened:
+                assert stored >= total, (
+                    f"replay table holds {stored} entries for {total} "
+                    "keyed requests — hardening did not engage"
+                )
+            return reports, elapsed, stored
+
+    legs = []
+    want = None
+    for mode, hardened in (
+        ("open-a", False), ("open-b", False), ("hardened", True)
+    ):
+        reports, elapsed, stored = serve(hardened)
+        stripped = [
+            {k: v for k, v in report.best.to_dict().items()
+             if k != "engine_stats"}
+            for report in reports
+        ]
+        if want is None:
+            want = stripped[0]
+        assert all(got == want for got in stripped), f"{mode} diverged"
+        legs.append({
+            "mode": mode,
+            "requests": total,
+            "seconds": elapsed,
+            "requests_per_s": total / elapsed,
+            "replay_entries": stored,
+        })
+
+    rate_a, rate_b, rate_hardened = (leg["requests_per_s"] for leg in legs)
+    jitter = abs(rate_a - rate_b) / max(rate_a, rate_b)
+    baseline = (rate_a + rate_b) / 2.0
+    overhead = max(0.0, 1.0 - rate_hardened / baseline)
+    emit(
+        f"[E16] hardening overhead ({fleet} client threads, {total} requests "
+        f"per leg, {os.cpu_count()} cpu):\n"
+        + "\n".join(
+            f"  {leg['mode']:<10} {leg['seconds']:6.2f} s   "
+            f"{leg['requests_per_s']:8.1f} req/s"
+            for leg in legs
+        )
+        + f"\n  open jitter {jitter:.1%}; auth+rate-limit+replay overhead "
+        f"{overhead:.1%} vs open mean ({legs[2]['replay_entries']} replay "
+        "entries stored, reports identical)"
+    )
+    if json_path:
+        _write_json(json_path, {
+            "experiment": "E16",
+            "generated": datetime.now(timezone.utc).isoformat(),
+            "cores": os.cpu_count(),
+            "client_threads": fleet,
+            "requests_per_leg": total,
+            "legs": legs,
+            "open_jitter": jitter,
+            "overhead_vs_open_mean": overhead,
+        })
+        emit(f"  wrote {json_path}")
+    return 0
+
+
+def test_hardening_overhead_smoke(emit):
+    """The guard stack engages and reports stay identical (fast)."""
+    _hardening_overhead(emit=emit, fleet=2, total=6)
+
+
 def _smoke() -> int:
     """Fast CI guard: wire fidelity + sharded-ingest exactness."""
     # 1. Wire report identical to a direct session on a twin broker.
@@ -446,19 +552,26 @@ if __name__ == "__main__":
         help="measure tracing overhead: untraced x2 vs traced (E15)",
     )
     parser.add_argument(
+        "--hardened", action="store_true",
+        help="measure auth+rate-limit+replay overhead: open x2 vs "
+        "hardened (E16)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --megabatch or --trace, also write the timings as a "
-        "JSON artifact (e.g. BENCH_E13.json, BENCH_E15.json)",
+        help="with --megabatch, --trace or --hardened, also write the "
+        "timings as a JSON artifact (e.g. BENCH_E13.json, BENCH_E16.json)",
     )
     args = parser.parse_args()
-    if args.megabatch and args.trace:
-        parser.error("--megabatch and --trace are separate legs")
+    if sum((args.megabatch, args.trace, args.hardened)) > 1:
+        parser.error("--megabatch, --trace and --hardened are separate legs")
     if args.megabatch:
         raise SystemExit(_megabatch_comparison(json_path=args.json))
     if args.trace:
         raise SystemExit(_trace_overhead(json_path=args.json))
+    if args.hardened:
+        raise SystemExit(_hardening_overhead(json_path=args.json))
     if args.json:
-        parser.error("--json requires --megabatch or --trace")
+        parser.error("--json requires --megabatch, --trace or --hardened")
     if not args.smoke:
         parser.error("run via pytest for full benchmarks, or pass --smoke")
     raise SystemExit(_smoke())

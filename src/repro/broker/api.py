@@ -27,7 +27,7 @@ import json
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 from repro.broker.envelope import (
@@ -709,11 +709,9 @@ class BrokerSession:
             self._counter += 1
             job_id = f"job-{self._counter:06d}"
             if envelope.request_id is None:
-                envelope = RecommendEnvelope(
-                    request=envelope.request,
-                    request_id=job_id,
-                    trace=envelope.trace,
-                )
+                # dataclasses.replace keeps every other wire field
+                # (trace, idempotency_key, future additions) intact.
+                envelope = replace(envelope, request_id=job_id)
             job = BrokerJob(job_id=job_id, envelope=envelope)
             tracer = self.tracer
             if tracer is not None:

@@ -243,17 +243,31 @@ class RecommendEnvelope:
     own trace id.  It is pure observability metadata — it never
     influences the recommendation and is ignored unless the server was
     started with tracing enabled.
+
+    ``idempotency_key`` is an optional client-chosen opaque string
+    deduplicating retried submissions: the server replays the original
+    response byte-identically for a repeated ``(principal, key)`` pair
+    instead of re-executing.  Like ``trace`` it never influences the
+    recommendation itself.
     """
 
     request: RecommendationRequest
     request_id: str | None = None
     trace: str | None = None
+    idempotency_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.trace is not None and not isinstance(self.trace, str):
             raise ValidationError(
                 f"trace must be a traceparent string or None, "
                 f"got {type(self.trace).__name__}"
+            )
+        if self.idempotency_key is not None and not isinstance(
+            self.idempotency_key, str
+        ):
+            raise ValidationError(
+                f"idempotency_key must be a string or None, "
+                f"got {type(self.idempotency_key).__name__}"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -264,6 +278,7 @@ class RecommendEnvelope:
             "request_id": self.request_id,
             "request": request_to_dict(self.request),
             "trace": self.trace,
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -272,7 +287,14 @@ class RecommendEnvelope:
         _check_version(payload, "recommend envelope")
         _check_keys(
             payload,
-            {"schema_version", "kind", "request_id", "request", "trace"},
+            {
+                "schema_version",
+                "kind",
+                "request_id",
+                "request",
+                "trace",
+                "idempotency_key",
+            },
             "recommend envelope",
         )
         kind = payload.get("kind", "recommend-request")
@@ -284,6 +306,7 @@ class RecommendEnvelope:
             request=request_from_dict(payload["request"]),
             request_id=payload.get("request_id"),
             trace=payload.get("trace"),
+            idempotency_key=payload.get("idempotency_key"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

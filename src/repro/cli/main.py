@@ -18,7 +18,12 @@ Subcommands
     Optimize one of the named example scenarios.
 ``serve``
     Run the asyncio broker server (v2 envelopes over HTTP) with sharded
-    telemetry ingestion and a ``/metrics`` endpoint.
+    telemetry ingestion, a ``/metrics`` endpoint, and optional
+    protocol hardening (``--auth-token``, ``--rate-limit``,
+    idempotency replay).
+``conform``
+    Run the machine-readable v2 protocol conformance suite against a
+    live server (``--url``), emitting a JSON report.
 ``ingest FILE``
     Shard-ingest a JSONL telemetry trace locally, or POST it to a
     running server with ``--url``.
@@ -327,6 +332,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run cProfile around each traced recommend and log the "
         "hottest functions (implies --trace; heavy — debugging only)",
     )
+    serve.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_AUTH_TOKEN") or None,
+        help="require 'Authorization: Bearer <token>' on every request "
+        "(401/403 ErrorEnvelopes otherwise; /healthz and /metrics stay "
+        "open); defaults to $REPRO_AUTH_TOKEN when set",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="per-client token-bucket rate limit in requests/second "
+        "(over-limit requests get 429 + Retry-After; off by default)",
+    )
+    serve.add_argument(
+        "--rate-limit-burst", type=int, default=None,
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+    serve.add_argument(
+        "--idempotency-capacity", type=int, default=1024,
+        help="responses retained by the per-principal idempotency "
+        "replay table (LRU)",
+    )
+
+    conform = commands.add_parser(
+        "conform",
+        help="run the v2 protocol conformance suite against a live server",
+    )
+    conform.add_argument(
+        "--url", required=True,
+        help="server base URL (e.g. http://127.0.0.1:8348)",
+    )
+    conform.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_AUTH_TOKEN") or None,
+        help="bearer token for servers running with auth; defaults to "
+        "$REPRO_AUTH_TOKEN when set",
+    )
+    conform.add_argument(
+        "--json", type=Path, default=None, dest="json_path",
+        help="also write the machine-readable JSON report to this path",
+    )
+    conform.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout and async-job polling deadline",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -630,7 +679,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_capacity=args.trace_capacity,
         slow_request_threshold=args.slow_request_threshold,
         profile_requests=args.profile_requests,
+        auth_token=args.auth_token,
+        rate_limit=args.rate_limit,
+        rate_limit_burst=args.rate_limit_burst,
+        idempotency_capacity=args.idempotency_capacity,
     )
+
+    hardening = []
+    if args.auth_token is not None:
+        hardening.append("auth on")
+    if args.rate_limit is not None:
+        hardening.append(f"rate limit {args.rate_limit:g}/s")
 
     async def run() -> None:
         try:
@@ -638,7 +697,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"serving v2 envelopes on http://{server.host}:{server.port} "
                 f"({args.shards} ingest shards, {args.max_workers} workers"
-                f"{', tracing on' if trace else ''}); Ctrl-C to stop",
+                f"{', tracing on' if trace else ''}"
+                f"{''.join(', ' + item for item in hardening)}); "
+                "Ctrl-C to stop",
                 file=sys.stderr,
             )
             await server.serve_forever()
@@ -656,6 +717,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conformance import run_conformance
+
+    report = run_conformance(
+        args.url, auth_token=args.auth_token, timeout=args.timeout
+    )
+    print(report.to_text())
+    if args.json_path is not None:
+        args.json_path.write_text(report.to_json(indent=2) + "\n")
+        print(f"JSON report written to {args.json_path}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -808,6 +882,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_batch(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "conform":
+            return _cmd_conform(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
         if args.command == "trace":

@@ -1,0 +1,24 @@
+"""Machine-readable conformance suite for the v2 envelope protocol.
+
+Third-party client and server builds run this against any live broker
+server (``repro conform --url http://host:port``) to verify the wire
+contract PRs 2–9 define: envelope round-trips and key discipline,
+idempotent replay byte-identity, 429/401 error shapes, and
+trace-header behaviour.  The result is a :class:`ConformanceReport`
+with per-check pass/fail/skip outcomes and a JSON form for CI
+artifacts.
+"""
+
+from repro.conformance.suite import (
+    CheckResult,
+    ConformanceReport,
+    ConformanceSuite,
+    run_conformance,
+)
+
+__all__ = [
+    "CheckResult",
+    "ConformanceReport",
+    "ConformanceSuite",
+    "run_conformance",
+]

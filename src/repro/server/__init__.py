@@ -13,10 +13,27 @@ package is that serving layer, stdlib-only:
   serving store by lock-free snapshot publication;
 - :mod:`repro.server.metrics` — Prometheus text-format export of
   engine-cache, job-table, ingest-shard and request-latency metrics;
-- :mod:`repro.server.client` — the synchronous reference client.
+- :mod:`repro.server.hardening` — idempotency-key replay, per-client
+  token-bucket rate limiting and bearer-token auth, so retried POSTs
+  execute at most once and untrusted traffic is bounded;
+- :mod:`repro.server.client` — the synchronous reference client, with
+  keyed safe retries, 429 honouring and a circuit breaker.
 """
 
-from repro.server.client import ServerClient, ServerError
+from repro.server.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServerClient,
+    ServerError,
+)
+from repro.server.hardening import (
+    IDEMPOTENCY_KEY_HEADER,
+    REPLAY_HEADER,
+    IdempotencyStore,
+    RateLimiter,
+    authenticate,
+    principal_for,
+)
 from repro.server.ingest import (
     ExposureRecord,
     ShardedIngestor,
@@ -32,6 +49,7 @@ from repro.server.metrics import (
     parse_prometheus_text,
 )
 from repro.server.transport import (
+    SERVED_ROUTES,
     BrokerServer,
     ServerHandle,
     error_envelope_for,
@@ -39,16 +57,25 @@ from repro.server.transport import (
 )
 
 __all__ = [
+    "IDEMPOTENCY_KEY_HEADER",
+    "REPLAY_HEADER",
+    "SERVED_ROUTES",
     "BrokerServer",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ExposureRecord",
+    "IdempotencyStore",
     "MetricsRegistry",
+    "RateLimiter",
     "ServerClient",
     "ServerError",
     "ServerHandle",
     "ServerMetrics",
     "ShardedIngestor",
+    "authenticate",
     "error_envelope_for",
     "parse_prometheus_text",
+    "principal_for",
     "record_from_dict",
     "record_to_dict",
     "records_from_jsonl",

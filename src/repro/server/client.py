@@ -9,6 +9,20 @@ protocol's executable documentation.
 Server-reported failures surface as :class:`ServerError`, carrying the
 HTTP status and the decoded
 :class:`~repro.broker.envelope.ErrorEnvelope`.
+
+Hardened-protocol support (all optional per server configuration):
+
+- every typed POST is stamped with a fresh ``Idempotency-Key`` (unless
+  ``idempotency=False``), making retries after lost responses safe for
+  *every* method — the server replays the original response instead of
+  re-executing;
+- ``429`` answers are honoured by sleeping out ``Retry-After`` and
+  retrying, up to ``rate_limit_budget`` seconds per call;
+- ``auth_token`` adds ``Authorization: Bearer`` to every request;
+- a :class:`CircuitBreaker` opens after ``breaker_threshold``
+  consecutive connect/5xx failures and fails fast with
+  :class:`CircuitOpenError` until a cooldown passes, then lets one
+  half-open probe through.
 """
 
 from __future__ import annotations
@@ -45,6 +59,9 @@ _TRACE_HEADER = "X-Repro-Trace-Id"
 #: Job states the result poll loop treats as terminal.
 _TERMINAL = {"done", "failed"}
 
+#: Retry-After to assume when a 429 arrives without the header.
+_DEFAULT_RETRY_AFTER = 0.05
+
 
 class ServerError(BrokerError):
     """The server answered with an error envelope."""
@@ -57,6 +74,90 @@ class ServerError(BrokerError):
         super().__init__(f"server returned {status} ({slug}): {detail}")
 
 
+class CircuitOpenError(BrokerError):
+    """The client's circuit breaker is open; the request was not sent."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    ``threshold`` consecutive connect failures or 5xx responses open
+    the circuit: further requests fail fast with
+    :class:`CircuitOpenError` (no socket work) until ``cooldown``
+    seconds pass.  Then exactly one caller is admitted as a half-open
+    probe — its success closes the circuit, its failure re-opens it for
+    another cooldown.  Thread-safe; shared by all of a client's
+    per-thread connections, since "the server is down" is a
+    per-endpoint fact, not a per-socket one.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 1.0,
+        clock_fn=clock.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValidationError(
+                f"breaker threshold must be >= 1, got {threshold!r}"
+            )
+        if cooldown <= 0.0:
+            raise ValidationError(
+                f"breaker cooldown must be > 0, got {cooldown!r}"
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock_fn
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (cooldown elapsed)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def admit(self) -> None:
+        """Let a request proceed, or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return
+            assert self._opened_at is not None
+            remaining = max(
+                0.0, self.cooldown - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"circuit breaker is {state} after {self._failures} "
+                f"consecutive failures; next probe in {remaining:.3f}s"
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._opened_at = self._clock()
+
+
 class ServerClient:
     """Typed access to one running broker server.
 
@@ -64,18 +165,22 @@ class ServerClient:
     server's keep-alive support), so polling loops and benchmark fleets
     do not pay a TCP handshake per request.  A request that fails on a
     *reused* connection — the stale keep-alive case — is retried once
-    on a fresh connection, but only when the retry cannot duplicate
-    work: always after a send-phase failure (the request never reached
-    the server), and after a response-phase failure only for idempotent
-    methods.  A non-idempotent request whose response was lost (the
-    server may already have run it — a retried ``POST /v2/jobs`` would
-    submit a duplicate job, a retried ``POST /v2/ingest`` would
-    double-count telemetry) raises instead; the caller decides.  A
-    fresh connection's failure always propagates.
+    on a fresh connection when the retry cannot duplicate work: always
+    after a send-phase failure (the request never reached the server),
+    and after a response-phase failure when the method is idempotent
+    *or* the request carries an idempotency key (the server then
+    replays the original response instead of re-executing, so a lost
+    response is recoverable for any method).  An unkeyed non-idempotent
+    request whose response was lost still raises; the caller decides.
+    A fresh connection's failure always propagates.
     """
 
-    #: Methods safe to replay after a lost response (RFC 9110 §9.2.2).
-    IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "OPTIONS", "PUT", "DELETE"})
+    #: Methods safe to replay after a lost response.  Deliberately
+    #: narrower than RFC 9110 §9.2.2: this server serves no PUT/DELETE
+    #: routes, and listing them here would silently grant a future
+    #: accidentally-non-idempotent PUT unsafe automatic replay.  Tests
+    #: assert this set against the served route table.
+    IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "OPTIONS"})
 
     def __init__(
         self,
@@ -83,6 +188,11 @@ class ServerClient:
         port: int,
         timeout: float = 60.0,
         trace: bool = False,
+        auth_token: str | None = None,
+        idempotency: bool = True,
+        rate_limit_budget: float = 5.0,
+        breaker_threshold: int | None = None,
+        breaker_cooldown: float = 1.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -91,14 +201,29 @@ class ServerClient:
         #: traceparent (client-originated trace ids).  Works against
         #: untraced servers too — the field is ignored there.
         self.trace = trace
+        #: Bearer token sent on every request (None = no auth header).
+        self.auth_token = auth_token
+        #: Stamp typed POSTs with fresh idempotency keys (safe against
+        #: pre-hardening servers too — unknown headers are ignored and
+        #: the envelope field round-trips).
+        self.idempotency = idempotency
+        #: Total seconds one call may spend sleeping out 429s.
+        self.rate_limit_budget = rate_limit_budget
+        self.breaker = (
+            CircuitBreaker(breaker_threshold, breaker_cooldown)
+            if breaker_threshold is not None
+            else None
+        )
         #: Trace id of the most recent traced response (the server's
         #: X-Repro-Trace-Id header), or None before the first one.
         self.last_trace_id: str | None = None
+        #: Lower-cased headers of the most recent response.
+        self.last_response_headers: dict[str, str] = {}
         self._local = threading.local()
 
     @classmethod
     def from_url(
-        cls, url: str, timeout: float = 60.0, trace: bool = False
+        cls, url: str, timeout: float = 60.0, trace: bool = False, **kwargs
     ) -> "ServerClient":
         """Build a client from ``http://host:port``."""
         parts = urlsplit(url if "//" in url else f"//{url}")
@@ -110,7 +235,9 @@ class ServerClient:
             raise ValidationError(
                 f"server URL must carry host and port, got {url!r}"
             )
-        return cls(parts.hostname, parts.port, timeout=timeout, trace=trace)
+        return cls(
+            parts.hostname, parts.port, timeout=timeout, trace=trace, **kwargs
+        )
 
     @property
     def url(self) -> str:
@@ -142,23 +269,33 @@ class ServerClient:
         path: str,
         body: bytes | str | None = None,
         content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+        idempotent_replay: bool = False,
     ) -> tuple[int, str]:
         """One HTTP exchange; returns ``(status, body text)``.
 
-        Exposed for tests probing wire-level behaviour; the typed
-        methods below are the supported API.
+        ``idempotent_replay=True`` declares the request safe to resend
+        after a lost response regardless of method — the caller stamped
+        an idempotency key, so the server dedups.  Exposed for tests
+        probing wire-level behaviour; the typed methods below are the
+        supported API.
         """
         if isinstance(body, str):
             body = body.encode("utf-8")
+        # Content-Type accompanies any body, including an empty one —
+        # `if body` would drop the header for b"".
+        send_headers = {"Content-Type": content_type} if body is not None else {}
+        if self.auth_token is not None:
+            send_headers["Authorization"] = f"Bearer {self.auth_token}"
+        if headers:
+            send_headers.update(headers)
+        budget = self.rate_limit_budget
         while True:
+            if self.breaker is not None:
+                self.breaker.admit()
             connection, reused = self._checkout()
             try:
-                connection.request(
-                    method,
-                    path,
-                    body=body,
-                    headers={"Content-Type": content_type} if body else {},
-                )
+                connection.request(method, path, body=body, headers=send_headers)
             except (http.client.HTTPException, ConnectionError, OSError):
                 # Send-phase failure: the stale keep-alive socket died
                 # at write time, before the server saw the request —
@@ -166,6 +303,8 @@ class ServerClient:
                 self.close()
                 if reused:
                     continue
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 raise
             try:
                 response = connection.getresponse()
@@ -173,20 +312,64 @@ class ServerClient:
             except (http.client.HTTPException, ConnectionError, OSError):
                 # Response-phase failure: the server may have processed
                 # the request before the connection dropped, so an
-                # automatic replay is safe only for idempotent methods.
+                # automatic replay is safe only when re-execution is
+                # impossible — an idempotent method, or a keyed request
+                # the server's replay table dedups.
                 self.close()
-                if reused and method in self.IDEMPOTENT_METHODS:
+                if reused and (
+                    method in self.IDEMPOTENT_METHODS or idempotent_replay
+                ):
                     continue
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 raise
+            self.last_response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
             trace_id = response.getheader(_TRACE_HEADER)
             if trace_id is not None:
                 self.last_trace_id = trace_id
             if response.will_close:
                 self.close()
+            if self.breaker is not None:
+                if response.status >= 500:
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+            if response.status == 429:
+                retry_after = _DEFAULT_RETRY_AFTER
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = max(0.0, float(header))
+                    except ValueError:
+                        pass
+                if budget > 0.0 and retry_after <= budget:
+                    # Honour the server's hint and resend (same key,
+                    # same body) until the per-call budget runs out.
+                    # The floor keeps a 0-second hint from looping
+                    # without ever draining the budget.
+                    retry_after = max(retry_after, 0.001)
+                    budget -= retry_after
+                    time.sleep(retry_after)
+                    continue
             return response.status, text
 
-    def _request(self, method: str, path: str, body: bytes | str | None = None):
-        status, text = self.request_raw(method, path, body)
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | str | None = None,
+        headers: dict[str, str] | None = None,
+        idempotent_replay: bool = False,
+    ):
+        status, text = self.request_raw(
+            method,
+            path,
+            body,
+            headers=headers,
+            idempotent_replay=idempotent_replay,
+        )
         if status >= 400:
             envelope = None
             try:
@@ -217,6 +400,11 @@ class ServerClient:
                     )
                 ),
             )
+        if self.idempotency and envelope.idempotency_key is None:
+            # One fresh key per logical request: every resend of this
+            # envelope (stale-socket retry, 429 retry) carries the same
+            # key, so the server executes it at most once.
+            envelope = replace(envelope, idempotency_key=new_trace_id())
         return envelope
 
     def recommend(
@@ -224,7 +412,12 @@ class ServerClient:
     ) -> ReportEnvelope:
         """Synchronous recommend: envelope over the wire, report back."""
         envelope = self._as_envelope(request)
-        _, text = self._request("POST", "/v2/recommend", envelope.to_json())
+        _, text = self._request(
+            "POST",
+            "/v2/recommend",
+            envelope.to_json(),
+            idempotent_replay=envelope.idempotency_key is not None,
+        )
         return ReportEnvelope.from_json(text)
 
     def batch(
@@ -252,7 +445,12 @@ class ServerClient:
     ) -> str:
         """Queue a request server-side; returns the job id."""
         envelope = self._as_envelope(request)
-        _, text = self._request("POST", "/v2/jobs", envelope.to_json())
+        _, text = self._request(
+            "POST",
+            "/v2/jobs",
+            envelope.to_json(),
+            idempotent_replay=envelope.idempotency_key is not None,
+        )
         return json.loads(text)["job_id"]
 
     def poll(self, job_id: str) -> str:
@@ -283,14 +481,38 @@ class ServerClient:
 
     # -- telemetry ---------------------------------------------------------
 
+    def _ingest_headers(self) -> dict[str, str] | None:
+        """A fresh Idempotency-Key header for one ingest shipment.
+
+        Ingest bodies are raw JSONL (no envelope field to stamp), so
+        the key rides the request header instead.
+        """
+        if not self.idempotency:
+            return None
+        return {"Idempotency-Key": new_trace_id()}
+
     def ingest(self, records: Sequence[TelemetryRecord]) -> dict[str, Any]:
         """Ship telemetry records into the server's sharded pipeline."""
-        _, text = self._request("POST", "/v2/ingest", records_to_jsonl(records))
+        headers = self._ingest_headers()
+        _, text = self._request(
+            "POST",
+            "/v2/ingest",
+            records_to_jsonl(records),
+            headers=headers,
+            idempotent_replay=headers is not None,
+        )
         return json.loads(text)
 
     def ingest_jsonl(self, text: str) -> dict[str, Any]:
         """Ship an already-serialized JSONL trace."""
-        _, body = self._request("POST", "/v2/ingest", text)
+        headers = self._ingest_headers()
+        _, body = self._request(
+            "POST",
+            "/v2/ingest",
+            text,
+            headers=headers,
+            idempotent_replay=headers is not None,
+        )
         return json.loads(body)
 
     def flush(self) -> dict[str, Any]:

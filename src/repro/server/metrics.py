@@ -371,7 +371,13 @@ class ServerMetrics:
     """
 
     def __init__(
-        self, session, ingestor=None, pool_registry=None, tracer=None
+        self,
+        session,
+        ingestor=None,
+        pool_registry=None,
+        tracer=None,
+        idempotency_store=None,
+        rate_limiter=None,
     ) -> None:
         from repro.optimizer.pools import default_registry
 
@@ -515,6 +521,42 @@ class ServerMetrics:
             ("route",),
         )
 
+        self.rate_limited = reg.counter(
+            "repro_rate_limited_total",
+            "Requests rejected with 429 by the token-bucket rate "
+            "limiter, by route.",
+            ("route",),
+        )
+        self.auth_failures = reg.counter(
+            "repro_auth_failures_total",
+            "Requests rejected by bearer-token auth, by status "
+            "(401 = no/malformed credential, 403 = wrong token).",
+            ("status",),
+        )
+        self.idempotent_replays = reg.counter(
+            "repro_idempotent_replays_total",
+            "Requests answered from the idempotency replay table "
+            "without re-execution, by route.",
+            ("route",),
+        )
+        if idempotency_store is not None:
+            self.idempotency_entries = reg.gauge(
+                "repro_idempotency_entries",
+                "Completed responses held in the idempotency replay "
+                "table.",
+            )
+            self.idempotency_entries.set_function(
+                lambda: float(len(idempotency_store))
+            )
+        if rate_limiter is not None:
+            self.rate_limit_principals = reg.gauge(
+                "repro_rate_limit_principals",
+                "Distinct principals with live token buckets.",
+            )
+            self.rate_limit_principals.set_function(
+                lambda: float(len(rate_limiter))
+            )
+
     def _observe_megabatch(self, spans: int) -> None:
         """Stacker observer hook: one sample per flushed batch."""
         self.megabatch_size.observe(float(spans))
@@ -529,6 +571,18 @@ class ServerMetrics:
         """Record one served HTTP request."""
         self.http_requests.inc(labels=(route, str(status)))
         self.http_latency.observe(seconds, labels=(route,))
+
+    def observe_rate_limited(self, route: str) -> None:
+        """Record one 429 rejection."""
+        self.rate_limited.inc(labels=(route,))
+
+    def observe_auth_failure(self, status: int) -> None:
+        """Record one 401/403 rejection."""
+        self.auth_failures.inc(labels=(str(status),))
+
+    def observe_replay(self, route: str) -> None:
+        """Record one idempotent replay served from the table."""
+        self.idempotent_replays.inc(labels=(route,))
 
     def render(self) -> str:
         """The ``/metrics`` response body (one snapshot per subsystem)."""

@@ -78,6 +78,17 @@ from repro.obs import clock
 from repro.obs.logging import log_slow_request
 from repro.obs.profile import maybe_profile, profile_summary
 from repro.obs.trace import SpanContext, Tracer, TraceStore, parse_traceparent
+from repro.server.hardening import (
+    IDEMPOTENCY_KEY_HEADER,
+    MAX_IDEMPOTENCY_KEY_LENGTH,
+    REPLAY_HEADER,
+    IdempotencyStore,
+    RateLimiter,
+    ReplayKey,
+    StoredResponse,
+    authenticate,
+    principal_for,
+)
 from repro.server.ingest import ShardedIngestor
 from repro.server.metrics import ServerMetrics
 
@@ -88,10 +99,13 @@ _REASONS = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -101,6 +115,28 @@ _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Response header carrying the request's trace id when tracing is on.
 TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Every (method, route-pattern) pair this server serves — the single
+#: source of truth tests assert client retry policy against: a method
+#: appears in :data:`~repro.server.client.ServerClient.IDEMPOTENT_METHODS`
+#: only if every route serving it really is idempotent.
+SERVED_ROUTES: tuple[tuple[str, str], ...] = (
+    ("POST", "/v2/recommend"),
+    ("POST", "/v2/batch"),
+    ("POST", "/v2/jobs"),
+    ("GET", "/v2/jobs/{id}"),
+    ("GET", "/v2/jobs/{id}/result"),
+    ("POST", "/v2/ingest"),
+    ("POST", "/v2/ingest/flush"),
+    ("GET", "/v2/traces"),
+    ("GET", "/v2/traces/{id}"),
+    ("GET", "/metrics"),
+    ("GET", "/healthz"),
+)
+
+#: Routes accepting an explicit ``Idempotency-Key`` (header or envelope
+#: field); ``job-result`` additionally replays implicitly, keyed by path.
+KEYED_ROUTES = frozenset({"recommend", "jobs", "ingest"})
 
 
 def error_envelope_for(
@@ -141,6 +177,7 @@ class _Request:
     path: str
     headers: dict[str, str]
     body: bytes
+    peer: str = ""
 
     @property
     def keep_alive(self) -> bool:
@@ -149,13 +186,21 @@ class _Request:
 
 @dataclass
 class _Response:
-    """One response: either a complete body or an async chunk stream."""
+    """One response: either a complete body or an async chunk stream.
+
+    ``replayable`` lets a handler override the idempotency store's
+    default commit policy (2xx on keyed routes): ``True`` forces a
+    response to be recorded (e.g. a job's *terminal* error — that error
+    IS the result and must replay), ``False`` forbids it, ``None``
+    defers to the policy.
+    """
 
     status: int
     body: bytes = b""
     content_type: str = _JSON
     stream: AsyncIterator[bytes] | None = None
     headers: dict[str, str] = field(default_factory=dict)
+    replayable: bool | None = None
 
 
 def _json_response(status: int, payload: Mapping[str, Any] | str) -> _Response:
@@ -204,6 +249,11 @@ class BrokerServer:
         trace_capacity: int = 256,
         slow_request_threshold: float | None = None,
         profile_requests: bool = False,
+        auth_token: str | None = None,
+        rate_limit: float | None = None,
+        rate_limit_burst: int | None = None,
+        idempotency_capacity: int = 1024,
+        exempt_routes: tuple[str, ...] = ("healthz", "metrics"),
     ) -> None:
         if max_inflight < 1:
             raise ValidationError(
@@ -221,11 +271,23 @@ class BrokerServer:
                 "slow_request_threshold must be >= 0, got "
                 f"{slow_request_threshold!r}"
             )
+        if auth_token is not None and not auth_token:
+            raise ValidationError("auth_token must be non-empty when set")
         self.broker = broker
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
         self.grace = grace
+        self.auth_token = auth_token
+        # Liveness/scrape probes stay reachable without credentials and
+        # outside the rate limit, so hardening never blinds monitoring.
+        self.exempt_routes = frozenset(exempt_routes)
+        self.rate_limiter = (
+            RateLimiter(rate_limit, rate_limit_burst)
+            if rate_limit is not None
+            else None
+        )
+        self.idempotency = IdempotencyStore(capacity=idempotency_capacity)
         self.slow_request_threshold = slow_request_threshold
         self.profile_requests = profile_requests
         if trace:
@@ -269,7 +331,11 @@ class BrokerServer:
             merge_interval=merge_interval,
         )
         self.metrics = ServerMetrics(
-            self.session, self.ingestor, tracer=self.tracer
+            self.session,
+            self.ingestor,
+            tracer=self.tracer,
+            idempotency_store=self.idempotency,
+            rate_limiter=self.rate_limiter,
         )
         self._max_inflight = max_inflight
         self._server: asyncio.Server | None = None
@@ -334,6 +400,8 @@ class BrokerServer:
         task = asyncio.current_task()
         assert task is not None and self._closing is not None
         self._connections.add(task)
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else str(peername or "")
         try:
             while not self._closing.is_set():
                 request = await self._read_request(reader)
@@ -343,6 +411,7 @@ class BrokerServer:
                     # Unparseable/oversized head: answer and hang up.
                     await self._write_response(writer, request, keep_alive=False)
                     break
+                request.peer = peer
                 started = clock.perf_counter()
                 route, response = await self._dispatch(request)
                 keep_alive = request.keep_alive and not self._closing.is_set()
@@ -485,9 +554,27 @@ class BrokerServer:
     # -- routing -----------------------------------------------------------
 
     async def _dispatch(self, request: _Request) -> tuple[str, _Response]:
-        """Route one request; every exception becomes an error envelope."""
+        """Route one request through the hardening pipeline.
+
+        Order matters: authentication first (an unauthenticated caller
+        learns nothing, not even its rate-limit state), then rate
+        limiting, then idempotency replay — a replay costs no handler
+        work but still spends a token, so retry storms cannot bypass
+        the limiter.  Every exception becomes an error envelope.
+        """
         assert self._inflight is not None
         route, handler = self._route(request)
+        guarded = self._guard(request, route)
+        if guarded is not None:
+            return route, guarded
+        try:
+            replay_key = self._replay_key(request, route)
+        except _HttpError as exc:
+            return route, _error_response(exc.envelope)
+        if replay_key is not None:
+            return route, await self._keyed_dispatch(
+                request, route, handler, replay_key
+            )
         async with self._inflight:
             try:
                 return route, await handler(request)
@@ -495,6 +582,161 @@ class BrokerServer:
                 return route, _error_response(exc.envelope)
             except Exception as exc:  # noqa: BLE001 - wire boundary
                 return route, _error_response(error_envelope_for(exc))
+
+    def _guard(self, request: _Request, route: str) -> "_Response | None":
+        """Auth and rate-limit checks; a _Response rejects the request."""
+        if route in self.exempt_routes:
+            return None
+        if self.auth_token is not None:
+            failure = authenticate(self.auth_token, request.headers)
+            if failure is not None:
+                self.metrics.observe_auth_failure(failure.status)
+                response = _error_response(failure)
+                if failure.status == 401:
+                    response.headers["WWW-Authenticate"] = "Bearer"
+                return response
+        if self.rate_limiter is not None:
+            principal = principal_for(
+                request.headers, request.peer, self.auth_token is not None
+            )
+            retry_after = self.rate_limiter.check(principal)
+            if retry_after > 0.0:
+                self.metrics.observe_rate_limited(route)
+                response = _error_response(
+                    ErrorEnvelope(
+                        429, "rate-limited",
+                        f"request rate limit exceeded for this client; "
+                        f"retry after {retry_after:.3f}s",
+                    )
+                )
+                # Decimal seconds (an RFC 9110 extension): integer
+                # rounding would force sub-second buckets to lie.
+                response.headers["Retry-After"] = f"{retry_after:.3f}"
+                return response
+        return None
+
+    def _replay_key(self, request: _Request, route: str) -> ReplayKey | None:
+        """The idempotency-table key for this request, if it has one.
+
+        Explicitly-keyed routes take the ``Idempotency-Key`` header or,
+        for envelope routes, the envelope's ``idempotency_key`` field.
+        ``job-result`` is keyed implicitly by path: its first terminal
+        response marks the job retrieved (eviction-eligible), so a
+        "safe" idempotent retry after a dropped response must replay
+        from the table rather than 404 on the evicted job.
+        """
+        principal = principal_for(
+            request.headers, request.peer, self.auth_token is not None
+        )
+        if route == "job-result":
+            return (principal, route, "path", request.path)
+        if route not in KEYED_ROUTES:
+            return None
+        key = request.headers.get(IDEMPOTENCY_KEY_HEADER.lower())
+        if key is None and b'"idempotency_key"' in request.body:
+            # Envelope-stamped key: peek without full envelope
+            # validation (the handler owns that) — a non-dict or
+            # non-string field is the handler's error to report.
+            try:
+                payload = json.loads(request.body)
+            except ValueError:
+                return None
+            value = (
+                payload.get("idempotency_key")
+                if isinstance(payload, dict)
+                else None
+            )
+            if isinstance(value, str):
+                key = value
+        if key is None or not key:
+            return None
+        if len(key) > MAX_IDEMPOTENCY_KEY_LENGTH:
+            raise _HttpError(
+                ErrorEnvelope(
+                    400, "validation-error",
+                    f"idempotency key of {len(key)} characters exceeds "
+                    f"the {MAX_IDEMPOTENCY_KEY_LENGTH}-character limit",
+                )
+            )
+        return (principal, route, "key", key)
+
+    async def _keyed_dispatch(
+        self,
+        request: _Request,
+        route: str,
+        handler,
+        key: ReplayKey,
+    ) -> _Response:
+        """Run one keyed request through the replay table.
+
+        Waiters block on the leader's future *without* holding an
+        inflight-semaphore slot, so a full house of duplicates can
+        never deadlock the leader out of the semaphore.
+        """
+        assert self._inflight is not None
+        store = self.idempotency
+        while True:
+            action, entry = store.begin(key)
+            if action == "replay":
+                assert isinstance(entry, StoredResponse)
+                return self._replayed_response(route, entry)
+            if action == "wait":
+                stored = await entry
+                if stored is not None:
+                    return self._replayed_response(route, stored)
+                continue  # leader failed: re-race for the claim
+            future = entry
+            try:
+                async with self._inflight:
+                    try:
+                        response = await handler(request)
+                    except _HttpError as exc:
+                        response = _error_response(exc.envelope)
+                    except Exception as exc:  # noqa: BLE001 - wire boundary
+                        response = _error_response(error_envelope_for(exc))
+            except BaseException:
+                # Cancellation (shutdown) must release waiters.
+                store.abandon(key, future)
+                raise
+            if self._should_store(route, response):
+                store.commit(
+                    key,
+                    future,
+                    StoredResponse(
+                        status=response.status,
+                        content_type=response.content_type,
+                        body=response.body,
+                        headers=dict(response.headers),
+                    ),
+                )
+            else:
+                store.abandon(key, future)
+            return response
+
+    def _replayed_response(self, route: str, stored: StoredResponse) -> _Response:
+        self.metrics.observe_replay(route)
+        headers = dict(stored.headers)
+        headers[REPLAY_HEADER] = "true"
+        return _Response(
+            status=stored.status,
+            body=stored.body,
+            content_type=stored.content_type,
+            headers=headers,
+        )
+
+    def _should_store(self, route: str, response: _Response) -> bool:
+        """Commit policy: which responses enter the replay table."""
+        if response.stream is not None:
+            return False
+        if response.replayable is not None:
+            return response.replayable
+        if route == "job-result":
+            # Only terminal outcomes replay; the handler marks them.
+            # A 202 "still running" or a 404 must re-execute.
+            return False
+        # Keyed submission/ingest: success is committed; errors are
+        # abandoned so a transient failure never pins under the key.
+        return 200 <= response.status < 300
 
     def _route(self, request: _Request):
         method = request.method
@@ -754,16 +996,22 @@ class BrokerServer:
                 return _json_response(202, self._job_payload(job_id))
             if job.error is not None:
                 # The error IS the result: mark it retrieved so failed
-                # jobs participate in retention eviction too.
+                # jobs participate in retention eviction too, and
+                # commit it to the replay table — retrieval may evict
+                # the job, so a retried GET must replay, not 404.
                 job.retrieved = True
-                raise _HttpError(
+                response = _error_response(
                     error_envelope_for(job.error, job.envelope.request_id)
                 )
+                response.replayable = True
+                return response
             loop = asyncio.get_running_loop()
             report = await loop.run_in_executor(
                 None, self.session.result_envelope, job_id
             )
-            return _json_response(200, report.to_json())
+            response = _json_response(200, report.to_json())
+            response.replayable = True
+            return response
 
         return handler
 

@@ -456,6 +456,49 @@ class TestREP005WireRoundTrip:
         report = lint_snippet(tmp_path, code, WireRoundTripRule)
         assert report.findings == ()
 
+    def test_optional_wire_field_round_trips_clean(self, tmp_path):
+        """The idempotency_key shape: an optional (default-None) field
+        is held to the same symmetry bar as required ones."""
+        code = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Env:\n"
+            "    kind: str\n"
+            "    idempotency_key: 'str | None' = None\n"
+            "    def to_dict(self):\n"
+            "        return {'kind': self.kind,\n"
+            "                'idempotency_key': self.idempotency_key}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, payload):\n"
+            "        return cls(kind=payload['kind'],\n"
+            "                   idempotency_key=payload.get('idempotency_key'))\n"
+        )
+        report = lint_snippet(tmp_path, code, WireRoundTripRule)
+        assert report.findings == ()
+
+    def test_optional_field_serialized_but_never_parsed_flagged(self, tmp_path):
+        code = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Env:\n"
+            "    kind: str\n"
+            "    idempotency_key: 'str | None' = None\n"
+            "    def to_dict(self):\n"
+            "        return {'kind': self.kind,\n"
+            "                'idempotency_key': self.idempotency_key}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, payload):\n"
+            "        return cls(kind=payload['kind'])\n"
+        )
+        report = lint_snippet(tmp_path, code, WireRoundTripRule)
+        # Flagged from both directions: the field is never parsed back,
+        # and the serialized key is never read.
+        assert set(rule_ids(report)) == {"REP005"}
+        assert any(
+            "never read back" in finding.message
+            for finding in report.findings
+        )
+
     def test_plain_class_without_to_dict_ignored(self, tmp_path):
         code = "class Helper:\n    def run(self):\n        return 1\n"
         report = lint_snippet(tmp_path, code, WireRoundTripRule)

@@ -1,0 +1,264 @@
+"""The v2 conformance suite: passes a compliant build, indicts a broken one.
+
+Three servers are exercised: the real hardened server (everything
+passes), the real plain server (optional-feature checks skip, nothing
+fails), and a deliberately replay-violating stub (the replay checks
+fail with actionable detail) — the suite must be able to *catch* the
+bug class it exists for, not just bless the reference implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.broker.envelope import ErrorEnvelope
+from repro.broker.service import BrokerService
+from repro.cli.main import main
+from repro.cloud.providers import all_providers
+from repro.conformance import (
+    CheckResult,
+    ConformanceReport,
+    run_conformance,
+)
+from repro.server import start_in_thread
+
+OBSERVE_YEARS = 1.0
+SEED = 23
+TOKEN = "conform-test-token"
+
+ALL_CHECKS = (
+    "health-endpoint",
+    "error-envelope-shape",
+    "envelope-key-discipline",
+    "recommend-round-trip",
+    "trace-header-behaviour",
+    "idempotent-recommend-replay",
+    "idempotent-submit-replay",
+    "idempotent-ingest-replay",
+    "job-result-replay",
+    "auth-error-shape",
+    "rate-limit-shape",
+)
+
+
+def observed_broker() -> BrokerService:
+    broker = BrokerService(all_providers())
+    broker.observe_all(years=OBSERVE_YEARS, seed=SEED)
+    return broker
+
+
+def by_name(report: ConformanceReport) -> dict[str, CheckResult]:
+    return {result.check: result for result in report.results}
+
+
+@pytest.fixture(scope="module")
+def hardened_handle():
+    with start_in_thread(
+        observed_broker(),
+        shards=2,
+        auth_token=TOKEN,
+        rate_limit=30.0,
+        rate_limit_burst=10,
+    ) as handle:
+        yield handle
+
+
+class TestAgainstHardenedServer:
+    @pytest.fixture(scope="class")
+    def report(self, hardened_handle):
+        return run_conformance(hardened_handle.url, auth_token=TOKEN)
+
+    def test_every_check_passes(self, report):
+        assert report.ok, report.to_text()
+        assert report.failed == 0
+        assert report.skipped == 0
+        assert report.passed == len(ALL_CHECKS)
+
+    def test_check_roster_is_complete_and_ordered(self, report):
+        assert tuple(result.check for result in report.results) == ALL_CHECKS
+
+    def test_optional_feature_checks_were_exercised(self, report):
+        results = by_name(report)
+        assert results["auth-error-shape"].status == "pass"
+        assert results["rate-limit-shape"].status == "pass"
+        assert "Retry-After" in results["rate-limit-shape"].detail
+
+
+class TestAgainstPlainServer:
+    def test_optional_features_skip_rather_than_fail(self):
+        with start_in_thread(observed_broker(), shards=2) as handle:
+            report = run_conformance(handle.url)
+        results = by_name(report)
+        assert report.ok, report.to_text()
+        assert results["auth-error-shape"].status == "skip"
+        assert "disabled" in results["auth-error-shape"].detail
+        assert results["rate-limit-shape"].status == "skip"
+        assert results["idempotent-submit-replay"].status == "pass"
+        assert report.skipped == 2
+
+
+class _ReplayViolatingHandler(BaseHTTPRequestHandler):
+    """A v2-shaped server with the exact bug the suite hunts: keyed
+    requests re-execute (fresh body, no replay marker) instead of
+    replaying the recorded response."""
+
+    protocol_version = "HTTP/1.1"
+    counter = 0
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send_json(200, {"kind": "health", "status": "ok"})
+            return
+        self._send_json(
+            404,
+            ErrorEnvelope(
+                404, "unknown-route", f"no route {self.path}"
+            ).to_dict(),
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        cls = _ReplayViolatingHandler
+        cls.counter += 1
+        if self.path == "/v2/recommend":
+            # Re-executed: every "replay" observably differs.
+            self._send_json(200, {"kind": "bogus", "n": cls.counter})
+            return
+        if self.path == "/v2/jobs":
+            self._send_json(202, {"job_id": f"job-{cls.counter:06d}"})
+            return
+        if self.path == "/v2/ingest":
+            self._send_json(202, {"accepted": cls.counter})
+            return
+        self._send_json(
+            404,
+            ErrorEnvelope(404, "unknown-route", "nope").to_dict(),
+        )
+
+    def log_message(self, *args) -> None:  # quiet test output
+        pass
+
+
+class TestAgainstReplayViolatingStub:
+    @pytest.fixture(scope="class")
+    def report(self):
+        _ReplayViolatingHandler.counter = 0
+        server = ThreadingHTTPServer(
+            ("127.0.0.1", 0), _ReplayViolatingHandler
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            yield run_conformance(f"http://{host}:{port}", timeout=10.0)
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+
+    def test_violations_are_caught_not_blessed(self, report):
+        assert not report.ok
+        results = by_name(report)
+        # The server is reachable and speaks the basic shapes...
+        assert results["health-endpoint"].status == "pass"
+        assert results["error-envelope-shape"].status == "pass"
+        # ...but every replay obligation is violated and indicted.
+        for check in (
+            "idempotent-recommend-replay",
+            "idempotent-submit-replay",
+            "idempotent-ingest-replay",
+        ):
+            assert results[check].status == "fail", report.to_text()
+
+    def test_failures_carry_actionable_detail(self, report):
+        results = by_name(report)
+        assert "byte-identical" in results["idempotent-recommend-replay"].detail
+        submit_detail = results["idempotent-submit-replay"].detail
+        assert "byte-identical" in submit_detail or "distinct jobs" in submit_detail
+        assert "NOT CONFORMANT" in report.to_text()
+        for result in report.results:
+            if result.status == "fail":
+                assert result.detail, f"{result.check} failed without detail"
+
+
+class TestReportShape:
+    def _report(self) -> ConformanceReport:
+        return ConformanceReport(
+            url="http://example:1",
+            results=(
+                CheckResult("health-endpoint", "pass", "healthy"),
+                CheckResult("rate-limit-shape", "skip", "disabled"),
+                CheckResult("idempotent-submit-replay", "fail", "re-executed"),
+            ),
+        )
+
+    def test_counts_and_verdict(self):
+        report = self._report()
+        assert (report.passed, report.failed, report.skipped) == (1, 1, 1)
+        assert not report.ok
+        assert "NOT CONFORMANT: 1 passed, 1 failed, 1 skipped" in report.to_text()
+
+    def test_json_document_shape(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["kind"] == "conformance-report"
+        assert payload["ok"] is False
+        assert payload["url"] == "http://example:1"
+        assert [r["check"] for r in payload["results"]] == [
+            "health-endpoint",
+            "rate-limit-shape",
+            "idempotent-submit-replay",
+        ]
+        assert all(
+            set(r) == {"check", "status", "detail"}
+            for r in payload["results"]
+        )
+
+
+class TestConformCli:
+    def test_cli_writes_json_report_and_exits_zero(
+        self, hardened_handle, tmp_path, capsys
+    ):
+        json_path = tmp_path / "conform-report.json"
+        code = main([
+            "conform",
+            "--url", hardened_handle.url,
+            "--auth-token", TOKEN,
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        assert "CONFORMANT" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text())
+        assert payload["ok"] is True
+        assert payload["failed"] == 0
+
+    def test_cli_exit_code_reflects_violations(self, tmp_path, capsys):
+        _ReplayViolatingHandler.counter = 0
+        server = ThreadingHTTPServer(
+            ("127.0.0.1", 0), _ReplayViolatingHandler
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            code = main([
+                "conform", "--url", f"http://{host}:{port}",
+                "--timeout", "10.0",
+            ])
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+        assert code == 1
+        assert "NOT CONFORMANT" in capsys.readouterr().out
