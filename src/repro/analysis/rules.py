@@ -1,4 +1,4 @@
-"""The initial invariant rule pack: REP001 — REP007.
+"""The initial invariant rule pack: REP001 — REP008.
 
 Every rule encodes an invariant a previous PR established by hand and
 the test suite can only sample:
@@ -33,6 +33,11 @@ the test suite can only sample:
             sanctioned sources — randomness comes from ``rng.py``,
             time comes from ``repro.obs.clock`` (the one module
             allowed to touch the ``time`` module directly).
+``REP008``  Fork safety in ``server/``: processes are spawned, never
+            forked — the serving stack already runs threads (the event
+            loop's executor, ingest shard workers), and forking a
+            threaded process inherits locks in whatever state the
+            other threads held them.
 ==========  ==============================================================
 
 ``REP000`` (suppression hygiene / unparseable files) is built into the
@@ -55,6 +60,7 @@ __all__ = [
     "WireRoundTripRule",
     "RegistryParityRule",
     "WallClockRule",
+    "ForkSafetyRule",
 ]
 
 
@@ -796,6 +802,85 @@ class WallClockRule(Rule):
             )
 
 
+# -- REP008 ----------------------------------------------------------------
+
+class ForkSafetyRule(Rule):
+    """Server processes are spawned, never forked.
+
+    The serving stack is threaded before any child process exists: the
+    event loop's default executor runs handler work, ingest shards run
+    on their own threads, and ``start_in_thread`` hosts the loop itself
+    on one.  ``fork()`` clones only the calling thread but the *whole*
+    address space — every lock another thread held at fork time stays
+    locked forever in the child (the classic post-fork deadlock).  The
+    gateway therefore builds workers from
+    ``multiprocessing.get_context("spawn")``; this rule keeps fork (and
+    the fork-defaulting conveniences) from creeping back in.
+    """
+
+    rule_id = "REP008"
+    title = "spawn, never fork, in server/ processes"
+    paths = ("server/*",)
+
+    _FORK_CALLS = {"os.fork", "os.forkpty"}
+    #: Process constructors bound to the *default* start method (fork on
+    #: Linux).  ``<ctx>.Process`` from a spawn context is the sanctioned
+    #: idiom and is not matched: only these exact roots are.
+    _DEFAULT_PROCESS = {"multiprocessing.Process", "mp.Process", "Process"}
+    _FORKING_METHODS = {"fork", "forkserver"}
+
+    _HINT = (
+        'build children via multiprocessing.get_context("spawn")'
+        ".Process(...) as repro.server.gateway does"
+    )
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in self._FORK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"{dotted}() in a server module — forking a threaded "
+                "process inherits locks mid-flight",
+                hint=self._HINT,
+            )
+            return
+        if dotted in self._DEFAULT_PROCESS:
+            ctx.report(
+                self,
+                node,
+                f"{dotted}(...) uses the platform-default start method "
+                "(fork on Linux) in a threaded server process",
+                hint=self._HINT,
+            )
+            return
+        name = dotted.rsplit(".", 1)[-1]
+        if name not in ("get_context", "set_start_method"):
+            return
+        method = None
+        if node.args:
+            first = node.args[0]
+            if not isinstance(first, ast.Constant):
+                return  # dynamic method name: out of static reach
+            method = first.value
+        if method is None or method in self._FORKING_METHODS:
+            what = (
+                f'{dotted}("{method}")' if method is not None
+                else f"{dotted}() with no method"
+            )
+            ctx.report(
+                self,
+                node,
+                f"{what} selects a fork-based (or platform-default) "
+                "start method in a server module",
+                hint=self._HINT,
+            )
+
+
 DEFAULT_RULES: tuple[type[Rule], ...] = (
     FloatAccumulationRule,
     LockDisciplineRule,
@@ -804,6 +889,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     WireRoundTripRule,
     RegistryParityRule,
     WallClockRule,
+    ForkSafetyRule,
 )
 
 #: ``--list-rules`` output: id -> (title, scope patterns).

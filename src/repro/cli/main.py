@@ -260,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 picks an ephemeral port)",
     )
     serve.add_argument(
+        "--workers", type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "0") or "0"),
+        help="worker processes behind a hardened gateway (0 serves "
+        "in-process — the default; N >= 1 spawns N workers, each "
+        "owning a disjoint partition of the engine cache, with auth / "
+        "rate limiting / idempotency replay running once at the "
+        "gateway); defaults to $REPRO_WORKERS when set",
+    )
+    serve.add_argument(
         "--observe-years", type=float, default=3.0,
         help="synthetic telemetry horizon per provider before serving",
     )
@@ -430,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser(
         "lint",
         help="check source trees against the repo's invariant rules "
-        "(REP001-REP007); exits 1 on findings",
+        "(REP001-REP008); exits 1 on findings",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -654,6 +663,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.logging import configure_json_logging
 
         configure_json_logging("repro.server")
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 2
     broker = BrokerService(all_providers())
     print(
         f"Observing providers ({args.observe_years:g} synthetic years each)...",
@@ -661,8 +674,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     events = broker.observe_all(years=args.observe_years, seed=args.seed)
     print(f"  ingested {events} telemetry events", file=sys.stderr)
-    server = BrokerServer(
+    if args.workers > 0:
+        from repro.server.gateway import GatewayServer
+
+        server_class = GatewayServer
+        extra = {"workers": args.workers}
+    else:
+        server_class = BrokerServer
+        extra = {}
+    server = server_class(
         broker,
+        **extra,
         host=args.host,
         port=args.port,
         shards=args.shards,
@@ -691,12 +713,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.rate_limit is not None:
         hardening.append(f"rate limit {args.rate_limit:g}/s")
 
+    mode = (
+        f"gateway over {args.workers} worker process(es)"
+        if args.workers > 0
+        else "in-process"
+    )
+
     async def run() -> None:
         try:
             await server.start()
             print(
                 f"serving v2 envelopes on http://{server.host}:{server.port} "
-                f"({args.shards} ingest shards, {args.max_workers} workers"
+                f"({mode}, {args.shards} ingest shards, "
+                f"{args.max_workers} pool workers"
                 f"{', tracing on' if trace else ''}"
                 f"{''.join(', ' + item for item in hardening)}); "
                 "Ctrl-C to stop",

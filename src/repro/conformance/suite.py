@@ -170,6 +170,7 @@ class ConformanceSuite:
             ("idempotent-submit-replay", self.check_submit_replay),
             ("idempotent-ingest-replay", self.check_ingest_replay),
             ("job-result-replay", self.check_job_result_replay),
+            ("cross-worker-replay", self.check_cross_worker_replay),
             ("auth-error-shape", self.check_auth_shape),
             ("rate-limit-shape", self.check_rate_limit_shape),
         )
@@ -403,6 +404,41 @@ class ConformanceSuite:
         return (
             f"terminal result ({first[0]}) replayed byte-identically "
             "after retrieval"
+        )
+
+    def check_cross_worker_replay(self) -> str:
+        """Replay must precede routing: same key, different body.
+
+        Partitioned deployments (``repro serve --workers N``) route
+        requests to workers by content key, so a retry whose body
+        drifted (a client rebuilding the request) would land on a
+        *different* worker than the original.  The idempotency
+        obligation is on the key alone: the deployment must answer with
+        the original bytes — which requires the replay table to sit at
+        the edge, in front of routing.  Single-process servers satisfy
+        this trivially; gateways only satisfy it if the table was never
+        pushed down into the workers.
+        """
+        key = new_trace_id()
+        first_envelope = self._envelope(idempotency_key=key)
+        first = self._post_recommend(first_envelope)
+        if first[0] != 200:
+            raise _Fail(
+                f"keyed recommend returned {first[0]}, want 200"
+            )
+        # Same key, different request content — routes to a different
+        # partition under content-keyed routing.
+        drifted = RecommendEnvelope(
+            request=three_tier_request(
+                Contract.linear(98.0, 150.0), compute_nodes=3
+            ),
+            idempotency_key=key,
+        )
+        second = self._post_recommend(drifted)
+        self._assert_replay(first, second, "cross-partition recommend")
+        return (
+            "drifted-body retry under the original key replayed the "
+            "original bytes"
         )
 
     def check_auth_shape(self) -> str:

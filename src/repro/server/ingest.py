@@ -291,7 +291,9 @@ class _ProcessShard:
 
     def __init__(self, index: int) -> None:
         self.index = index
-        context = multiprocessing.get_context()
+        # Spawn, never fork (REP008): the server that builds shards is
+        # already threaded, and forked children inherit mid-flight locks.
+        context = multiprocessing.get_context("spawn")
         self.in_queue = context.Queue()
         self.out_queue = context.Queue()
         self._process = context.Process(

@@ -22,12 +22,23 @@ server speaking JSON envelopes:
 ``GET /healthz``            liveness probe
 ==========================  ==============================================
 
+PR 10 split the stack in two.  The route handlers and their session /
+ingest / metrics state live in :class:`repro.server.core.RequestCore`;
+this module keeps the socket frontend.  :class:`HttpEdge` is the
+reusable edge — HTTP/1.1 parsing and serialization, keep-alive,
+backpressure, graceful shutdown, and the full hardening pipeline
+(bearer auth, token-bucket rate limiting, idempotency replay) — with
+routing left abstract.  :class:`BrokerServer` composes an
+:class:`HttpEdge` directly over a :class:`RequestCore` (the in-process
+mode, default); :class:`repro.server.gateway.GatewayServer` composes
+the same edge over a partitioned fleet of worker processes.
+
 Tracing (``trace=True`` / ``repro serve --trace``) threads a
 :class:`~repro.obs.trace.Tracer` through the session, the engines and
 the metrics registry.  Traced ``/v2/recommend`` and ``/v2/jobs``
-requests open the root ``request`` span here (back-dated to parse
-start), honour a client-stamped ``trace`` field on the envelope, and
-return the trace id in the ``X-Repro-Trace-Id`` response header.
+requests open the root ``request`` span in the core (back-dated to
+parse start), honour a client-stamped ``trace`` field on the envelope,
+and return the trace id in the ``X-Repro-Trace-Id`` response header.
 Disabled tracing costs the hot path one ``is not None`` check.
 
 Every failure is answered with a structured
@@ -55,29 +66,31 @@ from __future__ import annotations
 
 import asyncio
 import json
-import logging
+import os
 import threading
-from dataclasses import dataclass, field
-from typing import Any, AsyncIterator, Mapping
-from urllib.parse import parse_qs
 
-from repro.broker.envelope import (
-    ENVELOPE_SCHEMA_VERSION,
-    ErrorEnvelope,
-    RecommendEnvelope,
-)
+from repro.broker.envelope import ErrorEnvelope
 from repro.broker.service import BrokerService
-from repro.errors import (
-    BrokerError,
-    InsufficientTelemetryError,
-    ReproError,
-    UnknownNameError,
-    ValidationError,
-)
+from repro.errors import ValidationError
 from repro.obs import clock
 from repro.obs.logging import log_slow_request
-from repro.obs.profile import maybe_profile, profile_summary
-from repro.obs.trace import SpanContext, Tracer, TraceStore, parse_traceparent
+from repro.server.core import (  # noqa: F401 - re-exported compatibility names
+    _JSON,
+    _PROMETHEUS,
+    _REASONS,
+    KEYED_ROUTES,
+    SERVED_ROUTES,
+    TRACE_HEADER,
+    RequestCore,
+    _error_response,
+    _HttpError,
+    _json_response,
+    _Request,
+    _Response,
+    error_envelope_for,
+    logger,
+    resolve_route,
+)
 from repro.server.hardening import (
     IDEMPOTENCY_KEY_HEADER,
     MAX_IDEMPOTENCY_KEY_LENGTH,
@@ -89,166 +102,29 @@ from repro.server.hardening import (
     authenticate,
     principal_for,
 )
-from repro.server.ingest import ShardedIngestor
-from repro.server.metrics import ServerMetrics
-
-logger = logging.getLogger("repro.server")
-
-#: Reason phrases for the statuses this server emits.
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    401: "Unauthorized",
-    403: "Forbidden",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    422: "Unprocessable Entity",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-_JSON = "application/json"
-_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
-
-#: Response header carrying the request's trace id when tracing is on.
-TRACE_HEADER = "X-Repro-Trace-Id"
-
-#: Every (method, route-pattern) pair this server serves — the single
-#: source of truth tests assert client retry policy against: a method
-#: appears in :data:`~repro.server.client.ServerClient.IDEMPOTENT_METHODS`
-#: only if every route serving it really is idempotent.
-SERVED_ROUTES: tuple[tuple[str, str], ...] = (
-    ("POST", "/v2/recommend"),
-    ("POST", "/v2/batch"),
-    ("POST", "/v2/jobs"),
-    ("GET", "/v2/jobs/{id}"),
-    ("GET", "/v2/jobs/{id}/result"),
-    ("POST", "/v2/ingest"),
-    ("POST", "/v2/ingest/flush"),
-    ("GET", "/v2/traces"),
-    ("GET", "/v2/traces/{id}"),
-    ("GET", "/metrics"),
-    ("GET", "/healthz"),
-)
-
-#: Routes accepting an explicit ``Idempotency-Key`` (header or envelope
-#: field); ``job-result`` additionally replays implicitly, keyed by path.
-KEYED_ROUTES = frozenset({"recommend", "jobs", "ingest"})
 
 
-def error_envelope_for(
-    exc: BaseException, request_id: str | None = None
-) -> ErrorEnvelope:
-    """Map an exception to its wire form (status + stable error slug)."""
-    if isinstance(exc, UnknownNameError):
-        return ErrorEnvelope(404, "unknown-name", str(exc), request_id)
-    if isinstance(exc, InsufficientTelemetryError):
-        return ErrorEnvelope(422, "insufficient-telemetry", str(exc), request_id)
-    if isinstance(exc, ValidationError):
-        return ErrorEnvelope(400, "validation-error", str(exc), request_id)
-    if isinstance(exc, BrokerError):
-        return ErrorEnvelope(400, "broker-error", str(exc), request_id)
-    if isinstance(exc, ReproError):
-        return ErrorEnvelope(400, "error", str(exc), request_id)
-    # Unexpected failure: log the traceback server-side, never wire it.
-    logger.exception("internal error serving request", exc_info=exc)
-    return ErrorEnvelope(
-        500, "internal-error",
-        f"internal server error ({type(exc).__name__})", request_id,
-    )
+class HttpEdge:
+    """The reusable asyncio HTTP/1.1 edge with edge hardening built in.
 
-
-class _HttpError(Exception):
-    """Internal: short-circuit a request with a ready error envelope."""
-
-    def __init__(self, envelope: ErrorEnvelope) -> None:
-        super().__init__(envelope.message)
-        self.envelope = envelope
-
-
-@dataclass
-class _Request:
-    """One parsed HTTP request."""
-
-    method: str
-    path: str
-    headers: dict[str, str]
-    body: bytes
-    peer: str = ""
-
-    @property
-    def keep_alive(self) -> bool:
-        return self.headers.get("connection", "keep-alive").lower() != "close"
-
-
-@dataclass
-class _Response:
-    """One response: either a complete body or an async chunk stream.
-
-    ``replayable`` lets a handler override the idempotency store's
-    default commit policy (2xx on keyed routes): ``True`` forces a
-    response to be recorded (e.g. a job's *terminal* error — that error
-    IS the result and must replay), ``False`` forbids it, ``None``
-    defers to the policy.
-    """
-
-    status: int
-    body: bytes = b""
-    content_type: str = _JSON
-    stream: AsyncIterator[bytes] | None = None
-    headers: dict[str, str] = field(default_factory=dict)
-    replayable: bool | None = None
-
-
-def _json_response(status: int, payload: Mapping[str, Any] | str) -> _Response:
-    if isinstance(payload, str):
-        body = payload.encode("utf-8")
-    else:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    return _Response(status=status, body=body)
-
-
-def _error_response(envelope: ErrorEnvelope) -> _Response:
-    return _json_response(envelope.status, envelope.to_json())
-
-
-class BrokerServer:
-    """An asyncio TCP/HTTP front-end over one broker.
-
-    The server owns a :class:`~repro.broker.api.BrokerSession` (the
-    cross-request engine cache and job table), a
-    :class:`~repro.server.ingest.ShardedIngestor` over the broker's
-    serving telemetry store, and a :class:`ServerMetrics` registry.
-    ``port=0`` binds an ephemeral port; read :attr:`port` after
-    :meth:`start`.
+    Owns the listening socket, connection lifecycle, request parsing /
+    response serialization, the in-flight semaphore, and the guard
+    pipeline (auth → rate limit → idempotency replay).  Subclasses
+    supply :meth:`_route` — resolve one request to ``(route name, async
+    handler)`` — and :meth:`_close_resources` for whatever sits behind
+    the edge.  ``port=0`` binds an ephemeral port; read :attr:`port`
+    after :meth:`start`.
     """
 
     def __init__(
         self,
-        broker: BrokerService,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        shards: int = 4,
-        ingest_backend: str = "thread",
-        merge_interval: float | None = 0.5,
-        max_workers: int = 4,
-        cache_capacity: int = 16,
-        eval_backend: str | None = None,
-        finished_job_ttl: float | None = None,
-        megabatch: bool = False,
-        megabatch_window: float | None = None,
-        megabatch_max_rows: int | None = None,
         max_body_bytes: int = 8 * 1024 * 1024,
         max_inflight: int = 32,
         grace: float = 5.0,
-        trace: bool = False,
-        trace_capacity: int = 256,
         slow_request_threshold: float | None = None,
-        profile_requests: bool = False,
         auth_token: str | None = None,
         rate_limit: float | None = None,
         rate_limit_burst: int | None = None,
@@ -259,13 +135,6 @@ class BrokerServer:
             raise ValidationError(
                 f"max_inflight must be >= 1, got {max_inflight!r}"
             )
-        if not trace:
-            if slow_request_threshold is not None:
-                raise ValidationError(
-                    "slow_request_threshold requires trace=True"
-                )
-            if profile_requests:
-                raise ValidationError("profile_requests requires trace=True")
         if slow_request_threshold is not None and slow_request_threshold < 0.0:
             raise ValidationError(
                 "slow_request_threshold must be >= 0, got "
@@ -273,7 +142,6 @@ class BrokerServer:
             )
         if auth_token is not None and not auth_token:
             raise ValidationError("auth_token must be non-empty when set")
-        self.broker = broker
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
@@ -289,54 +157,6 @@ class BrokerServer:
         )
         self.idempotency = IdempotencyStore(capacity=idempotency_capacity)
         self.slow_request_threshold = slow_request_threshold
-        self.profile_requests = profile_requests
-        if trace:
-            self.trace_store: TraceStore | None = TraceStore(
-                capacity=trace_capacity
-            )
-            self.tracer: Tracer | None = Tracer(self.trace_store)
-        else:
-            self.trace_store = None
-            self.tracer = None
-        if megabatch:
-            from repro.optimizer.megabatch import MegabatchConfig
-
-            defaults = MegabatchConfig()
-            megabatch_arg: object = MegabatchConfig(
-                window_seconds=(
-                    defaults.window_seconds
-                    if megabatch_window is None
-                    else megabatch_window
-                ),
-                max_rows=(
-                    defaults.max_rows
-                    if megabatch_max_rows is None
-                    else megabatch_max_rows
-                ),
-            )
-        else:
-            megabatch_arg = False
-        self.session = broker.session(
-            cache_capacity=cache_capacity,
-            max_workers=max_workers,
-            backend=eval_backend,
-            finished_job_ttl=finished_job_ttl,
-            megabatch=megabatch_arg,
-            tracer=self.tracer,
-        )
-        self.ingestor = ShardedIngestor(
-            broker.telemetry,
-            num_shards=shards,
-            backend=ingest_backend,
-            merge_interval=merge_interval,
-        )
-        self.metrics = ServerMetrics(
-            self.session,
-            self.ingestor,
-            tracer=self.tracer,
-            idempotency_store=self.idempotency,
-            rate_limiter=self.rate_limiter,
-        )
         self._max_inflight = max_inflight
         self._server: asyncio.Server | None = None
         self._inflight: asyncio.Semaphore | None = None
@@ -344,12 +164,25 @@ class BrokerServer:
         self._connections: set[asyncio.Task] = set()
         self._stopped = False
 
+    # -- subclass surface --------------------------------------------------
+
+    def _route(self, request: _Request):
+        """Resolve one request to ``(route name, async handler)``."""
+        raise NotImplementedError
+
+    async def _start_resources(self) -> None:
+        """Bring up whatever serves behind the edge (before binding)."""
+
+    async def _close_resources(self) -> None:
+        """Tear down whatever serves behind the edge (after draining)."""
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
         self._inflight = asyncio.Semaphore(self._max_inflight)
         self._closing = asyncio.Event()
+        await self._start_resources()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.host,
@@ -369,8 +202,9 @@ class BrokerServer:
 
         Stops accepting, wakes idle keep-alive reads, waits up to
         ``grace`` seconds for in-flight requests, cancels stragglers,
-        then tears down the session and the ingestion pipeline (final
-        telemetry merge included).
+        then tears down whatever serves behind the edge (session and
+        ingestion pipeline in-process; the worker fleet under a
+        gateway).
         """
         if self._stopped:
             return
@@ -388,9 +222,7 @@ class BrokerServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.session.close)
-        await loop.run_in_executor(None, self.ingestor.close)
+        await self._close_resources()
 
     # -- connection handling -----------------------------------------------
 
@@ -738,403 +570,120 @@ class BrokerServer:
         # abandoned so a transient failure never pins under the key.
         return 200 <= response.status < 300
 
+
+class BrokerServer(HttpEdge):
+    """An asyncio TCP/HTTP front-end over one broker, in one process.
+
+    The server composes an :class:`HttpEdge` directly over a
+    :class:`~repro.server.core.RequestCore` — the cross-request engine
+    cache and job table, the sharded ingestion pipeline and the metrics
+    registry all live in this process.  ``port=0`` binds an ephemeral
+    port; read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        broker: BrokerService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 4,
+        ingest_backend: str = "thread",
+        merge_interval: float | None = 0.5,
+        max_workers: int = 4,
+        cache_capacity: int = 16,
+        eval_backend: str | None = None,
+        finished_job_ttl: float | None = None,
+        megabatch: bool = False,
+        megabatch_window: float | None = None,
+        megabatch_max_rows: int | None = None,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        max_inflight: int = 32,
+        grace: float = 5.0,
+        trace: bool = False,
+        trace_capacity: int = 256,
+        slow_request_threshold: float | None = None,
+        profile_requests: bool = False,
+        auth_token: str | None = None,
+        rate_limit: float | None = None,
+        rate_limit_burst: int | None = None,
+        idempotency_capacity: int = 1024,
+        exempt_routes: tuple[str, ...] = ("healthz", "metrics"),
+    ) -> None:
+        if not trace:
+            if slow_request_threshold is not None:
+                raise ValidationError(
+                    "slow_request_threshold requires trace=True"
+                )
+            if profile_requests:
+                raise ValidationError("profile_requests requires trace=True")
+        super().__init__(
+            host=host,
+            port=port,
+            max_body_bytes=max_body_bytes,
+            max_inflight=max_inflight,
+            grace=grace,
+            slow_request_threshold=slow_request_threshold,
+            auth_token=auth_token,
+            rate_limit=rate_limit,
+            rate_limit_burst=rate_limit_burst,
+            idempotency_capacity=idempotency_capacity,
+            exempt_routes=exempt_routes,
+        )
+        self.broker = broker
+        self.core = RequestCore(
+            broker,
+            shards=shards,
+            ingest_backend=ingest_backend,
+            merge_interval=merge_interval,
+            max_workers=max_workers,
+            cache_capacity=cache_capacity,
+            eval_backend=eval_backend,
+            finished_job_ttl=finished_job_ttl,
+            megabatch=megabatch,
+            megabatch_window=megabatch_window,
+            megabatch_max_rows=megabatch_max_rows,
+            trace=trace,
+            trace_capacity=trace_capacity,
+            profile_requests=profile_requests,
+            idempotency_store=self.idempotency,
+            rate_limiter=self.rate_limiter,
+        )
+        # The core's components under their historical names — tests,
+        # benches and the CLI reach them through the server object.
+        self.session = self.core.session
+        self.ingestor = self.core.ingestor
+        self.metrics = self.core.metrics
+        self.tracer = self.core.tracer
+        self.trace_store = self.core.trace_store
+        self.profile_requests = self.core.profile_requests
+
     def _route(self, request: _Request):
-        method = request.method
-        # Route on the path component only; query strings are accepted
-        # (and ignored) on every endpoint, per standard request-target
-        # handling.
-        path = request.path.split("?", 1)[0].rstrip("/") or "/"
-        table = {
-            ("POST", "/v2/recommend"): ("recommend", self._post_recommend),
-            ("POST", "/v2/batch"): ("batch", self._post_batch),
-            ("POST", "/v2/jobs"): ("jobs", self._post_jobs),
-            ("POST", "/v2/ingest"): ("ingest", self._post_ingest),
-            ("POST", "/v2/ingest/flush"): ("ingest-flush", self._post_flush),
-            ("GET", "/v2/traces"): ("traces", self._get_traces),
-            ("GET", "/metrics"): ("metrics", self._get_metrics),
-            ("GET", "/healthz"): ("healthz", self._get_health),
-        }
-        if (method, path) in table:
-            return table[(method, path)]
-        known_paths = {p for _, p in table} | {
-            "/v2/jobs/{id}", "/v2/jobs/{id}/result", "/v2/traces/{id}",
-        }
-        if path.startswith("/v2/traces/"):
-            trace_id = path[len("/v2/traces/"):]
-            if "/" not in trace_id:
-                if method == "GET":
-                    return "trace", self._trace_handler(trace_id)
-                return "unmatched", self._method_not_allowed
-            return "unmatched", self._not_found(sorted(known_paths))
-        if path.startswith("/v2/jobs/"):
-            tail = path[len("/v2/jobs/"):]
-            if tail.endswith("/result"):
-                job_id = tail[: -len("/result")]
-                if "/" not in job_id:
-                    if method == "GET":
-                        return "job-result", self._job_result_handler(job_id)
-                    return "unmatched", self._method_not_allowed
-            elif "/" not in tail:
-                if method == "GET":
-                    return "job", self._job_poll_handler(tail)
-                return "unmatched", self._method_not_allowed
-            # Deeper job subpaths are unknown routes, not method errors.
-            return "unmatched", self._not_found(sorted(known_paths))
-        if any(p == path for _, p in table):
-            return "unmatched", self._method_not_allowed
-        return "unmatched", self._not_found(sorted(known_paths))
+        return self.core.route(request)
 
-    async def _method_not_allowed(self, request: _Request) -> _Response:
-        raise _HttpError(
-            ErrorEnvelope(
-                405, "method-not-allowed",
-                f"{request.method} is not supported on {request.path}",
-            )
-        )
-
-    def _not_found(self, known: list[str]):
-        async def handler(request: _Request) -> _Response:
-            raise _HttpError(
-                ErrorEnvelope(
-                    404, "unknown-route",
-                    f"no route for {request.path!r}; available: {known}",
-                )
-            )
-
-        return handler
-
-    # -- handlers ----------------------------------------------------------
-
-    def _parse_envelope(self, body: bytes) -> RecommendEnvelope:
-        try:
-            text = body.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ValidationError(f"request body is not UTF-8: {exc}") from exc
-        return RecommendEnvelope.from_json(text)
-
-    async def _post_recommend(self, request: _Request) -> _Response:
+    async def _close_resources(self) -> None:
         loop = asyncio.get_running_loop()
-        if self.tracer is not None:
-            payload, trace_id = await loop.run_in_executor(
-                None, self._traced_recommend, request.body
-            )
-            response = _json_response(200, payload)
-            response.headers[TRACE_HEADER] = trace_id
-            return response
-        envelope = self._parse_envelope(request.body)
-        try:
-            report = await loop.run_in_executor(
-                None, self.session.recommend_envelope, envelope
-            )
-        except ReproError as exc:
-            raise _HttpError(error_envelope_for(exc, envelope.request_id))
-        return _json_response(200, report.to_json())
-
-    @staticmethod
-    def _envelope_trace_parent(envelope: RecommendEnvelope) -> SpanContext | None:
-        """The client's traceparent, if present and well-formed."""
-        if envelope.trace is None:
-            return None
-        try:
-            return parse_traceparent(envelope.trace)
-        except ValidationError:
-            return None  # garbage traceparent: start a fresh trace
-
-    def _traced_recommend(self, body: bytes) -> tuple[str, str]:
-        """Synchronous traced recommend path; runs on the executor.
-
-        Opens the request's root span here (back-dated to when parsing
-        started) so the whole pipeline — parse, session, backend chunks,
-        serialization — nests under one trace.  The session sees an
-        active context and therefore does not open its own root.
-        Returns ``(report JSON, trace id)``.
-        """
-        tracer = self.tracer
-        assert tracer is not None
-        parse_started = clock.perf_counter()
-        envelope = self._parse_envelope(body)
-        parse_ended = clock.perf_counter()
-        with tracer.span(
-            "request",
-            parent=self._envelope_trace_parent(envelope),
-            start=parse_started,
-            attrs={
-                "route": "recommend",
-                "request_id": envelope.request_id or "",
-            },
-        ) as span:
-            tracer.record(
-                "parse",
-                parent=span.context,
-                start=parse_started,
-                end=parse_ended,
-            )
-            try:
-                with maybe_profile(self.profile_requests) as profiler:
-                    report = self.session.recommend_envelope(envelope)
-            except ReproError as exc:
-                span.attrs["status"] = "error"
-                raise _HttpError(
-                    error_envelope_for(exc, envelope.request_id)
-                ) from exc
-            if profiler is not None:
-                logger.info(
-                    "request profile",
-                    extra={
-                        "trace_id": span.context.trace_id,
-                        "profile": profile_summary(profiler),
-                    },
-                )
-            with tracer.span("serialize"):
-                payload = report.to_json()
-            span.attrs["status"] = "done"
-            return payload, span.context.trace_id
-
-    async def _post_batch(self, request: _Request) -> _Response:
-        lines = [
-            line
-            for line in request.body.decode("utf-8", errors="replace").splitlines()
-            if line.strip()
-        ]
-        if not lines:
-            raise ValidationError("batch body contains no request envelopes")
-        envelopes = []
-        for number, line in enumerate(lines, start=1):
-            try:
-                envelopes.append(RecommendEnvelope.from_json(line))
-            except ValidationError as exc:
-                raise ValidationError(f"batch line {number}: {exc}") from exc
-        job_ids = [self.session.submit(envelope) for envelope in envelopes]
-        loop = asyncio.get_running_loop()
-
-        async def stream() -> AsyncIterator[bytes]:
-            # In submission order; jobs run concurrently on the pool.
-            try:
-                for job_id, envelope in zip(job_ids, envelopes):
-                    try:
-                        report = await loop.run_in_executor(
-                            None, self.session.result_envelope, job_id
-                        )
-                        line = report.to_json()
-                    except ReproError as exc:
-                        line = error_envelope_for(
-                            exc, envelope.request_id
-                        ).to_json()
-                    yield line.encode("utf-8") + b"\n"
-            finally:
-                # The batch's jobs belong to this response: if the
-                # client disconnects mid-stream, nothing else holds the
-                # ids, so un-streamed reports would be unretrievable
-                # AND retention-exempt.  Mark them all retrieved.
-                for job_id in job_ids:
-                    try:
-                        self.session.job(job_id).retrieved = True
-                    except UnknownNameError:
-                        pass  # already evicted
-
-        return _Response(status=200, stream=stream(), content_type=_JSON)
-
-    async def _post_jobs(self, request: _Request) -> _Response:
-        if self.tracer is not None:
-            job_id, trace_id = self._traced_submit(request.body)
-            response = _json_response(202, self._job_payload(job_id))
-            response.headers[TRACE_HEADER] = trace_id
-            return response
-        envelope = self._parse_envelope(request.body)
-        job_id = self.session.submit(envelope)
-        return _json_response(202, self._job_payload(job_id))
-
-    def _traced_submit(self, body: bytes) -> tuple[str, str]:
-        """Traced job submission: the job's span tree parents here.
-
-        The request span closes when the 202 goes out; the job span it
-        parents starts at submission and outlives it (children may end
-        after their parent — readers sort by start time, not nesting).
-        """
-        tracer = self.tracer
-        assert tracer is not None
-        parse_started = clock.perf_counter()
-        envelope = self._parse_envelope(body)
-        parse_ended = clock.perf_counter()
-        with tracer.span(
-            "request",
-            parent=self._envelope_trace_parent(envelope),
-            start=parse_started,
-            attrs={
-                "route": "jobs",
-                "request_id": envelope.request_id or "",
-            },
-        ) as span:
-            tracer.record(
-                "parse",
-                parent=span.context,
-                start=parse_started,
-                end=parse_ended,
-            )
-            job_id = self.session.submit(envelope)
-            span.attrs["job_id"] = job_id
-            return job_id, span.context.trace_id
-
-    def _job_payload(self, job_id: str) -> dict[str, Any]:
-        return {
-            "schema_version": ENVELOPE_SCHEMA_VERSION,
-            "kind": "job",
-            "job_id": job_id,
-            "status": self.session.poll(job_id),
-        }
-
-    def _job_poll_handler(self, job_id: str):
-        async def handler(request: _Request) -> _Response:
-            return _json_response(200, self._job_payload(job_id))
-
-        return handler
-
-    def _job_result_handler(self, job_id: str):
-        async def handler(request: _Request) -> _Response:
-            job = self.session.job(job_id)
-            if not job.done.is_set():
-                return _json_response(202, self._job_payload(job_id))
-            if job.error is not None:
-                # The error IS the result: mark it retrieved so failed
-                # jobs participate in retention eviction too, and
-                # commit it to the replay table — retrieval may evict
-                # the job, so a retried GET must replay, not 404.
-                job.retrieved = True
-                response = _error_response(
-                    error_envelope_for(job.error, job.envelope.request_id)
-                )
-                response.replayable = True
-                return response
-            loop = asyncio.get_running_loop()
-            report = await loop.run_in_executor(
-                None, self.session.result_envelope, job_id
-            )
-            response = _json_response(200, report.to_json())
-            response.replayable = True
-            return response
-
-        return handler
-
-    async def _post_ingest(self, request: _Request) -> _Response:
-        text = request.body.decode("utf-8", errors="replace")
-        if not text.strip():
-            raise ValidationError("ingest body contains no telemetry records")
-        loop = asyncio.get_running_loop()
-        routed = await loop.run_in_executor(
-            None, self.ingestor.submit_jsonl, text
-        )
-        return _json_response(
-            202,
-            {
-                "schema_version": ENVELOPE_SCHEMA_VERSION,
-                "kind": "ingest-ack",
-                "routed": routed,
-                "shards": self.ingestor.num_shards,
-            },
-        )
-
-    async def _post_flush(self, request: _Request) -> _Response:
-        loop = asyncio.get_running_loop()
-        merged = await loop.run_in_executor(None, self.ingestor.flush)
-        return _json_response(
-            200,
-            {
-                "schema_version": ENVELOPE_SCHEMA_VERSION,
-                "kind": "ingest-ack",
-                "merged": merged,
-                "merges": self.ingestor.merges,
-            },
-        )
-
-    def _require_trace_store(self) -> "TraceStore":
-        store = self.trace_store
-        if store is None:
-            raise _HttpError(
-                ErrorEnvelope(
-                    404, "tracing-disabled",
-                    "tracing is disabled on this server; restart it with "
-                    "trace=True (repro serve --trace)",
-                )
-            )
-        return store
-
-    async def _get_traces(self, request: _Request) -> _Response:
-        store = self._require_trace_store()
-        query = parse_qs(request.path.partition("?")[2])
-        try:
-            min_duration = float(query.get("min_duration", ["0"])[0])
-            limit = int(query.get("limit", ["50"])[0])
-        except ValueError as exc:
-            raise ValidationError(f"bad traces query parameter: {exc}") from exc
-        return _json_response(
-            200,
-            {
-                "schema_version": ENVELOPE_SCHEMA_VERSION,
-                "kind": "traces",
-                "traces": store.summaries(
-                    min_duration=min_duration, limit=limit
-                ),
-                "dropped": store.dropped,
-            },
-        )
-
-    def _trace_handler(self, trace_id: str):
-        async def handler(request: _Request) -> _Response:
-            store = self._require_trace_store()
-            spans = store.get(trace_id)
-            if spans is None:
-                raise _HttpError(
-                    ErrorEnvelope(
-                        404, "unknown-name",
-                        f"no trace {trace_id!r} in the store (it may have "
-                        "been evicted; raise trace_capacity)",
-                    )
-                )
-            return _json_response(
-                200,
-                {
-                    "schema_version": ENVELOPE_SCHEMA_VERSION,
-                    "kind": "trace",
-                    "trace_id": trace_id,
-                    "spans": [span.to_dict() for span in spans],
-                },
-            )
-
-        return handler
-
-    async def _get_metrics(self, request: _Request) -> _Response:
-        loop = asyncio.get_running_loop()
-        body = await loop.run_in_executor(None, self.metrics.render)
-        return _Response(
-            status=200, body=body.encode("utf-8"), content_type=_PROMETHEUS
-        )
-
-    async def _get_health(self, request: _Request) -> _Response:
-        return _json_response(
-            200,
-            {
-                "schema_version": ENVELOPE_SCHEMA_VERSION,
-                "kind": "health",
-                "status": "ok",
-                "providers": sorted(self.broker.providers),
-            },
-        )
+        await loop.run_in_executor(None, self.session.close)
+        await loop.run_in_executor(None, self.ingestor.close)
 
 
 # -- thread-hosted serving --------------------------------------------------
 
 class ServerHandle:
-    """A running :class:`BrokerServer` on a background event loop.
+    """A running server on a background event loop.
 
     The synchronous façade tests, the CLI and
     :class:`~repro.server.client.ServerClient` users drive: ``host`` /
     ``port`` / ``url`` for addressing, ``close()`` (or the context
-    manager) for graceful shutdown.
+    manager) for graceful shutdown.  Wraps either a
+    :class:`BrokerServer` or a
+    :class:`~repro.server.gateway.GatewayServer` — both share the
+    :class:`HttpEdge` lifecycle.
     """
 
     def __init__(
         self,
-        server: BrokerServer,
+        server: HttpEdge,
         loop: asyncio.AbstractEventLoop,
         thread: threading.Thread,
     ) -> None:
@@ -1175,14 +724,29 @@ class ServerHandle:
         self._loop.close()
 
 
-def start_in_thread(broker: BrokerService, **kwargs) -> ServerHandle:
-    """Start a :class:`BrokerServer` on a dedicated event-loop thread.
+def start_in_thread(
+    broker: BrokerService, *, workers: int | None = None, **kwargs
+) -> ServerHandle:
+    """Start a broker server on a dedicated event-loop thread.
 
     Blocks until the socket is bound (so ``handle.port`` is final) and
-    re-raises any startup failure in the caller.  Keyword arguments are
-    forwarded to :class:`BrokerServer`.
+    re-raises any startup failure in the caller.  ``workers`` selects
+    the serving mode: ``0`` (the default) runs the in-process
+    :class:`BrokerServer`; ``N >= 1`` runs the multi-process
+    :class:`~repro.server.gateway.GatewayServer` over ``N`` partitioned
+    worker processes.  ``None`` reads the ``REPRO_WORKERS`` environment
+    variable (the CI matrix's knob for running the whole test suite
+    against the gateway).  Remaining keyword arguments are forwarded to
+    the server constructor.
     """
-    server = BrokerServer(broker, **kwargs)
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
+    if workers > 0:
+        from repro.server.gateway import GatewayServer
+
+        server: HttpEdge = GatewayServer(broker, workers=workers, **kwargs)
+    else:
+        server = BrokerServer(broker, **kwargs)
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []

@@ -26,6 +26,7 @@ from repro.analysis import (
 from repro.analysis.rules import (
     AsyncHygieneRule,
     FloatAccumulationRule,
+    ForkSafetyRule,
     LockDisciplineRule,
     RegistryParityRule,
     ResourceLifecycleRule,
@@ -653,6 +654,60 @@ class TestREP007WallClock:
         assert report.findings == ()
 
 
+class TestREP008ForkSafety:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import os\npid = os.fork()\n",
+            "import os\npid, fd = os.forkpty()\n",
+            "import multiprocessing\np = multiprocessing.Process(target=f)\n",
+            "import multiprocessing as mp\np = mp.Process(target=f)\n",
+            "from multiprocessing import Process\np = Process(target=f)\n",
+            "import multiprocessing\nctx = multiprocessing.get_context()\n",
+            'import multiprocessing\n'
+            'ctx = multiprocessing.get_context("fork")\n',
+            'import multiprocessing\n'
+            'ctx = multiprocessing.get_context("forkserver")\n',
+            'import multiprocessing\n'
+            'multiprocessing.set_start_method("fork")\n',
+            "import multiprocessing\nmultiprocessing.set_start_method()\n",
+        ],
+    )
+    def test_fork_idioms_flagged(self, tmp_path, snippet):
+        report = lint_snippet(tmp_path, snippet, ForkSafetyRule)
+        assert rule_ids(report) == ["REP008"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # The sanctioned idiom: an explicit spawn context.
+            'import multiprocessing\n'
+            'ctx = multiprocessing.get_context("spawn")\n'
+            "p = ctx.Process(target=f)\n",
+            'import multiprocessing\n'
+            'multiprocessing.set_start_method("spawn")\n',
+            # Dynamic method names are beyond static reach: no finding.
+            "import multiprocessing\n"
+            "ctx = multiprocessing.get_context(pick())\n",
+            # Thread pools and threads are fine; only forking is not.
+            "import threading\nt = threading.Thread(target=f)\n",
+        ],
+    )
+    def test_spawn_idioms_clean(self, tmp_path, snippet):
+        report = lint_snippet(tmp_path, snippet, ForkSafetyRule)
+        assert report.findings == ()
+
+    def test_scoped_to_server_modules_only(self, tmp_path):
+        code = "import os\npid = os.fork()\n"
+        server = tmp_path / "server"
+        server.mkdir()
+        (server / "forky.py").write_text(code)
+        (tmp_path / "elsewhere.py").write_text(code)
+        report = run_lint([tmp_path], rules=[ForkSafetyRule])
+        assert rule_ids(report) == ["REP008"]
+        assert report.findings[0].path.endswith("forky.py")
+
+
 class TestJsonReport:
     def fixture_tree(self, tmp_path):
         tree = tmp_path / "fixture"
@@ -666,6 +721,13 @@ class TestJsonReport:
             "def total(values):\n"
             "    return sum(values)  # repro: lint-ok[REP001]\n"
         )
+        server = tree / "server"
+        server.mkdir()
+        (server / "spawner.py").write_text(
+            "import multiprocessing\n"
+            "def shard():\n"
+            "    return multiprocessing.Process(target=shard)\n"
+        )
         return tree
 
     def normalized_report(self, tmp_path):
@@ -673,7 +735,7 @@ class TestJsonReport:
         config = LintConfig(rule_paths={"REP001": ("*",)})
         report = run_lint(
             [tree],
-            rules=[FloatAccumulationRule, WallClockRule],
+            rules=[FloatAccumulationRule, WallClockRule, ForkSafetyRule],
             config=config,
         )
         payload = json.loads(report.to_json())
@@ -686,10 +748,10 @@ class TestJsonReport:
     def test_json_schema_and_content(self, tmp_path):
         payload = self.normalized_report(tmp_path)
         assert payload["schema_version"] == REPORT_SCHEMA_VERSION
-        assert payload["files_checked"] == 2
-        assert payload["finding_count"] == len(payload["findings"]) == 3
+        assert payload["files_checked"] == 3
+        assert payload["finding_count"] == len(payload["findings"]) == 4
         assert {f["rule"] for f in payload["findings"]} == {
-            "REP000", "REP001", "REP007",
+            "REP000", "REP001", "REP007", "REP008",
         }
         for finding in payload["findings"]:
             assert set(finding) == {

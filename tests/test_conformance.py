@@ -40,6 +40,7 @@ ALL_CHECKS = (
     "idempotent-submit-replay",
     "idempotent-ingest-replay",
     "job-result-replay",
+    "cross-worker-replay",
     "auth-error-shape",
     "rate-limit-shape",
 )
